@@ -1,0 +1,1 @@
+bench/campaign.ml: Array Ccr Format Hashtbl List Stats String Workload

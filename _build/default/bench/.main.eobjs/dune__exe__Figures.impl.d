@@ -1,0 +1,1 @@
+bench/figures.ml: Alloc Array Campaign Ccr Cheri Format List Option Paper Printf Sim Stats String Workload

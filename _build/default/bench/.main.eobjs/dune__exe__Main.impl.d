@@ -1,0 +1,1 @@
+bench/main.ml: Array Campaign Figures Format List Micro Paper Printf Sys Unix

@@ -1,0 +1,1 @@
+bench/micro.ml: Alloc Analyze Bechamel Benchmark Ccr Cheri Format Hashtbl Instance Lazy List Measure Option Sim Staged Tagmem Test Time Toolkit Vm

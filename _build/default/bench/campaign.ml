@@ -1,0 +1,125 @@
+(* Shared measurement campaigns: each (workload x mode) simulation runs
+   once per harness invocation and its Result feeds every figure that
+   needs it. *)
+
+module Runtime = Ccr.Runtime
+module Revoker = Ccr.Revoker
+module Result = Workload.Result
+module Profile = Workload.Profile
+
+let modes =
+  [
+    Runtime.Baseline;
+    Runtime.Safe Revoker.Paint_sync;
+    Runtime.Safe Revoker.Cherivoke;
+    Runtime.Safe Revoker.Cornucopia;
+    Runtime.Safe Revoker.Reloaded;
+  ]
+
+let safe_modes = List.tl modes
+let mode_names = List.map Runtime.mode_name modes
+
+type t = {
+  scale : float;
+  seed : int;
+  spec : (string * string, Result.t) Hashtbl.t; (* (workload, mode) *)
+  interactive : (string * string, Result.t) Hashtbl.t;
+  mutable spec_done : bool;
+  mutable pgbench_done : bool;
+  mutable grpc_done : bool;
+}
+
+let create ~scale ~seed =
+  {
+    scale;
+    seed;
+    spec = Hashtbl.create 64;
+    interactive = Hashtbl.create 16;
+    spec_done = false;
+    pgbench_done = false;
+    grpc_done = false;
+  }
+
+let progress fmt = Format.eprintf fmt
+
+let ensure_spec t =
+  if not t.spec_done then begin
+    List.iter
+      (fun (p : Profile.t) ->
+        progress "  [spec] %-14s" p.Profile.name;
+        List.iter
+          (fun mode ->
+            let r = Workload.Spec.run ~seed:t.seed ~ops_scale:t.scale ~mode p in
+            progress " %s" (String.make 1 (Runtime.mode_name mode).[0]);
+            Hashtbl.replace t.spec (p.Profile.name, Runtime.mode_name mode) r)
+          modes;
+        progress "@.")
+      Profile.spec_all;
+    t.spec_done <- true
+  end
+
+let ensure_pgbench t =
+  if not t.pgbench_done then begin
+    let config =
+      {
+        Workload.Pgbench.default_config with
+        Workload.Pgbench.transactions =
+          int_of_float (6000.0 *. t.scale) |> max 1500;
+        seed = t.seed;
+      }
+    in
+    List.iter
+      (fun mode ->
+        progress "  [pgbench] %s@." (Runtime.mode_name mode);
+        let r = Workload.Pgbench.run ~config ~mode () in
+        Hashtbl.replace t.interactive ("pgbench", Runtime.mode_name mode) r)
+      modes;
+    t.pgbench_done <- true
+  end
+
+let ensure_grpc t =
+  if not t.grpc_done then begin
+    let config =
+      {
+        Workload.Grpc.default_config with
+        Workload.Grpc.messages = int_of_float (24000.0 *. t.scale) |> max 6000;
+        seed = t.seed;
+      }
+    in
+    List.iter
+      (fun mode ->
+        progress "  [grpc] %s@." (Runtime.mode_name mode);
+        let r = Workload.Grpc.run ~config ~mode () in
+        Hashtbl.replace t.interactive ("grpc_qps", Runtime.mode_name mode) r)
+      modes;
+    t.grpc_done <- true
+  end
+
+let spec t ~workload ~mode =
+  ensure_spec t;
+  Hashtbl.find t.spec (workload, mode)
+
+let interactive t ~workload ~mode =
+  (match workload with
+  | "pgbench" -> ensure_pgbench t
+  | "grpc_qps" -> ensure_grpc t
+  | _ -> invalid_arg "Campaign.interactive");
+  Hashtbl.find t.interactive (workload, mode)
+
+let spec_names = List.map (fun p -> p.Profile.name) Profile.spec_all
+let revoking_names = List.map (fun p -> p.Profile.name) Profile.spec_revoking
+
+let overhead_pct ~test ~base =
+  (float_of_int test /. float_of_int base -. 1.0) *. 100.0
+
+let ratio ~test ~base = float_of_int test /. float_of_int base
+
+(* latency percentile helper *)
+let pct (r : Result.t) q =
+  Stats.Summary.percentile (Array.to_list r.Result.latencies_us) q
+
+(* median over per-epoch phase records *)
+let phase_median records f =
+  match records with
+  | [] -> 0.0
+  | rs -> Stats.Summary.percentile (List.map (fun r -> float_of_int (f r)) rs) 50.0

@@ -1,0 +1,84 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (§5) plus the DESIGN.md ablations.
+
+     dune exec bench/main.exe                 # everything, default scale
+     dune exec bench/main.exe -- --scale 1.0 fig1 fig4
+     dune exec bench/main.exe -- --list
+
+   Figures are computed from a shared measurement campaign: each
+   (workload x mode) pair simulates once per invocation. *)
+
+let all_targets : (string * string * (Campaign.t -> unit)) list =
+  [
+    ("fig1", "SPEC wall-clock overheads", Figures.fig1);
+    ("fig2", "SPEC CPU-time overheads", Figures.fig2);
+    ("fig3", "SPEC peak-RSS ratios", Figures.fig3);
+    ("fig4", "SPEC bus-traffic overheads", Figures.fig4);
+    ("fig5", "pgbench time overheads", Figures.fig5);
+    ("fig6", "pgbench bus overheads", Figures.fig6);
+    ("fig7", "pgbench latency CDF", Figures.fig7);
+    ("fig8", "gRPC QPS latency percentiles", Figures.fig8);
+    ("fig9", "revocation phase times", Figures.fig9);
+    ("tab1", "pgbench fixed-rate latencies", Figures.tab1);
+    ("tab2", "revocation rate statistics", Figures.tab2);
+    ("ablation_policy", "quarantine policy sweep (§7.2)", Figures.ablation_policy);
+    ("ablation_nt", "non-temporal sweep loads (§5.6)", Figures.ablation_nt);
+    ("ablation_cheriot", "load filter vs load barrier (§6.3)", Figures.ablation_cheriot);
+    ("ablation_clg", "per-PTE flag vs generation bit (§4.1)", Figures.ablation_clg);
+    ("ablation_multibg", "multi-threaded background sweep (§7.1)", Figures.ablation_multibg);
+    ("ablation_allocator", "snmalloc vs jemalloc (footnote 23)", Figures.ablation_allocator);
+    ("ablation_coloring", "memory-coloring composition (§7.3)", Figures.ablation_coloring);
+    ("micro", "bechamel microbenchmarks of primitives", fun _ -> Micro.run ());
+  ]
+
+let usage () =
+  print_endline "usage: main.exe [--scale S] [--seed N] [--list] [target ...]";
+  print_endline "targets:";
+  List.iter (fun (n, d, _) -> Printf.printf "  %-18s %s\n" n d) all_targets;
+  print_endline "(no targets = run everything)"
+
+let () =
+  let scale = ref 0.5 in
+  let seed = ref 1 in
+  let targets = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--scale" :: v :: rest ->
+        scale := float_of_string v;
+        parse rest
+    | "--seed" :: v :: rest ->
+        seed := int_of_string v;
+        parse rest
+    | ("--list" | "--help" | "-h") :: _ ->
+        usage ();
+        exit 0
+    | t :: rest ->
+        if List.exists (fun (n, _, _) -> n = t) all_targets then begin
+          targets := t :: !targets;
+          parse rest
+        end
+        else begin
+          Printf.eprintf "unknown target %S\n" t;
+          usage ();
+          exit 1
+        end
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let chosen =
+    match List.rev !targets with
+    | [] -> List.map (fun (n, _, _) -> n) all_targets
+    | l -> l
+  in
+  Format.printf
+    "Cornucopia Reloaded reproduction harness — ops scale %.2f, heap scale 1/%.0f, seed %d@."
+    !scale Paper.heap_scale !seed;
+  Format.printf
+    "(shapes and orderings are the reproduced quantities; see EXPERIMENTS.md)@.";
+  let c = Campaign.create ~scale:!scale ~seed:!seed in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      let _, _, f = List.find (fun (n, _, _) -> n = name) all_targets in
+      f c)
+    chosen;
+  Format.printf "@.[harness completed in %.1fs]@." (Unix.gettimeofday () -. t0)

@@ -1,0 +1,123 @@
+(* Bechamel microbenchmarks of the core primitives: how fast the
+   simulator itself executes the operations every figure is built from.
+   These measure HOST-side nanoseconds (OCaml execution), not simulated
+   cycles — useful for keeping the harness usable at scale. *)
+
+open Bechamel
+open Toolkit
+
+module M = Sim.Machine
+module Cap = Cheri.Capability
+
+(* A persistent rig reused across samples. The context is captured from a
+   finished thread and reused with an unbounded quantum, so no operation
+   ever needs to yield: every benchmarked primitive is non-blocking. *)
+let rig =
+  lazy
+    (let config =
+       {
+         M.default_config with
+         heap_bytes = 8 lsl 20;
+         mem_bytes = 32 lsl 20;
+         quantum = max_int;
+       }
+     in
+     let m = M.create config in
+     let alloc = Alloc.Allocator.create m in
+     let rm = Ccr.Revmap.create m in
+     let holder = ref None in
+     ignore
+       (M.spawn m ~name:"bench" ~core:3 (fun ctx ->
+            let c = Alloc.Allocator.malloc alloc ctx 4096 in
+            (* plant a capability so the page sweep has work *)
+            M.store_cap ctx (Cap.set_addr c (Cap.base c)) c;
+            holder := Some (ctx, c)));
+     M.run m;
+     let ctx, c = Option.get !holder in
+     (m, alloc, rm, ctx, c))
+
+let test_cap_derive =
+  Test.make ~name:"capability set_bounds+perms"
+    (Staged.stage (fun () ->
+         let root = Cap.root ~length:(1 lsl 32) in
+         let c = Cap.set_bounds root ~base:65536 ~length:256 in
+         ignore (Cap.restrict_perms c Cheri.Perms.read_write)))
+
+let test_compress =
+  Test.make ~name:"compress representable"
+    (Staged.stage (fun () -> ignore (Cheri.Compress.representable ~base:123456 ~length:1234567)))
+
+let test_mem_cap_roundtrip =
+  let mem = Tagmem.Mem.create ~size:(1 lsl 16) in
+  let c = Cap.set_bounds (Cap.root ~length:(1 lsl 16)) ~base:256 ~length:64 in
+  Test.make ~name:"tagged memory cap store+load"
+    (Staged.stage (fun () ->
+         Tagmem.Mem.write_cap mem 512 c;
+         ignore (Tagmem.Mem.read_cap mem 512)))
+
+let test_cache_access =
+  let cache = Tagmem.Cache.create () in
+  let i = ref 0 in
+  Test.make ~name:"cache access (mixed)"
+    (Staged.stage (fun () ->
+         incr i;
+         ignore (Tagmem.Cache.access cache ~addr:(!i * 48 land 0xfffff) ~write:(!i land 3 = 0))))
+
+let test_sim_load =
+  let _, _, _, ctx, c = Lazy.force rig in
+  Test.make ~name:"simulated load_u64"
+    (Staged.stage (fun () -> ignore (M.load_u64 ctx c)))
+
+let test_sim_malloc_free =
+  let _, alloc, _, ctx, _ = Lazy.force rig in
+  Test.make ~name:"simulated malloc+free"
+    (Staged.stage (fun () ->
+         let c = Alloc.Allocator.malloc alloc ctx 128 in
+         Alloc.Allocator.free alloc ctx c))
+
+let test_revmap_paint =
+  let _, _, rm, ctx, c = Lazy.force rig in
+  Test.make ~name:"revmap paint+clear 256B"
+    (Staged.stage (fun () ->
+         Ccr.Revmap.paint rm ctx ~addr:(Cap.base c) ~size:256;
+         Ccr.Revmap.clear rm ctx ~addr:(Cap.base c) ~size:256))
+
+let test_sweep_page =
+  let m, _, rm, ctx, c = Lazy.force rig in
+  let pte =
+    match Vm.Aspace.translate (M.aspace m) (Cap.base c) with
+    | Some (_, pte) -> pte
+    | None -> assert false
+  in
+  Test.make ~name:"sweep one 4KiB page"
+    (Staged.stage (fun () -> ignore (Ccr.Sweep.sweep_page ctx rm ~pte)))
+
+let benchmarks =
+  [
+    test_cap_derive;
+    test_compress;
+    test_mem_cap_roundtrip;
+    test_cache_access;
+    test_sim_load;
+    test_sim_malloc_free;
+    test_revmap_paint;
+    test_sweep_page;
+  ]
+
+let run () =
+  Format.printf "@.=== Microbenchmarks (host-side cost of simulator primitives) ===@.@.";
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 1000) () in
+  let instances = Instance.[ monotonic_clock ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name raw ->
+          match Analyze.one (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]) Instance.monotonic_clock raw with
+          | exception _ -> Format.printf "  %-34s (analysis failed)@." name
+          | ols -> (
+              match Analyze.OLS.estimates ols with
+              | Some [ est ] -> Format.printf "  %-34s %10.1f ns/op@." name est
+              | _ -> Format.printf "  %-34s (no estimate)@." name))
+        results)
+    benchmarks

@@ -1,0 +1,92 @@
+(* Reference values transcribed from the paper (Filardo et al., ASPLOS
+   2024), for side-by-side comparison in the harness output. "-" means the
+   paper reports the value only graphically. *)
+
+(* Figure 1: wall-clock overhead vs the spatially-safe baseline, %.
+   The paper quotes exact numbers only for its two worst cases. *)
+let fig1_wall_overhead_pct = function
+  | "xalancbmk", "reloaded" -> Some 29.4
+  | "xalancbmk", "cornucopia" -> Some 29.7
+  | "omnetpp", "reloaded" -> Some 23.1
+  | "omnetpp", "cornucopia" -> Some 24.8
+  | _ -> None
+
+(* Figure 4: Reloaded's DRAM traffic as a fraction of Cornucopia's. *)
+let fig4_reloaded_vs_cornucopia = function
+  | "omnetpp" -> Some (45.0 /. 50.0)
+  | "xalancbmk" -> Some (60.0 /. 68.0)
+  | _ -> None
+
+let fig4_median_ratio = 0.87
+
+(* Figure 7 (pgbench): how much slower the 99th percentile transaction is
+   than the median, in ms on Morello, and the median world-stopped times. *)
+let fig7_p99_minus_median_ms = function
+  | "cherivoke" -> Some 27.0
+  | "cornucopia" -> Some 10.0
+  | "reloaded" -> Some 5.4
+  | _ -> None
+
+let fig7_median_stw_ms = function
+  | "cherivoke" -> Some 20.0
+  | "cornucopia" -> Some 6.2
+  | "reloaded" -> Some 0.00086 (* 860 us of cumulative fault handling *)
+  | _ -> None
+
+(* Figure 8 (gRPC QPS): throughput reduction and latency multipliers. *)
+let fig8_qps_drop_pct = function
+  | "reloaded" -> Some 12.82
+  | "cornucopia" -> Some 12.88
+  | _ -> None
+
+let fig8_latency_ratio = function
+  | "reloaded", 99.0 -> Some 2.0
+  | "cornucopia", 99.0 -> Some 3.5
+  | "reloaded", 99.9 -> Some 9.6
+  | "cornucopia", 99.9 -> Some 9.9
+  | _ -> None
+
+(* Table 1: pgbench latency percentiles (ms) under fixed-rate schedules.
+   Rates are in transactions/second on Morello (max ~284/s). *)
+let table1 =
+  [
+    (100.0, [ 3.15; 5.14; 6.28; 12.8; 32.4 ]);
+    (150.0, [ 3.12; 5.12; 6.35; 12.5; 43.9 ]);
+    (250.0, [ 3.06; 4.13; 5.49; 8.72; 68.6 ]);
+  ]
+
+let table1_unscheduled = [ 3.15; 4.22; 5.59; 8.55; 69.6 ]
+let table1_percentiles = [ 50.0; 90.0; 95.0; 99.0; 99.9 ]
+let table1_max_rate = 284.0
+
+(* Table 2: revocation rate statistics under Reloaded (unscaled). *)
+type tab2_row = {
+  t2_name : string;
+  t2_mean_alloc_mib : float;
+  t2_sum_freed_gib : float;
+  t2_fa : float;
+  t2_revocations : float;
+  t2_rev_per_sec : float;
+}
+
+let table2 =
+  [
+    { t2_name = "xalancbmk"; t2_mean_alloc_mib = 625.0; t2_sum_freed_gib = 66.9;
+      t2_fa = 110.0; t2_revocations = 426.0; t2_rev_per_sec = 0.572 };
+    { t2_name = "astar_lakes"; t2_mean_alloc_mib = 235.0; t2_sum_freed_gib = 3.36;
+      t2_fa = 14.7; t2_revocations = 39.0; t2_rev_per_sec = 0.150 };
+    { t2_name = "omnetpp"; t2_mean_alloc_mib = 365.0; t2_sum_freed_gib = 73.8;
+      t2_fa = 207.0; t2_revocations = 827.0; t2_rev_per_sec = 0.880 };
+    { t2_name = "hmmer_nph3"; t2_mean_alloc_mib = 49.3; t2_sum_freed_gib = 2.06;
+      t2_fa = 42.8; t2_revocations = 168.0; t2_rev_per_sec = 1.45 };
+    { t2_name = "hmmer_retro"; t2_mean_alloc_mib = 20.4; t2_sum_freed_gib = 0.579;
+      t2_fa = 29.0; t2_revocations = 117.0; t2_rev_per_sec = 0.481 };
+    { t2_name = "gobmk_trevord"; t2_mean_alloc_mib = 124.0; t2_sum_freed_gib = 0.212;
+      t2_fa = 1.75; t2_revocations = 7.0; t2_rev_per_sec = 0.0623 };
+    { t2_name = "pgbench"; t2_mean_alloc_mib = 23.0; t2_sum_freed_gib = 55.1;
+      t2_fa = 2534.0; t2_revocations = 10072.0; t2_rev_per_sec = 14.8 };
+    { t2_name = "grpc_qps"; t2_mean_alloc_mib = 340.0; t2_sum_freed_gib = 4.65;
+      t2_fa = 14.0; t2_revocations = 54.0; t2_rev_per_sec = 1.54 };
+  ]
+
+let heap_scale = 64.0 (* all byte quantities in the harness are 1/64 scale *)

@@ -1,0 +1,173 @@
+(* ccr_sim: run one workload under one temporal-safety strategy and
+   report the measurements — the repository's command-line front end.
+
+     dune exec bin/ccr_sim.exe -- spec --workload xalancbmk --mode reloaded
+     dune exec bin/ccr_sim.exe -- pgbench --mode cornucopia --transactions 4000
+     dune exec bin/ccr_sim.exe -- grpc --mode reloaded --phases *)
+
+open Cmdliner
+
+module Runtime = Ccr.Runtime
+module Revoker = Ccr.Revoker
+module Result = Workload.Result
+
+let mode_of_string = function
+  | "baseline" -> Ok Runtime.Baseline
+  | "paint+sync" | "paintـsync" | "paint" -> Ok (Runtime.Safe Revoker.Paint_sync)
+  | "cherivoke" -> Ok (Runtime.Safe Revoker.Cherivoke)
+  | "cornucopia" -> Ok (Runtime.Safe Revoker.Cornucopia)
+  | "reloaded" -> Ok (Runtime.Safe Revoker.Reloaded)
+  | "cheriot" -> Ok (Runtime.Safe Revoker.Cheriot_filter)
+  | s -> Error (`Msg (Printf.sprintf "unknown mode %S" s))
+
+let mode_conv =
+  Arg.conv
+    ( mode_of_string,
+      fun fmt m -> Format.pp_print_string fmt (Runtime.mode_name m) )
+
+let mode_arg =
+  let doc =
+    "Temporal-safety mode: baseline, paint+sync, cherivoke, cornucopia, \
+     reloaded, or cheriot."
+  in
+  Arg.(value & opt mode_conv (Runtime.Safe Revoker.Reloaded) & info [ "mode"; "m" ] ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic simulation seed.")
+
+let phases_arg =
+  Arg.(
+    value & flag
+    & info [ "phases" ] ~doc:"Print per-epoch revocation phase records.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "trace" ]
+        ~doc:"Attach an event tracer and dump the last $(docv) events."
+        ~docv:"N")
+
+let mk_tracer = function
+  | None -> None
+  | Some _ -> Some (Sim.Trace.create ~capacity:65536 ())
+
+let dump_trace trace tracer =
+  match (trace, tracer) with
+  | Some n, Some tr ->
+      Format.printf "@.last %d trace events:@." (min n (Sim.Trace.length tr));
+      Sim.Trace.dump Format.std_formatter ~last:n tr
+  | _ -> ()
+
+let report ~phases (r : Result.t) =
+  Format.printf "workload:     %s@." r.Result.workload;
+  Format.printf "mode:         %s@." r.Result.mode;
+  Format.printf "wall:         %.3f ms (%d cycles)@." (Result.wall_ms r)
+    r.Result.wall_cycles;
+  Format.printf "cpu (all):    %.3f ms@." (Sim.Cost.cycles_to_ms r.Result.cpu_cycles);
+  Format.printf "cpu (app):    %.3f ms@."
+    (Sim.Cost.cycles_to_ms r.Result.app_cpu_cycles);
+  Format.printf "bus:          %d transactions (%d on the app core)@."
+    r.Result.bus_total r.Result.bus_app_core;
+  Format.printf "peak RSS:     %d pages (%d KiB)@." r.Result.peak_rss_pages
+    (r.Result.peak_rss_pages * 4);
+  Format.printf "load faults:  %d@." r.Result.clg_faults;
+  (match r.Result.mrs with
+  | Some s ->
+      Format.printf "revocations:  %d (%.1f MiB freed, %d blocked ops)@."
+        s.Ccr.Mrs.revocations
+        (float_of_int s.Ccr.Mrs.sum_freed_bytes /. 1048576.0)
+        s.Ccr.Mrs.blocked_allocs
+  | None -> ());
+  if Array.length r.Result.latencies_us > 0 then begin
+    let l = Array.to_list r.Result.latencies_us in
+    let p q = Stats.Summary.percentile l q in
+    Format.printf "throughput:   %.0f /s@." r.Result.throughput;
+    Format.printf "latency us:   p50=%.1f p90=%.1f p99=%.1f p99.9=%.1f max=%.1f@."
+      (p 50.) (p 90.) (p 99.) (p 99.9)
+      (List.fold_left max 0. l)
+  end;
+  if phases then
+    List.iter
+      (fun ph ->
+        Format.printf
+          "  epoch %3d: stw=%8.1fus conc=%8.2fms faults=%4d (%.2fms) pages=%5d revoked=%6d bytes=%d@."
+          ph.Revoker.epoch_index
+          (Sim.Cost.cycles_to_us ph.Revoker.stw_cycles)
+          (Sim.Cost.cycles_to_ms ph.Revoker.concurrent_cycles)
+          ph.Revoker.fault_count
+          (Sim.Cost.cycles_to_ms ph.Revoker.fault_cycles)
+          ph.Revoker.pages_visited ph.Revoker.caps_revoked ph.Revoker.bytes_processed)
+      r.Result.phases
+
+let spec_cmd =
+  let workload =
+    let all = String.concat ", " (List.map (fun (p : Workload.Profile.t) -> p.Workload.Profile.name) Workload.Profile.spec_all) in
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "workload"; "w" ] ~doc:(Printf.sprintf "SPEC workload: %s." all))
+  in
+  let scale =
+    Arg.(value & opt float 0.5 & info [ "scale" ] ~doc:"Operation-count scale.")
+  in
+  let run workload scale mode seed phases trace =
+    match Workload.Profile.find workload with
+    | p ->
+        let tracer = mk_tracer trace in
+        report ~phases (Workload.Spec.run ~seed ~ops_scale:scale ?tracer ~mode p);
+        dump_trace trace tracer;
+        0
+    | exception Not_found ->
+        Format.eprintf "unknown workload %S@." workload;
+        1
+  in
+  Cmd.v
+    (Cmd.info "spec" ~doc:"Run a synthetic SPEC CPU2006 workload.")
+    Term.(const run $ workload $ scale $ mode_arg $ seed_arg $ phases_arg $ trace_arg)
+
+let pgbench_cmd =
+  let transactions =
+    Arg.(value & opt int 6000 & info [ "transactions"; "t" ] ~doc:"Transaction count.")
+  in
+  let rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "rate" ] ~doc:"Fixed arrival schedule, transactions/second.")
+  in
+  let run transactions rate mode seed phases trace =
+    let config =
+      { Workload.Pgbench.default_config with transactions; rate; seed }
+    in
+    let tracer = mk_tracer trace in
+    report ~phases (Workload.Pgbench.run ~config ?tracer ~mode ());
+    dump_trace trace tracer;
+    0
+  in
+  Cmd.v
+    (Cmd.info "pgbench" ~doc:"Run the pgbench-style interactive workload.")
+    Term.(const run $ transactions $ rate $ mode_arg $ seed_arg $ phases_arg $ trace_arg)
+
+let grpc_cmd =
+  let messages =
+    Arg.(value & opt int 24000 & info [ "messages" ] ~doc:"Message count.")
+  in
+  let run messages mode seed phases trace =
+    let config = { Workload.Grpc.default_config with messages; seed } in
+    let tracer = mk_tracer trace in
+    report ~phases (Workload.Grpc.run ~config ?tracer ~mode ());
+    dump_trace trace tracer;
+    0
+  in
+  Cmd.v
+    (Cmd.info "grpc" ~doc:"Run the gRPC-QPS-style multithreaded workload.")
+    Term.(const run $ messages $ mode_arg $ seed_arg $ phases_arg $ trace_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "ccr_sim" ~version:"1.0"
+       ~doc:"Cornucopia Reloaded: CHERI heap temporal safety on a simulated machine.")
+    [ spec_cmd; pgbench_cmd; grpc_cmd ]
+
+let () = exit (Cmd.eval' main)

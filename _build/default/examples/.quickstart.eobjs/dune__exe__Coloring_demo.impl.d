@@ -1,0 +1,1 @@
+examples/coloring_demo.ml: Ccr Format List Option Sim Stats

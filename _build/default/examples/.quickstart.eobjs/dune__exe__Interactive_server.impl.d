@@ -1,0 +1,1 @@
+examples/interactive_server.ml: Array Ccr Format List Printf Stats Workload

@@ -1,0 +1,1 @@
+examples/munmap_quarantine.ml: Ccr Cheri Format Option Sim Vm

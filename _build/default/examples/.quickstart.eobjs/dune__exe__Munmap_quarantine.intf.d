@@ -1,0 +1,1 @@
+examples/munmap_quarantine.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ccr Cheri Format List Option Sim

@@ -1,0 +1,1 @@
+examples/uaf_attack.ml: Ccr Cheri Format Int64 List Option Printf Sim

@@ -1,0 +1,1 @@
+examples/uaf_attack.mli:

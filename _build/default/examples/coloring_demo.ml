@@ -1,0 +1,68 @@
+(* §7.3 of the paper: composing CHERI revocation with memory coloring.
+
+   With k colors, k-1 of every k frees are served by re-coloring alone —
+   stale capabilities fail-stop instantly (no UAF/UAR gap) and the
+   revoker only runs when a block exhausts its colors.
+
+     dune exec examples/coloring_demo.exe *)
+
+module M = Sim.Machine
+module Runtime = Ccr.Runtime
+module Revoker = Ccr.Revoker
+module Coloring = Ccr.Coloring
+
+let run colors =
+  let config =
+    { M.default_config with heap_bytes = 4 lsl 20; mem_bytes = 16 lsl 20 }
+  in
+  let rt = Runtime.create ~config (Runtime.Safe Revoker.Reloaded) in
+  let m = rt.Runtime.machine in
+  let mrs = Option.get rt.Runtime.mrs in
+  let col = Coloring.create m ~mrs ~colors in
+  let out = ref (0, 0, 0) in
+  ignore
+    (M.spawn m ~name:"app" ~core:3 (fun ctx ->
+         let rng = Sim.Prng.create ~seed:42 in
+         (* demonstrate the instant fail-stop once *)
+         let a = Coloring.malloc col ctx 64 in
+         Coloring.store col ctx a 1L;
+         Coloring.free col ctx a;
+         (match Coloring.load col ctx a with
+         | _ -> Format.printf "BUG: stale access passed!@."
+         | exception Coloring.Color_mismatch { cap_color; mem_color; _ } ->
+             if colors = 4 then
+               Format.printf
+                 "stale access fail-stops immediately: capability color %d, memory now %d@.@."
+                 cap_color mem_color);
+         (* then a churn workload to measure revocation pressure *)
+         for _ = 1 to 10_000 do
+           let c = Coloring.malloc col ctx (64 + (16 * Sim.Prng.int rng 28)) in
+           Coloring.store col ctx c 7L;
+           Coloring.free col ctx c
+         done;
+         out :=
+           ( Coloring.recolor_frees col,
+             Coloring.quarantine_frees col,
+             Revoker.revocation_count (Option.get rt.Runtime.revoker) );
+         Ccr.Mrs.finish mrs ctx));
+  M.run m;
+  !out
+
+let () =
+  Format.printf "revocation pressure vs number of memory colors (10000 frees):@.@.";
+  let tbl =
+    Stats.Table.create
+      ~header:
+        [ "colors"; "recolor frees"; "quarantine frees"; "revocation epochs" ]
+  in
+  List.iter
+    (fun k ->
+      let recolor, quarantine, revs = run k in
+      Stats.Table.add_row tbl
+        [ string_of_int k; string_of_int recolor; string_of_int quarantine;
+          string_of_int revs ])
+    [ 2; 4; 8; 16 ];
+  Stats.Table.render Format.std_formatter tbl;
+  Format.printf
+    "@.quarantine (and hence sweeping) shrinks roughly by the color count,@.\
+     while stale pointers die instantly instead of at the next epoch.@."

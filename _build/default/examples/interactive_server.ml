@@ -1,0 +1,56 @@
+(* An interactive (pgbench-style) server under different revokers: the
+   workload the paper's figure 7 is about. Prints per-transaction latency
+   percentiles and an ASCII CDF, showing CHERIvoke's stop-the-world
+   corner, Cornucopia's smaller one, and Reloaded's near-absence of one.
+
+     dune exec examples/interactive_server.exe *)
+
+module Runtime = Ccr.Runtime
+module Revoker = Ccr.Revoker
+
+let () =
+  let config =
+    { Workload.Pgbench.default_config with Workload.Pgbench.transactions = 3000 }
+  in
+  let modes =
+    [
+      Runtime.Baseline;
+      Runtime.Safe Revoker.Paint_sync;
+      Runtime.Safe Revoker.Cherivoke;
+      Runtime.Safe Revoker.Cornucopia;
+      Runtime.Safe Revoker.Reloaded;
+    ]
+  in
+  Format.printf "pgbench-style server, %d transactions per mode@.@."
+    config.Workload.Pgbench.transactions;
+  let tbl =
+    Stats.Table.create
+      ~header:[ "mode"; "tx/s"; "p50 us"; "p90"; "p99"; "p99.9"; "max"; "revocations" ]
+  in
+  let curves = ref [] in
+  List.iter
+    (fun mode ->
+      let r = Workload.Pgbench.run ~config ~mode () in
+      let l = Array.to_list r.Workload.Result.latencies_us in
+      let p q = Stats.Summary.percentile l q in
+      let revs =
+        match r.Workload.Result.mrs with
+        | Some s -> s.Ccr.Mrs.revocations
+        | None -> 0
+      in
+      Stats.Table.add_row tbl
+        [
+          r.Workload.Result.mode;
+          Printf.sprintf "%.0f" r.Workload.Result.throughput;
+          Stats.Table.cell_f (p 50.);
+          Stats.Table.cell_f (p 90.);
+          Stats.Table.cell_f (p 99.);
+          Stats.Table.cell_f (p 99.9);
+          Stats.Table.cell_f (List.fold_left max 0. l);
+          string_of_int revs;
+        ];
+      curves := (r.Workload.Result.mode, Stats.Cdf.of_samples l) :: !curves)
+    modes;
+  Stats.Table.render Format.std_formatter tbl;
+  Format.printf "@.latency CDF (fraction of transactions finishing under t us):@.@.";
+  Stats.Cdf.render Format.std_formatter (List.rev !curves)

@@ -1,0 +1,79 @@
+(* §6.2 of the paper: closing the mmap/munmap gap.
+
+   A consumer that maps and unmaps address space directly (bypassing the
+   heap allocator) can recreate use-after-free through address reuse.
+   Reservations guard partially-unmapped ranges, and fully-unmapped
+   reservations are painted and quarantined until a revocation pass has
+   swept any surviving capabilities to them.
+
+     dune exec examples/munmap_quarantine.exe *)
+
+module M = Sim.Machine
+module Cap = Cheri.Capability
+module Runtime = Ccr.Runtime
+module Revoker = Ccr.Revoker
+module Reservation = Vm.Reservation
+
+let page = Vm.Phys.page_size
+
+let () =
+  let config =
+    { M.default_config with heap_bytes = 8 lsl 20; mem_bytes = 32 lsl 20 }
+  in
+  let rt = Runtime.create ~config (Runtime.Safe Revoker.Reloaded) in
+  let m = rt.Runtime.machine in
+  let rv = Option.get rt.Runtime.revoker in
+  let mq = Ccr.Munmap.create rv in
+  ignore
+    (M.spawn m ~name:"main" ~core:3 (fun ctx ->
+         (* mmap: a 4-page file-copy style mapping high in the heap region *)
+         let base = (M.layout m).Vm.Layout.heap_base + (1 lsl 21) in
+         M.map ctx ~vaddr:base ~len:(4 * page) ~writable:true;
+         let resv = Reservation.make ~base ~length:(4 * page) in
+         let cap =
+           Cap.restrict_perms
+             (Cap.set_bounds (Cap.root ~length:(1 lsl 32)) ~base
+                ~length:(4 * page))
+             Cheri.Perms.read_write
+         in
+         M.store_u64 ctx cap 0xf11eL;
+         Format.printf "mapped %a via a reservation@." Cap.pp cap;
+         (* a dangling alias of the mapping, held in heap memory *)
+         let holder = Runtime.malloc rt ctx 16 in
+         M.store_cap ctx holder cap;
+
+         (* munmap the middle two pages: the hole becomes guarded, so no
+            later mmap can alias it *)
+         Reservation.unmap_part resv ~off:page ~len:(2 * page);
+         Format.printf "partial munmap: %a@." Reservation.pp resv;
+         Format.printf "  hole guarded: %b; edges still mapped: %b@."
+           (Reservation.is_guarded resv (base + page))
+           (not (Reservation.is_guarded resv base));
+
+         (* unmap the rest: the reservation is fully quarantined *)
+         Reservation.unmap_part resv ~off:0 ~len:page;
+         Reservation.unmap_part resv ~off:(3 * page) ~len:page;
+         Ccr.Munmap.quarantine mq ctx resv;
+         Format.printf "fully unmapped: %a (pending releases: %d)@."
+           Reservation.pp resv (Ccr.Munmap.pending mq);
+
+         (* the address space is NOT reusable yet *)
+         assert (Ccr.Munmap.poll mq ctx = 0);
+
+         (* churn the heap until a revocation epoch closes over it *)
+         let painted_at = Ccr.Epoch.counter (Revoker.epoch rv) in
+         while not (Ccr.Epoch.is_clean (Revoker.epoch rv) ~painted_at) do
+           let c = Runtime.malloc rt ctx 512 in
+           Runtime.free rt ctx c
+         done;
+         let released = Ccr.Munmap.poll mq ctx in
+         Format.printf
+           "after %d revocation epoch(s): released %d reservation(s): %a@."
+           (Revoker.revocation_count rv) released Reservation.pp resv;
+         let stale = M.load_cap ctx holder in
+         Format.printf
+           "the dangling mapping capability was revoked by the sweep: tagged=%b@."
+           (Cap.tag stale);
+         assert (not (Cap.tag stale));
+         Runtime.finish rt ctx));
+  M.run m

@@ -1,0 +1,1 @@
+lib/alloc/allocator.ml: Array Cheri Hashtbl Option Printf Sim Sizeclass Vm

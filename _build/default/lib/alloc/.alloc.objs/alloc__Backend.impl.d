@@ -1,0 +1,1 @@
+lib/alloc/backend.ml: Allocator Cheri Jemalloc Sim

@@ -1,0 +1,1 @@
+lib/alloc/backend.mli: Allocator Cheri Jemalloc Sim

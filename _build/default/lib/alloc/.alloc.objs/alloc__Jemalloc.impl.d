@@ -1,0 +1,1 @@
+lib/alloc/jemalloc.ml: Array Bytes Cheri Hashtbl List Option Printf Sim Sizeclass Vm

@@ -1,0 +1,1 @@
+lib/alloc/jemalloc.mli: Cheri Sim

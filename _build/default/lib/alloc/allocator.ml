@@ -1,0 +1,167 @@
+module Capability = Cheri.Capability
+module Perms = Cheri.Perms
+module Layout = Vm.Layout
+module Machine = Sim.Machine
+module Cost = Sim.Cost
+
+let chunk_size = 64 * 1024
+
+type t = {
+  m : Machine.t;
+  heap_cap : Capability.t;
+  free_lists : int list array; (* per size class: slot base addresses *)
+  large_free : (int, int list) Hashtbl.t; (* rounded size -> addresses *)
+  live : (int, int) Hashtbl.t; (* base addr -> rounded size *)
+  dirty : (int, unit) Hashtbl.t; (* recycled blocks needing a reuse-time scrub *)
+  heap_limit : int;
+  mutable bump : int;
+  mutable live_bytes : int;
+  mutable total_allocated : int;
+  mutable total_freed : int;
+  mutable allocations : int;
+  mutable peak_rss : int;
+  mutable scrubs : int;
+  mutable scrub_bytes : int;
+}
+
+let create m =
+  let layout = Machine.layout m in
+  let heap_base = layout.Layout.heap_base in
+  let heap_limit = layout.Layout.heap_limit in
+  let root = Capability.root ~length:(1 lsl 40) in
+  let heap_cap =
+    Capability.set_bounds root ~base:heap_base ~length:(heap_limit - heap_base)
+  in
+  assert (Capability.tag heap_cap);
+  {
+    m;
+    heap_cap;
+    free_lists = Array.make Sizeclass.num_classes [];
+    large_free = Hashtbl.create 64;
+    live = Hashtbl.create 4096;
+    dirty = Hashtbl.create 4096;
+    heap_limit;
+    bump = heap_base;
+    live_bytes = 0;
+    total_allocated = 0;
+    total_freed = 0;
+    allocations = 0;
+    peak_rss = 0;
+    scrubs = 0;
+    scrub_bytes = 0;
+  }
+
+let heap_cap t = t.heap_cap
+
+let note_rss t =
+  let rss = Vm.Aspace.mapped_pages (Machine.aspace t.m) in
+  if rss > t.peak_rss then t.peak_rss <- rss
+
+let align_up x a = (x + a - 1) land lnot (a - 1)
+
+let bump_alloc t ctx ~size ~align =
+  let base = align_up t.bump align in
+  if base + size > t.heap_limit then raise Out_of_memory;
+  t.bump <- base + size;
+  Machine.map ctx ~vaddr:base ~len:size ~writable:true;
+  base
+
+let carve_chunk t ctx cls =
+  let slot = Sizeclass.size_of_class cls in
+  let base = bump_alloc t ctx ~size:chunk_size ~align:Vm.Phys.page_size in
+  let nslots = chunk_size / slot in
+  let slots = ref [] in
+  for i = nslots - 1 downto 0 do
+    slots := (base + (i * slot)) :: !slots
+  done;
+  t.free_lists.(cls) <- !slots @ t.free_lists.(cls)
+
+let derive t base size =
+  let c = Capability.set_bounds_exact t.heap_cap ~base ~length:size in
+  assert (Capability.tag c);
+  Capability.restrict_perms c Perms.read_write
+
+let malloc t ctx req =
+  Machine.charge ctx Cost.malloc_fixed;
+  let size = Sizeclass.rounded_size req in
+  let base =
+    match Sizeclass.class_of_size size with
+    | Some cls -> (
+        (match t.free_lists.(cls) with
+        | [] -> carve_chunk t ctx cls
+        | _ :: _ -> ());
+        match t.free_lists.(cls) with
+        | base :: rest ->
+            t.free_lists.(cls) <- rest;
+            base
+        | [] -> assert false)
+    | None -> (
+        match Hashtbl.find_opt t.large_free size with
+        | Some (base :: rest) ->
+            Hashtbl.replace t.large_free size rest;
+            base
+        | Some [] | None ->
+            bump_alloc t ctx ~size ~align:(Cheri.Compress.required_alignment size))
+  in
+  Hashtbl.replace t.live base size;
+  t.live_bytes <- t.live_bytes + size;
+  t.total_allocated <- t.total_allocated + size;
+  t.allocations <- t.allocations + 1;
+  let cap = derive t base size in
+  (* Freed memory is "poisoned" lazily: zeroing is deferred until reuse
+     (§2.2.2, footnote 7 of the paper), so recycled blocks are scrubbed
+     here while fresh mappings arrive pre-zeroed. *)
+  if Hashtbl.mem t.dirty base then begin
+    Hashtbl.remove t.dirty base;
+    t.scrubs <- t.scrubs + 1;
+    t.scrub_bytes <- t.scrub_bytes + size;
+    Machine.zero ctx cap
+  end
+  else Machine.touch ctx cap ~write:true;
+  note_rss t;
+  cap
+
+let lookup_live t base op =
+  match Hashtbl.find_opt t.live base with
+  | Some size -> size
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Allocator.%s: %#x is not a live allocation (double free?)" op base)
+
+let return_to_lists t ~addr ~size =
+  Hashtbl.replace t.dirty addr ();
+  match Sizeclass.class_of_size size with
+  | Some cls when Sizeclass.size_of_class cls = size ->
+      t.free_lists.(cls) <- addr :: t.free_lists.(cls)
+  | Some _ | None ->
+      let l = Option.value ~default:[] (Hashtbl.find_opt t.large_free size) in
+      Hashtbl.replace t.large_free size (addr :: l)
+
+let withdraw t ctx cap =
+  Machine.charge ctx Cost.free_fixed;
+  let base = Capability.base cap in
+  let size = lookup_live t base "withdraw" in
+  Hashtbl.remove t.live base;
+  t.live_bytes <- t.live_bytes - size;
+  t.total_freed <- t.total_freed + size;
+  size
+
+let free t ctx cap =
+  let base = Capability.base cap in
+  let size = withdraw t ctx cap in
+  Machine.touch ctx cap ~write:true;
+  return_to_lists t ~addr:base ~size
+
+let release_range t ctx ~addr ~size =
+  Machine.charge ctx Cost.free_fixed;
+  return_to_lists t ~addr ~size
+
+let usable_size t ~addr = Hashtbl.find_opt t.live addr
+let live_bytes t = t.live_bytes
+let total_allocated_bytes t = t.total_allocated
+let total_freed_bytes t = t.total_freed
+let allocation_count t = t.allocations
+let peak_rss_pages t = t.peak_rss
+
+let scrub_count t = t.scrubs
+let scrub_bytes t = t.scrub_bytes

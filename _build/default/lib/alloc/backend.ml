@@ -1,0 +1,40 @@
+type t = {
+  name : string;
+  malloc : Sim.Machine.ctx -> int -> Cheri.Capability.t;
+  free : Sim.Machine.ctx -> Cheri.Capability.t -> unit;
+  withdraw : Sim.Machine.ctx -> Cheri.Capability.t -> int;
+  release_range : Sim.Machine.ctx -> addr:int -> size:int -> unit;
+  live_bytes : unit -> int;
+  note_rss : unit -> unit;
+  peak_rss_pages : unit -> int;
+  scrub_bytes : unit -> int;
+  allocation_count : unit -> int;
+}
+
+let snmalloc a =
+  {
+    name = "snmalloc";
+    malloc = (fun ctx size -> Allocator.malloc a ctx size);
+    free = (fun ctx cap -> Allocator.free a ctx cap);
+    withdraw = (fun ctx cap -> Allocator.withdraw a ctx cap);
+    release_range = (fun ctx ~addr ~size -> Allocator.release_range a ctx ~addr ~size);
+    live_bytes = (fun () -> Allocator.live_bytes a);
+    note_rss = (fun () -> Allocator.note_rss a);
+    peak_rss_pages = (fun () -> Allocator.peak_rss_pages a);
+    scrub_bytes = (fun () -> Allocator.scrub_bytes a);
+    allocation_count = (fun () -> Allocator.allocation_count a);
+  }
+
+let jemalloc j =
+  {
+    name = "jemalloc";
+    malloc = (fun ctx size -> Jemalloc.malloc j ctx size);
+    free = (fun ctx cap -> Jemalloc.free j ctx cap);
+    withdraw = (fun ctx cap -> Jemalloc.withdraw j ctx cap);
+    release_range = (fun ctx ~addr ~size -> Jemalloc.release_range j ctx ~addr ~size);
+    live_bytes = (fun () -> Jemalloc.live_bytes j);
+    note_rss = (fun () -> Jemalloc.note_rss j);
+    peak_rss_pages = (fun () -> Jemalloc.peak_rss_pages j);
+    scrub_bytes = (fun () -> Jemalloc.scrub_bytes j);
+    allocation_count = (fun () -> Jemalloc.allocation_count j);
+  }

@@ -1,0 +1,25 @@
+(** The allocator interface the temporal-safety stack is generic over.
+
+    The paper evaluates with snmalloc but ships with a lightly modified
+    jemalloc (§10), and attributes large overhead swings to allocator
+    choice alone (footnote 23); the quarantine shim therefore talks to
+    allocators only through this record. *)
+
+type t = {
+  name : string;
+  malloc : Sim.Machine.ctx -> int -> Cheri.Capability.t;
+  free : Sim.Machine.ctx -> Cheri.Capability.t -> unit;
+      (** immediate-reuse free (no temporal safety) *)
+  withdraw : Sim.Machine.ctx -> Cheri.Capability.t -> int;
+      (** remove from the live set for quarantine; returns rounded size *)
+  release_range : Sim.Machine.ctx -> addr:int -> size:int -> unit;
+      (** dequarantine: make the region reusable again *)
+  live_bytes : unit -> int;
+  note_rss : unit -> unit;
+  peak_rss_pages : unit -> int;
+  scrub_bytes : unit -> int;
+  allocation_count : unit -> int;
+}
+
+val snmalloc : Allocator.t -> t
+val jemalloc : Jemalloc.t -> t

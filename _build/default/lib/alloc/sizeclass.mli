@@ -1,0 +1,27 @@
+(** Allocation size classes (snmalloc-style).
+
+    Small sizes are served from per-class slabs carved out of 64 KiB
+    chunks; sizes above {!large_threshold} are "large" and served as
+    whole-page spans. Every class size is a multiple of the 16-byte tag
+    granule and exactly representable under {!Cheri.Compress}, so bounds
+    on returned capabilities are always precise — a requirement for
+    revocation (an imprecise base would make the shadow-bitmap probe
+    test the wrong bit). *)
+
+val granule : int (** 16 *)
+
+val large_threshold : int (** 16 KiB *)
+
+val num_classes : int
+
+val size_of_class : int -> int
+(** Slot size of a class index; raises on out-of-range. *)
+
+val class_of_size : int -> int option
+(** Smallest class fitting a request, or [None] if large. *)
+
+val round_large : int -> int
+(** Page- and representability-rounded size for a large request. *)
+
+val rounded_size : int -> int
+(** The actual number of bytes a request of the given size occupies. *)

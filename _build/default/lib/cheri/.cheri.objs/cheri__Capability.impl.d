@@ -1,0 +1,1 @@
+lib/cheri/capability.ml: Compress Format Perms Printf

@@ -1,0 +1,1 @@
+lib/cheri/perms.ml: Format Int List

@@ -1,0 +1,87 @@
+type t = {
+  tag : bool;
+  base : int;
+  length : int;
+  addr : int;
+  perms : Perms.t;
+  otype : int; (* 0 = unsealed *)
+}
+
+let null = { tag = false; base = 0; length = 0; addr = 0; perms = Perms.empty; otype = 0 }
+
+let root ~length =
+  { tag = true; base = 0; length; addr = 0; perms = Perms.all; otype = 0 }
+
+let tag c = c.tag
+let base c = c.base
+let length c = c.length
+let top c = c.base + c.length
+let addr c = c.addr
+let perms c = c.perms
+let otype c = c.otype
+let is_sealed c = c.otype <> 0
+
+let in_bounds ?(width = 1) c =
+  width >= 1 && c.addr >= c.base && c.addr + width <= top c
+
+let untag c = { c with tag = false }
+
+let set_bounds_gen ~exact c ~base ~length =
+  if length < 0 || base < 0 then untag { c with base; length = max length 0; addr = base }
+  else
+    let base', length' = Compress.representable ~base ~length in
+    let fits = base' >= c.base && base' + length' <= top c in
+    let ok =
+      c.tag && not (is_sealed c) && fits
+      && (not exact || (base' = base && length' = length))
+    in
+    { c with tag = ok; base = base'; length = length'; addr = base }
+
+let set_bounds c ~base ~length = set_bounds_gen ~exact:false c ~base ~length
+let set_bounds_exact c ~base ~length = set_bounds_gen ~exact:true c ~base ~length
+
+let set_addr c a =
+  if not c.tag then { c with addr = a }
+  else if is_sealed c then untag { c with addr = a }
+  else
+    let lo, hi = Compress.representable_window ~base:c.base ~length:c.length in
+    { c with addr = a; tag = a >= lo && a < hi }
+
+let incr_addr c delta = set_addr c (c.addr + delta)
+let restrict_perms c p = { c with perms = Perms.inter c.perms p }
+let clear_perm c p = { c with perms = Perms.remove c.perms p }
+let clear_tag = untag
+
+let seal c ~otype =
+  if c.tag && (not (is_sealed c)) && otype > 0 then { c with otype }
+  else untag { c with otype = max otype 0 }
+
+let unseal c ~otype =
+  if c.tag && c.otype = otype && otype > 0 then { c with otype = 0 }
+  else untag c
+
+let deref_ok ?(width = 1) c perm =
+  c.tag && (not (is_sealed c)) && Perms.mem c.perms perm && in_bounds ~width c
+
+let can_load ?width c = deref_ok ?width c Perms.load
+let can_store ?width c = deref_ok ?width c Perms.store
+
+let can_load_cap c =
+  deref_ok ~width:16 c (Perms.union Perms.load Perms.load_cap)
+
+let can_store_cap c =
+  deref_ok ~width:16 c (Perms.union Perms.store Perms.store_cap)
+
+let is_subset c parent =
+  c.base >= parent.base && top c <= top parent
+  && Perms.subset c.perms parent.perms
+
+let equal a b =
+  a.tag = b.tag && a.base = b.base && a.length = b.length && a.addr = b.addr
+  && Perms.equal a.perms b.perms && a.otype = b.otype
+
+let pp fmt c =
+  Format.fprintf fmt "%c[%#x,%#x)@%#x %a%s"
+    (if c.tag then 'v' else 'x')
+    c.base (top c) c.addr Perms.pp c.perms
+    (if is_sealed c then Printf.sprintf " sealed:%d" c.otype else "")

@@ -1,0 +1,98 @@
+(** Architectural capabilities.
+
+    A capability is a bounded, permission-carrying reference to a region of
+    the address space, together with a validity {e tag}. All derivation
+    operations are {e monotone}: the result never has wider bounds or more
+    permissions than the source, and operations that would violate this
+    return an {e untagged} (useless) capability rather than raising, just
+    as the hardware does.
+
+    Bounds are subject to the compression model of {!Compress}: requesting
+    bounds that are not exactly representable yields a capability whose
+    bounds are padded outwards (but never beyond the source bounds — in
+    that case the result is untagged). *)
+
+type t
+
+(** {1 Construction} *)
+
+val null : t
+(** The canonical untagged capability: no authority whatsoever. *)
+
+val root : length:int -> t
+(** [root ~length] is the primordial tagged capability over
+    [\[0, length)] with all permissions. The kernel owns it; everything
+    else derives from it. *)
+
+(** {1 Accessors} *)
+
+val tag : t -> bool
+val base : t -> int
+val length : t -> int
+
+val top : t -> int
+(** [base + length]. *)
+
+val addr : t -> int
+(** The current address (cursor). May lie outside bounds (within the
+    representable window) while the capability remains tagged. *)
+
+val perms : t -> Perms.t
+val is_sealed : t -> bool
+
+val in_bounds : ?width:int -> t -> bool
+(** Whether [\[addr, addr+width)] lies within [\[base, top)].
+    [width] defaults to 1. *)
+
+(** {1 Monotone derivation} *)
+
+val set_bounds : t -> base:int -> length:int -> t
+(** Narrow bounds to the representable region containing
+    [\[base, base+length)] and move the address to [base]. Untagged if the
+    padded region escapes the source bounds, if the source is untagged or
+    sealed, or if the requested region is empty/negative. *)
+
+val set_bounds_exact : t -> base:int -> length:int -> t
+(** Like {!set_bounds} but untagged if padding would be required. *)
+
+val set_addr : t -> int -> t
+(** Move the cursor. Keeps the tag while the new address stays inside the
+    representable window; strips it otherwise. Bounds never change. *)
+
+val incr_addr : t -> int -> t
+(** [incr_addr c delta] is [set_addr c (addr c + delta)]. *)
+
+val restrict_perms : t -> Perms.t -> t
+(** Intersect the permission set with the argument. *)
+
+val clear_perm : t -> Perms.t -> t
+(** Remove the given permission bits. *)
+
+val clear_tag : t -> t
+
+val seal : t -> otype:int -> t
+(** Seal with a non-zero object type: the capability becomes immutable and
+    non-dereferenceable until unsealed. Untagged result if already sealed
+    or [otype <= 0]. *)
+
+val unseal : t -> otype:int -> t
+(** Unseal; untagged result on type mismatch or if not sealed. *)
+
+val otype : t -> int
+(** The object type; [0] when unsealed. *)
+
+(** {1 Dereference checks} *)
+
+val can_load : ?width:int -> t -> bool
+val can_store : ?width:int -> t -> bool
+val can_load_cap : t -> bool
+val can_store_cap : t -> bool
+
+(** {1 Relations} *)
+
+val is_subset : t -> t -> bool
+(** [is_subset c parent]: bounds within bounds and perms within perms.
+    The implicit provenance relation of §2.2 of the paper. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

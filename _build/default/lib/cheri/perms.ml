@@ -1,0 +1,29 @@
+type t = int
+
+let empty = 0
+let load = 1
+let store = 2
+let load_cap = 4
+let store_cap = 8
+let execute = 16
+let global = 32
+let seal = 64
+let all = load lor store lor load_cap lor store_cap lor execute lor global lor seal
+let read_write = load lor store lor load_cap lor store_cap lor global
+let union = ( lor )
+let inter = ( land )
+let subset a b = a land lnot b = 0
+let remove p victim = p land lnot victim
+let mem p bit = p land bit = bit
+let equal = Int.equal
+let to_int p = p
+let of_int i = i land all
+
+let pp fmt p =
+  let bits =
+    [ (load, "R"); (store, "W"); (load_cap, "r"); (store_cap, "w");
+      (execute, "X"); (global, "G"); (seal, "S") ]
+  in
+  let present = List.filter (fun (b, _) -> mem p b) bits in
+  if present = [] then Format.pp_print_string fmt "-"
+  else List.iter (fun (_, s) -> Format.pp_print_string fmt s) present

@@ -1,0 +1,1 @@
+lib/core/coloring.ml: Alloc Cheri Hashtbl Mrs Printf Sim

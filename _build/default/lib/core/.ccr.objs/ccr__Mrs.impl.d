@@ -1,0 +1,1 @@
+lib/core/mrs.ml: Alloc Cheri Epoch Hashtbl List Policy Revmap Revoker Sim

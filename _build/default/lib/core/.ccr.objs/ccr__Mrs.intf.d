@@ -1,0 +1,1 @@
+lib/core/mrs.mli: Alloc Cheri Policy Revoker Sim

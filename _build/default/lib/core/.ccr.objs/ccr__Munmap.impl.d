@@ -1,0 +1,1 @@
+lib/core/munmap.ml: Epoch List Revmap Revoker Sim Vm

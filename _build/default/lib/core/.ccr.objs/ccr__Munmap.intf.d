@@ -1,0 +1,1 @@
+lib/core/munmap.mli: Revoker Sim Vm

@@ -1,0 +1,1 @@
+lib/core/revmap.ml: Cheri Int64 Sim Tagmem Vm

@@ -1,0 +1,1 @@
+lib/core/revmap.mli: Cheri Sim

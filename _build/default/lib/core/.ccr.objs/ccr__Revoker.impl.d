@@ -1,0 +1,1 @@
+lib/core/revoker.ml: Array Cheri Epoch Hashtbl Kernel List Printf Revmap Sim Sweep Vm

@@ -1,0 +1,1 @@
+lib/core/revoker.mli: Epoch Kernel Revmap Sim

@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Alloc Kernel List Mrs Option Policy Revoker Sim

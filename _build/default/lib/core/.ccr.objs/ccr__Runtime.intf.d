@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Alloc Cheri Kernel Mrs Policy Revoker Sim

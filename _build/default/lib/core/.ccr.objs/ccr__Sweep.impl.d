@@ -1,0 +1,1 @@
+lib/core/sweep.ml: Cheri Kernel Revmap Sim Tagmem Vm

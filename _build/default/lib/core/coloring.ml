@@ -1,0 +1,110 @@
+module Capability = Cheri.Capability
+module Machine = Sim.Machine
+
+type colored = { cap : Capability.t; color : int }
+
+exception
+  Color_mismatch of { addr : int; cap_color : int; mem_color : int }
+
+(* per-block color state, keyed by block base address *)
+type block = { mutable color : int; mutable used : int }
+
+type t = {
+  m : Machine.t;
+  mrs : Mrs.t;
+  ncolors : int;
+  blocks : (int, block) Hashtbl.t;
+  exhausted : (int, unit) Hashtbl.t; (* bases gone through quarantine *)
+  mutable recolor_frees : int;
+  mutable quarantine_frees : int;
+  mutable faults : int;
+}
+
+let create m ~mrs ~colors =
+  if colors < 2 then invalid_arg "Coloring.create: need at least 2 colors";
+  {
+    m;
+    mrs;
+    ncolors = colors;
+    blocks = Hashtbl.create 4096;
+    exhausted = Hashtbl.create 256;
+    recolor_frees = 0;
+    quarantine_frees = 0;
+    faults = 0;
+  }
+
+let colors t = t.ncolors
+
+(* Setting a granule's color is a streaming store of metadata; charge one
+   cycle per 64-byte line, folded into allocation/free fast paths. *)
+let recolor_cost size = max 1 (size / 64)
+
+let malloc t ctx size =
+  let cap = Mrs.malloc t.mrs ctx size in
+  let base = Capability.base cap in
+  let blk =
+    match Hashtbl.find_opt t.blocks base with
+    | Some blk when not (Hashtbl.mem t.exhausted base) -> blk
+    | Some blk ->
+        (* the block came back through revocation: its stale capabilities
+           are gone, so the color space restarts *)
+        Hashtbl.remove t.exhausted base;
+        blk.color <- 0;
+        blk.used <- 0;
+        blk
+    | None ->
+        let blk = { color = 0; used = 0 } in
+        Hashtbl.replace t.blocks base blk;
+        blk
+  in
+  Machine.charge ctx (recolor_cost (Capability.length cap));
+  { cap; color = blk.color }
+
+let block_of t (c : colored) op =
+  match Hashtbl.find_opt t.blocks (Capability.base c.cap) with
+  | Some blk -> blk
+  | None ->
+      invalid_arg (Printf.sprintf "Coloring.%s: unknown block %#x" op
+                     (Capability.base c.cap))
+
+let check t (c : colored) blk =
+  if c.color <> blk.color then begin
+    t.faults <- t.faults + 1;
+    raise
+      (Color_mismatch
+         { addr = Capability.addr c.cap; cap_color = c.color; mem_color = blk.color })
+  end
+
+let free t ctx (c : colored) =
+  let blk = block_of t c "free" in
+  check t c blk;
+  blk.used <- blk.used + 1;
+  if blk.used < t.ncolors then begin
+    (* rotate the color and hand the memory straight back: stale
+       capabilities now fail-stop on access, no quarantine needed *)
+    blk.color <- blk.used;
+    Machine.charge ctx (recolor_cost (Capability.length c.cap));
+    (Mrs.allocator t.mrs).Alloc.Backend.free ctx c.cap;
+    t.recolor_frees <- t.recolor_frees + 1
+  end
+  else begin
+    Hashtbl.replace t.exhausted (Capability.base c.cap) ();
+    Mrs.free t.mrs ctx c.cap;
+    t.quarantine_frees <- t.quarantine_frees + 1
+  end
+
+let load t ctx (c : colored) =
+  let blk = block_of t c "load" in
+  check t c blk;
+  Machine.charge ctx 1;
+  Machine.load_u64 ctx c.cap
+
+let store t ctx (c : colored) v =
+  let blk = block_of t c "store" in
+  check t c blk;
+  Machine.charge ctx 1;
+  Machine.store_u64 ctx c.cap v
+
+let recolor_frees t = t.recolor_frees
+let quarantine_frees t = t.quarantine_frees
+let faults_stopped t = t.faults

@@ -1,0 +1,51 @@
+(** Composing CHERI revocation with memory coloring (§7.3 of the paper).
+
+    Each allocation carries a {e color} (a few metadata bits per memory
+    granule, as in Arm MTE — but here under CHERI's integrity protection,
+    so colors need not be secret). [free] normally just {e re-colors} the
+    memory and returns it for immediate reuse: stale capabilities carry
+    the old color and every access through them fail-stops. Only when a
+    block has exhausted its color space does it fall back to the painted
+    quarantine + revocation path, so revocation pressure drops by roughly
+    the number of colors.
+
+    Colors are modelled at the allocator interface: allocations are
+    handed out as {!colored} capabilities and accessed through {!load}/
+    {!store}, which enforce the color check. The underlying revocation
+    machinery is the wrapped {!Mrs} shim. *)
+
+type t
+
+type colored = { cap : Cheri.Capability.t; color : int }
+
+exception
+  Color_mismatch of { addr : int; cap_color : int; mem_color : int }
+(** The fail-stop event: an access through a stale (re-colored)
+    capability. *)
+
+val create : Sim.Machine.t -> mrs:Mrs.t -> colors:int -> t
+(** [colors] must be at least 2 (one live + one free at any time);
+    MTE-like hardware has 16. *)
+
+val colors : t -> int
+val malloc : t -> Sim.Machine.ctx -> int -> colored
+val free : t -> Sim.Machine.ctx -> colored -> unit
+(** Re-color and release for immediate reuse, or — when the block's color
+    space is exhausted — paint and quarantine via the wrapped shim.
+    Raises {!Color_mismatch} on a double free (the stale color gives it
+    away). *)
+
+val load : t -> Sim.Machine.ctx -> colored -> int64
+val store : t -> Sim.Machine.ctx -> colored -> int64 -> unit
+(** Color-checked accesses at the capability's current address. *)
+
+(** {1 Statistics} *)
+
+val recolor_frees : t -> int
+(** Frees served by re-coloring alone (no quarantine). *)
+
+val quarantine_frees : t -> int
+(** Frees that exhausted the color space and went to quarantine. *)
+
+val faults_stopped : t -> int
+(** Accesses rejected by the color check so far. *)

@@ -1,0 +1,29 @@
+module Machine = Sim.Machine
+
+type t = { mutable counter : int; changed : Machine.condvar }
+
+let create () = { counter = 0; changed = Machine.condvar () }
+let counter t = t.counter
+let in_progress t = t.counter land 1 = 1
+
+let bump t ctx ~want_parity =
+  if t.counter land 1 <> want_parity then
+    invalid_arg "Epoch: begin/end out of order";
+  t.counter <- t.counter + 1;
+  Machine.broadcast ctx t.changed
+
+let begin_revocation t ctx = bump t ctx ~want_parity:0
+let end_revocation t ctx = bump t ctx ~want_parity:1
+let clean_target e = if e land 1 = 0 then e + 2 else e + 3
+let is_clean t ~painted_at = t.counter >= clean_target painted_at
+
+let wait_clean t ctx ~painted_at =
+  while not (is_clean t ~painted_at) do
+    Machine.wait ctx t.changed
+  done
+
+let wait_change t ctx =
+  let c = t.counter in
+  while t.counter = c do
+    Machine.wait ctx t.changed
+  done

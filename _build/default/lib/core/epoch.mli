@@ -1,0 +1,35 @@
+(** The revocation epoch counter (§2.2.3 of the paper).
+
+    Publicly readable; initialized to zero; incremented immediately
+    before a revocation begins (making it odd) and again after it ends
+    (making it even). An allocator that painted quarantine bits at
+    counter value [e] may reuse that memory once the counter shows a
+    revocation has both begun and ended strictly afterwards: it must
+    advance by at least two if [e] was even, three if odd. *)
+
+type t
+
+val create : unit -> t
+val counter : t -> int
+
+val in_progress : t -> bool
+(** Counter is odd. *)
+
+val begin_revocation : t -> Sim.Machine.ctx -> unit
+(** Increment (must currently be even) and wake waiters. *)
+
+val end_revocation : t -> Sim.Machine.ctx -> unit
+(** Increment (must currently be odd) and wake waiters. *)
+
+val clean_target : int -> int
+(** [clean_target e] is the counter value at which memory painted at
+    counter value [e] is known revoked: [e + 2] when [e] is even,
+    [e + 3] when odd. *)
+
+val is_clean : t -> painted_at:int -> bool
+
+val wait_clean : t -> Sim.Machine.ctx -> painted_at:int -> unit
+(** Block the calling thread until {!is_clean}. *)
+
+val wait_change : t -> Sim.Machine.ctx -> unit
+(** Block until the counter next changes. *)

@@ -1,0 +1,149 @@
+module Capability = Cheri.Capability
+module Machine = Sim.Machine
+module Backend = Alloc.Backend
+
+type t = {
+  m : Machine.t;
+  alloc : Backend.t;
+  revoker : Revoker.t;
+  policy : Policy.t;
+  mutable buffer : (int * int) list;
+  mutable buffer_bytes : int;
+  mutable outstanding_bytes : int; (* enqueued but not yet dequarantined *)
+  mutable finishing : bool;
+  mutable revocation_triggers : int;
+  mutable sum_freed : int;
+  mutable live_samples : int list;
+  mutable quarantine_samples : int list;
+  mutable blocked : int;
+  drained : Machine.condvar; (* signaled after each batch is dequarantined *)
+  (* counter values at batch handoff: dequarantine asserts the §2.2.3
+     epoch protocol against them *)
+  batch_epochs : (int, int) Hashtbl.t;
+  mutable batch_id : int;
+  mutable next_clean : int;
+}
+
+let quarantine_bytes t = t.buffer_bytes + t.outstanding_bytes
+let policy t = t.policy
+let allocator t = t.alloc
+
+let on_clean t ctx (batch : Revoker.batch) =
+  (* Runs on the revoker thread once the batch's epoch has closed. Batches
+     complete in handoff order; assert the §2.2.3 epoch protocol for the
+     oldest outstanding one. *)
+  (match Hashtbl.find_opt t.batch_epochs t.next_clean with
+  | Some painted_at ->
+      assert (Epoch.is_clean (Revoker.epoch t.revoker) ~painted_at);
+      Hashtbl.remove t.batch_epochs t.next_clean;
+      t.next_clean <- t.next_clean + 1
+  | None -> ());
+  List.iter
+    (fun (addr, size) ->
+      Revmap.clear (Revoker.revmap t.revoker) ctx ~addr ~size;
+      t.alloc.Backend.release_range ctx ~addr ~size)
+    batch.Revoker.entries;
+  t.outstanding_bytes <- t.outstanding_bytes - batch.Revoker.bytes;
+  Machine.broadcast ctx t.drained
+
+let create m ~alloc ~revoker ?(policy = Policy.default) () =
+  let t =
+    {
+      m;
+      alloc;
+      revoker;
+      policy;
+      buffer = [];
+      buffer_bytes = 0;
+      outstanding_bytes = 0;
+      finishing = false;
+      revocation_triggers = 0;
+      sum_freed = 0;
+      live_samples = [];
+      quarantine_samples = [];
+      blocked = 0;
+      drained = Machine.condvar ();
+      batch_epochs = Hashtbl.create 64;
+      batch_id = 0;
+      next_clean = 0;
+    }
+  in
+  Revoker.set_on_clean revoker (fun ctx batch -> on_clean t ctx batch);
+  t
+
+let trigger t ctx =
+  if t.buffer <> [] then begin
+    let batch = { Revoker.entries = List.rev t.buffer; bytes = t.buffer_bytes } in
+    t.revocation_triggers <- t.revocation_triggers + 1;
+    t.live_samples <- t.alloc.Backend.live_bytes () :: t.live_samples;
+    t.quarantine_samples <- quarantine_bytes t :: t.quarantine_samples;
+    Hashtbl.replace t.batch_epochs t.batch_id (Epoch.counter (Revoker.epoch t.revoker));
+    t.batch_id <- t.batch_id + 1;
+    t.outstanding_bytes <- t.outstanding_bytes + t.buffer_bytes;
+    t.buffer <- [];
+    t.buffer_bytes <- 0;
+    Revoker.enqueue t.revoker ctx batch
+  end
+
+let maybe_trigger t ctx =
+  let live = t.alloc.Backend.live_bytes () in
+  if
+    (not t.finishing)
+    && Policy.should_revoke t.policy ~live ~quarantine:(quarantine_bytes t)
+    && not (Revoker.in_flight t.revoker)
+    && Revoker.queued_bytes t.revoker = 0
+  then trigger t ctx
+
+(* Block while quarantine is severely over policy and a revocation is in
+   flight: wait for batches to be dequarantined (§5.3). *)
+let maybe_block t ctx =
+  let rec loop () =
+    let live = t.alloc.Backend.live_bytes () in
+    if
+      Policy.should_block t.policy ~live ~quarantine:(quarantine_bytes t)
+      && (Revoker.in_flight t.revoker || Revoker.queued_bytes t.revoker > 0)
+    then begin
+      t.blocked <- t.blocked + 1;
+      Machine.wait ctx t.drained;
+      loop ()
+    end
+  in
+  loop ()
+
+let malloc t ctx size =
+  Machine.charge ctx Sim.Cost.mrs_shim;
+  maybe_block t ctx;
+  maybe_trigger t ctx;
+  t.alloc.Backend.malloc ctx size
+
+let free t ctx cap =
+  Machine.charge ctx Sim.Cost.mrs_shim;
+  maybe_block t ctx;
+  let addr = Capability.base cap in
+  let size = t.alloc.Backend.withdraw ctx cap in
+  Revmap.paint (Revoker.revmap t.revoker) ctx ~addr ~size;
+  t.buffer <- (addr, size) :: t.buffer;
+  t.buffer_bytes <- t.buffer_bytes + size;
+  t.sum_freed <- t.sum_freed + size;
+  t.alloc.Backend.note_rss ()
+
+let finish t ctx =
+  t.finishing <- true;
+  Revoker.request_shutdown t.revoker ctx
+
+type stats = {
+  revocations : int;
+  sum_freed_bytes : int;
+  live_samples : int list;
+  quarantine_samples : int list;
+  blocked_allocs : int;
+}
+
+let stats t =
+  {
+    revocations = Revoker.revocation_count t.revoker;
+    sum_freed_bytes = t.sum_freed;
+    live_samples = List.rev t.live_samples;
+    quarantine_samples = List.rev t.quarantine_samples;
+    blocked_allocs = t.blocked;
+  }

@@ -1,0 +1,55 @@
+(** The malloc revocation shim ("mrs", after Gutstein's CHERI malloc
+    revocation shim the paper's userspace machinery is built on).
+
+    Interposes quarantine between [free] and reuse:
+
+    - [free] withdraws the block from the allocator, paints its
+      revocation-bitmap bits (a real, charged memory write by the
+      application thread), and adds it to the current quarantine buffer;
+    - when policy fires, the buffer is handed to the {!Revoker} as a
+      batch and a fresh buffer starts filling (double buffering, so
+      frees continue during revocation);
+    - when the revoker reports a batch's epoch closed, the shim clears
+      the bitmap bits and releases the memory for reuse;
+    - [malloc] blocks when quarantine is severely over policy while a
+      revocation is still in flight (§5.3's long-tail mechanism).
+
+    The {!Epoch} counter protocol is asserted throughout: memory is only
+    ever released once {!Epoch.is_clean} holds for the counter value read
+    when its batch was enqueued. *)
+
+type t
+
+val create :
+  Sim.Machine.t ->
+  alloc:Alloc.Backend.t ->
+  revoker:Revoker.t ->
+  ?policy:Policy.t ->
+  unit ->
+  t
+
+val malloc : t -> Sim.Machine.ctx -> int -> Cheri.Capability.t
+val free : t -> Sim.Machine.ctx -> Cheri.Capability.t -> unit
+
+val finish : t -> Sim.Machine.ctx -> unit
+(** End of workload: stop triggering and let the revoker thread drain
+    and exit. Outstanding quarantine is abandoned (the process is
+    exiting), as on a real system. *)
+
+val quarantine_bytes : t -> int
+(** Current buffer + queued + in-flight quarantine. *)
+
+val policy : t -> Policy.t
+val allocator : t -> Alloc.Backend.t
+
+(** {1 Statistics (Table 2 of the paper)} *)
+
+type stats = {
+  revocations : int;
+  sum_freed_bytes : int; (** total bytes that entered quarantine *)
+  live_samples : int list; (** allocated heap sampled at each trigger *)
+  quarantine_samples : int list; (** quarantine size at each trigger *)
+  blocked_allocs : int; (** malloc/free operations that had to block *)
+}
+
+val stats : t -> stats

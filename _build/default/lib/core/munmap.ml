@@ -1,0 +1,31 @@
+module Machine = Sim.Machine
+module Reservation = Vm.Reservation
+
+type entry = { resv : Reservation.t; painted_at : int }
+type t = { revoker : Revoker.t; mutable pending : entry list }
+
+let create revoker = { revoker; pending = [] }
+
+let quarantine t ctx resv =
+  if Reservation.state resv <> Reservation.Quarantined then
+    invalid_arg "Munmap.quarantine: reservation still has mapped pages";
+  Revmap.paint (Revoker.revmap t.revoker) ctx ~addr:(Reservation.base resv)
+    ~size:(Reservation.length resv);
+  let painted_at = Epoch.counter (Revoker.epoch t.revoker) in
+  t.pending <- { resv; painted_at } :: t.pending
+
+let poll t ctx =
+  let epoch = Revoker.epoch t.revoker in
+  let ready, waiting =
+    List.partition (fun e -> Epoch.is_clean epoch ~painted_at:e.painted_at) t.pending
+  in
+  List.iter
+    (fun e ->
+      Revmap.clear (Revoker.revmap t.revoker) ctx ~addr:(Reservation.base e.resv)
+        ~size:(Reservation.length e.resv);
+      Reservation.release e.resv)
+    ready;
+  t.pending <- waiting;
+  List.length ready
+
+let pending t = List.length t.pending

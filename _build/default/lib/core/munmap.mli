@@ -1,0 +1,27 @@
+(** Unmapped-memory quarantine (§6.2 of the paper).
+
+    snmalloc never returns address space, but other [mmap] consumers do.
+    Reservations ({!Vm.Reservation}) guarantee that partially-unmapped
+    ranges are guard-backed; once a reservation is {e fully} unmapped it
+    is painted into the revocation bitmap and held here until a
+    revocation epoch has closed over it, at which point its address
+    space may be released for reuse. Together with reservations this
+    removes the [mmap]/[munmap] gap in CHERIvoke's and Cornucopia's
+    protection. *)
+
+type t
+
+val create : Revoker.t -> t
+
+val quarantine : t -> Sim.Machine.ctx -> Vm.Reservation.t -> unit
+(** Accept a fully-unmapped reservation: paint its range and remember
+    the epoch at which it was enqueued. Raises [Invalid_argument] if the
+    reservation is not in the [Quarantined] state or lies outside the
+    heap region. *)
+
+val poll : t -> Sim.Machine.ctx -> int
+(** Release every reservation whose enqueue epoch is clean
+    ({!Epoch.is_clean}): clear its paint and mark it [Released]. Returns
+    the number released. *)
+
+val pending : t -> int

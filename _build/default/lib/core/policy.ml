@@ -1,0 +1,15 @@
+type t = { fraction : float; min_quarantine : int; block_factor : float }
+
+let default = { fraction = 0.25; min_quarantine = 128 * 1024; block_factor = 2.0 }
+let with_min t min_quarantine = { t with min_quarantine }
+let with_fraction t fraction = { t with fraction }
+
+let threshold t ~live ~quarantine =
+  let total = live + quarantine in
+  max t.min_quarantine (int_of_float (t.fraction *. float_of_int total))
+
+let should_revoke t ~live ~quarantine = quarantine > threshold t ~live ~quarantine
+
+let should_block t ~live ~quarantine =
+  float_of_int quarantine
+  > t.block_factor *. float_of_int (threshold t ~live ~quarantine)

@@ -1,0 +1,26 @@
+(** Quarantine sizing policy (§2.2.2, §7.2 of the paper).
+
+    The paper's configuration: trigger revocation when quarantine exceeds
+    one quarter of the total heap (equivalently one third of the
+    allocated heap), but never for less than a minimum batch (8 MiB on
+    Morello; scaled here — see DESIGN.md). Allocation and free
+    operations block when quarantine is over twice the trigger point
+    while a revocation is already in flight (§5.3). *)
+
+type t = {
+  fraction : float; (** quarantine / (live + quarantine) trigger ratio *)
+  min_quarantine : int; (** bytes; no revocation below this *)
+  block_factor : float; (** block ops at [block_factor × threshold] *)
+}
+
+val default : t
+(** fraction 0.25, min 128 KiB (8 MiB / the 1/64 scale), block at 2×. *)
+
+val with_min : t -> int -> t
+val with_fraction : t -> float -> t
+
+val threshold : t -> live:int -> quarantine:int -> int
+(** Current trigger point in bytes. *)
+
+val should_revoke : t -> live:int -> quarantine:int -> bool
+val should_block : t -> live:int -> quarantine:int -> bool

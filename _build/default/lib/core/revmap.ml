@@ -1,0 +1,107 @@
+module Capability = Cheri.Capability
+module Perms = Cheri.Perms
+module Layout = Vm.Layout
+module Machine = Sim.Machine
+
+type t = {
+  m : Machine.t;
+  layout : Layout.t;
+  shadow_cap : Capability.t; (* spans the shadow region; data perms only *)
+  mutable bits : int;
+}
+
+let granule = 16
+
+let create m =
+  let layout = Machine.layout m in
+  let root = Capability.root ~length:(1 lsl 40) in
+  let shadow_cap =
+    Capability.set_bounds root ~base:layout.Layout.shadow_base
+      ~length:(layout.Layout.shadow_limit - layout.Layout.shadow_base)
+  in
+  let shadow_cap =
+    Capability.restrict_perms shadow_cap
+      (Perms.union Perms.load (Perms.union Perms.store Perms.global))
+  in
+  assert (Capability.tag shadow_cap);
+  { m; layout; shadow_cap; bits = 0 }
+
+let popcount64 =
+  let rec go n acc =
+    if Int64.equal n 0L then acc
+    else go (Int64.shift_right_logical n 1) (acc + Int64.to_int (Int64.logand n 1L))
+  in
+  fun n -> go n 0
+
+let check_range t ~addr ~size =
+  if addr land (granule - 1) <> 0 || size land (granule - 1) <> 0 || size <= 0 then
+    invalid_arg "Revmap: unaligned paint/clear";
+  if not (Layout.contains_heap t.layout addr && addr + size <= t.layout.Layout.heap_limit)
+  then invalid_arg "Revmap: range outside heap"
+
+(* Apply [op] to the shadow words covering granules [g0, g1): for each
+   64-bit word, a mask of the affected bits is computed and the word is
+   read-modified-written through the user mapping. *)
+let rmw_range t ctx ~addr ~size ~set =
+  check_range t ~addr ~size;
+  let g0 = (addr - t.layout.Layout.heap_base) / granule in
+  let g1 = g0 + (size / granule) in
+  let w = ref (g0 / 64) in
+  let last_word = (g1 - 1) / 64 in
+  while !w <= last_word do
+    let lo_bit = max g0 (!w * 64) - (!w * 64) in
+    let hi_bit = min g1 ((!w + 1) * 64) - (!w * 64) in
+    let mask =
+      if hi_bit - lo_bit = 64 then -1L
+      else
+        Int64.shift_left
+          (Int64.sub (Int64.shift_left 1L (hi_bit - lo_bit)) 1L)
+          lo_bit
+    in
+    let word_addr = t.layout.Layout.shadow_base + (!w * 8) in
+    let c = Capability.set_addr t.shadow_cap word_addr in
+    (* atomic: a concurrent paint and clear of neighbouring bits in the
+       same word must not lose or resurrect updates *)
+    let old =
+      Machine.rmw_u64 ctx c (fun old ->
+          if set then Int64.logor old mask else Int64.logand old (Int64.lognot mask))
+    in
+    let nw =
+      if set then Int64.logor old mask else Int64.logand old (Int64.lognot mask)
+    in
+    let delta = popcount64 (Int64.logxor nw old) in
+    if set then t.bits <- t.bits + delta else t.bits <- t.bits - delta;
+    incr w
+  done
+
+let paint t ctx ~addr ~size = rmw_range t ctx ~addr ~size ~set:true
+let clear t ctx ~addr ~size = rmw_range t ctx ~addr ~size ~set:false
+
+let test t ctx a =
+  if not (Layout.contains_heap t.layout a) then false
+  else begin
+    let g = (a - t.layout.Layout.heap_base) / granule in
+    let word_addr = t.layout.Layout.shadow_base + (g / 64 * 8) in
+    let c = Capability.set_addr t.shadow_cap word_addr in
+    let word = Machine.load_u64 ctx c in
+    not (Int64.equal (Int64.logand word (Int64.shift_left 1L (g land 63))) 0L)
+  end
+
+let test_host t a =
+  if not (Layout.contains_heap t.layout a) then false
+  else begin
+    let g = (a - t.layout.Layout.heap_base) / granule in
+    let word_addr = t.layout.Layout.shadow_base + (g / 64 * 8) in
+    match Vm.Aspace.translate (Machine.aspace t.m) word_addr with
+    | None -> false
+    | Some (pa, _) ->
+        let word = Tagmem.Mem.read_u64 (Machine.mem t.m) pa in
+        not (Int64.equal (Int64.logand word (Int64.shift_left 1L (g land 63))) 0L)
+  end
+
+let revoke_cap t ctx c =
+  if not (Capability.tag c) then c
+  else if test t ctx (Capability.base c) then Capability.clear_tag c
+  else c
+
+let set_bits t = t.bits

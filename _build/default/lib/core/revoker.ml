@@ -1,0 +1,559 @@
+module Capability = Cheri.Capability
+module Machine = Sim.Machine
+module Cost = Sim.Cost
+module Pte = Vm.Pte
+module Pmap = Vm.Pmap
+module Phys = Vm.Phys
+module Layout = Vm.Layout
+
+type strategy = Paint_sync | Cherivoke | Cornucopia | Reloaded | Cheriot_filter
+
+let strategy_name = function
+  | Paint_sync -> "paint+sync"
+  | Cherivoke -> "cherivoke"
+  | Cornucopia -> "cornucopia"
+  | Reloaded -> "reloaded"
+  | Cheriot_filter -> "cheriot"
+
+let all_strategies = [ Paint_sync; Cherivoke; Cornucopia; Reloaded ]
+let extended_strategies = all_strategies @ [ Cheriot_filter ]
+
+type batch = { entries : (int * int) list; bytes : int }
+
+type phase_record = {
+  epoch_index : int;
+  requested_at : int;
+  stw_cycles : int;
+  concurrent_cycles : int;
+  fault_cycles : int;
+  fault_count : int;
+  pages_visited : int;
+  caps_revoked : int;
+  bytes_processed : int;
+}
+
+type helper_mode = Idle | Sweep_reloaded of bool | Sweep_cheriot | Stop
+
+type helper = {
+  h_core : int;
+  h_work_cv : Machine.condvar;
+  h_done_cv : Machine.condvar;
+  mutable h_queue : int list;
+  mutable h_mode : helper_mode;
+  mutable h_pages : int;
+  mutable h_revoked : int;
+}
+
+type t = {
+  m : Machine.t;
+  strategy : strategy;
+  core : int;
+  non_temporal : bool;
+  pte_flag_barrier : bool;
+  revmap : Revmap.t;
+  epoch : Epoch.t;
+  hoards : Kernel.Hoard.t;
+  work_cv : Machine.condvar;
+  visit_set : (int, unit) Hashtbl.t; (* vpages that have held capabilities *)
+  mutable helpers : helper list;
+  mutable queue : batch list; (* newest first *)
+  mutable queued_bytes : int;
+  mutable in_flight : bool;
+  mutable shutdown : bool;
+  mutable records : phase_record list; (* newest first *)
+  mutable on_clean : (Machine.ctx -> batch -> unit) option;
+  (* accumulated by the Reloaded fault handler during the current epoch *)
+  mutable fault_cycles : int;
+  mutable fault_count : int;
+  mutable revocations : int;
+  mutable total_bytes : int;
+  mutable current_entries : (int * int) list;
+  mutable barrier_armed : bool;
+      (* Reloaded: set once the epoch-opening stop-the-world has completed,
+         i.e. from when the §3.2 invariant is established *)
+}
+
+let strategy t = t.strategy
+let epoch t = t.epoch
+let revmap t = t.revmap
+let set_on_clean t f = t.on_clean <- Some f
+let in_flight t = t.in_flight
+let currently_revoking t = t.current_entries
+let barrier_armed t = t.barrier_armed
+let queued_bytes t = t.queued_bytes
+let records t = List.rev t.records
+let revocation_count t = t.revocations
+let total_bytes_processed t = t.total_bytes
+
+let heap_vpages t =
+  let layout = Machine.layout t.m in
+  let lo = layout.Layout.heap_base / Phys.page_size in
+  let hi = (layout.Layout.heap_limit - 1) / Phys.page_size in
+  List.filter
+    (fun vp -> vp >= lo && vp <= hi)
+    (Pmap.sorted_vpages (Vm.Aspace.pmap (Machine.aspace t.m)))
+
+(* Fold freshly capability-dirty pages into the visit set. Per §4.5, the
+   re-implementation never removes a page from the set once it has held
+   capabilities (except Reloaded's clean-page detection, applied at sweep
+   time). Clears the hardware bit when [reset] so later stores re-dirty. *)
+let update_visit_set t ctx ~reset =
+  let pmap = Vm.Aspace.pmap (Machine.aspace t.m) in
+  List.iter
+    (fun vp ->
+      match Pmap.lookup pmap ~vpage:vp with
+      | Some pte when pte.Pte.cap_dirty ->
+          Hashtbl.replace t.visit_set vp ();
+          if reset then begin
+            pte.Pte.cap_dirty <- false;
+            Machine.charge ctx Cost.pte_update
+          end
+      | Some _ | None -> ())
+    (heap_vpages t)
+
+let scan_roots t ctx =
+  let revoked = ref 0 in
+  List.iter
+    (fun th -> revoked := !revoked + Sweep.scan_regfile ctx t.revmap (Machine.regs th))
+    (Machine.user_threads t.m);
+  revoked := !revoked + Sweep.scan_hoard ctx t.revmap t.hoards;
+  !revoked
+
+let sweep_vpage t ctx vp =
+  let pmap = Vm.Aspace.pmap (Machine.aspace t.m) in
+  match Pmap.lookup pmap ~vpage:vp with
+  | None -> Sweep.zero_stats
+  | Some pte -> Sweep.sweep_page ~non_temporal:t.non_temporal ctx t.revmap ~pte
+
+(* ---- per-page visits (shared between the revoker thread and §7.1's
+   helper threads) ---- *)
+
+(* Reloaded: bring one page to the current generation, content-sweeping it
+   only if it may hold capabilities. Returns (pages, revoked) deltas. *)
+let visit_reloaded t ctx gen vp =
+  let pmap = Vm.Aspace.pmap (Machine.aspace t.m) in
+  match Pmap.lookup pmap ~vpage:vp with
+  | None -> (0, 0)
+  | Some pte ->
+      if pte.Pte.clg <> gen then begin
+        let pages, revoked =
+          if Hashtbl.mem t.visit_set vp then begin
+            let st = Sweep.sweep_page ~non_temporal:t.non_temporal ctx t.revmap ~pte in
+            (* clean-page detection: a swept page with no capabilities left
+               need not be content-swept next epoch *)
+            if st.Sweep.tagged = 0 && not pte.Pte.cap_dirty then
+              Hashtbl.remove t.visit_set vp;
+            (1, st.Sweep.revoked)
+          end
+          else (0, 0)
+        in
+        Machine.with_pmap_lock ctx (fun () ->
+            if pte.Pte.clg <> gen then begin
+              pte.Pte.clg <- gen;
+              Machine.charge ctx Cost.pte_update
+            end);
+        (pages, revoked)
+      end
+      else (0, 0)
+
+(* CHERIoT: the load filter guarantees stale capabilities cannot be
+   propagated, so a single idempotent content sweep per epoch suffices —
+   no generations, no re-scan. *)
+let visit_cheriot t ctx vp =
+  if Hashtbl.mem t.visit_set vp then begin
+    let st = sweep_vpage t ctx vp in
+    (1, st.Sweep.revoked)
+  end
+  else (0, 0)
+
+(* ---- helper threads (§7.1 concurrent background revocation) ---- *)
+
+let helper_body t h ctx =
+  let rec loop () =
+    while h.h_mode = Idle && not t.shutdown do
+      Machine.wait ctx h.h_work_cv
+    done;
+    match h.h_mode with
+    | Stop -> ()
+    | Idle -> if t.shutdown then () else loop ()
+    | (Sweep_reloaded _ | Sweep_cheriot) as mode ->
+        List.iter
+          (fun vp ->
+            Machine.safe_point ctx;
+            let pages, revoked =
+              match mode with
+              | Sweep_reloaded gen -> visit_reloaded t ctx gen vp
+              | Sweep_cheriot -> visit_cheriot t ctx vp
+              | Idle | Stop -> (0, 0)
+            in
+            h.h_pages <- h.h_pages + pages;
+            h.h_revoked <- h.h_revoked + revoked)
+          h.h_queue;
+        h.h_queue <- [];
+        h.h_mode <- Idle;
+        Machine.broadcast ctx h.h_done_cv;
+        loop ()
+  in
+  loop ()
+
+(* Partition [pages] round-robin over helpers, run the main thread's share
+   inline, and wait for every helper to drain. *)
+let fan_out t ctx ~pages ~mode ~visit =
+  match t.helpers with
+  | [] ->
+      let p = ref 0 and r = ref 0 in
+      List.iter
+        (fun vp ->
+          Machine.safe_point ctx;
+          let dp, dr = visit vp in
+          p := !p + dp;
+          r := !r + dr)
+        pages;
+      (!p, !r)
+  | helpers ->
+      let k = List.length helpers + 1 in
+      let shares = Array.make k [] in
+      List.iteri (fun i vp -> shares.(i mod k) <- vp :: shares.(i mod k)) pages;
+      List.iteri
+        (fun i h ->
+          h.h_queue <- shares.(i + 1);
+          h.h_pages <- 0;
+          h.h_revoked <- 0;
+          h.h_mode <- mode;
+          Machine.broadcast ctx h.h_work_cv)
+        helpers;
+      let p = ref 0 and r = ref 0 in
+      List.iter
+        (fun vp ->
+          Machine.safe_point ctx;
+          let dp, dr = visit vp in
+          p := !p + dp;
+          r := !r + dr)
+        shares.(0);
+      List.iter
+        (fun h ->
+          while h.h_mode <> Idle do
+            Machine.wait ctx h.h_done_cv
+          done;
+          p := !p + h.h_pages;
+          r := !r + h.h_revoked)
+        helpers;
+      (!p, !r)
+
+(* ---- strategy bodies: each runs one revocation epoch ---- *)
+
+type epoch_outcome = {
+  o_stw : int;
+  o_conc : int;
+  o_pages : int;
+  o_revoked : int;
+}
+
+let run_cherivoke t ctx =
+  let pages = ref 0 and revoked = ref 0 in
+  let (), rep =
+    Machine.stop_the_world ctx (fun () ->
+        update_visit_set t ctx ~reset:true;
+        revoked := scan_roots t ctx;
+        Hashtbl.iter
+          (fun vp () ->
+            let st = sweep_vpage t ctx vp in
+            incr pages;
+            revoked := !revoked + st.Sweep.revoked)
+          t.visit_set)
+  in
+  {
+    o_stw = rep.Machine.released_at - rep.Machine.requested_at;
+    o_conc = 0;
+    o_pages = !pages;
+    o_revoked = !revoked;
+  }
+
+let run_cornucopia t ctx =
+  let pmap = Vm.Aspace.pmap (Machine.aspace t.m) in
+  let pages = ref 0 and revoked = ref 0 in
+  (* concurrent phase: sweep every page that has ever held capabilities,
+     clearing its dirty bit first so stores during the sweep re-dirty it *)
+  let t0 = Machine.now ctx in
+  update_visit_set t ctx ~reset:false;
+  let targets = List.filter (Hashtbl.mem t.visit_set) (heap_vpages t) in
+  List.iter
+    (fun vp ->
+      Machine.safe_point ctx;
+      match Pmap.lookup pmap ~vpage:vp with
+      | None -> ()
+      | Some pte ->
+          Machine.with_pmap_lock ctx (fun () ->
+              if pte.Pte.cap_dirty then begin
+                pte.Pte.cap_dirty <- false;
+                Machine.charge ctx Cost.pte_update
+              end);
+          Machine.tlb_shootdown ctx ~vpages:[ vp ];
+          let st = Sweep.sweep_page ~non_temporal:t.non_temporal ctx t.revmap ~pte in
+          incr pages;
+          revoked := !revoked + st.Sweep.revoked)
+    targets;
+  let conc = Machine.now ctx - t0 in
+  (* stop-the-world phase: roots, then pages re-dirtied during the sweep *)
+  let (), rep =
+    Machine.stop_the_world ctx (fun () ->
+        revoked := !revoked + scan_roots t ctx;
+        List.iter
+          (fun vp ->
+            match Pmap.lookup pmap ~vpage:vp with
+            | Some pte when pte.Pte.cap_dirty ->
+                pte.Pte.cap_dirty <- false;
+                Machine.charge ctx Cost.pte_update;
+                let st =
+                  Sweep.sweep_page ~non_temporal:t.non_temporal ctx t.revmap ~pte
+                in
+                incr pages;
+                revoked := !revoked + st.Sweep.revoked
+            | Some _ | None -> ())
+          (heap_vpages t))
+  in
+  {
+    o_stw = rep.Machine.released_at - rep.Machine.requested_at;
+    o_conc = conc;
+    o_pages = !pages;
+    o_revoked = !revoked;
+  }
+
+let run_reloaded t ctx =
+  let pmap = Vm.Aspace.pmap (Machine.aspace t.m) in
+  let root_revoked = ref 0 in
+  (* stop-the-world: toggle generations, scan registers and hoards; no
+     PTE is touched (§4.1) — unless the §4.1 ablation of a per-PTE barrier
+     flag is enabled, in which case every PTE is updated with the world
+     stopped, which is exactly what the generation scheme avoids. *)
+  let (), rep =
+    Machine.stop_the_world ctx (fun () ->
+        Machine.toggle_clg ctx;
+        update_visit_set t ctx ~reset:true;
+        root_revoked := scan_roots t ctx;
+        if t.pte_flag_barrier then begin
+          let pages = heap_vpages t in
+          List.iter (fun _ -> Machine.charge ctx Cost.pte_update) pages;
+          Machine.tlb_shootdown ctx ~vpages:pages
+        end)
+  in
+  t.barrier_armed <- true;
+  (* background phase: visit every heap page still at the old generation;
+     content-sweep only pages that may hold capabilities. The application
+     races us via its load-barrier faults; page visits are idempotent. *)
+  let gen = Pmap.generation pmap in
+  let t0 = Machine.now ctx in
+  let pages, revoked =
+    fan_out t ctx ~pages:(heap_vpages t) ~mode:(Sweep_reloaded gen)
+      ~visit:(visit_reloaded t ctx gen)
+  in
+  {
+    o_stw = rep.Machine.released_at - rep.Machine.requested_at;
+    o_conc = Machine.now ctx - t0;
+    o_pages = pages;
+    o_revoked = revoked + !root_revoked;
+  }
+
+let run_cheriot t ctx =
+  (* No load generations: the per-load filter already blocks stale
+     capabilities. A short stop-the-world scans registers and hoards
+     (stores of register-held stale capabilities are not filtered), then
+     one concurrent content sweep erases them from memory. *)
+  let root_revoked = ref 0 in
+  let (), rep =
+    Machine.stop_the_world ctx (fun () ->
+        update_visit_set t ctx ~reset:true;
+        root_revoked := scan_roots t ctx)
+  in
+  let t0 = Machine.now ctx in
+  let targets = List.filter (Hashtbl.mem t.visit_set) (heap_vpages t) in
+  let pages, revoked =
+    fan_out t ctx ~pages:targets ~mode:Sweep_cheriot ~visit:(visit_cheriot t ctx)
+  in
+  {
+    o_stw = rep.Machine.released_at - rep.Machine.requested_at;
+    o_conc = Machine.now ctx - t0;
+    o_pages = pages;
+    o_revoked = revoked + !root_revoked;
+  }
+
+let run_paint_sync _t _ctx = { o_stw = 0; o_conc = 0; o_pages = 0; o_revoked = 0 }
+
+(* The Reloaded load-barrier fault handler, executed by the faulting
+   (application) thread. The machine has already charged trap entry and
+   the fixed software cost. Mirrors §4.3: lock the pmap to detect a stale
+   TLB; sweep without locks held; re-lock to update the PTE idempotently. *)
+let clg_fault_handler t ctx ~vaddr pte =
+  let t0 = Machine.now ctx in
+  let pmap = Vm.Aspace.pmap (Machine.aspace t.m) in
+  let gen = Pmap.generation pmap in
+  let vp = vaddr / Phys.page_size in
+  let stale = Machine.with_pmap_lock ctx (fun () -> pte.Pte.clg = gen) in
+  if not stale then begin
+    if Hashtbl.mem t.visit_set vp then
+      ignore (Sweep.sweep_page ctx t.revmap ~pte);
+    Machine.with_pmap_lock ctx (fun () ->
+        if pte.Pte.clg <> gen then begin
+          pte.Pte.clg <- gen;
+          Machine.charge ctx Cost.pte_update
+        end)
+  end;
+  t.fault_cycles <-
+    t.fault_cycles + (Machine.now ctx - t0) + Cost.trap + Cost.clg_fault_fixed;
+  t.fault_count <- t.fault_count + 1
+
+(* ---- the revoker thread ---- *)
+
+let run_epoch t ctx batches =
+  let bytes = List.fold_left (fun acc b -> acc + b.bytes) 0 batches in
+  t.in_flight <- true;
+  t.current_entries <- List.concat_map (fun b -> b.entries) batches;
+  t.fault_cycles <- 0;
+  t.fault_count <- 0;
+  let requested_at = Machine.now ctx in
+  (match Machine.tracer t.m with
+  | Some tr ->
+      Sim.Trace.emit tr ~time:requested_at ~core:t.core Sim.Trace.Epoch_begin
+        (Epoch.counter t.epoch);
+      Sim.Trace.emit tr ~time:requested_at ~core:t.core Sim.Trace.Revoke_batch bytes
+  | None -> ());
+  Epoch.begin_revocation t.epoch ctx;
+  let idx = Epoch.counter t.epoch in
+  let o =
+    match t.strategy with
+    | Paint_sync -> run_paint_sync t ctx
+    | Cherivoke -> run_cherivoke t ctx
+    | Cornucopia -> run_cornucopia t ctx
+    | Reloaded -> run_reloaded t ctx
+    | Cheriot_filter -> run_cheriot t ctx
+  in
+  Epoch.end_revocation t.epoch ctx;
+  (match Machine.tracer t.m with
+  | Some tr ->
+      Sim.Trace.emit tr ~time:(Machine.now ctx) ~core:t.core Sim.Trace.Epoch_end
+        (Epoch.counter t.epoch)
+  | None -> ());
+  t.barrier_armed <- false;
+  t.revocations <- t.revocations + 1;
+  t.total_bytes <- t.total_bytes + bytes;
+  t.records <-
+    {
+      epoch_index = idx;
+      requested_at;
+      stw_cycles = o.o_stw;
+      concurrent_cycles = o.o_conc;
+      fault_cycles = t.fault_cycles;
+      fault_count = t.fault_count;
+      pages_visited = o.o_pages;
+      caps_revoked = o.o_revoked;
+      bytes_processed = bytes;
+    }
+    :: t.records;
+  (* the batches processed by this epoch are now clean: dequarantine *)
+  (match t.on_clean with
+  | None -> ()
+  | Some f -> List.iter (fun b -> f ctx b) batches);
+  t.current_entries <- [];
+  t.in_flight <- false
+
+let thread_body t ctx =
+  let rec loop () =
+    while t.queue = [] && not t.shutdown do
+      Machine.wait ctx t.work_cv
+    done;
+    match t.queue with
+    | [] ->
+        (* shutdown: release the helpers so the machine can terminate *)
+        List.iter
+          (fun h ->
+            h.h_mode <- Stop;
+            Machine.broadcast ctx h.h_work_cv)
+          t.helpers
+    | _ ->
+        let batches = List.rev t.queue in
+        t.queue <- [];
+        t.queued_bytes <- 0;
+        run_epoch t ctx batches;
+        loop ()
+  in
+  loop ()
+
+let enqueue t ctx batch =
+  t.queue <- batch :: t.queue;
+  t.queued_bytes <- t.queued_bytes + batch.bytes;
+  Machine.broadcast ctx t.work_cv
+
+let request_shutdown t ctx =
+  t.shutdown <- true;
+  Machine.broadcast ctx t.work_cv
+
+let create m ~strategy ~core ?(non_temporal = false)
+    ?(background_threads = 1) ?(helper_cores = [ 1; 0 ])
+    ?(pte_flag_barrier = false) ?hoards () =
+  let hoards = match hoards with Some h -> h | None -> Kernel.Hoard.create () in
+  let t =
+    {
+      m;
+      strategy;
+      core;
+      non_temporal;
+      pte_flag_barrier;
+      revmap = Revmap.create m;
+      epoch = Epoch.create ();
+      hoards;
+      work_cv = Machine.condvar ();
+      visit_set = Hashtbl.create 1024;
+      helpers = [];
+      queue = [];
+      queued_bytes = 0;
+      in_flight = false;
+      shutdown = false;
+      records = [];
+      on_clean = None;
+      fault_cycles = 0;
+      fault_count = 0;
+      revocations = 0;
+      total_bytes = 0;
+      current_entries = [];
+      barrier_armed = false;
+    }
+  in
+  (match strategy with
+  | Reloaded -> Machine.set_clg_fault_handler m (Some (clg_fault_handler t))
+  | Cheriot_filter ->
+      Machine.set_cap_load_filter m
+        (Some
+           (fun fctx c ->
+             (* pipelined tightly-coupled bitmap probe: one cycle *)
+             Machine.charge fctx 1;
+             if Revmap.test_host t.revmap (Capability.base c) then
+               Capability.clear_tag c
+             else c))
+  | Paint_sync | Cherivoke | Cornucopia -> ());
+  (* §7.1: optional helper threads share the background sweep *)
+  if background_threads > 1 then begin
+    let helpers =
+      List.init (background_threads - 1) (fun i ->
+          {
+            h_core = List.nth helper_cores (i mod List.length helper_cores);
+            h_work_cv = Machine.condvar ();
+            h_done_cv = Machine.condvar ();
+            h_queue = [];
+            h_mode = Idle;
+            h_pages = 0;
+            h_revoked = 0;
+          })
+    in
+    t.helpers <- helpers;
+    List.iteri
+      (fun i h ->
+        ignore
+          (Machine.spawn m
+             ~name:(Printf.sprintf "revoker-helper-%d" i)
+             ~core:h.h_core ~user:false (helper_body t h)))
+      helpers
+  end;
+  ignore
+    (Machine.spawn m ~name:(Printf.sprintf "revoker-%s" (strategy_name strategy))
+       ~core ~user:false (thread_body t));
+  t

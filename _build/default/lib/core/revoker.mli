@@ -1,0 +1,108 @@
+(** The in-kernel revocation subsystem: four interchangeable strategies.
+
+    - [Paint_sync]: quarantine bookkeeping only; no sweeps, no safety.
+      Characterizes the prerequisite overheads (§5's "Paint+sync").
+    - [Cherivoke]: one stop-the-world sweep of every page that has ever
+      been capability-dirty (the paper's "CHERIvoke": Cornucopia
+      eschewing its concurrent phase).
+    - [Cornucopia]: a concurrent sweep of all such pages (clearing their
+      capability-dirty bits, with shootdowns), then a stop-the-world
+      re-sweep of pages re-dirtied meanwhile, plus register-file and
+      kernel-hoard scans (§2.2.5).
+    - [Reloaded]: a stop-the-world that only toggles the per-core
+      capability-load generation and scans registers/hoards, then a
+      fully concurrent background sweep racing the application's
+      self-healing load-barrier faults (§3.2, §4.3).
+
+    The revoker runs as a dedicated non-user thread; allocator shims
+    enqueue batches of painted quarantine and are called back when a
+    batch's epoch has closed. *)
+
+type strategy =
+  | Paint_sync
+  | Cherivoke
+  | Cornucopia
+  | Reloaded
+  | Cheriot_filter
+      (** §6.3: no load generations; every capability load is filtered
+          against the revocation bitmap directly (modelled as a
+          tightly-coupled probe), so freed objects become inaccessible
+          immediately and pages never need re-scanning. *)
+
+val strategy_name : strategy -> string
+
+val all_strategies : strategy list
+(** The four strategies of the paper's evaluation. *)
+
+val extended_strategies : strategy list
+(** Including [Cheriot_filter]. *)
+
+type batch = { entries : (int * int) list; bytes : int }
+(** Quarantined regions, [(addr, size)] pairs, already painted. *)
+
+type phase_record = {
+  epoch_index : int; (** counter value during the revocation (odd) *)
+  requested_at : int; (** cycle the epoch's work began *)
+  stw_cycles : int; (** world-stopped duration (0 for Paint_sync) *)
+  concurrent_cycles : int; (** background phase duration *)
+  fault_cycles : int; (** cumulative app-thread CLG fault handling *)
+  fault_count : int;
+  pages_visited : int;
+  caps_revoked : int;
+  bytes_processed : int; (** quarantine bytes revoked this epoch *)
+}
+
+type t
+
+val create :
+  Sim.Machine.t ->
+  strategy:strategy ->
+  core:int ->
+  ?non_temporal:bool ->
+  ?background_threads:int ->
+  ?helper_cores:int list ->
+  ?pte_flag_barrier:bool ->
+  ?hoards:Kernel.Hoard.t ->
+  unit ->
+  t
+(** [background_threads] > 1 spawns §7.1-style helper threads (on
+    [helper_cores], default cores 1 and 0) that share Reloaded's and
+    CHERIoT's background sweeps. [pte_flag_barrier] enables the §4.1
+    ablation in which starting an epoch updates every PTE under
+    stop-the-world instead of toggling the in-core generation bit.
+    Builds the revoker, registers the load-barrier fault handler
+    (Reloaded) or load filter (CHERIoT), and spawns the revoker thread on
+    [core]; must be called before {!Sim.Machine.run}. *)
+
+val strategy : t -> strategy
+val epoch : t -> Epoch.t
+val revmap : t -> Revmap.t
+
+val set_on_clean : t -> (Sim.Machine.ctx -> batch -> unit) -> unit
+(** Callback invoked (on the revoker thread) for each batch whose
+    revocation epoch has completed; the mrs shim dequarantines there. *)
+
+val enqueue : t -> Sim.Machine.ctx -> batch -> unit
+(** Hand a painted batch to the revoker and wake it. *)
+
+val request_shutdown : t -> Sim.Machine.ctx -> unit
+(** Drain outstanding batches, then let the revoker thread exit. *)
+
+val in_flight : t -> bool
+(** A revocation pass is currently running. *)
+
+val currently_revoking : t -> (int * int) list
+(** The quarantined regions being revoked by the in-flight epoch (empty
+    between epochs). Used by invariant-checking tests. *)
+
+val barrier_armed : t -> bool
+(** Reloaded only: the epoch-opening stop-the-world has completed, so the
+    §3.2 invariant (no unchecked capability can be loaded or held) is in
+    force. *)
+
+val queued_bytes : t -> int
+val records : t -> phase_record list
+(** Per-epoch phase records, oldest first. *)
+
+val revocation_count : t -> int
+val total_bytes_processed : t -> int

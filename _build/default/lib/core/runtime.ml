@@ -1,0 +1,57 @@
+module Machine = Sim.Machine
+module Backend = Alloc.Backend
+
+type mode = Baseline | Safe of Revoker.strategy
+type allocator_kind = Snmalloc | Jemalloc
+
+let mode_name = function
+  | Baseline -> "baseline"
+  | Safe s -> Revoker.strategy_name s
+
+let all_modes = Baseline :: List.map (fun s -> Safe s) Revoker.all_strategies
+
+type t = {
+  machine : Machine.t;
+  alloc : Backend.t;
+  hoards : Kernel.Hoard.t;
+  mode : mode;
+  mrs : Mrs.t option;
+  revoker : Revoker.t option;
+}
+
+let create ?(config = Machine.default_config) ?(policy = Policy.default)
+    ?(revoker_core = 2) ?(non_temporal = false) ?(allocator = Snmalloc) mode =
+  let machine = Machine.create config in
+  let alloc =
+    match allocator with
+    | Snmalloc -> Backend.snmalloc (Alloc.Allocator.create machine)
+    | Jemalloc -> Backend.jemalloc (Alloc.Jemalloc.create machine)
+  in
+  let hoards = Kernel.Hoard.create () in
+  match mode with
+  | Baseline -> { machine; alloc; hoards; mode; mrs = None; revoker = None }
+  | Safe strategy ->
+      let revoker =
+        Revoker.create machine ~strategy ~core:revoker_core ~non_temporal
+          ~hoards ()
+      in
+      let mrs = Mrs.create machine ~alloc ~revoker ~policy () in
+      { machine; alloc; hoards; mode; mrs = Some mrs; revoker = Some revoker }
+
+let malloc t ctx size =
+  match t.mrs with
+  | Some mrs -> Mrs.malloc mrs ctx size
+  | None -> t.alloc.Backend.malloc ctx size
+
+let free t ctx cap =
+  match t.mrs with
+  | Some mrs -> Mrs.free mrs ctx cap
+  | None -> t.alloc.Backend.free ctx cap
+
+let finish t ctx =
+  match t.mrs with Some mrs -> Mrs.finish mrs ctx | None -> ()
+
+let revoker_records t =
+  match t.revoker with Some r -> Revoker.records r | None -> []
+
+let mrs_stats t = Option.map Mrs.stats t.mrs

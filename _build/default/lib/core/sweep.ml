@@ -1,0 +1,66 @@
+module Capability = Cheri.Capability
+module Machine = Sim.Machine
+module Cost = Sim.Cost
+module Phys = Vm.Phys
+module Pte = Vm.Pte
+
+type stats = { granules : int; tagged : int; revoked : int; upgraded : bool }
+
+let zero_stats = { granules = 0; tagged = 0; revoked = 0; upgraded = false }
+
+let add_stats a b =
+  {
+    granules = a.granules + b.granules;
+    tagged = a.tagged + b.tagged;
+    revoked = a.revoked + b.revoked;
+    upgraded = a.upgraded || b.upgraded;
+  }
+
+let granule = Tagmem.Mem.granule
+
+let sweep_page ?(non_temporal = false) ctx revmap ~pte =
+  let read =
+    if non_temporal then Machine.kern_read_cap_nt else Machine.kern_read_cap_stream
+  in
+  let base = Phys.frame_addr pte.Pte.frame in
+  let tagged = ref 0 and revoked = ref 0 and upgraded = ref false in
+  let n = Phys.page_size / granule in
+  for i = 0 to n - 1 do
+    let pa = base + (i * granule) in
+    let c = read ctx ~pa in
+    if Capability.tag c then begin
+      incr tagged;
+      if Revmap.test revmap ctx (Capability.base c) then begin
+        if (not pte.Pte.writable) && not !upgraded then begin
+          (* read-only page that turns out to need revocation: invoke the
+             full fault machinery to upgrade it to writable (§4.3) *)
+          Machine.charge ctx (Cost.trap + Cost.pmap_lock + Cost.pte_update);
+          upgraded := true
+        end;
+        Machine.kern_clear_tag ctx ~pa;
+        incr revoked
+      end
+    end
+  done;
+  { granules = n; tagged = !tagged; revoked = !revoked; upgraded = !upgraded }
+
+let scan_regfile ctx revmap regs =
+  let revoked = ref 0 in
+  ignore
+    (Sim.Regfile.map_tagged regs (fun c ->
+         Machine.charge ctx Cost.alu;
+         let c' = Revmap.revoke_cap revmap ctx c in
+         if not (Capability.tag c') then incr revoked;
+         c'));
+  !revoked
+
+let scan_hoard ctx revmap hoard =
+  let revoked = ref 0 in
+  let n =
+    Kernel.Hoard.scan hoard ~f:(fun c ->
+        let c' = Revmap.revoke_cap revmap ctx c in
+        if Capability.tag c && not (Capability.tag c') then incr revoked;
+        c')
+  in
+  Machine.charge ctx (n * Cost.alu);
+  !revoked

@@ -1,0 +1,1 @@
+lib/kernel/hoard.ml: Cheri Hashtbl Sim

@@ -1,0 +1,1 @@
+lib/kernel/hoard.mli: Cheri Sim

@@ -1,0 +1,35 @@
+module Machine = Sim.Machine
+module Prng = Sim.Prng
+
+type profile = {
+  service_mean : int;
+  drain_scale : float;
+  drain_shape : float;
+  drain_cap : int;
+}
+
+let default_profile =
+  {
+    service_mean = 5_000;
+    drain_scale = 2_000.0;
+    drain_shape = 1.15;
+    drain_cap = 50_000_000; (* 20 ms *)
+  }
+
+let light_profile =
+  { service_mean = 1_000; drain_scale = 500.0; drain_shape = 1.5; drain_cap = 500_000 }
+
+let draw_drain rng p =
+  let d = Prng.pareto rng ~scale:p.drain_scale ~shape:p.drain_shape in
+  min p.drain_cap (int_of_float d)
+
+let perform_service ?(profile = default_profile) ctx ~service =
+  let rng = Machine.prng (Machine.machine ctx) in
+  Machine.enter_syscall ctx ~drain:(draw_drain rng profile);
+  if service > 0 then Machine.sleep ctx service;
+  Machine.exit_syscall ctx
+
+let perform ?(profile = default_profile) ctx =
+  let rng = Machine.prng (Machine.machine ctx) in
+  let service = int_of_float (Prng.exponential rng ~mean:(float_of_int profile.service_mean)) in
+  perform_service ~profile ctx ~service

@@ -1,0 +1,28 @@
+(** System-call modelling.
+
+    What matters to the revoker is not what a syscall does but how long a
+    stop-the-world must wait for it: in-flight calls are completed or
+    aborted before the thread can be quiesced (§4.4), producing the
+    long-tailed pause outliers of §5.4.1. Each call draws a {e drain
+    cost} from a heavy-tailed distribution; if a stop-the-world arrives
+    while the call is in flight, the initiator pays that drain. *)
+
+type profile = {
+  service_mean : int; (** mean on-CPU-ish service cycles (slept, off core) *)
+  drain_scale : float; (** Pareto scale of the quiesce-drain cost, cycles *)
+  drain_shape : float; (** Pareto shape; smaller = heavier tail *)
+  drain_cap : int; (** upper bound on the drain, cycles *)
+}
+
+val default_profile : profile
+(** ~2 µs service, drains mostly a few µs with a tail into milliseconds. *)
+
+val light_profile : profile
+(** Short calls that rarely obstruct quiesce. *)
+
+val perform : ?profile:profile -> Sim.Machine.ctx -> unit
+(** Execute one blocking syscall: enter (drain drawn), sleep the service
+    time, exit. *)
+
+val perform_service : ?profile:profile -> Sim.Machine.ctx -> service:int -> unit
+(** Same with an explicit service time. *)

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Buffer Cheri Cost Effect Fun List Printf Prng Regfile Sys Tagmem Trace Vm

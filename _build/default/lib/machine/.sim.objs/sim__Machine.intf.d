@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Cheri Prng Regfile Tagmem Trace Vm

@@ -1,0 +1,43 @@
+(** Cycle cost model (see DESIGN.md).
+
+    All constants are in core clock cycles at {!clock_hz}. Cache and DRAM
+    latencies live in {!Tagmem.Cache}; everything else is here. *)
+
+val clock_hz : float
+(** 2.5 GHz, Morello's clock. *)
+
+val alu : int (** one unit of pure computation *)
+
+val tlb_walk : int (** page-table walk on TLB miss *)
+
+val trap : int (** trap entry + exit *)
+
+val clg_fault_fixed : int
+(** fixed software cost of a capability-load-generation fault, on top of
+    the trap and the page sweep *)
+
+val tlb_shootdown_per_core : int
+val context_switch : int
+val pmap_lock : int
+val pte_update : int
+val page_zero : int (** zeroing a fresh 4 KiB frame *)
+
+val quiesce_per_thread : int
+(** [thread_single]-style suspension bookkeeping per target thread *)
+
+val stw_base : int (** fixed entry/exit cost of a stop-the-world phase *)
+
+val malloc_fixed : int (** allocator fast-path bookkeeping *)
+
+val free_fixed : int
+
+val mrs_shim : int
+(** per-call overhead of the LD_PRELOAD interposition shim wrapping the
+    allocator (the paper's footnote 10 expects the shim to out-cost an
+    enlightened allocator's bookkeeping) *)
+
+val syscall_entry : int
+
+val cycles_to_ms : int -> float
+val cycles_to_us : int -> float
+val cycles_of_us : float -> int

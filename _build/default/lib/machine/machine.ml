@@ -1,0 +1,731 @@
+module Capability = Cheri.Capability
+module Mem = Tagmem.Mem
+module Cache = Tagmem.Cache
+module Pte = Vm.Pte
+module Pmap = Vm.Pmap
+module Tlb = Vm.Tlb
+module Phys = Vm.Phys
+module Aspace = Vm.Aspace
+module Layout = Vm.Layout
+
+type config = {
+  cores : int;
+  mem_bytes : int;
+  heap_bytes : int;
+  quantum : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    cores = 4;
+    mem_bytes = 64 * 1024 * 1024;
+    heap_bytes = 16 * 1024 * 1024;
+    quantum = 4096;
+    seed = 42;
+  }
+
+type state =
+  | Created
+  | Runnable
+  | Running
+  | Sleeping
+  | Waiting of condvar
+  | Waiting_stw
+  | Parked of state
+  | Finished
+
+and condvar = { mutable waiters : thread list }
+
+and thread = {
+  tid : int;
+  name : string;
+  tcore : int;
+  user : bool;
+  regs : Regfile.t;
+  body : ctx -> unit;
+  mutable state : state;
+  mutable wake_time : int;
+  mutable in_syscall : bool;
+  mutable syscall_drain : int;
+  mutable cont : (unit, unit) Effect.Deep.continuation option;
+  mutable cpu : int;
+  mutable last_ran : int;
+  mutable slice_start : int;
+}
+
+and core = {
+  cid : int;
+  mutable clock : int;
+  mutable clg : bool;
+  cache : Cache.t;
+  tlb : Tlb.t;
+  mutable resident : int;
+  mutable busy : int;
+}
+
+and stw = {
+  initiator : thread;
+  t0 : int;
+  mutable pending : thread list;
+  mutable parked : thread list;
+  mutable stopped_at : int;
+}
+
+and t = {
+  cfg : config;
+  mem : Mem.t;
+  phys : Phys.t;
+  aspace : Aspace.t;
+  cores : core array;
+  mutable threads : thread list; (* in spawn order *)
+  mutable next_tid : int;
+  mutable seq : int;
+  mutable stw : stw option;
+  mutable clg_handler : (ctx -> vaddr:int -> Pte.t -> unit) option;
+  mutable load_filter : (ctx -> Capability.t -> Capability.t) option;
+  mutable store_hook : (vaddr:int -> Capability.t -> unit) option;
+  prng : Prng.t;
+  mutable ctx_switches : int;
+  mutable stw_count : int;
+  mutable clg_faults : int;
+  mutable trace : Trace.t option;
+}
+
+and ctx = { m : t; th : thread }
+
+exception Deadlock of string
+
+exception
+  Capability_fault of { cap : Capability.t; op : string; vaddr : int }
+
+exception Page_fault of { vaddr : int; write : bool }
+
+type _ Effect.t += Yield : unit Effect.t
+
+let page_size = Phys.page_size
+
+let create cfg =
+  let mem = Mem.create ~size:cfg.mem_bytes in
+  let phys = Phys.create mem in
+  let layout = Layout.make ~heap_bytes:cfg.heap_bytes in
+  let aspace = Aspace.create phys layout ~asid:0 in
+  (* The shadow bitmap is a kernel-provided object: mapped eagerly,
+     writable, but never allowed to carry capabilities. *)
+  let _ =
+    Aspace.map_range aspace ~vaddr:layout.Layout.shadow_base
+      ~len:(layout.Layout.shadow_limit - layout.Layout.shadow_base)
+      ~writable:true
+  in
+  Pmap.iter (Aspace.pmap aspace) ~f:(fun _ pte -> pte.Pte.cap_store <- false);
+  let cores =
+    Array.init cfg.cores (fun cid ->
+        {
+          cid;
+          clock = 0;
+          clg = false;
+          cache = Cache.create ();
+          tlb = Tlb.create ();
+          resident = -1;
+          busy = 0;
+        })
+  in
+  {
+    cfg;
+    mem;
+    phys;
+    aspace;
+    cores;
+    threads = [];
+    next_tid = 0;
+    seq = 0;
+    stw = None;
+    clg_handler = None;
+    load_filter = None;
+    store_hook = None;
+    prng = Prng.create ~seed:cfg.seed;
+    ctx_switches = 0;
+    stw_count = 0;
+    clg_faults = 0;
+    trace = None;
+  }
+
+let mem m = m.mem
+let aspace m = m.aspace
+let layout m = Aspace.layout m.aspace
+let prng m = m.prng
+let num_cores m = Array.length m.cores
+let core_clock m i = m.cores.(i).clock
+
+let global_time m =
+  Array.fold_left (fun acc c -> max acc c.clock) 0 m.cores
+
+let cache_stats m i = Cache.stats m.cores.(i).cache
+let attach_tracer m t = m.trace <- t
+let tracer m = m.trace
+
+let trace_emit m ~time ~core kind arg =
+  match m.trace with None -> () | Some t -> Trace.emit t ~time ~core kind arg
+
+let spawn m ~name ~core ?(user = true) body =
+  if core < 0 || core >= Array.length m.cores then invalid_arg "Machine.spawn: core";
+  let th =
+    {
+      tid = m.next_tid;
+      name;
+      tcore = core;
+      user;
+      regs = Regfile.create ();
+      body;
+      state = Created;
+      wake_time = 0;
+      in_syscall = false;
+      syscall_drain = 0;
+      cont = None;
+      cpu = 0;
+      last_ran = 0;
+      slice_start = 0;
+    }
+  in
+  m.next_tid <- m.next_tid + 1;
+  m.threads <- m.threads @ [ th ];
+  th
+
+let thread_name th = th.name
+let thread_cpu_cycles th = th.cpu
+let regs th = th.regs
+let self ctx = ctx.th
+let machine ctx = ctx.m
+let core_id ctx = ctx.th.tcore
+let core_of ctx = ctx.m.cores.(ctx.th.tcore)
+let now ctx = (core_of ctx).clock
+let user_threads m = List.filter (fun th -> th.user) m.threads
+let find_thread m name = List.find_opt (fun th -> th.name = name) m.threads
+
+let charge ctx n =
+  assert (n >= 0);
+  let c = core_of ctx in
+  c.clock <- c.clock + n;
+  c.busy <- c.busy + n;
+  ctx.th.cpu <- ctx.th.cpu + n
+
+(* ---- stop-the-world bookkeeping ---- *)
+
+let remove_thread l th = List.filter (fun x -> x.tid <> th.tid) l
+
+let wake_initiator s =
+  let ini = s.initiator in
+  (match ini.state with
+  | Waiting_stw ->
+      ini.state <- Runnable;
+      ini.wake_time <- max ini.wake_time s.stopped_at
+  | _ -> ());
+  ()
+
+(* Park [th] in place at [time] (plus syscall drain if applicable),
+   remembering the state to restore at release. *)
+let park_from_busy = ref 0
+let park_from_idle = ref 0
+
+let park m s th ~time =
+  (match th.state with
+   | Running | Runnable | Created ->
+       incr park_from_busy;
+       if Sys.getenv_opt "CCR_PARK_DEBUG" <> None then
+         Printf.eprintf "park busy: %s at %d\n" th.name time
+   | _ -> incr park_from_idle);
+  let time = if th.in_syscall then time + th.syscall_drain else time in
+  s.pending <- remove_thread s.pending th;
+  s.parked <- th :: s.parked;
+  s.stopped_at <- max s.stopped_at time;
+  (match th.state with
+  | Running | Created -> th.state <- Parked Runnable
+  | st -> th.state <- Parked st);
+  if s.pending = [] then wake_initiator s;
+  ignore m
+
+let perform_yield () = Effect.perform Yield
+
+(* The single safe-point/stw check every blocking or yielding operation
+   goes through. Returns after any STW parking has been resolved. *)
+let checkpoint ctx =
+  match ctx.m.stw with
+  | Some s
+    when ctx.th.user
+         && ctx.th.tid <> s.initiator.tid
+         && List.exists (fun x -> x.tid = ctx.th.tid) s.pending ->
+      let time = max (core_of ctx).clock s.t0 in
+      park ctx.m s ctx.th ~time;
+      perform_yield ()
+  | Some _ | None -> ()
+
+let safe_point ctx =
+  checkpoint ctx;
+  let c = core_of ctx in
+  if c.clock - ctx.th.slice_start >= ctx.m.cfg.quantum then begin
+    ctx.th.state <- Runnable;
+    perform_yield ()
+  end
+
+let yield ctx =
+  checkpoint ctx;
+  ctx.th.state <- Runnable;
+  perform_yield ()
+
+let sleep ctx n =
+  checkpoint ctx;
+  if n > 0 then begin
+    ctx.th.wake_time <- (core_of ctx).clock + n;
+    ctx.th.state <- Sleeping;
+    perform_yield ()
+  end
+
+let condvar () = { waiters = [] }
+
+let wait ctx cv =
+  checkpoint ctx;
+  cv.waiters <- ctx.th :: cv.waiters;
+  ctx.th.state <- Waiting cv;
+  perform_yield ()
+
+let broadcast ctx cv =
+  let t = (core_of ctx).clock in
+  List.iter
+    (fun th ->
+      (match th.state with
+      | Waiting _ ->
+          th.state <- Runnable;
+          th.wake_time <- max th.wake_time t
+      | Parked (Waiting _) ->
+          th.state <- Parked Runnable;
+          th.wake_time <- max th.wake_time t
+      | _ -> ());
+      ())
+    cv.waiters;
+  cv.waiters <- []
+
+let enter_syscall ctx ~drain =
+  charge ctx Cost.syscall_entry;
+  ctx.th.in_syscall <- true;
+  ctx.th.syscall_drain <- max 0 drain
+
+let exit_syscall ctx =
+  ctx.th.in_syscall <- false;
+  ctx.th.syscall_drain <- 0
+
+type stw_report = { requested_at : int; stopped_at : int; released_at : int }
+
+let stop_the_world ctx f =
+  let m = ctx.m and th = ctx.th in
+  if th.user then invalid_arg "stop_the_world: user threads may not stop the world";
+  if m.stw <> None then invalid_arg "stop_the_world: nested";
+  charge ctx Cost.stw_base;
+  let t0 = (core_of ctx).clock in
+  let targets =
+    List.filter (fun x -> x.user && x.state <> Finished) m.threads
+  in
+  let s = { initiator = th; t0; pending = targets; parked = []; stopped_at = t0 } in
+  m.stw <- Some s;
+  m.stw_count <- m.stw_count + 1;
+  (* Threads that are off-core (blocked, sleeping, not yet started) are
+     suspended in place; running/runnable ones park at their next safe
+     point. *)
+  List.iter
+    (fun x ->
+      match x.state with
+      | Runnable | Running -> ()
+      | Created | Sleeping | Waiting _ ->
+          park m s x ~time:(max m.cores.(x.tcore).clock t0)
+      | Waiting_stw | Parked _ | Finished -> ())
+    s.pending;
+  if s.pending <> [] then begin
+    th.state <- Waiting_stw;
+    perform_yield ()
+  end;
+  charge ctx (Cost.quiesce_per_thread * List.length targets);
+  let stopped_at = max s.stopped_at (core_of ctx).clock in
+  trace_emit m ~time:t0 ~core:th.tcore Trace.Stw_request (List.length targets);
+  trace_emit m ~time:stopped_at ~core:th.tcore Trace.Stw_stopped 0;
+  let result = f () in
+  let released_at = (core_of ctx).clock in
+  trace_emit m ~time:released_at ~core:th.tcore Trace.Stw_release
+    (released_at - t0);
+  List.iter
+    (fun x ->
+      match x.state with
+      | Parked saved ->
+          x.state <- saved;
+          x.wake_time <- max x.wake_time released_at
+      | _ -> ())
+    s.parked;
+  m.stw <- None;
+  (result, { requested_at = t0; stopped_at; released_at })
+
+(* ---- CLG ---- *)
+
+let toggle_clg ctx =
+  let m = ctx.m in
+  (match m.stw with
+  | Some s when s.initiator.tid = ctx.th.tid -> ()
+  | _ -> invalid_arg "toggle_clg: requires the world stopped by the caller");
+  Array.iter
+    (fun c ->
+      c.clg <- not c.clg;
+      charge ctx Cost.alu)
+    m.cores;
+  let pmap = Aspace.pmap m.aspace in
+  Pmap.set_generation pmap (not (Pmap.generation pmap))
+
+let core_clg m i = m.cores.(i).clg
+let set_clg_fault_handler m h = m.clg_handler <- h
+let set_cap_load_filter m f = m.load_filter <- f
+let set_cap_store_hook m h = m.store_hook <- h
+
+(* ---- translation ---- *)
+
+let translate_entry ctx va ~write =
+  let vpage = va / page_size in
+  let c = core_of ctx in
+  let e =
+    match Tlb.lookup c.tlb ~vpage with
+    | Some e -> e
+    | None -> (
+        charge ctx Cost.tlb_walk;
+        match Pmap.lookup (Aspace.pmap ctx.m.aspace) ~vpage with
+        | None -> raise (Page_fault { vaddr = va; write })
+        | Some pte -> Tlb.insert c.tlb ~vpage pte)
+  in
+  if write && not e.Tlb.pte.Pte.writable then
+    raise (Page_fault { vaddr = va; write });
+  e
+
+let translate ctx va =
+  match
+    try Some (translate_entry ctx va ~write:false) with Page_fault _ -> None
+  with
+  | None -> None
+  | Some e ->
+      Some (Phys.frame_addr e.Tlb.pte.Pte.frame + (va land (page_size - 1)), e.Tlb.pte)
+
+(* ---- data access ---- *)
+
+let data_access ctx cap ~width ~write ~op =
+  safe_point ctx;
+  let ok = if write then Capability.can_store ~width cap else Capability.can_load ~width cap in
+  if not ok then
+    raise (Capability_fault { cap; op; vaddr = Capability.addr cap });
+  let va = Capability.addr cap in
+  let e = translate_entry ctx va ~write in
+  let pa = Phys.frame_addr e.Tlb.pte.Pte.frame + (va land (page_size - 1)) in
+  charge ctx (Cache.access (core_of ctx).cache ~addr:pa ~write);
+  pa
+
+let load_u64 ctx cap =
+  let pa = data_access ctx cap ~width:8 ~write:false ~op:"load_u64" in
+  Mem.read_u64 ctx.m.mem pa
+
+let store_u64 ctx cap v =
+  let pa = data_access ctx cap ~width:8 ~write:true ~op:"store_u64" in
+  Mem.write_u64 ctx.m.mem pa v
+
+let rmw_u64 ctx cap f =
+  let pa = data_access ctx cap ~width:8 ~write:true ~op:"rmw_u64" in
+  (* one extra cache access for the read half; no safe point in between *)
+  charge ctx (Cache.access (core_of ctx).cache ~addr:pa ~write:false);
+  let old = Mem.read_u64 ctx.m.mem pa in
+  Mem.write_u64 ctx.m.mem pa (f old);
+  old
+
+let touch ctx cap ~write =
+  ignore (data_access ctx cap ~width:1 ~write ~op:"touch")
+
+let granule = Mem.granule
+
+let zero ctx cap =
+  safe_point ctx;
+  if not (Capability.can_store cap) then
+    raise (Capability_fault { cap; op = "zero"; vaddr = Capability.addr cap });
+  let base = Capability.base cap and len = Capability.length cap in
+  let line = Tagmem.Cache.line_size in
+  let va = ref base in
+  while !va < base + len do
+    let e = translate_entry ctx !va ~write:true in
+    let pa = Phys.frame_addr e.Tlb.pte.Pte.frame + (!va land (page_size - 1)) in
+    let page_end = (!va lor (page_size - 1)) + 1 in
+    let chunk_end = min (base + len) page_end in
+    let a = ref pa in
+    while !a < pa + (chunk_end - !va) do
+      charge ctx (Cache.access_stream (core_of ctx).cache ~addr:!a ~write:true);
+      a := !a + line
+    done;
+    Mem.fill ctx.m.mem ~lo:pa ~hi:(pa + (chunk_end - !va)) 0;
+    va := chunk_end
+  done
+
+let rec load_cap ctx cap =
+  safe_point ctx;
+  if not (Capability.can_load ~width:granule cap) then
+    raise (Capability_fault { cap; op = "load_cap"; vaddr = Capability.addr cap });
+  let va = Capability.addr cap in
+  if va land (granule - 1) <> 0 then
+    raise (Capability_fault { cap; op = "load_cap(align)"; vaddr = va });
+  let e = translate_entry ctx va ~write:false in
+  let pa = Phys.frame_addr e.Tlb.pte.Pte.frame + (va land (page_size - 1)) in
+  charge ctx (Cache.access (core_of ctx).cache ~addr:pa ~write:false);
+  let tagged = Mem.read_tag ctx.m.mem pa in
+  let c = core_of ctx in
+  let mismatch = e.Tlb.clg_snapshot <> c.clg || e.Tlb.pte.Pte.load_trap in
+  if tagged && mismatch then begin
+    (* Capability load generation fault (§4.1): trap, let the registered
+       handler bring the page to the current generation, re-execute. *)
+    ctx.m.clg_faults <- ctx.m.clg_faults + 1;
+    trace_emit ctx.m ~time:(core_of ctx).clock ~core:ctx.th.tcore Trace.Clg_fault va;
+    charge ctx Cost.trap;
+    (match ctx.m.clg_handler with
+    | None ->
+        (* No software component installed: the PTE may already be
+           current (stale TLB); refresh and re-check. *)
+        Tlb.refresh e;
+        if e.Tlb.clg_snapshot <> c.clg then
+          failwith "CLG fault with no handler installed"
+    | Some h ->
+        charge ctx Cost.clg_fault_fixed;
+        h ctx ~vaddr:va e.Tlb.pte;
+        Tlb.refresh e;
+        if e.Tlb.clg_snapshot <> c.clg && not e.Tlb.pte.Pte.load_trap then
+          failwith "CLG fault handler did not update the generation");
+    load_cap ctx cap
+  end
+  else begin
+    let v = Mem.read_cap ctx.m.mem pa in
+    let v =
+      if Capability.tag v && not (Capability.can_load_cap cap) then
+        Capability.clear_tag v
+      else v
+    in
+    match ctx.m.load_filter with
+    | Some f when Capability.tag v -> f ctx v
+    | Some _ | None -> v
+  end
+
+let store_cap ctx cap v =
+  safe_point ctx;
+  if not (Capability.can_store ~width:granule cap) then
+    raise (Capability_fault { cap; op = "store_cap"; vaddr = Capability.addr cap });
+  let va = Capability.addr cap in
+  if va land (granule - 1) <> 0 then
+    raise (Capability_fault { cap; op = "store_cap(align)"; vaddr = va });
+  if Capability.tag v && not (Capability.can_store_cap cap) then
+    raise (Capability_fault { cap; op = "store_cap(perm)"; vaddr = va });
+  let e = translate_entry ctx va ~write:true in
+  let pte = e.Tlb.pte in
+  if Capability.tag v && not pte.Pte.cap_store then
+    raise (Capability_fault { cap; op = "store_cap(page)"; vaddr = va });
+  let pa = Phys.frame_addr pte.Pte.frame + (va land (page_size - 1)) in
+  charge ctx (Cache.access (core_of ctx).cache ~addr:pa ~write:true);
+  if Capability.tag v then begin
+    (* hardware capability-dirty tracking (§4.2) *)
+    if not pte.Pte.cap_dirty then begin
+      pte.Pte.cap_dirty <- true;
+      charge ctx 3
+    end;
+    match ctx.m.store_hook with Some h -> h ~vaddr:va v | None -> ()
+  end;
+  Mem.write_cap ctx.m.mem pa v
+
+(* ---- kernel-mode physical access ---- *)
+
+let kern_read_cap ctx ~pa =
+  charge ctx (Cache.access (core_of ctx).cache ~addr:pa ~write:false);
+  Mem.read_cap ctx.m.mem pa
+
+let kern_read_cap_nt ctx ~pa =
+  charge ctx (Cache.access_nt (core_of ctx).cache ~addr:pa ~write:false);
+  Mem.read_cap ctx.m.mem pa
+
+let kern_read_cap_stream ctx ~pa =
+  charge ctx (Cache.access_stream (core_of ctx).cache ~addr:pa ~write:false);
+  Mem.read_cap ctx.m.mem pa
+
+let kern_clear_tag ctx ~pa =
+  charge ctx (Cache.access (core_of ctx).cache ~addr:pa ~write:true);
+  Mem.clear_tag ctx.m.mem pa
+
+let kern_read_tag ctx ~pa =
+  charge ctx (Cache.access (core_of ctx).cache ~addr:pa ~write:false);
+  Mem.read_tag ctx.m.mem pa
+
+let kern_access ctx ~pa ~write =
+  charge ctx (Cache.access (core_of ctx).cache ~addr:pa ~write)
+
+(* ---- VM operations ---- *)
+
+let with_pmap_lock ctx f =
+  let pmap = Aspace.pmap ctx.m.aspace in
+  let contended = Pmap.lock pmap ~who:ctx.th.tid in
+  charge ctx (if contended then 2 * Cost.pmap_lock else Cost.pmap_lock);
+  Fun.protect ~finally:(fun () -> Pmap.unlock pmap ~who:ctx.th.tid) f
+
+let tlb_shootdown ctx ~vpages =
+  if vpages <> [] then begin
+    Array.iter
+      (fun c ->
+        List.iter (fun vp -> Tlb.invalidate_page c.tlb ~vpage:vp) vpages;
+        charge ctx Cost.tlb_shootdown_per_core)
+      ctx.m.cores
+  end
+
+let map ctx ~vaddr ~len ~writable =
+  with_pmap_lock ctx (fun () ->
+      let fresh = Aspace.map_range ctx.m.aspace ~vaddr ~len ~writable in
+      charge ctx (fresh * (Cost.page_zero + Cost.pte_update)))
+
+let unmap ctx ~vaddr ~len =
+  let vpages =
+    with_pmap_lock ctx (fun () ->
+        let vpages = Aspace.unmap_range ctx.m.aspace ~vaddr ~len in
+        charge ctx (List.length vpages * Cost.pte_update);
+        vpages)
+  in
+  tlb_shootdown ctx ~vpages
+
+(* ---- scheduler ---- *)
+
+let eligible_time m th =
+  let c = m.cores.(th.tcore) in
+  match th.state with
+  | Created | Runnable -> Some (max c.clock th.wake_time)
+  | Sleeping -> Some (max c.clock th.wake_time)
+  | Running | Waiting _ | Waiting_stw | Parked _ | Finished -> None
+
+let pick m =
+  let best = ref None in
+  List.iter
+    (fun th ->
+      match eligible_time m th with
+      | None -> ()
+      | Some t -> (
+          match !best with
+          | Some (bt, bth) when bt < t || (bt = t && bth.last_ran <= th.last_ran) ->
+              ()
+          | _ -> best := Some (t, th)))
+    m.threads;
+  !best
+
+let dump_states m =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun th ->
+      let s =
+        match th.state with
+        | Created -> "created"
+        | Runnable -> "runnable"
+        | Running -> "running"
+        | Sleeping -> Printf.sprintf "sleeping(until %d)" th.wake_time
+        | Waiting _ -> "waiting"
+        | Waiting_stw -> "waiting-stw"
+        | Parked _ -> "parked"
+        | Finished -> "finished"
+      in
+      Buffer.add_string b (Printf.sprintf "%s[%d]@core%d: %s; " th.name th.tid th.tcore s))
+    m.threads;
+  Buffer.contents b
+
+let on_finish m th =
+  th.state <- Finished;
+  match m.stw with
+  | Some s when List.exists (fun x -> x.tid = th.tid) s.pending ->
+      s.pending <- remove_thread s.pending th;
+      s.stopped_at <- max s.stopped_at m.cores.(th.tcore).clock;
+      if s.pending = [] then wake_initiator s
+  | Some _ | None -> ()
+
+let resume m th =
+  let c = m.cores.(th.tcore) in
+  let t = match eligible_time m th with Some t -> t | None -> assert false in
+  c.clock <- max c.clock t;
+  if c.resident <> th.tid then begin
+    if c.resident >= 0 then begin
+      m.ctx_switches <- m.ctx_switches + 1;
+      (match m.trace with
+      | Some t -> Trace.emit t ~time:c.clock ~core:c.cid Trace.Context_switch th.tid
+      | None -> ());
+      c.clock <- c.clock + Cost.context_switch;
+      c.busy <- c.busy + Cost.context_switch;
+      th.cpu <- th.cpu + Cost.context_switch
+    end;
+    c.resident <- th.tid
+  end;
+  th.slice_start <- c.clock;
+  m.seq <- m.seq + 1;
+  th.last_ran <- m.seq;
+  th.state <- Running;
+  match th.cont with
+  | Some k ->
+      th.cont <- None;
+      Effect.Deep.continue k ()
+  | None ->
+      let handler =
+        {
+          Effect.Deep.retc = (fun () -> on_finish m th);
+          exnc = (fun e -> raise e);
+          effc =
+            (fun (type a) (eff : a Effect.t) ->
+              match eff with
+              | Yield ->
+                  Some
+                    (fun (k : (a, unit) Effect.Deep.continuation) ->
+                      th.cont <- Some k)
+              | _ -> None);
+        }
+      in
+      let ctx = { m; th } in
+      Effect.Deep.match_with
+        (fun () ->
+          checkpoint ctx;
+          th.body ctx)
+        () handler
+
+let run m =
+  let rec loop () =
+    match pick m with
+    | Some (_, th) ->
+        resume m th;
+        (* If the thread left itself Running (yield without state change),
+           make it runnable again. *)
+        if th.state = Running then th.state <- Runnable;
+        loop ()
+    | None ->
+        if List.exists (fun th -> th.state <> Finished) m.threads then
+          raise (Deadlock (dump_states m))
+  in
+  loop ()
+
+(* ---- statistics ---- *)
+
+type totals = {
+  wall_cycles : int;
+  cpu_cycles : int;
+  bus_transactions : int;
+  context_switches : int;
+  stw_count : int;
+  clg_faults : int;
+}
+
+let bus_transactions_of_core m i = Cache.bus_total (Cache.stats m.cores.(i).cache)
+
+let totals m =
+  let cpu = Array.fold_left (fun acc c -> acc + c.busy) 0 m.cores in
+  let bus =
+    Array.fold_left (fun acc c -> acc + Cache.bus_total (Cache.stats c.cache)) 0 m.cores
+  in
+  {
+    wall_cycles = global_time m;
+    cpu_cycles = cpu;
+    bus_transactions = bus;
+    context_switches = m.ctx_switches;
+    stw_count = m.stw_count;
+    clg_faults = m.clg_faults;
+  }
+
+let clg_fault_count (m : t) = m.clg_faults

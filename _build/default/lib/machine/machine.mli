@@ -1,0 +1,257 @@
+(** The simulated multicore CHERI machine.
+
+    Cores execute cooperative threads (OCaml effect-based coroutines) under
+    a deterministic discrete-event scheduler: the runnable thread whose
+    core has the smallest local clock runs next, so cross-core orderings
+    are faithful to the simulated timeline. Threads charge cycles
+    explicitly for every architectural action; memory operations go
+    through per-core TLBs and caches, producing the latency and
+    bus-traffic figures the evaluation reports.
+
+    Architectural features modelled (the ones the paper's revokers need):
+    - tagged memory with capability load/store instructions;
+    - per-PTE capability-dirty bits set on capability stores (§2.2.4);
+    - per-PTE capability load generation vs. an in-core generation bit,
+      trapping mismatched tagged loads to a registered handler (§4.1);
+    - TLBs that latch PTE snapshots, with explicit shootdowns;
+    - a [thread_single]-style stop-the-world that quiesces user threads,
+      charging for in-flight syscall draining (§4.4). *)
+
+type t
+type thread
+
+type ctx
+(** Execution context: the machine plus the current thread. Every
+    operation a simulated program performs takes the [ctx] it was given
+    at spawn time. *)
+
+(** {1 Construction} *)
+
+type config = {
+  cores : int; (** number of cores (4 on Morello) *)
+  mem_bytes : int; (** physical memory size *)
+  heap_bytes : int; (** heap region of the single simulated process *)
+  quantum : int; (** cycles between safe points *)
+  seed : int;
+}
+
+val default_config : config
+val create : config -> t
+
+(** {1 Topology and global state} *)
+
+val mem : t -> Tagmem.Mem.t
+val aspace : t -> Vm.Aspace.t
+val layout : t -> Vm.Layout.t
+val prng : t -> Prng.t
+val num_cores : t -> int
+val core_clock : t -> int -> int
+(** Local clock of a core, in cycles. *)
+
+val global_time : t -> int
+(** Max over core clocks. *)
+
+val cache_stats : t -> int -> Tagmem.Cache.stats
+(** Cache/bus statistics of a core. *)
+
+(** {1 Threads} *)
+
+val spawn :
+  t ->
+  name:string ->
+  core:int ->
+  ?user:bool ->
+  (ctx -> unit) ->
+  thread
+(** Create a thread pinned to [core]. [user] threads (default [true]) are
+    quiesced by stop-the-world; revoker/system threads pass
+    [~user:false]. The body runs when {!run} is called. *)
+
+val run : t -> unit
+(** Drive the machine until every thread has finished. Raises
+    [Deadlock] if live threads remain but none can make progress. *)
+
+exception Deadlock of string
+
+val thread_name : thread -> string
+val thread_cpu_cycles : thread -> int
+(** Total on-core cycles this thread has consumed. *)
+
+val regs : thread -> Regfile.t
+val self : ctx -> thread
+val machine : ctx -> t
+val core_id : ctx -> int
+val now : ctx -> int
+(** The current thread's core clock. *)
+
+val user_threads : t -> thread list
+val find_thread : t -> string -> thread option
+
+(** {1 Time and synchronization} *)
+
+val charge : ctx -> int -> unit
+(** Consume cycles of pure computation (no safe point). *)
+
+val safe_point : ctx -> unit
+(** Possibly yield: preemption if the quantum expired, parking if a
+    stop-the-world is pending. Simulated programs call this (or any
+    memory operation, which calls it implicitly) often. *)
+
+val sleep : ctx -> int -> unit
+(** Block for the given number of cycles of wall time (off core). *)
+
+type condvar
+
+val condvar : unit -> condvar
+val wait : ctx -> condvar -> unit
+val broadcast : ctx -> condvar -> unit
+(** Wake all waiters; they resume no earlier than the caller's now. *)
+
+val yield : ctx -> unit
+(** Unconditionally give up the core to same-core peers. *)
+
+(** {1 Syscall modelling} *)
+
+val enter_syscall : ctx -> drain:int -> unit
+(** Mark the thread as executing a system call whose abort/completion
+    would cost [drain] cycles if a stop-the-world arrives meanwhile. *)
+
+val exit_syscall : ctx -> unit
+
+(** {1 Stop-the-world} *)
+
+type stw_report = {
+  requested_at : int;
+  stopped_at : int; (** all user threads parked *)
+  released_at : int; (** world resumed *)
+}
+
+val stop_the_world : ctx -> (unit -> 'a) -> 'a * stw_report
+(** [stop_the_world ctx f] quiesces every user thread (draining in-flight
+    syscalls), runs [f] with the world stopped, releases, and reports the
+    phase boundaries. Only non-user threads may call this. *)
+
+(** {1 Capability load generation (the load barrier)} *)
+
+val toggle_clg : ctx -> unit
+(** Flip the in-core generation bit of every core and the pmap's
+    generation for newly-installed PTEs. PTEs themselves are untouched
+    (§4.1). Must be called with the world stopped. *)
+
+val core_clg : t -> int -> bool
+
+val set_clg_fault_handler :
+  t -> (ctx -> vaddr:int -> Vm.Pte.t -> unit) option -> unit
+(** Handler invoked (in the faulting thread, trap cost already charged)
+    when a tagged capability load hits a generation mismatch. The handler
+    must bring the PTE to the current generation (or the load will fault
+    forever). [None] disables the barrier (no strategy toggles
+    generations then). *)
+
+val set_cap_load_filter :
+  t -> (ctx -> Cheri.Capability.t -> Cheri.Capability.t) option -> unit
+(** CHERIoT-style architectural load filter (§6.3): applied to every
+    tagged capability as it is loaded, with no trap. *)
+
+val set_cap_store_hook :
+  t -> (vaddr:int -> Cheri.Capability.t -> unit) option -> unit
+(** Observation hook for tagged capability stores (test instrumentation):
+    called with the target address and the stored value. *)
+
+(** {1 Memory operations} (virtual addresses via capabilities) *)
+
+exception
+  Capability_fault of {
+    cap : Cheri.Capability.t;
+    op : string;
+    vaddr : int;
+  }
+(** Raised when a dereference check fails — the simulated program's bug
+    (or an attack being stopped). *)
+
+exception Page_fault of { vaddr : int; write : bool }
+
+val load_u64 : ctx -> Cheri.Capability.t -> int64
+val store_u64 : ctx -> Cheri.Capability.t -> int64 -> unit
+
+val rmw_u64 : ctx -> Cheri.Capability.t -> (int64 -> int64) -> int64
+(** Atomic read-modify-write of an 8-byte word (LL/SC-style): the update
+    happens with no intervening safe point, charged as one read and one
+    write. Returns the old value. The revocation bitmap's paint/clear
+    words are updated this way — a plain load;or;store pair can be
+    preempted and resurrect bits the revoker just cleared. *)
+
+val load_cap : ctx -> Cheri.Capability.t -> Cheri.Capability.t
+(** Load the 16-byte granule at the capability's address. Subject to the
+    load barrier: may invoke the CLG fault handler and re-execute. *)
+
+val store_cap : ctx -> Cheri.Capability.t -> Cheri.Capability.t -> unit
+(** Store a capability; sets the page's capability-dirty bit when storing
+    a tagged value. *)
+
+val touch : ctx -> Cheri.Capability.t -> write:bool -> unit
+(** Data access for cost purposes only (cache + TLB), one granule. *)
+
+val zero : ctx -> Cheri.Capability.t -> unit
+(** Zero the capability's whole bounds (clearing tags), charging one
+    cache write per 64-byte line — the allocator's reuse-time scrub. *)
+
+(** {1 Kernel-mode access} (physical, no load barrier, cache-charged) *)
+
+val kern_read_cap : ctx -> pa:int -> Cheri.Capability.t
+val kern_clear_tag : ctx -> pa:int -> unit
+val kern_read_tag : ctx -> pa:int -> bool
+val kern_access : ctx -> pa:int -> write:bool -> unit
+(** Charge one cache access without data movement (bitmap probes etc.). *)
+
+val kern_read_cap_nt : ctx -> pa:int -> Cheri.Capability.t
+(** Non-temporal variant (§5.6 ablation). *)
+
+val kern_read_cap_stream : ctx -> pa:int -> Cheri.Capability.t
+(** Streaming (prefetched) variant — the sweep loop's access pattern. *)
+
+(** {1 VM operations} *)
+
+val map : ctx -> vaddr:int -> len:int -> writable:bool -> unit
+(** Map pages (zeroed), charging per fresh page. *)
+
+val unmap : ctx -> vaddr:int -> len:int -> unit
+(** Unmap and shoot down. *)
+
+val tlb_shootdown : ctx -> vpages:int list -> unit
+(** Invalidate the pages on every core, charging the initiating thread. *)
+
+val with_pmap_lock : ctx -> (unit -> 'a) -> 'a
+
+val translate : ctx -> int -> (int * Vm.Pte.t) option
+(** TLB-charged translation, as the hardware walker would do. *)
+
+(** {1 Tracing} *)
+
+val attach_tracer : t -> Trace.t option -> unit
+(** Attach (or detach) an event recorder: the machine then emits
+    stop-the-world request/stop/release, CLG-fault, and context-switch
+    events; other layers may emit through the same recorder. *)
+
+val tracer : t -> Trace.t option
+
+(** {1 Statistics} *)
+
+type totals = {
+  wall_cycles : int;
+  cpu_cycles : int; (** sum of busy cycles over all cores *)
+  bus_transactions : int;
+  context_switches : int;
+  stw_count : int;
+  clg_faults : int;
+}
+
+val totals : t -> totals
+val clg_fault_count : t -> int
+val bus_transactions_of_core : t -> int -> int
+
+(**/**)
+
+val park_from_busy : int ref
+val park_from_idle : int ref
+(** Diagnostic counters: STW parks from runnable vs blocked states. *)

@@ -1,0 +1,65 @@
+type kind =
+  | Stw_request
+  | Stw_stopped
+  | Stw_release
+  | Clg_fault
+  | Context_switch
+  | Epoch_begin
+  | Epoch_end
+  | Revoke_batch
+  | Custom of string
+
+let kind_name = function
+  | Stw_request -> "stw-request"
+  | Stw_stopped -> "stw-stopped"
+  | Stw_release -> "stw-release"
+  | Clg_fault -> "clg-fault"
+  | Context_switch -> "context-switch"
+  | Epoch_begin -> "epoch-begin"
+  | Epoch_end -> "epoch-end"
+  | Revoke_batch -> "revoke-batch"
+  | Custom s -> s
+
+type event = { time : int; core : int; kind : kind; arg : int }
+
+type t = {
+  ring : event array;
+  mutable next : int; (* total emitted *)
+}
+
+let dummy = { time = 0; core = -1; kind = Custom "empty"; arg = 0 }
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create";
+  { ring = Array.make capacity dummy; next = 0 }
+
+let emit t ~time ~core kind arg =
+  t.ring.(t.next mod Array.length t.ring) <- { time; core; kind; arg };
+  t.next <- t.next + 1
+
+let length t = min t.next (Array.length t.ring)
+let dropped t = max 0 (t.next - Array.length t.ring)
+
+let to_list t =
+  let cap = Array.length t.ring in
+  let n = length t in
+  let first = t.next - n in
+  List.init n (fun i -> t.ring.((first + i) mod cap))
+
+let iter t f = List.iter f (to_list t)
+let clear t = t.next <- 0
+
+let pp_event fmt e =
+  Format.fprintf fmt "%12d c%d %-14s %#x" e.time e.core (kind_name e.kind) e.arg
+
+let dump fmt ?last t =
+  let events = to_list t in
+  let events =
+    match last with
+    | None -> events
+    | Some n ->
+        let len = List.length events in
+        List.filteri (fun i _ -> i >= len - n) events
+  in
+  if dropped t > 0 then Format.fprintf fmt "(%d older events dropped)@." (dropped t);
+  List.iter (fun e -> Format.fprintf fmt "%a@." pp_event e) events

@@ -1,0 +1,49 @@
+(** Bounded event tracing.
+
+    A fixed-capacity ring of timestamped events, cheap enough to leave
+    attached to a machine during benchmarking. The machine emits
+    scheduler- and barrier-level events when a tracer is attached
+    ({!Machine.attach_tracer}); higher layers (the revoker, the shim) may
+    emit their own through the same recorder. *)
+
+type kind =
+  | Stw_request
+  | Stw_stopped
+  | Stw_release
+  | Clg_fault
+  | Context_switch
+  | Epoch_begin
+  | Epoch_end
+  | Revoke_batch
+  | Custom of string
+
+val kind_name : kind -> string
+
+type event = {
+  time : int; (** cycles, initiator's core clock *)
+  core : int;
+  kind : kind;
+  arg : int; (** kind-specific: vaddr, counter value, bytes, ... *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 4096 events; older events are overwritten. *)
+
+val emit : t -> time:int -> core:int -> kind -> int -> unit
+val length : t -> int
+(** Events currently retained (≤ capacity). *)
+
+val dropped : t -> int
+(** Events overwritten since creation. *)
+
+val to_list : t -> event list
+(** Retained events, oldest first. *)
+
+val iter : t -> (event -> unit) -> unit
+val clear : t -> unit
+
+val pp_event : Format.formatter -> event -> unit
+val dump : Format.formatter -> ?last:int -> t -> unit
+(** Print the most recent [last] events (default: all retained). *)

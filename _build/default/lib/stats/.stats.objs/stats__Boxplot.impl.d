@@ -1,0 +1,1 @@
+lib/stats/boxplot.ml: Bytes Float Format List String Summary Table

@@ -1,0 +1,1 @@
+lib/stats/cdf.ml: Array Char Format List String

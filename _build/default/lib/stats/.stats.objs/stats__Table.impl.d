@@ -1,0 +1,1 @@
+lib/stats/table.ml: Array Float Format List Printf String

@@ -1,0 +1,28 @@
+(** Log-bucketed (HDR-style) latency histograms.
+
+    Constant memory however many samples arrive, with bounded relative
+    error on percentile queries — what a production latency recorder
+    uses where the workloads here keep raw sample arrays. *)
+
+type t
+
+val create : ?buckets_per_decade:int -> ?lo:float -> ?hi:float -> unit -> t
+(** Defaults: 32 buckets/decade over [\[1e-1, 1e7)] (microseconds). Values
+    outside the range clamp to the edge buckets. *)
+
+val record : t -> float -> unit
+val count : t -> int
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0,100\]]: an upper bound on the true
+    percentile with relative error bounded by the bucket width. Raises
+    [Invalid_argument] when empty. *)
+
+val mean : t -> float
+(** Approximate (bucket-midpoint) mean. *)
+
+val merge : t -> t -> t
+(** Combine two histograms with identical geometry. *)
+
+val max_relative_error : t -> float
+(** The bucket-width bound on percentile error, e.g. ~0.075 for 32
+    buckets/decade. *)

@@ -1,0 +1,34 @@
+type t = { header : string list; mutable rows : string list list }
+
+let create ~header = { header; rows = [] }
+let add_row t row = t.rows <- row :: t.rows
+
+let render fmt t =
+  let rows = List.rev t.rows in
+  let all = t.header :: rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let pad i s = s ^ String.make (widths.(i) - String.length s) ' ' in
+  let emit row =
+    let cells = List.mapi pad row in
+    Format.fprintf fmt "| %s |@." (String.concat " | " cells)
+  in
+  emit t.header;
+  let rule =
+    Array.to_list (Array.map (fun w -> String.make w '-') widths)
+  in
+  emit rule;
+  List.iter emit rows
+
+let cell_f x =
+  if Float.abs x >= 100.0 then Printf.sprintf "%.0f" x
+  else if Float.abs x >= 10.0 then Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.2f" x
+
+let cell_pct ratio =
+  let pct = (ratio -. 1.0) *. 100.0 in
+  Printf.sprintf "%+.1f%%" pct

@@ -1,0 +1,13 @@
+(** Plain-text table rendering for the benchmark harness. *)
+
+type t
+
+val create : header:string list -> t
+val add_row : t -> string list -> unit
+val render : Format.formatter -> t -> unit
+
+val cell_f : float -> string
+(** Format a float compactly ("12.3", "0.87"). *)
+
+val cell_pct : float -> string
+(** Format a ratio as a percentage ("+12.3%" for 1.123). *)

@@ -1,0 +1,1 @@
+lib/tagmem/mem.ml: Array Bytes Char Cheri Int64 Printf

@@ -1,0 +1,1 @@
+lib/tagmem/mem.mli: Cheri

@@ -1,0 +1,129 @@
+let line_size = 64
+let line_shift = 6
+
+type level = {
+  lines : int array; (* line address or -1 *)
+  dirty : Bytes.t;
+  mask : int;
+}
+
+type stats = {
+  mutable l1_hits : int;
+  mutable l2_hits : int;
+  mutable bus_reads : int;
+  mutable bus_writes : int;
+  mutable accesses : int;
+}
+
+type t = { l1 : level; l2 : level; st : stats }
+
+let mk_level kib =
+  let n = kib * 1024 / line_size in
+  assert (n land (n - 1) = 0);
+  { lines = Array.make n (-1); dirty = Bytes.make n '\000'; mask = n - 1 }
+
+let create ?(l1_kib = 4) ?(l2_kib = 64) () =
+  {
+    l1 = mk_level l1_kib;
+    l2 = mk_level l2_kib;
+    st = { l1_hits = 0; l2_hits = 0; bus_reads = 0; bus_writes = 0; accesses = 0 };
+  }
+
+let l1_latency = 2
+let l2_latency = 14
+let dram_latency = 120
+
+let slot lv line = line land lv.mask
+let is_dirty lv s = Bytes.get lv.dirty s <> '\000'
+let set_dirty lv s v = Bytes.set lv.dirty s (if v then '\001' else '\000')
+
+(* Install [line] in [lv]; if a dirty line is evicted from L2, that is a
+   bus writeback. L1 evictions fall back into L2 silently (inclusive
+   model approximation). *)
+let install st lv line ~l2 ~write =
+  let s = slot lv line in
+  if l2 && lv.lines.(s) >= 0 && lv.lines.(s) <> line && is_dirty lv s then
+    st.bus_writes <- st.bus_writes + 1;
+  lv.lines.(s) <- line;
+  set_dirty lv s write
+
+let access_gen t ~addr ~write ~miss_latency =
+  let st = t.st in
+  st.accesses <- st.accesses + 1;
+  let line = addr lsr line_shift in
+  let s1 = slot t.l1 line in
+  if t.l1.lines.(s1) = line then begin
+    if write then set_dirty t.l1 s1 true;
+    st.l1_hits <- st.l1_hits + 1;
+    l1_latency
+  end
+  else begin
+    let s2 = slot t.l2 line in
+    if t.l2.lines.(s2) = line then begin
+      if write then set_dirty t.l2 s2 true;
+      st.l2_hits <- st.l2_hits + 1;
+      install st t.l1 line ~l2:false ~write;
+      l2_latency
+    end
+    else begin
+      st.bus_reads <- st.bus_reads + 1;
+      install st t.l2 line ~l2:true ~write;
+      install st t.l1 line ~l2:false ~write;
+      miss_latency
+    end
+  end
+
+let access t ~addr ~write = access_gen t ~addr ~write ~miss_latency:dram_latency
+
+let access_stream t ~addr ~write =
+  access_gen t ~addr ~write ~miss_latency:(dram_latency / 2)
+
+let access_nt t ~addr ~write =
+  let st = t.st in
+  st.accesses <- st.accesses + 1;
+  let line = addr lsr line_shift in
+  let s1 = slot t.l1 line in
+  if t.l1.lines.(s1) = line then begin
+    if write then set_dirty t.l1 s1 true;
+    st.l1_hits <- st.l1_hits + 1;
+    l1_latency
+  end
+  else begin
+    let s2 = slot t.l2 line in
+    if t.l2.lines.(s2) = line then begin
+      if write then set_dirty t.l2 s2 true;
+      st.l2_hits <- st.l2_hits + 1;
+      l2_latency
+    end
+    else begin
+      st.bus_reads <- st.bus_reads + 1;
+      if write then st.bus_writes <- st.bus_writes + 1;
+      dram_latency
+    end
+  end
+
+let stats t = t.st
+
+let reset_stats t =
+  let st = t.st in
+  st.l1_hits <- 0;
+  st.l2_hits <- 0;
+  st.bus_reads <- 0;
+  st.bus_writes <- 0;
+  st.accesses <- 0
+
+let flush t =
+  let drop lv ~count =
+    Array.iteri
+      (fun s line ->
+        if line >= 0 then begin
+          if count && is_dirty lv s then t.st.bus_writes <- t.st.bus_writes + 1;
+          lv.lines.(s) <- -1;
+          set_dirty lv s false
+        end)
+      lv.lines
+  in
+  drop t.l1 ~count:false;
+  drop t.l2 ~count:true
+
+let bus_total st = st.bus_reads + st.bus_writes

@@ -1,0 +1,112 @@
+module Capability = Cheri.Capability
+
+let granule = 16
+
+type t = {
+  size : int;
+  data : Bytes.t;
+  tags : Bytes.t; (* one bit per granule *)
+  shadow : Capability.t array; (* valid iff corresponding tag is set *)
+}
+
+let create ~size =
+  let size = (size + granule - 1) / granule * granule in
+  let ngran = size / granule in
+  {
+    size;
+    data = Bytes.make size '\000';
+    tags = Bytes.make ((ngran + 7) / 8) '\000';
+    shadow = Array.make ngran Capability.null;
+  }
+
+let size m = m.size
+
+let check m a w =
+  if a < 0 || a + w > m.size then
+    invalid_arg (Printf.sprintf "Mem: access [%#x,+%d) outside [0,%#x)" a w m.size)
+
+let gidx a = a / granule
+
+let read_tag m a =
+  check m a 1;
+  let g = gidx a in
+  Char.code (Bytes.get m.tags (g lsr 3)) land (1 lsl (g land 7)) <> 0
+
+let set_tag_bit m g v =
+  let byte = Char.code (Bytes.get m.tags (g lsr 3)) in
+  let bit = 1 lsl (g land 7) in
+  let byte' = if v then byte lor bit else byte land lnot bit in
+  Bytes.set m.tags (g lsr 3) (Char.chr byte')
+
+let clear_tag m a =
+  check m a 1;
+  set_tag_bit m (gidx a) false
+
+(* Clear tags of every granule overlapping [a, a+w). *)
+let clear_tags_range m a w =
+  let g0 = gidx a and g1 = gidx (a + w - 1) in
+  for g = g0 to g1 do
+    set_tag_bit m g false
+  done
+
+let read_u8 m a =
+  check m a 1;
+  Char.code (Bytes.get m.data a)
+
+let write_u8 m a v =
+  check m a 1;
+  Bytes.set m.data a (Char.chr (v land 0xff));
+  clear_tags_range m a 1
+
+let read_u64 m a =
+  check m a 8;
+  Bytes.get_int64_le m.data a
+
+let write_u64 m a v =
+  check m a 8;
+  Bytes.set_int64_le m.data a v;
+  clear_tags_range m a 8
+
+let aligned a = a land (granule - 1) = 0
+
+let read_cap m a =
+  check m a granule;
+  if not (aligned a) then invalid_arg "Mem.read_cap: unaligned";
+  if read_tag m a then m.shadow.(gidx a)
+  else
+    let addr = Int64.to_int (Bytes.get_int64_le m.data a) in
+    Capability.set_addr Capability.null addr
+
+let write_cap m a c =
+  check m a granule;
+  if not (aligned a) then invalid_arg "Mem.write_cap: unaligned";
+  let g = gidx a in
+  Bytes.set_int64_le m.data a (Int64.of_int (Capability.addr c));
+  Bytes.set_int64_le m.data (a + 8) 0L;
+  if Capability.tag c then begin
+    m.shadow.(g) <- c;
+    set_tag_bit m g true
+  end
+  else set_tag_bit m g false
+
+let iter_granules m ~lo ~hi f =
+  let lo = max 0 lo and hi = min m.size hi in
+  let a = ref (lo land lnot (granule - 1)) in
+  if !a < lo then a := !a + granule;
+  while !a + granule <= hi do
+    f !a (read_tag m !a);
+    a := !a + granule
+  done
+
+let count_tags m ~lo ~hi =
+  let n = ref 0 in
+  iter_granules m ~lo ~hi (fun _ tagged -> if tagged then incr n);
+  !n
+
+let fill m ~lo ~hi v =
+  check m lo 0;
+  check m hi 0;
+  if hi > lo then begin
+    Bytes.fill m.data lo (hi - lo) (Char.chr (v land 0xff));
+    clear_tags_range m lo (hi - lo)
+  end

@@ -1,0 +1,62 @@
+(** Tagged physical memory.
+
+    Memory is a flat array of bytes with one validity tag per 16-byte,
+    naturally-aligned {e granule} — the same density as CHERI tag storage
+    (Joannou et al., "Efficient Tagged Memory"). The simulator keeps the
+    full capability value for each tagged granule in a shadow array; the
+    data bytes of a tagged granule hold the capability's address so that
+    integer reads of pointer values behave as on real hardware.
+
+    Tag coherence is enforced here: any data write that touches a granule
+    clears its tag, so capabilities cannot be forged or corrupted-but-kept. *)
+
+type t
+
+val granule : int
+(** Bytes per tag granule (16). *)
+
+val create : size:int -> t
+(** [create ~size] is zeroed memory of [size] bytes (rounded up to a
+    granule multiple). *)
+
+val size : t -> int
+
+(** {1 Data access} (physical addresses) *)
+
+val read_u8 : t -> int -> int
+val write_u8 : t -> int -> int -> unit
+
+val read_u64 : t -> int -> int64
+val write_u64 : t -> int -> int64 -> unit
+(** 8-byte little-endian accesses; need not be aligned. Writes clear the
+    tags of all touched granules. *)
+
+(** {1 Capability access} *)
+
+val read_cap : t -> int -> Cheri.Capability.t
+(** [read_cap m a] reads the 16-byte granule at [a] (must be granule-
+    aligned). If the granule is tagged, the stored capability is returned;
+    otherwise an untagged capability whose address is the granule's first
+    8 data bytes. Raises [Invalid_argument] on misalignment. *)
+
+val write_cap : t -> int -> Cheri.Capability.t -> unit
+(** Store a capability: sets the granule's tag iff the capability is
+    tagged, records its value, and writes its address into the data
+    bytes. *)
+
+val read_tag : t -> int -> bool
+(** Tag of the granule containing the given address. *)
+
+val clear_tag : t -> int -> unit
+(** Clear the tag of the granule containing the given address, leaving
+    data bytes intact — the revoker's primitive. *)
+
+val iter_granules : t -> lo:int -> hi:int -> (int -> bool -> unit) -> unit
+(** [iter_granules m ~lo ~hi f] calls [f addr tagged] for every granule
+    start address in [\[lo, hi)]. *)
+
+val count_tags : t -> lo:int -> hi:int -> int
+(** Number of set tags in the given physical range. *)
+
+val fill : t -> lo:int -> hi:int -> int -> unit
+(** Fill bytes with a constant, clearing tags. *)

@@ -1,0 +1,1 @@
+lib/vm/aspace.ml: Layout List Phys Pmap Pte

@@ -1,0 +1,1 @@
+lib/vm/aspace.mli: Layout Phys Pmap Pte

@@ -1,0 +1,1 @@
+lib/vm/phys.ml: Tagmem

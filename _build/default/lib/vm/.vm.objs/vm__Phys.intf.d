@@ -1,0 +1,1 @@
+lib/vm/phys.mli: Tagmem

@@ -1,0 +1,1 @@
+lib/vm/reservation.ml: Bytes Format Phys

@@ -1,0 +1,42 @@
+type t = { phys : Phys.t; layout : Layout.t; pmap : Pmap.t }
+
+let create phys layout ~asid = { phys; layout; pmap = Pmap.create ~asid }
+let pmap t = t.pmap
+let layout t = t.layout
+let phys t = t.phys
+let page = Phys.page_size
+
+let map_range t ~vaddr ~len ~writable =
+  let first = vaddr / page and last = (vaddr + len - 1) / page in
+  let fresh = ref 0 in
+  for vp = first to last do
+    if not (Pmap.mem t.pmap ~vpage:vp) then begin
+      let frame = Phys.alloc_frame t.phys in
+      Phys.zero_frame t.phys frame;
+      let pte = Pte.make ~frame ~writable ~clg:(Pmap.generation t.pmap) in
+      Pmap.enter t.pmap ~vpage:vp pte;
+      incr fresh
+    end
+  done;
+  !fresh
+
+let unmap_range t ~vaddr ~len =
+  let first = vaddr / page and last = (vaddr + len - 1) / page in
+  let removed = ref [] in
+  for vp = first to last do
+    match Pmap.lookup t.pmap ~vpage:vp with
+    | None -> ()
+    | Some pte ->
+        Phys.free_frame t.phys pte.Pte.frame;
+        Pmap.remove t.pmap ~vpage:vp;
+        removed := vp :: !removed
+  done;
+  List.rev !removed
+
+let translate t va =
+  match Pmap.lookup t.pmap ~vpage:(va / page) with
+  | None -> None
+  | Some pte -> Some (Phys.frame_addr pte.Pte.frame + (va land (page - 1)), pte)
+
+let mapped_pages t = Pmap.page_count t.pmap
+let resident_bytes t = mapped_pages t * page

@@ -1,0 +1,37 @@
+let page_size = 4096
+let page_shift = 12
+
+type t = {
+  mem : Tagmem.Mem.t;
+  total : int;
+  mutable free : int list;
+  mutable nfree : int;
+}
+
+let create mem =
+  let total = Tagmem.Mem.size mem / page_size in
+  let rec frames i acc = if i < 0 then acc else frames (i - 1) (i :: acc) in
+  { mem; total; free = frames (total - 1) []; nfree = total }
+
+let mem t = t.mem
+let total_frames t = t.total
+let free_frames t = t.nfree
+
+let alloc_frame t =
+  match t.free with
+  | [] -> raise Out_of_memory
+  | f :: rest ->
+      t.free <- rest;
+      t.nfree <- t.nfree - 1;
+      f
+
+let free_frame t f =
+  assert (f >= 0 && f < t.total);
+  t.free <- f :: t.free;
+  t.nfree <- t.nfree + 1
+
+let frame_addr f = f lsl page_shift
+
+let zero_frame t f =
+  let lo = frame_addr f in
+  Tagmem.Mem.fill t.mem ~lo ~hi:(lo + page_size) 0

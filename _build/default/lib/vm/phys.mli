@@ -1,0 +1,28 @@
+(** Physical frame allocator.
+
+    Hands out page frames over a {!Tagmem.Mem.t}. Frames are recycled
+    LIFO; freed frames are {e not} zeroed here — zeroing policy (and its
+    cost) belongs to the kernel/allocator layers. *)
+
+type t
+
+val page_size : int (** 4096 *)
+
+val page_shift : int
+
+val create : Tagmem.Mem.t -> t
+(** Manage every whole frame of the given memory. *)
+
+val mem : t -> Tagmem.Mem.t
+val total_frames : t -> int
+val free_frames : t -> int
+
+val alloc_frame : t -> int
+(** Returns a frame number. Raises [Out_of_memory] when exhausted. *)
+
+val free_frame : t -> int -> unit
+val frame_addr : int -> int
+(** Physical byte address of a frame's first byte. *)
+
+val zero_frame : t -> int -> unit
+(** Zero the frame's bytes and clear its tags. *)

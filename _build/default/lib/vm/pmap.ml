@@ -1,0 +1,65 @@
+type t = {
+  asid : int;
+  pages : (int, Pte.t) Hashtbl.t;
+  mutable generation : bool;
+  mutable lock_holder : int option;
+  mutable lock_acquisitions : int;
+  mutable contended : int;
+  mutable busy_count : int;
+}
+
+let create ~asid =
+  {
+    asid;
+    pages = Hashtbl.create 1024;
+    generation = false;
+    lock_holder = None;
+    lock_acquisitions = 0;
+    contended = 0;
+    busy_count = 0;
+  }
+
+let asid t = t.asid
+let enter t ~vpage pte = Hashtbl.replace t.pages vpage pte
+let remove t ~vpage = Hashtbl.remove t.pages vpage
+let lookup t ~vpage = Hashtbl.find_opt t.pages vpage
+let mem t ~vpage = Hashtbl.mem t.pages vpage
+let page_count t = Hashtbl.length t.pages
+let fold t ~init ~f = Hashtbl.fold f t.pages init
+let iter t ~f = Hashtbl.iter f t.pages
+
+let sorted_vpages t =
+  let l = Hashtbl.fold (fun k _ acc -> k :: acc) t.pages [] in
+  List.sort compare l
+
+let generation t = t.generation
+let set_generation t g = t.generation <- g
+
+let lock t ~who =
+  match t.lock_holder with
+  | Some owner when owner = who -> invalid_arg "Pmap.lock: re-entrant acquisition"
+  | Some _ ->
+      (* Cooperative scheduling: the previous holder must have released at
+         its last safe point; observing a holder here means contention. *)
+      t.contended <- t.contended + 1;
+      t.lock_holder <- Some who;
+      t.lock_acquisitions <- t.lock_acquisitions + 1;
+      true
+  | None ->
+      t.lock_holder <- Some who;
+      t.lock_acquisitions <- t.lock_acquisitions + 1;
+      false
+
+let unlock t ~who =
+  match t.lock_holder with
+  | Some owner when owner = who -> t.lock_holder <- None
+  | _ -> invalid_arg "Pmap.unlock: not the holder"
+
+let lock_acquisitions t = t.lock_acquisitions
+let busy t = t.busy_count <- t.busy_count + 1
+
+let unbusy t =
+  if t.busy_count <= 0 then invalid_arg "Pmap.unbusy: not busy";
+  t.busy_count <- t.busy_count - 1
+
+let is_busy t = t.busy_count > 0

@@ -1,0 +1,29 @@
+type t = {
+  mutable frame : int;
+  mutable readable : bool;
+  mutable writable : bool;
+  mutable cap_store : bool;
+  mutable cap_dirty : bool;
+  mutable clg : bool;
+  mutable load_trap : bool;
+  mutable wired : bool;
+}
+
+let make ~frame ~writable ~clg =
+  {
+    frame;
+    readable = true;
+    writable;
+    cap_store = true;
+    cap_dirty = false;
+    clg;
+    load_trap = false;
+    wired = false;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt "pte{f=%d %s%s%s cd=%b clg=%b}" t.frame
+    (if t.readable then "r" else "-")
+    (if t.writable then "w" else "-")
+    (if t.cap_store then "c" else "-")
+    t.cap_dirty t.clg

@@ -1,0 +1,28 @@
+(** Page table entries.
+
+    Each PTE carries, besides the frame number and protection bits, the two
+    architectural features this work depends on:
+
+    - a {e capability-dirty} bit ([cap_dirty]), set by hardware whenever a
+      tagged capability is stored to the page — the store barrier of §2.2.4
+      and §4.2 of the paper;
+    - a {e capability load generation} bit ([clg], §4.1): when a core's
+      in-core generation differs from the PTE's, loading a tagged
+      capability from the page traps. Toggling only the in-core bit starts
+      a revocation epoch without touching any PTE. *)
+
+type t = {
+  mutable frame : int; (** physical page number *)
+  mutable readable : bool;
+  mutable writable : bool;
+  mutable cap_store : bool; (** page may receive tagged capability stores *)
+  mutable cap_dirty : bool; (** a capability has been stored since last clear *)
+  mutable clg : bool; (** capability load generation bit *)
+  mutable load_trap : bool;
+      (** "all capability loads trap" disposition (§7.6 proposal); when set,
+          any tagged load faults regardless of generation *)
+  mutable wired : bool; (** may not be swapped/changed during sweep *)
+}
+
+val make : frame:int -> writable:bool -> clg:bool -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+type state = Active | Quarantined | Released
+
+type t = {
+  base : int;
+  length : int;
+  guarded : Bytes.t; (* one flag per page *)
+  mutable mapped_pages : int;
+  mutable state : state;
+}
+
+let page = Phys.page_size
+
+let make ~base ~length =
+  if base land (page - 1) <> 0 || length <= 0 || length land (page - 1) <> 0 then
+    invalid_arg "Reservation.make: page alignment";
+  let n = length / page in
+  { base; length; guarded = Bytes.make n '\000'; mapped_pages = n; state = Active }
+
+let base t = t.base
+let length t = t.length
+let state t = t.state
+
+let unmap_part t ~off ~len =
+  if off < 0 || len <= 0 || off + len > t.length
+     || off land (page - 1) <> 0 || len land (page - 1) <> 0
+  then invalid_arg "Reservation.unmap_part: bad range";
+  if t.state <> Active then invalid_arg "Reservation.unmap_part: not active";
+  for p = off / page to (off + len) / page - 1 do
+    if Bytes.get t.guarded p = '\000' then begin
+      Bytes.set t.guarded p '\001';
+      t.mapped_pages <- t.mapped_pages - 1
+    end
+  done;
+  if t.mapped_pages = 0 then t.state <- Quarantined
+
+let is_guarded t addr =
+  if addr < t.base || addr >= t.base + t.length then
+    invalid_arg "Reservation.is_guarded: outside reservation";
+  t.state <> Active || Bytes.get t.guarded ((addr - t.base) / page) = '\001'
+
+let release t =
+  if t.state <> Quarantined then invalid_arg "Reservation.release: not quarantined";
+  t.state <- Released
+
+let pp fmt t =
+  let s =
+    match t.state with
+    | Active -> "active"
+    | Quarantined -> "quarantined"
+    | Released -> "released"
+  in
+  Format.fprintf fmt "resv[%#x,+%#x) %s mapped=%d" t.base t.length s t.mapped_pages

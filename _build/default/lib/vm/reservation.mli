@@ -1,0 +1,33 @@
+(** mmap reservations (§6.2 of the paper).
+
+    Capabilities returned by [mmap] are backed by a {e reservation}. When
+    part of a reservation is unmapped, the addresses are backed by guard
+    pages until the whole reservation is gone, so holes can never be
+    refilled by later mappings (which would create address aliasing and
+    hence use-after-free). Fully-unmapped reservations are quarantined
+    and released only after a revocation pass. *)
+
+type state =
+  | Active (** some pages still mapped *)
+  | Quarantined (** fully unmapped, awaiting revocation *)
+  | Released (** revoked; address space reusable *)
+
+type t
+
+val make : base:int -> length:int -> t
+val base : t -> int
+val length : t -> int
+val state : t -> state
+
+val unmap_part : t -> off:int -> len:int -> unit
+(** Turn part of the reservation into guard pages. When the last mapped
+    byte goes away the reservation transitions to [Quarantined]. Raises
+    [Invalid_argument] if the range is outside the reservation. *)
+
+val is_guarded : t -> int -> bool
+(** Whether the given address (within the reservation) is guard-backed. *)
+
+val release : t -> unit
+(** Mark revoked ([Quarantined] → [Released]); raises on other states. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+type entry = {
+  vpage : int;
+  pte : Pte.t;
+  mutable clg_snapshot : bool;
+  mutable writable_snapshot : bool;
+}
+
+type t = {
+  slots : entry option array;
+  mask : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(entries = 256) () =
+  assert (entries land (entries - 1) = 0);
+  { slots = Array.make entries None; mask = entries - 1; hits = 0; misses = 0 }
+
+let lookup t ~vpage =
+  match t.slots.(vpage land t.mask) with
+  | Some e when e.vpage = vpage ->
+      t.hits <- t.hits + 1;
+      Some e
+  | Some _ | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let insert t ~vpage pte =
+  let e =
+    { vpage; pte; clg_snapshot = pte.Pte.clg; writable_snapshot = pte.Pte.writable }
+  in
+  t.slots.(vpage land t.mask) <- Some e;
+  e
+
+let refresh e =
+  e.clg_snapshot <- e.pte.Pte.clg;
+  e.writable_snapshot <- e.pte.Pte.writable
+
+let invalidate_page t ~vpage =
+  match t.slots.(vpage land t.mask) with
+  | Some e when e.vpage = vpage -> t.slots.(vpage land t.mask) <- None
+  | Some _ | None -> ()
+
+let flush t = Array.fill t.slots 0 (Array.length t.slots) None
+let hits t = t.hits
+let misses t = t.misses

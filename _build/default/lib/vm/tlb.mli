@@ -1,0 +1,36 @@
+(** Per-core translation lookaside buffer.
+
+    Entries cache a reference to the live PTE {e plus snapshots} of the
+    fields the hardware latches at fill time: the writable bit and the
+    capability-load-generation bit. A PTE updated by the revoker on
+    another core is therefore {e not} seen by this core until the entry is
+    invalidated (shootdown) or evicted — the staleness that §4.3's
+    double-locking fault path exists to resolve. *)
+
+type entry = {
+  vpage : int;
+  pte : Pte.t;
+  mutable clg_snapshot : bool;
+  mutable writable_snapshot : bool;
+}
+
+type t
+
+val create : ?entries:int -> unit -> t
+(** [entries] defaults to 256 (direct-mapped by vpage). *)
+
+val lookup : t -> vpage:int -> entry option
+(** A hit returns the cached entry (statistics updated). *)
+
+val insert : t -> vpage:int -> Pte.t -> entry
+(** Fill after a page-table walk, snapshotting [clg] and [writable]. *)
+
+val refresh : entry -> unit
+(** Re-latch the snapshots from the live PTE (what the fault handler's
+    cheap path does after finding the PTE already current). *)
+
+val invalidate_page : t -> vpage:int -> unit
+val flush : t -> unit
+
+val hits : t -> int
+val misses : t -> int

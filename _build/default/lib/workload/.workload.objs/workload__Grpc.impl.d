@@ -1,0 +1,1 @@
+lib/workload/grpc.ml: Alloc Array Ccr Cheri Int64 List Objtable Option Printf Result Sim

@@ -1,0 +1,1 @@
+lib/workload/grpc.mli: Ccr Result Sim

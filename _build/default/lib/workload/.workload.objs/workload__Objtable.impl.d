@@ -1,0 +1,1 @@
+lib/workload/objtable.ml: Array Bytes Ccr Cheri Sim

@@ -1,0 +1,1 @@
+lib/workload/objtable.mli: Ccr Cheri Sim

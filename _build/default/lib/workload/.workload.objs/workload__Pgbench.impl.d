@@ -1,0 +1,1 @@
+lib/workload/pgbench.ml: Alloc Array Ccr Cheri Int64 Kernel List Objtable Printf Result Sim

@@ -1,0 +1,1 @@
+lib/workload/pgbench.mli: Ccr Result Sim

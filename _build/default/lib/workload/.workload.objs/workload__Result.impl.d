@@ -1,0 +1,1 @@
+lib/workload/result.ml: Ccr Format Sim

@@ -1,0 +1,1 @@
+lib/workload/result.mli: Ccr Format

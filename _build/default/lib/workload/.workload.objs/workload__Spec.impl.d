@@ -1,0 +1,1 @@
+lib/workload/spec.ml: Alloc Ccr Cheri Int64 Objtable Profile Result Sim

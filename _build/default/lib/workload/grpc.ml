@@ -1,0 +1,195 @@
+module Capability = Cheri.Capability
+module Machine = Sim.Machine
+module Prng = Sim.Prng
+module Runtime = Ccr.Runtime
+
+type config = {
+  messages : int;
+  outstanding : int;
+  session_slots : int;
+  temps_per_msg : int;
+  compute_per_msg : int;
+  warmup_fraction : float;
+  seed : int;
+}
+
+let default_config =
+  {
+    messages = 24_000;
+    outstanding = 16;
+    session_slots = 20_000;
+    temps_per_msg = 3;
+    compute_per_msg = 50_000;
+    warmup_fraction = 0.05;
+    seed = 9;
+  }
+
+type request = { id : int; submitted : int; client : int }
+
+type shared = {
+  mutable queue : request list; (* newest first *)
+  mutable submitted : int;
+  mutable completed : int;
+  mutable inflight : int array;
+  req_cv : Machine.condvar;
+  done_cv : Machine.condvar;
+  mutable sessions : Objtable.t option;
+  init_cv : Machine.condvar;
+  mutable finished_servers : int;
+}
+
+let r_work = 1
+
+let process_message cfg rt ctx rng regs sessions =
+  (* unmarshal: a burst of linked temporaries *)
+  let temps =
+    Array.init cfg.temps_per_msg (fun i ->
+        let c = Runtime.malloc rt ctx (128 + (Prng.int rng 56 * 16)) in
+        Machine.store_u64 ctx c (Int64.of_int i);
+        let prev = Sim.Regfile.get regs r_work in
+        if Capability.tag prev && Capability.length c >= 32 then
+          Machine.store_cap ctx (Capability.incr_addr c 16) prev;
+        Sim.Regfile.set regs r_work c;
+        c)
+  in
+  (* touch session state *)
+  for _ = 1 to 3 do
+    match Objtable.random_live sessions rng ~hot:0.1 ~weight:0.5 with
+    | None -> ()
+    | Some slot ->
+        let c = Objtable.get sessions ctx slot in
+        if Capability.tag c then begin
+          Sim.Regfile.set regs r_work c;
+          ignore (Machine.load_u64 ctx c);
+          Machine.store_u64 ctx (Capability.incr_addr c 8) 7L;
+          (* occasional session-state reallocation *)
+          if Prng.int rng 100 = 0 then begin
+            let nv = Runtime.malloc rt ctx 256 in
+            Machine.store_u64 ctx nv 1L;
+            Objtable.put sessions ctx slot nv ~size:256;
+            Runtime.free rt ctx c;
+            Sim.Regfile.set regs r_work Capability.null
+          end
+        end
+  done;
+  Machine.charge ctx cfg.compute_per_msg;
+  Array.iter (fun c -> Runtime.free rt ctx c) temps;
+  Sim.Regfile.set regs r_work Capability.null
+
+let run ?(config = default_config) ?tracer ~mode () =
+  let cfg = config in
+  let heap_bytes = 24 * 1024 * 1024 in
+  let mconfig =
+    {
+      Machine.default_config with
+      heap_bytes;
+      mem_bytes = heap_bytes + (heap_bytes / 16) + (8 * 1024 * 1024);
+      seed = cfg.seed;
+    }
+  in
+  (* The revoker shares core 3 with a server thread: unlike the pinned
+     regimes, revocation competes directly with foreground work. *)
+  let rt = Runtime.create ~config:mconfig ~revoker_core:3 mode in
+  let m = rt.Runtime.machine in
+  Machine.attach_tracer m tracer;
+  let sh =
+    {
+      queue = [];
+      submitted = 0;
+      completed = 0;
+      inflight = [| 0; 0 |];
+      req_cv = Machine.condvar ();
+      done_cv = Machine.condvar ();
+      sessions = None;
+      init_cv = Machine.condvar ();
+      finished_servers = 0;
+    }
+  in
+  let latencies = ref [] in
+  let warmup = int_of_float (cfg.warmup_fraction *. float_of_int cfg.messages) in
+  let wall_end = ref 0 in
+  let server id core =
+    Machine.spawn m ~name:(Printf.sprintf "grpc-server-%d" id) ~core (fun ctx ->
+        let regs = Machine.regs (Machine.self ctx) in
+        let rng = Prng.create ~seed:(cfg.seed * 31 * (id + 1)) in
+        if id = 0 then begin
+          let sessions = Objtable.create rt ctx ~slots:cfg.session_slots in
+          for slot = 0 to cfg.session_slots - 1 do
+            let c = Runtime.malloc rt ctx 256 in
+            Machine.store_u64 ctx c (Int64.of_int slot);
+            Objtable.put sessions ctx slot c ~size:256
+          done;
+          sh.sessions <- Some sessions;
+          Machine.broadcast ctx sh.init_cv
+        end
+        else
+          while sh.sessions = None do
+            Machine.wait ctx sh.init_cv
+          done;
+        let sessions = Option.get sh.sessions in
+        let rec serve () =
+          while sh.queue = [] && sh.completed + List.length sh.queue < cfg.messages
+                && sh.submitted < cfg.messages do
+            Machine.wait ctx sh.req_cv
+          done;
+          match sh.queue with
+          | [] -> () (* all messages submitted and drained *)
+          | req :: rest ->
+              sh.queue <- rest;
+              process_message cfg rt ctx rng regs sessions;
+              sh.completed <- sh.completed + 1;
+              let lat = Machine.now ctx - req.submitted in
+              if req.id >= warmup then
+                latencies := Sim.Cost.cycles_to_us lat :: !latencies;
+              sh.inflight.(req.client) <- sh.inflight.(req.client) - 1;
+              Machine.broadcast ctx sh.done_cv;
+              serve ()
+        in
+        serve ();
+        sh.finished_servers <- sh.finished_servers + 1;
+        Machine.broadcast ctx sh.req_cv;
+        if sh.finished_servers = 2 then begin
+          wall_end := Machine.now ctx;
+          Runtime.finish rt ctx
+        end)
+  in
+  let client id core =
+    Machine.spawn m ~name:(Printf.sprintf "grpc-client-%d" id) ~core (fun ctx ->
+        let quota = cfg.messages / 2 in
+        for _ = 1 to quota do
+          while sh.inflight.(id) >= cfg.outstanding do
+            Machine.wait ctx sh.done_cv
+          done;
+          Machine.charge ctx 1_500;
+          let req = { id = sh.submitted; submitted = Machine.now ctx; client = id } in
+          sh.submitted <- sh.submitted + 1;
+          sh.inflight.(id) <- sh.inflight.(id) + 1;
+          sh.queue <- sh.queue @ [ req ];
+          Machine.broadcast ctx sh.req_cv
+        done)
+  in
+  let s0 = server 0 2 in
+  let s1 = server 1 3 in
+  let _c0 = client 0 0 in
+  let _c1 = client 1 1 in
+  Machine.run m;
+  let totals = Machine.totals m in
+  {
+    Result.workload = "grpc_qps";
+    mode = Runtime.mode_name mode;
+    wall_cycles = !wall_end;
+    cpu_cycles = totals.Machine.cpu_cycles;
+    app_cpu_cycles = Machine.thread_cpu_cycles s0 + Machine.thread_cpu_cycles s1;
+    bus_total = totals.Machine.bus_transactions;
+    bus_app_core =
+      Machine.bus_transactions_of_core m 2 + Machine.bus_transactions_of_core m 3;
+    peak_rss_pages = rt.Runtime.alloc.Alloc.Backend.peak_rss_pages ();
+    clg_faults = totals.Machine.clg_faults;
+    ops_done = cfg.messages;
+    latencies_us = Array.of_list (List.rev !latencies);
+    throughput =
+      float_of_int cfg.messages /. (float_of_int !wall_end /. Sim.Cost.clock_hz);
+    scrub_bytes = rt.Runtime.alloc.Alloc.Backend.scrub_bytes ();
+    mrs = Runtime.mrs_stats rt;
+    phases = Runtime.revoker_records rt;
+  }

@@ -1,0 +1,30 @@
+(** The gRPC QPS surrogate (§5.3 of the paper).
+
+    A two-thread asynchronous server pinned to cores 2 and 3 serves
+    pipelined messages from two client threads on cores 0 and 1, each
+    keeping a fixed number of requests outstanding (closed loop). Unlike
+    the other workloads the background revoker is {e not} given a spare
+    core: it shares core 3 with a server thread, so revocation directly
+    competes with foreground work — the paper's source of 99.9th-
+    percentile pathologies.
+
+    Each message allocates and frees unmarshalling/response temporaries
+    against the shared heap; a long-lived session/buffer table provides
+    the capability-bearing pages the revoker must sweep. *)
+
+type config = {
+  messages : int; (** total messages across all clients *)
+  outstanding : int; (** pipelined requests per client thread *)
+  session_slots : int; (** long-lived server state objects *)
+  temps_per_msg : int;
+  compute_per_msg : int;
+  warmup_fraction : float;
+  seed : int;
+}
+
+val default_config : config
+
+val run :
+  ?config:config -> ?tracer:Sim.Trace.t -> mode:Ccr.Runtime.mode -> unit -> Result.t
+(** [latencies_us] holds post-warmup per-message latencies; [throughput]
+    is messages per simulated second (QPS). *)

@@ -1,0 +1,233 @@
+module Prng = Sim.Prng
+
+type size_dist =
+  | Fixed of int
+  | Uniform of int * int
+  | Mixture of (float * size_dist) list
+
+let rec sample_size rng = function
+  | Fixed n -> n
+  | Uniform (lo, hi) -> lo + Prng.int rng (max 1 (hi - lo))
+  | Mixture parts ->
+      let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 parts in
+      let x = Prng.float rng total in
+      let rec pick acc = function
+        | [] -> invalid_arg "sample_size: empty mixture"
+        | [ (_, d) ] -> sample_size rng d
+        | (w, d) :: rest -> if x < acc +. w then sample_size rng d else pick (acc +. w) rest
+      in
+      pick 0.0 parts
+
+let rec mean_of_dist = function
+  | Fixed n -> float_of_int n
+  | Uniform (lo, hi) -> float_of_int (lo + hi) /. 2.0
+  | Mixture parts ->
+      let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 parts in
+      List.fold_left (fun acc (w, d) -> acc +. (w /. total *. mean_of_dist d)) 0.0 parts
+
+type t = {
+  name : string;
+  slots : int;
+  target_live : float;
+  size : size_dist;
+  ops : int;
+  churn : float;
+  kill_only : float;
+  birth_only : float;
+  ptr_density : float;
+  reads_per_op : int;
+  writes_per_op : int;
+  chase_depth : int;
+  hot_fraction : float;
+  hot_weight : float;
+  compute_per_op : int;
+  engages_revocation : bool;
+}
+
+let mean_size t = mean_of_dist t.size
+
+(* Calibration notes: heap sizes are 1/64 of the paper's Table 2 "Mean
+   Alloc"; churn probabilities order the freed:allocated ratios as in the
+   paper; pointer density and chase depth follow §5.4's
+   "pointer-chase-heavy" classification (astar, omnetpp, xalancbmk). *)
+let spec_all =
+  [
+    {
+      name = "astar_lakes";
+      slots = 8_000;
+      target_live = 0.92;
+      size = Mixture [ (0.7, Uniform (32, 512)); (0.3, Uniform (512, 1500)) ];
+      ops = 400_000;
+      churn = 0.18;
+      kill_only = 0.04;
+      birth_only = 0.04;
+      ptr_density = 0.20;
+      reads_per_op = 5;
+      writes_per_op = 2;
+      chase_depth = 3;
+      hot_fraction = 0.10;
+      hot_weight = 0.60;
+      compute_per_op = 2200;
+      engages_revocation = true;
+    };
+    {
+      name = "bzip2";
+      slots = 64;
+      target_live = 0.80;
+      size = Fixed 65_536;
+      ops = 250_000;
+      churn = 0.00002;
+      kill_only = 0.0;
+      birth_only = 0.0;
+      ptr_density = 0.0;
+      reads_per_op = 20;
+      writes_per_op = 10;
+      chase_depth = 0;
+      hot_fraction = 0.25;
+      hot_weight = 0.80;
+      compute_per_op = 150;
+      engages_revocation = false;
+    };
+    {
+      name = "gobmk_trevord";
+      slots = 8_000;
+      target_live = 0.95;
+      size = Uniform (64, 448);
+      ops = 350_000;
+      churn = 0.035;
+      kill_only = 0.005;
+      birth_only = 0.005;
+      ptr_density = 0.10;
+      reads_per_op = 8;
+      writes_per_op = 3;
+      chase_depth = 1;
+      hot_fraction = 0.15;
+      hot_weight = 0.70;
+      compute_per_op = 250;
+      engages_revocation = true;
+    };
+    {
+      name = "hmmer_nph3";
+      slots = 6_300;
+      target_live = 0.95;
+      size = Fixed 128;
+      ops = 500_000;
+      churn = 0.40;
+      kill_only = 0.02;
+      birth_only = 0.02;
+      ptr_density = 0.03;
+      reads_per_op = 6;
+      writes_per_op = 4;
+      chase_depth = 0;
+      hot_fraction = 0.30;
+      hot_weight = 0.80;
+      compute_per_op = 900;
+      engages_revocation = true;
+    };
+    {
+      name = "hmmer_retro";
+      slots = 2_600;
+      target_live = 0.95;
+      size = Fixed 128;
+      ops = 300_000;
+      churn = 0.27;
+      kill_only = 0.02;
+      birth_only = 0.02;
+      ptr_density = 0.03;
+      reads_per_op = 6;
+      writes_per_op = 4;
+      chase_depth = 0;
+      hot_fraction = 0.30;
+      hot_weight = 0.80;
+      compute_per_op = 700;
+      engages_revocation = true;
+    };
+    {
+      name = "libquantum";
+      slots = 12;
+      target_live = 0.75;
+      size = Mixture [ (0.6, Fixed 131_072); (0.4, Fixed 262_144) ];
+      ops = 250_000;
+      churn = 0.0012;
+      kill_only = 0.0;
+      birth_only = 0.0;
+      ptr_density = 0.0;
+      reads_per_op = 12;
+      writes_per_op = 8;
+      chase_depth = 0;
+      hot_fraction = 0.50;
+      hot_weight = 0.50;
+      compute_per_op = 50;
+      engages_revocation = true;
+    };
+    {
+      name = "omnetpp";
+      slots = 31_000;
+      target_live = 0.92;
+      size = Mixture [ (0.8, Uniform (32, 256)); (0.2, Uniform (256, 640)) ];
+      ops = 900_000;
+      churn = 0.48;
+      kill_only = 0.04;
+      birth_only = 0.04;
+      ptr_density = 0.35;
+      reads_per_op = 4;
+      writes_per_op = 2;
+      chase_depth = 4;
+      hot_fraction = 0.05;
+      hot_weight = 0.50;
+      compute_per_op = 1600;
+      engages_revocation = true;
+    };
+    {
+      name = "sjeng";
+      slots = 700;
+      target_live = 1.0;
+      size = Fixed 4_096;
+      ops = 300_000;
+      churn = 0.0002;
+      kill_only = 0.0;
+      birth_only = 0.0;
+      ptr_density = 0.05;
+      reads_per_op = 10;
+      writes_per_op = 2;
+      chase_depth = 1;
+      hot_fraction = 0.20;
+      hot_weight = 0.85;
+      compute_per_op = 200;
+      engages_revocation = false;
+    };
+    {
+      name = "xalancbmk";
+      slots = 40_000;
+      target_live = 0.92;
+      size = Mixture [ (0.75, Uniform (32, 320)); (0.25, Uniform (320, 768)) ];
+      ops = 800_000;
+      churn = 0.38;
+      kill_only = 0.035;
+      birth_only = 0.035;
+      ptr_density = 0.30;
+      reads_per_op = 4;
+      writes_per_op = 2;
+      chase_depth = 3;
+      hot_fraction = 0.06;
+      hot_weight = 0.50;
+      compute_per_op = 1600;
+      engages_revocation = true;
+    };
+  ]
+
+let spec_revoking = List.filter (fun p -> p.engages_revocation) spec_all
+
+let find name =
+  match List.find_opt (fun p -> p.name = name) spec_all with
+  | Some p -> p
+  | None -> raise Not_found
+
+let heap_bytes_needed t =
+  let live =
+    float_of_int t.slots *. t.target_live *. mean_size t
+  in
+  let table = t.slots * 16 in
+  let bytes = int_of_float (8.0 *. live) + (8 * table) + (2 * 1024 * 1024) in
+  (* round to MiB *)
+  (bytes + (1 lsl 20) - 1) / (1 lsl 20) * (1 lsl 20)

@@ -1,0 +1,50 @@
+(** SPEC CPU2006 INT workload profiles.
+
+    Each profile is a synthetic stand-in for one CHERI-compatible SPEC
+    benchmark, calibrated against the paper's Table 2 (mean allocated
+    heap, freed:allocated ratio) and qualitative descriptions (pointer
+    density, pointer-chase behaviour, locality). All byte quantities are
+    scaled by 1/64 relative to the paper (DESIGN.md); operation counts
+    may be further scaled at run time, which scales the cumulative
+    freed:allocated ratio proportionally. *)
+
+type size_dist =
+  | Fixed of int
+  | Uniform of int * int
+  | Mixture of (float * size_dist) list
+      (** weighted choice; weights need not sum to 1 *)
+
+val sample_size : Sim.Prng.t -> size_dist -> int
+
+type t = {
+  name : string;
+  slots : int; (** object-table capacity *)
+  target_live : float; (** fraction of slots kept live in steady state *)
+  size : size_dist;
+  ops : int; (** operations at scale 1.0 *)
+  churn : float; (** P(op replaces a live object: free + alloc) *)
+  kill_only : float; (** P(op frees leaving a dangling slot) *)
+  birth_only : float; (** P(op allocates into a dead slot) *)
+  ptr_density : float; (** fraction of body granules initialized with caps *)
+  reads_per_op : int;
+  writes_per_op : int;
+  chase_depth : int; (** capability loads chased per access op *)
+  hot_fraction : float;
+  hot_weight : float;
+  compute_per_op : int; (** ALU cycles per op *)
+  engages_revocation : bool; (** paper: bzip2 and sjeng do not *)
+}
+
+val mean_size : t -> float
+
+val spec_all : t list
+(** The eight CHERI-compatible SPEC CPU2006 INT workloads of §5.1. *)
+
+val spec_revoking : t list
+(** Excluding bzip2 and sjeng (figure 1's note). *)
+
+val find : string -> t
+(** Lookup by name; raises [Not_found]. *)
+
+val heap_bytes_needed : t -> int
+(** Heap-region size to configure the machine with. *)

@@ -1,0 +1,25 @@
+type t = {
+  workload : string;
+  mode : string;
+  wall_cycles : int;
+  cpu_cycles : int;
+  app_cpu_cycles : int;
+  bus_total : int;
+  bus_app_core : int;
+  peak_rss_pages : int;
+  clg_faults : int;
+  ops_done : int;
+  latencies_us : float array;
+  throughput : float;
+  scrub_bytes : int; 
+  mrs : Ccr.Mrs.stats option;
+  phases : Ccr.Revoker.phase_record list;
+}
+
+let wall_ms t = Sim.Cost.cycles_to_ms t.wall_cycles
+
+let pp_brief fmt t =
+  Format.fprintf fmt "%-14s %-11s wall=%8.2fms cpu=%8.2fms bus=%9d rss=%5dp faults=%6d"
+    t.workload t.mode (wall_ms t)
+    (Sim.Cost.cycles_to_ms t.cpu_cycles)
+    t.bus_total t.peak_rss_pages t.clg_faults

@@ -1,0 +1,22 @@
+(** Measurements collected from one workload run. *)
+
+type t = {
+  workload : string;
+  mode : string;
+  wall_cycles : int; (** application start-to-finish *)
+  cpu_cycles : int; (** busy cycles summed over all cores *)
+  app_cpu_cycles : int; (** the application thread(s) only *)
+  bus_total : int; (** bus transactions, all cores *)
+  bus_app_core : int; (** application core(s) only *)
+  peak_rss_pages : int;
+  clg_faults : int;
+  ops_done : int;
+  latencies_us : float array; (** per-event latencies (empty for batch) *)
+  throughput : float; (** events per second where meaningful, else 0 *)
+  scrub_bytes : int; (** bytes zeroed at reuse *)
+  mrs : Ccr.Mrs.stats option;
+  phases : Ccr.Revoker.phase_record list;
+}
+
+val wall_ms : t -> float
+val pp_brief : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+(** The SPEC CPU2006 trace engine (§5.1 of the paper).
+
+    Runs one profile under one temporal-safety mode on a fresh simulated
+    machine: a single application thread pinned to core 3, the revoker
+    (if any) pinned to core 2, exactly the paper's pinning regime. The
+    application maintains an object table in simulated memory and
+    executes a deterministic pseudo-random stream of churn / dangling-
+    free / allocation / access operations, with pointer chasing and
+    object bodies whose capability density matches the profile. *)
+
+val run :
+  ?seed:int ->
+  ?ops_scale:float ->
+  ?policy:Ccr.Policy.t ->
+  ?non_temporal:bool ->
+  ?allocator:Ccr.Runtime.allocator_kind ->
+  ?tracer:Sim.Trace.t ->
+  mode:Ccr.Runtime.mode ->
+  Profile.t ->
+  Result.t
+(** [ops_scale] multiplies the profile's operation count (default 1.0).
+    The same [seed] produces the same operation stream across modes, so
+    results are paired. *)

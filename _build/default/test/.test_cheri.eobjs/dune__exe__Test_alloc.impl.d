@@ -1,0 +1,1 @@
+test/test_alloc.ml: Alcotest Alloc Cheri List Option QCheck QCheck_alcotest Sim

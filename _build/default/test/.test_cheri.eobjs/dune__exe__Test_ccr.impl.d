@@ -1,0 +1,1 @@
+test/test_ccr.ml: Alcotest Alloc Ccr Cheri Hashtbl Kernel List Option Printf QCheck QCheck_alcotest Sim Vm

@@ -1,0 +1,1 @@
+test/test_cheri.ml: Alcotest Cheri List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_coloring.ml: Alcotest Alloc Ccr Cheri Option Sim

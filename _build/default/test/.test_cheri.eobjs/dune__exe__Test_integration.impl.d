@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Alloc Ccr Cheri Int64 Kernel List Option Printf Sim String

@@ -1,0 +1,1 @@
+test/test_jemalloc.ml: Alcotest Alloc Array Cheri List Option QCheck QCheck_alcotest Sim

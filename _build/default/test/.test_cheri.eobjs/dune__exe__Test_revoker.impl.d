@@ -1,0 +1,1 @@
+test/test_revoker.ml: Alcotest Alloc Ccr Cheri Kernel List Printf Sim Tagmem

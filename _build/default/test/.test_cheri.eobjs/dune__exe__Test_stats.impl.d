@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Buffer Format Gen List QCheck QCheck_alcotest Stats String

@@ -1,0 +1,1 @@
+test/test_tagmem.ml: Alcotest Cheri Int64 List Printf QCheck QCheck_alcotest Tagmem

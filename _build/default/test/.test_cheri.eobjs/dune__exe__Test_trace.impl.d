@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Alloc Buffer Ccr Cheri Format Hashtbl List Option Sim String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Ccr Cheri List Option QCheck QCheck_alcotest Sim Workload

@@ -1,0 +1,212 @@
+(* Allocator and size-class tests. *)
+
+module M = Sim.Machine
+module Cap = Cheri.Capability
+module Allocator = Alloc.Allocator
+module Sizeclass = Alloc.Sizeclass
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let cfg = { M.default_config with heap_bytes = 4 lsl 20; mem_bytes = 16 lsl 20 }
+
+(* run [f alloc ctx] inside a fresh machine's app thread *)
+let with_alloc f =
+  let m = M.create cfg in
+  let alloc = Allocator.create m in
+  let out = ref None in
+  ignore (M.spawn m ~name:"app" ~core:3 (fun ctx -> out := Some (f alloc ctx)));
+  M.run m;
+  Option.get !out
+
+(* ---- size classes ---- *)
+
+let test_sizeclass_monotone () =
+  for i = 0 to Sizeclass.num_classes - 2 do
+    check "ascending" true (Sizeclass.size_of_class i < Sizeclass.size_of_class (i + 1))
+  done;
+  check_int "last is threshold" Sizeclass.large_threshold
+    (Sizeclass.size_of_class (Sizeclass.num_classes - 1))
+
+let test_sizeclass_lookup () =
+  check "1 byte -> first class" true (Sizeclass.class_of_size 1 = Some 0);
+  check "threshold is small" true (Sizeclass.class_of_size Sizeclass.large_threshold <> None);
+  check "above threshold is large" true
+    (Sizeclass.class_of_size (Sizeclass.large_threshold + 1) = None)
+
+let prop_rounded_fits =
+  QCheck.Test.make ~name:"rounded size covers request and is representable" ~count:500
+    (QCheck.make QCheck.Gen.(map (fun n -> n + 1) (int_bound ((1 lsl 20) - 1))))
+    (fun req ->
+      let r = Sizeclass.rounded_size req in
+      r >= req && r mod 16 = 0
+      && Cheri.Compress.is_exact ~base:(Cheri.Compress.required_alignment r * 2) ~length:r)
+
+let prop_large_rounding_bounded_waste =
+  QCheck.Test.make ~name:"large rounding wastes at most ~30%" ~count:300
+    (QCheck.make
+       QCheck.Gen.(map (fun n -> Sizeclass.large_threshold + 1 + n) (int_bound (1 lsl 22))))
+    (fun req ->
+      let r = Sizeclass.round_large req in
+      r >= req && float_of_int r <= 1.31 *. float_of_int req)
+
+(* ---- allocator ---- *)
+
+let test_malloc_properties () =
+  with_alloc (fun alloc ctx ->
+      let c = Allocator.malloc alloc ctx 100 in
+      check "tagged" true (Cap.tag c);
+      check "bounds exact granule multiple" true (Cap.length c mod 16 = 0);
+      check "covers request" true (Cap.length c >= 100);
+      check "can load" true (Cap.can_load c);
+      check "can store" true (Cap.can_store c);
+      check "no execute" false (Cheri.Perms.mem (Cap.perms c) Cheri.Perms.execute);
+      check_int "addr at base" (Cap.base c) (Cap.addr c))
+
+let test_malloc_distinct () =
+  with_alloc (fun alloc ctx ->
+      let a = Allocator.malloc alloc ctx 64 in
+      let b = Allocator.malloc alloc ctx 64 in
+      check "disjoint" true (Cap.top a <= Cap.base b || Cap.top b <= Cap.base a))
+
+let test_free_reuse () =
+  with_alloc (fun alloc ctx ->
+      let a = Allocator.malloc alloc ctx 64 in
+      let base = Cap.base a in
+      Allocator.free alloc ctx a;
+      let b = Allocator.malloc alloc ctx 64 in
+      check_int "LIFO reuse" base (Cap.base b))
+
+let test_double_free_detected () =
+  with_alloc (fun alloc ctx ->
+      let a = Allocator.malloc alloc ctx 64 in
+      Allocator.free alloc ctx a;
+      check "double free raises" true
+        (try Allocator.free alloc ctx a; false with Invalid_argument _ -> true))
+
+let test_wild_free_detected () =
+  with_alloc (fun alloc ctx ->
+      let a = Allocator.malloc alloc ctx 64 in
+      let wild = Cap.set_bounds a ~base:(Cap.base a + 16) ~length:16 in
+      check "interior free raises" true
+        (try Allocator.free alloc ctx wild; false with Invalid_argument _ -> true))
+
+let test_reuse_scrubbed () =
+  with_alloc (fun alloc ctx ->
+      let a = Allocator.malloc alloc ctx 64 in
+      Sim.Machine.store_u64 ctx a 0xabcdefL;
+      Sim.Machine.store_cap ctx (Cap.incr_addr a 16) a;
+      Allocator.free alloc ctx a;
+      let b = Allocator.malloc alloc ctx 64 in
+      Alcotest.(check int64) "data zeroed" 0L (Sim.Machine.load_u64 ctx b);
+      check "tag scrubbed" false (Cap.tag (Sim.Machine.load_cap ctx (Cap.incr_addr b 16)));
+      check "scrub accounted" true (Allocator.scrub_bytes alloc >= 64))
+
+let test_live_accounting () =
+  with_alloc (fun alloc ctx ->
+      let a = Allocator.malloc alloc ctx 100 in
+      let b = Allocator.malloc alloc ctx 200 in
+      let expect = Cap.length a + Cap.length b in
+      check_int "live" expect (Allocator.live_bytes alloc);
+      check_int "total alloc" expect (Allocator.total_allocated_bytes alloc);
+      Allocator.free alloc ctx a;
+      check_int "live after free" (Cap.length b) (Allocator.live_bytes alloc);
+      check_int "freed" (Cap.length a) (Allocator.total_freed_bytes alloc);
+      check_int "count" 2 (Allocator.allocation_count alloc))
+
+let test_withdraw_release () =
+  with_alloc (fun alloc ctx ->
+      let a = Allocator.malloc alloc ctx 64 in
+      let base = Cap.base a in
+      let size = Allocator.withdraw alloc ctx a in
+      check_int "withdrawn size" (Cap.length a) size;
+      (* withdrawn memory is NOT reusable yet *)
+      let b = Allocator.malloc alloc ctx 64 in
+      check "not immediately reused" true (Cap.base b <> base);
+      Allocator.release_range alloc ctx ~addr:base ~size;
+      let c = Allocator.malloc alloc ctx 64 in
+      check_int "reusable after release" base (Cap.base c))
+
+let test_large_path () =
+  with_alloc (fun alloc ctx ->
+      let big = Allocator.malloc alloc ctx (128 * 1024) in
+      check "large tagged" true (Cap.tag big);
+      check "covers" true (Cap.length big >= 128 * 1024);
+      let base = Cap.base big in
+      Allocator.free alloc ctx big;
+      let again = Allocator.malloc alloc ctx (128 * 1024) in
+      check_int "large reuse" base (Cap.base again))
+
+let test_usable_size () =
+  with_alloc (fun alloc ctx ->
+      let a = Allocator.malloc alloc ctx 100 in
+      check "usable" true
+        (Allocator.usable_size alloc ~addr:(Cap.base a) = Some (Cap.length a));
+      check "unknown addr" true (Allocator.usable_size alloc ~addr:12345678 = None))
+
+let test_rss_tracking () =
+  with_alloc (fun alloc ctx ->
+      let before = Allocator.peak_rss_pages alloc in
+      let cs = List.init 64 (fun _ -> Allocator.malloc alloc ctx 4096) in
+      let after = Allocator.peak_rss_pages alloc in
+      check "rss grew" true (after > before);
+      List.iter (fun c -> Allocator.free alloc ctx c) cs;
+      check "peak sticky" true (Allocator.peak_rss_pages alloc >= after))
+
+let prop_no_overlap =
+  QCheck.Test.make ~name:"live allocations never overlap" ~count:30
+    QCheck.(small_list (int_bound 2000))
+    (fun sizes ->
+      with_alloc (fun alloc ctx ->
+          let caps = List.map (fun s -> Allocator.malloc alloc ctx (s + 1)) sizes in
+          let rec disjoint = function
+            | [] -> true
+            | c :: rest ->
+                List.for_all
+                  (fun d -> Cap.top c <= Cap.base d || Cap.top d <= Cap.base c)
+                  rest
+                && disjoint rest
+          in
+          disjoint caps))
+
+let prop_alloc_free_alloc_stable =
+  QCheck.Test.make ~name:"free then alloc of same size reuses without leak" ~count:20
+    (QCheck.make QCheck.Gen.(int_range 1 1000))
+    (fun size ->
+      with_alloc (fun alloc ctx ->
+          let a = Allocator.malloc alloc ctx size in
+          let live0 = Allocator.live_bytes alloc in
+          for _ = 1 to 20 do
+            let c = Allocator.malloc alloc ctx size in
+            Allocator.free alloc ctx c
+          done;
+          ignore a;
+          Allocator.live_bytes alloc = live0))
+
+let () =
+  Alcotest.run "alloc"
+    [
+      ( "sizeclass",
+        [
+          Alcotest.test_case "monotone" `Quick test_sizeclass_monotone;
+          Alcotest.test_case "lookup" `Quick test_sizeclass_lookup;
+        ] );
+      ( "allocator",
+        [
+          Alcotest.test_case "malloc properties" `Quick test_malloc_properties;
+          Alcotest.test_case "distinct" `Quick test_malloc_distinct;
+          Alcotest.test_case "free/reuse" `Quick test_free_reuse;
+          Alcotest.test_case "double free" `Quick test_double_free_detected;
+          Alcotest.test_case "wild free" `Quick test_wild_free_detected;
+          Alcotest.test_case "reuse scrubbed" `Quick test_reuse_scrubbed;
+          Alcotest.test_case "accounting" `Quick test_live_accounting;
+          Alcotest.test_case "withdraw/release" `Quick test_withdraw_release;
+          Alcotest.test_case "large path" `Quick test_large_path;
+          Alcotest.test_case "usable size" `Quick test_usable_size;
+          Alcotest.test_case "rss" `Quick test_rss_tracking;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_rounded_fits; prop_large_rounding_bounded_waste; prop_no_overlap;
+            prop_alloc_free_alloc_stable ] );
+    ]

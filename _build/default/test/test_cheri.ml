@@ -1,0 +1,228 @@
+(* Unit and property tests for the capability model. *)
+
+module Cap = Cheri.Capability
+module Perms = Cheri.Perms
+module Compress = Cheri.Compress
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---- Perms ---- *)
+
+let test_perms_basics () =
+  check "empty subset all" true (Perms.subset Perms.empty Perms.all);
+  check "all not subset empty" false (Perms.subset Perms.all Perms.empty);
+  check "load in read_write" true (Perms.mem Perms.read_write Perms.load);
+  check "execute not in read_write" false (Perms.mem Perms.read_write Perms.execute);
+  let p = Perms.remove Perms.all Perms.store in
+  check "removed store" false (Perms.mem p Perms.store);
+  check "kept load" true (Perms.mem p Perms.load);
+  check_int "roundtrip int" (Perms.to_int Perms.read_write)
+    (Perms.to_int (Perms.of_int (Perms.to_int Perms.read_write)))
+
+let test_perms_lattice () =
+  let u = Perms.union Perms.load Perms.store in
+  check "inter union load" true (Perms.equal (Perms.inter u Perms.load) Perms.load);
+  check "union comm" true
+    (Perms.equal (Perms.union Perms.load Perms.store) (Perms.union Perms.store Perms.load))
+
+(* ---- Compress ---- *)
+
+let test_exact_small () =
+  check "small exact" true (Compress.is_exact ~base:48 ~length:100);
+  check_int "align small" 1 (Compress.required_alignment 100);
+  check_int "round small" 100 (Compress.round_length 100)
+
+let test_padding_large () =
+  let base = 12345 and length = 1 lsl 20 in
+  let base', length' = Compress.representable ~base ~length in
+  check "base' <= base" true (base' <= base);
+  check "covers top" true (base' + length' >= base + length);
+  let a = Compress.required_alignment length in
+  check "a power of two" true (a land (a - 1) = 0);
+  check_int "base aligned" 0 (base' mod a);
+  (* aligned request of rounded length is exact *)
+  let l = Compress.round_length length in
+  check "aligned is exact" true (Compress.is_exact ~base:(4 * a) ~length:l)
+
+let test_window_contains_bounds () =
+  let lo, hi = Compress.representable_window ~base:4096 ~length:65536 in
+  check "lo <= base" true (lo <= 4096);
+  check "hi >= top" true (hi >= 4096 + 65536)
+
+(* ---- Capability unit tests ---- *)
+
+let root () = Cap.root ~length:(1 lsl 32)
+
+let test_root () =
+  let r = root () in
+  check "tagged" true (Cap.tag r);
+  check_int "base" 0 (Cap.base r);
+  check "all perms" true (Perms.equal (Cap.perms r) Perms.all);
+  check "in bounds" true (Cap.in_bounds r)
+
+let test_set_bounds_basic () =
+  let c = Cap.set_bounds (root ()) ~base:4096 ~length:256 in
+  check "tagged" true (Cap.tag c);
+  check_int "base" 4096 (Cap.base c);
+  check_int "length" 256 (Cap.length c);
+  check_int "addr at base" 4096 (Cap.addr c)
+
+let test_set_bounds_escape_untags () =
+  let parent = Cap.set_bounds (root ()) ~base:4096 ~length:256 in
+  let c = Cap.set_bounds parent ~base:4000 ~length:100 in
+  check "escape below untagged" false (Cap.tag c);
+  let c = Cap.set_bounds parent ~base:4300 ~length:100 in
+  check "escape above untagged" false (Cap.tag c);
+  let c = Cap.set_bounds parent ~base:4100 ~length:100 in
+  check "inside tagged" true (Cap.tag c)
+
+let test_set_bounds_negative () =
+  check "negative length untagged" false
+    (Cap.tag (Cap.set_bounds (root ()) ~base:0 ~length:(-1)))
+
+let test_untagged_derivation () =
+  let d = Cap.set_bounds Cap.null ~base:0 ~length:16 in
+  check "derive from null untagged" false (Cap.tag d)
+
+let test_set_addr_window () =
+  let c = Cap.set_bounds (root ()) ~base:65536 ~length:4096 in
+  let inside = Cap.set_addr c 66000 in
+  check "inside keeps tag" true (Cap.tag inside);
+  check_int "addr moved" 66000 (Cap.addr inside);
+  let near = Cap.set_addr c (65536 + 4096 + 100) in
+  check "near oob keeps tag (representable)" true (Cap.tag near);
+  check "near oob not dereferenceable" false (Cap.can_load near);
+  let far = Cap.set_addr c (1 lsl 30) in
+  check "far oob untags" false (Cap.tag far);
+  (* bounds never move *)
+  check_int "base unchanged" 65536 (Cap.base far);
+  check_int "length unchanged" 4096 (Cap.length far)
+
+let test_deref_checks () =
+  let c = Cap.set_bounds (root ()) ~base:4096 ~length:64 in
+  let c = Cap.restrict_perms c Perms.read_write in
+  check "can load" true (Cap.can_load c);
+  check "can store" true (Cap.can_store c);
+  check "can load cap" true (Cap.can_load_cap c);
+  let ro = Cap.clear_perm c Perms.store in
+  check "ro cannot store" false (Cap.can_store ro);
+  check "ro can load" true (Cap.can_load ro);
+  let nocap = Cap.clear_perm c (Perms.union Perms.load_cap Perms.store_cap) in
+  check "no cap-load perm" false (Cap.can_load_cap nocap);
+  check "data load ok" true (Cap.can_load nocap);
+  (* width checks at the end of bounds *)
+  let tail = Cap.set_addr c (4096 + 60) in
+  check "4-wide at end ok" true (Cap.can_load ~width:4 tail);
+  check "8-wide at end fails" false (Cap.can_load ~width:8 tail)
+
+let test_untag_blocks_deref () =
+  let c = Cap.set_bounds (root ()) ~base:4096 ~length:64 in
+  let u = Cap.clear_tag c in
+  check "untagged cannot load" false (Cap.can_load u);
+  check "untagged cannot store" false (Cap.can_store u)
+
+let test_sealing () =
+  let c = Cap.set_bounds (root ()) ~base:4096 ~length:64 in
+  let s = Cap.seal c ~otype:7 in
+  check "sealed tagged" true (Cap.tag s);
+  check "sealed" true (Cap.is_sealed s);
+  check "sealed cannot load" false (Cap.can_load s);
+  check "sealed set_addr untags" false (Cap.tag (Cap.set_addr s 4100));
+  check "seal twice untags" false (Cap.tag (Cap.seal s ~otype:9));
+  let u = Cap.unseal s ~otype:7 in
+  check "unsealed tagged" true (Cap.tag u);
+  check "unsealed can load" true (Cap.can_load u);
+  check "wrong otype untags" false (Cap.tag (Cap.unseal s ~otype:8));
+  check "seal otype 0 untags" false (Cap.tag (Cap.seal c ~otype:0))
+
+let test_is_subset () =
+  let p = Cap.set_bounds (root ()) ~base:4096 ~length:4096 in
+  let c = Cap.set_bounds p ~base:4200 ~length:100 in
+  check "child subset parent" true (Cap.is_subset c p);
+  check "parent not subset child" false (Cap.is_subset p c)
+
+(* ---- Property tests ---- *)
+
+let gen_region =
+  QCheck.Gen.(
+    pair (int_bound ((1 lsl 24) - 1)) (map (fun n -> n + 1) (int_bound ((1 lsl 22) - 1))))
+
+let arb_region = QCheck.make ~print:(fun (b, l) -> Printf.sprintf "(%d,%d)" b l) gen_region
+
+let prop_monotone_bounds =
+  QCheck.Test.make ~name:"derived bounds stay within parent" ~count:500 arb_region
+    (fun (base, length) ->
+      let c = Cap.set_bounds (root ()) ~base ~length in
+      (not (Cap.tag c))
+      || (Cap.base c <= base
+         && Cap.top c >= base + length
+         && Cap.base c >= 0
+         && Cap.top c <= 1 lsl 32))
+
+let prop_exact_request_tags =
+  QCheck.Test.make ~name:"exact requests from root always tag" ~count:500 arb_region
+    (fun (base, length) ->
+      let b', l' = Compress.representable ~base ~length in
+      let c = Cap.set_bounds_exact (root ()) ~base:b' ~length:l' in
+      Cap.tag c && Cap.base c = b' && Cap.length c = l')
+
+let prop_set_addr_preserves_bounds =
+  QCheck.Test.make ~name:"set_addr never changes bounds" ~count:500
+    (QCheck.pair arb_region QCheck.small_int) (fun ((base, length), a) ->
+      let c = Cap.set_bounds (root ()) ~base ~length in
+      let c' = Cap.set_addr c a in
+      Cap.base c' = Cap.base c && Cap.length c' = Cap.length c)
+
+let prop_perms_only_shrink =
+  QCheck.Test.make ~name:"restrict_perms only clears bits" ~count:500
+    (QCheck.pair QCheck.small_int QCheck.small_int) (fun (a, b) ->
+      let pa = Perms.of_int a and pb = Perms.of_int b in
+      Perms.subset (Perms.inter pa pb) pa && Perms.subset (Perms.inter pa pb) pb)
+
+let prop_rounded_alignment_exact =
+  QCheck.Test.make ~name:"round_length at required alignment is exact" ~count:500
+    (QCheck.make QCheck.Gen.(map (fun n -> n + 1) (int_bound ((1 lsl 26) - 1))))
+    (fun len ->
+      let l = Compress.round_length len in
+      let a = Compress.required_alignment l in
+      Compress.is_exact ~base:(3 * a) ~length:l)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "cheri"
+    [
+      ( "perms",
+        [
+          Alcotest.test_case "basics" `Quick test_perms_basics;
+          Alcotest.test_case "lattice" `Quick test_perms_lattice;
+        ] );
+      ( "compress",
+        [
+          Alcotest.test_case "exact small" `Quick test_exact_small;
+          Alcotest.test_case "padding large" `Quick test_padding_large;
+          Alcotest.test_case "window" `Quick test_window_contains_bounds;
+        ] );
+      ( "capability",
+        [
+          Alcotest.test_case "root" `Quick test_root;
+          Alcotest.test_case "set_bounds" `Quick test_set_bounds_basic;
+          Alcotest.test_case "escape untags" `Quick test_set_bounds_escape_untags;
+          Alcotest.test_case "negative length" `Quick test_set_bounds_negative;
+          Alcotest.test_case "null derivation" `Quick test_untagged_derivation;
+          Alcotest.test_case "set_addr window" `Quick test_set_addr_window;
+          Alcotest.test_case "deref checks" `Quick test_deref_checks;
+          Alcotest.test_case "untag blocks deref" `Quick test_untag_blocks_deref;
+          Alcotest.test_case "sealing" `Quick test_sealing;
+          Alcotest.test_case "is_subset" `Quick test_is_subset;
+        ] );
+      ( "properties",
+        qt
+          [
+            prop_monotone_bounds;
+            prop_exact_request_tags;
+            prop_set_addr_preserves_bounds;
+            prop_perms_only_shrink;
+            prop_rounded_alignment_exact;
+          ] );
+    ]

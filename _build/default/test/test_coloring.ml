@@ -1,0 +1,134 @@
+(* Memory-coloring composition tests (§7.3). *)
+
+module M = Sim.Machine
+module Cap = Cheri.Capability
+module Coloring = Ccr.Coloring
+module Revoker = Ccr.Revoker
+module Mrs = Ccr.Mrs
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let cfg = { M.default_config with heap_bytes = 4 lsl 20; mem_bytes = 16 lsl 20 }
+
+let with_coloring ?(colors = 4) f =
+  let m = M.create cfg in
+  let alloc = Alloc.Backend.snmalloc (Alloc.Allocator.create m) in
+  let rv = Revoker.create m ~strategy:Revoker.Reloaded ~core:2 () in
+  let mrs = Mrs.create m ~alloc ~revoker:rv () in
+  let col = Coloring.create m ~mrs ~colors in
+  let out = ref None in
+  ignore (M.spawn m ~name:"app" ~core:3 (fun ctx ->
+      out := Some (f col mrs ctx);
+      Mrs.finish mrs ctx));
+  M.run m;
+  Option.get !out
+
+let test_basic_access () =
+  with_coloring (fun col _ ctx ->
+      let c = Coloring.malloc col ctx 64 in
+      Coloring.store col ctx c 42L;
+      Alcotest.(check int64) "roundtrip" 42L (Coloring.load col ctx c))
+
+let test_stale_access_failstops () =
+  with_coloring (fun col _ ctx ->
+      let a = Coloring.malloc col ctx 64 in
+      Coloring.store col ctx a 1L;
+      Coloring.free col ctx a;
+      check "stale load fail-stops" true
+        (try ignore (Coloring.load col ctx a); false
+         with Coloring.Color_mismatch _ -> true);
+      check "stale store fail-stops" true
+        (try Coloring.store col ctx a 2L; false
+         with Coloring.Color_mismatch _ -> true);
+      check_int "faults counted" 2 (Coloring.faults_stopped col))
+
+let test_immediate_reuse_different_color () =
+  with_coloring (fun col _ ctx ->
+      let a = Coloring.malloc col ctx 64 in
+      let base = Cap.base a.Coloring.cap in
+      Coloring.free col ctx a;
+      (* reuse is immediate (no quarantine) and safe via the new color *)
+      let b = Coloring.malloc col ctx 64 in
+      check_int "same memory reused at once" base (Cap.base b.Coloring.cap);
+      check "colors differ" true (a.Coloring.color <> b.Coloring.color);
+      Coloring.store col ctx b 7L;
+      check "old cap still dead" true
+        (try ignore (Coloring.load col ctx a); false
+         with Coloring.Color_mismatch _ -> true))
+
+let test_double_free_detected_by_color () =
+  with_coloring (fun col _ ctx ->
+      let a = Coloring.malloc col ctx 64 in
+      Coloring.free col ctx a;
+      check "double free fail-stops" true
+        (try Coloring.free col ctx a; false with Coloring.Color_mismatch _ -> true))
+
+let test_exhaustion_falls_back_to_quarantine () =
+  with_coloring ~colors:3 (fun col mrs ctx ->
+      (* exhaust the color space on one block *)
+      let rec churn () =
+        let c = Coloring.malloc col ctx 64 in
+        Coloring.free col ctx c;
+        if Coloring.quarantine_frees col = 0 then churn ()
+      in
+      churn ();
+      check_int "two recolor frees before quarantine" 2 (Coloring.recolor_frees col);
+      check_int "then quarantine" 1 (Coloring.quarantine_frees col);
+      check "block actually quarantined" true (Mrs.quarantine_bytes mrs > 0))
+
+let test_revocation_pressure_reduction () =
+  (* with k colors, only every k-th free reaches quarantine *)
+  let quarantined colors =
+    with_coloring ~colors (fun col _ ctx ->
+        for _ = 1 to 600 do
+          let c = Coloring.malloc col ctx 256 in
+          Coloring.free col ctx c
+        done;
+        Coloring.quarantine_frees col)
+  in
+  let q2 = quarantined 2 and q8 = quarantined 8 in
+  check "more colors, fewer quarantines" true (q8 * 3 < q2);
+  check_int "2 colors: every other free" 300 q2;
+  check_int "8 colors: every eighth free" 75 q8
+
+let test_color_space_restarts_after_revocation () =
+  with_coloring ~colors:2 (fun col _ ctx ->
+      (* burn the block's colors so it goes through quarantine *)
+      let a = Coloring.malloc col ctx 256 in
+      let base = Cap.base a.Coloring.cap in
+      Coloring.free col ctx a;
+      let b = Coloring.malloc col ctx 256 in
+      check_int "same block" base (Cap.base b.Coloring.cap);
+      Coloring.free col ctx b (* exhausted -> quarantine *);
+      check_int "went to quarantine" 1 (Coloring.quarantine_frees col);
+      (* churn other sizes until revocation recycles it *)
+      let got = ref None in
+      let tries = ref 0 in
+      while !got = None && !tries < 20_000 do
+        incr tries;
+        let c = Coloring.malloc col ctx 256 in
+        if Cap.base c.Coloring.cap = base then got := Some c
+        else Coloring.free col ctx c
+      done;
+      match !got with
+      | None -> Alcotest.fail "block never came back"
+      | Some c ->
+          check_int "color space restarted" 0 c.Coloring.color;
+          Coloring.store col ctx c 1L)
+
+let () =
+  Alcotest.run "coloring"
+    [
+      ( "coloring",
+        [
+          Alcotest.test_case "basic access" `Quick test_basic_access;
+          Alcotest.test_case "stale fail-stop" `Quick test_stale_access_failstops;
+          Alcotest.test_case "immediate reuse" `Quick test_immediate_reuse_different_color;
+          Alcotest.test_case "double free" `Quick test_double_free_detected_by_color;
+          Alcotest.test_case "exhaustion" `Quick test_exhaustion_falls_back_to_quarantine;
+          Alcotest.test_case "pressure reduction" `Quick test_revocation_pressure_reduction;
+          Alcotest.test_case "restart after revocation" `Quick
+            test_color_space_restarts_after_revocation;
+        ] );
+    ]

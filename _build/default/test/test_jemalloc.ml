@@ -1,0 +1,180 @@
+(* Jemalloc-flavoured allocator tests (runs, bins, retirement), plus a
+   differential property test against the snmalloc-style allocator. *)
+
+module M = Sim.Machine
+module Cap = Cheri.Capability
+module J = Alloc.Jemalloc
+module A = Alloc.Allocator
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let cfg = { M.default_config with heap_bytes = 8 lsl 20; mem_bytes = 32 lsl 20 }
+
+let with_j f =
+  let m = M.create cfg in
+  let j = J.create m in
+  let out = ref None in
+  ignore (M.spawn m ~name:"app" ~core:3 (fun ctx -> out := Some (f j ctx)));
+  M.run m;
+  Option.get !out
+
+let test_basic () =
+  with_j (fun j ctx ->
+      let c = J.malloc j ctx 100 in
+      check "tagged" true (Cap.tag c);
+      check "covers" true (Cap.length c >= 100);
+      M.store_u64 ctx c 9L;
+      Alcotest.(check int64) "rw" 9L (M.load_u64 ctx c);
+      J.free j ctx c;
+      J.check_invariants j)
+
+let test_same_run_locality () =
+  with_j (fun j ctx ->
+      (* same-class allocations pack into one 16 KiB run *)
+      let a = J.malloc j ctx 128 in
+      let b = J.malloc j ctx 128 in
+      check "same run" true (abs (Cap.base a - Cap.base b) < 16 * 1024);
+      check_int "one run" 1 (J.run_count j);
+      J.check_invariants j)
+
+let test_address_ordered_reuse () =
+  with_j (fun j ctx ->
+      (* fill beyond one run, free every other region (keeping the runs
+         alive), and confirm reuse prefers the lowest freed address *)
+      let caps = Array.init 200 (fun _ -> J.malloc j ctx 128) in
+      check "several runs" true (J.run_count j >= 2);
+      let lowest_freed = ref max_int in
+      Array.iteri
+        (fun i c ->
+          if i mod 2 = 0 then begin
+            lowest_freed := min !lowest_freed (Cap.base c);
+            J.free j ctx c
+          end)
+        caps;
+      let c' = J.malloc j ctx 128 in
+      check_int "lowest freed address reused first" !lowest_freed (Cap.base c');
+      J.check_invariants j)
+
+let test_empty_run_retired () =
+  with_j (fun j ctx ->
+      let caps = Array.init 8 (fun _ -> J.malloc j ctx 128) in
+      check_int "one run live" 1 (J.run_count j);
+      Array.iter (fun c -> J.free j ctx c) caps;
+      check_int "run retired when empty" 0 (J.run_count j);
+      (* the retired run is recycled for a different class *)
+      let big = J.malloc j ctx 1024 in
+      check "recycled" true (Cap.tag big);
+      J.check_invariants j)
+
+let test_full_run_leaves_bin () =
+  with_j (fun j ctx ->
+      (* 16 KiB run of 8 KiB regions: two allocations fill it *)
+      let a = J.malloc j ctx 8192 in
+      let b = J.malloc j ctx 8192 in
+      let c = J.malloc j ctx 8192 in
+      (* third must come from a second run *)
+      check "new run" true (J.run_count j = 2);
+      J.free j ctx a;
+      J.free j ctx b;
+      J.free j ctx c;
+      check_int "all retired" 0 (J.run_count j))
+
+let test_withdraw_release_quarantine_surface () =
+  with_j (fun j ctx ->
+      let a = J.malloc j ctx 256 in
+      let base = Cap.base a in
+      let size = J.withdraw j ctx a in
+      (* withdrawn region is NOT reusable *)
+      let b = J.malloc j ctx 256 in
+      check "not reused while quarantined" true (Cap.base b <> base);
+      J.release_range j ctx ~addr:base ~size;
+      let c = J.malloc j ctx 256 in
+      check_int "reused after release (address-ordered)" base (Cap.base c);
+      J.check_invariants j)
+
+let test_double_free_detected () =
+  with_j (fun j ctx ->
+      let a = J.malloc j ctx 64 in
+      J.free j ctx a;
+      check "double free" true
+        (try J.free j ctx a; false with Invalid_argument _ -> true))
+
+let test_large_path () =
+  with_j (fun j ctx ->
+      let big = J.malloc j ctx (100 * 1024) in
+      check "tagged" true (Cap.tag big);
+      let base = Cap.base big in
+      J.free j ctx big;
+      let again = J.malloc j ctx (100 * 1024) in
+      check_int "large reuse" base (Cap.base again))
+
+let test_scrub_on_reuse () =
+  with_j (fun j ctx ->
+      let a = J.malloc j ctx 128 in
+      M.store_u64 ctx a 77L;
+      J.free j ctx a;
+      let b = J.malloc j ctx 128 in
+      Alcotest.(check int64) "zeroed" 0L (M.load_u64 ctx b))
+
+(* Differential property: both allocators satisfy the same observable
+   contract over random alloc/free traces. *)
+let prop_differential =
+  QCheck.Test.make ~name:"jemalloc and snmalloc agree on the allocator contract"
+    ~count:15
+    QCheck.(pair small_int (small_list (pair (int_bound 2000) bool)))
+    (fun (seed, trace) ->
+      let m = M.create cfg in
+      let j = J.create m in
+      let out = ref true in
+      ignore
+        (M.spawn m ~name:"app" ~core:3 (fun ctx ->
+             let m2 = M.create cfg in
+             ignore m2;
+             let rng = Sim.Prng.create ~seed in
+             let live = ref [] in
+             List.iter
+               (fun (sz, do_free) ->
+                 if do_free && !live <> [] then begin
+                   let i = Sim.Prng.int rng (List.length !live) in
+                   let c = List.nth !live i in
+                   live := List.filteri (fun k _ -> k <> i) !live;
+                   J.free j ctx c
+                 end
+                 else begin
+                   let c = J.malloc j ctx (sz + 1) in
+                   (* no overlap with anything live *)
+                   List.iter
+                     (fun d ->
+                       if not (Cap.top c <= Cap.base d || Cap.top d <= Cap.base c)
+                       then out := false)
+                     !live;
+                   live := c :: !live
+                 end)
+               trace;
+             J.check_invariants j;
+             let expect =
+               List.fold_left (fun a c -> a + Cap.length c) 0 !live
+             in
+             if J.live_bytes j <> expect then out := false));
+      M.run m;
+      !out)
+
+let () =
+  Alcotest.run "jemalloc"
+    [
+      ( "jemalloc",
+        [
+          Alcotest.test_case "basic" `Quick test_basic;
+          Alcotest.test_case "run locality" `Quick test_same_run_locality;
+          Alcotest.test_case "address-ordered reuse" `Quick test_address_ordered_reuse;
+          Alcotest.test_case "empty run retired" `Quick test_empty_run_retired;
+          Alcotest.test_case "full run leaves bin" `Quick test_full_run_leaves_bin;
+          Alcotest.test_case "quarantine surface" `Quick
+            test_withdraw_release_quarantine_surface;
+          Alcotest.test_case "double free" `Quick test_double_free_detected;
+          Alcotest.test_case "large path" `Quick test_large_path;
+          Alcotest.test_case "scrub on reuse" `Quick test_scrub_on_reuse;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_differential ]);
+    ]

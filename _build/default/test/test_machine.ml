@@ -1,0 +1,467 @@
+(* Simulated machine tests: scheduling, time accounting, synchronization,
+   stop-the-world, memory operations, the load barrier, traps. *)
+
+module M = Sim.Machine
+module Cost = Sim.Cost
+module Regfile = Sim.Regfile
+module Prng = Sim.Prng
+module Cap = Cheri.Capability
+module Perms = Cheri.Perms
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let cfg =
+  { M.default_config with heap_bytes = 1 lsl 20; mem_bytes = 8 * (1 lsl 20) }
+
+let mk () = M.create cfg
+
+let heap_cap m =
+  let l = M.layout m in
+  Cap.restrict_perms
+    (Cap.set_bounds (Cap.root ~length:(1 lsl 32)) ~base:l.Vm.Layout.heap_base
+       ~length:(l.Vm.Layout.heap_limit - l.Vm.Layout.heap_base))
+    Perms.all
+
+(* ---- prng ---- *)
+
+let test_prng_determinism () =
+  let a = Prng.create ~seed:5 and b = Prng.create ~seed:5 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next a) (Prng.next b)
+  done;
+  let c = Prng.create ~seed:6 in
+  check "different seed differs" true (Prng.next a <> Prng.next c)
+
+let test_prng_ranges () =
+  let r = Prng.create ~seed:1 in
+  for _ = 1 to 1000 do
+    let x = Prng.int r 10 in
+    check "int in range" true (x >= 0 && x < 10);
+    let f = Prng.float r 2.0 in
+    check "float in range" true (f >= 0.0 && f < 2.0);
+    let e = Prng.exponential r ~mean:5.0 in
+    check "exp nonneg" true (e >= 0.0);
+    let p = Prng.pareto r ~scale:3.0 ~shape:1.5 in
+    check "pareto >= scale" true (p >= 3.0)
+  done
+
+(* ---- basic scheduling and time ---- *)
+
+let test_charge_advances_clock () =
+  let m = mk () in
+  let final = ref 0 in
+  let th =
+    M.spawn m ~name:"a" ~core:0 (fun ctx ->
+        M.charge ctx 12345;
+        final := M.now ctx)
+  in
+  M.run m;
+  check_int "clock" 12345 !final;
+  check_int "thread cpu" 12345 (M.thread_cpu_cycles th)
+
+let test_two_cores_independent () =
+  let m = mk () in
+  let a_end = ref 0 and b_end = ref 0 in
+  ignore (M.spawn m ~name:"a" ~core:0 (fun ctx -> M.charge ctx 100; a_end := M.now ctx));
+  ignore (M.spawn m ~name:"b" ~core:1 (fun ctx -> M.charge ctx 999; b_end := M.now ctx));
+  M.run m;
+  check_int "a" 100 !a_end;
+  check_int "b" 999 !b_end;
+  check_int "global time is max" 999 (M.global_time m)
+
+let test_same_core_context_switch () =
+  let m = mk () in
+  ignore (M.spawn m ~name:"a" ~core:0 (fun ctx -> M.charge ctx 100; M.yield ctx; M.charge ctx 100));
+  ignore (M.spawn m ~name:"b" ~core:0 (fun ctx -> M.charge ctx 100));
+  M.run m;
+  let t = M.totals m in
+  check "context switches happened" true (t.M.context_switches >= 1);
+  (* both threads' work plus switch costs on one core *)
+  check "core clock >= work" true (M.core_clock m 0 >= 300)
+
+let test_sleep_ordering () =
+  let m = mk () in
+  let order = ref [] in
+  ignore (M.spawn m ~name:"late" ~core:0 (fun ctx ->
+      M.sleep ctx 10_000;
+      order := "late" :: !order));
+  ignore (M.spawn m ~name:"early" ~core:1 (fun ctx ->
+      M.sleep ctx 100;
+      order := "early" :: !order));
+  M.run m;
+  Alcotest.(check (list string)) "wake order" [ "late"; "early" ] !order
+
+let test_condvar_wakeup_time () =
+  let m = mk () in
+  let woke_at = ref 0 in
+  let cv = M.condvar () in
+  ignore (M.spawn m ~name:"waiter" ~core:0 (fun ctx ->
+      M.wait ctx cv;
+      woke_at := M.now ctx));
+  ignore (M.spawn m ~name:"signaler" ~core:1 (fun ctx ->
+      M.charge ctx 5000;
+      M.broadcast ctx cv));
+  M.run m;
+  check "woke no earlier than signal" true (!woke_at >= 5000)
+
+let test_deadlock_detection () =
+  let m = mk () in
+  let cv = M.condvar () in
+  ignore (M.spawn m ~name:"stuck" ~core:0 (fun ctx -> M.wait ctx cv));
+  check "deadlock raised" true
+    (try M.run m; false with M.Deadlock _ -> true)
+
+let test_quantum_preemption_fairness () =
+  let m = mk () in
+  let a_done = ref 0 and b_done = ref 0 in
+  (* two busy loops on one core; safe_point preempts at quantum expiry *)
+  ignore (M.spawn m ~name:"a" ~core:0 (fun ctx ->
+      for _ = 1 to 100 do M.charge ctx 1000; M.safe_point ctx done;
+      a_done := M.now ctx));
+  ignore (M.spawn m ~name:"b" ~core:0 (fun ctx ->
+      for _ = 1 to 100 do M.charge ctx 1000; M.safe_point ctx done;
+      b_done := M.now ctx));
+  M.run m;
+  (* they interleave: both finish near the end, neither runs to completion
+     before the other starts *)
+  let diff = abs (!a_done - !b_done) in
+  check "interleaved finish" true (diff < 50_000)
+
+(* ---- stop-the-world ---- *)
+
+let test_stw_pause_accounting () =
+  let m = mk () in
+  let app_end = ref 0 in
+  ignore (M.spawn m ~name:"app" ~core:3 (fun ctx ->
+      for _ = 1 to 1000 do M.charge ctx 1000; M.safe_point ctx done;
+      app_end := M.now ctx));
+  let rep = ref None in
+  ignore (M.spawn m ~name:"rev" ~core:2 ~user:false (fun ctx ->
+      M.sleep ctx 200_000;
+      let (), r = M.stop_the_world ctx (fun () -> M.charge ctx 500_000) in
+      rep := Some r));
+  M.run m;
+  (match !rep with
+  | None -> Alcotest.fail "no stw"
+  | Some r ->
+      check "stopped after requested" true (r.M.stopped_at >= r.M.requested_at);
+      check "released after stop + work" true
+        (r.M.released_at >= r.M.stopped_at + 500_000));
+  check "app delayed by pause" true (!app_end >= 1_000_000 + 500_000)
+
+let test_stw_idle_thread_parked_in_place () =
+  let m = mk () in
+  let waiter_woke = ref 0 in
+  let cv = M.condvar () in
+  ignore (M.spawn m ~name:"idle" ~core:3 (fun ctx ->
+      M.wait ctx cv;
+      waiter_woke := M.now ctx));
+  ignore (M.spawn m ~name:"rev" ~core:2 ~user:false (fun ctx ->
+      let (), _ = M.stop_the_world ctx (fun () -> M.charge ctx 1000) in
+      (* waking a thread that was parked while waiting must still work *)
+      M.broadcast ctx cv));
+  M.run m;
+  check "woken after release" true (!waiter_woke > 0)
+
+let test_stw_syscall_drain_cost () =
+  let m = mk () in
+  let rep = ref None in
+  ignore (M.spawn m ~name:"app" ~core:3 (fun ctx ->
+      M.enter_syscall ctx ~drain:300_000;
+      M.sleep ctx 1_000_000;
+      M.exit_syscall ctx));
+  ignore (M.spawn m ~name:"rev" ~core:2 ~user:false (fun ctx ->
+      M.sleep ctx 10_000;
+      let (), r = M.stop_the_world ctx (fun () -> ()) in
+      rep := Some r));
+  M.run m;
+  match !rep with
+  | None -> Alcotest.fail "no stw"
+  | Some r ->
+      check "drain delays stop" true (r.M.stopped_at - r.M.requested_at >= 300_000)
+
+let test_stw_user_thread_cannot_initiate () =
+  let m = mk () in
+  let raised = ref false in
+  ignore (M.spawn m ~name:"app" ~core:3 (fun ctx ->
+      (try ignore (M.stop_the_world ctx (fun () -> ()))
+       with Invalid_argument _ -> raised := true)));
+  M.run m;
+  check "rejected" true !raised
+
+(* ---- memory operations ---- *)
+
+let with_app f =
+  let m = mk () in
+  let result = ref None in
+  ignore (M.spawn m ~name:"app" ~core:3 (fun ctx ->
+      let l = M.layout m in
+      M.map ctx ~vaddr:l.Vm.Layout.heap_base ~len:(16 * 4096) ~writable:true;
+      result := Some (f m ctx (heap_cap m))));
+  M.run m;
+  Option.get !result
+
+let test_load_store_roundtrip () =
+  let v = with_app (fun _ ctx heap ->
+      let c = Cap.set_bounds heap ~base:(Cap.base heap + 64) ~length:64 in
+      M.store_u64 ctx c 0xdeadbeefL;
+      M.load_u64 ctx c)
+  in
+  Alcotest.(check int64) "roundtrip" 0xdeadbeefL v
+
+let test_cap_store_load_roundtrip () =
+  let ok = with_app (fun _ ctx heap ->
+      let slot = Cap.set_bounds heap ~base:(Cap.base heap + 128) ~length:16 in
+      let v = Cap.set_bounds heap ~base:(Cap.base heap + 4096) ~length:256 in
+      M.store_cap ctx slot v;
+      Cap.equal v (M.load_cap ctx slot))
+  in
+  check "cap roundtrip" true ok
+
+let test_cap_store_sets_dirty () =
+  let dirty = with_app (fun m ctx heap ->
+      let slot = Cap.set_bounds heap ~base:(Cap.base heap + 128) ~length:16 in
+      let before =
+        match Vm.Aspace.translate (M.aspace m) (Cap.base slot) with
+        | Some (_, pte) -> pte.Vm.Pte.cap_dirty
+        | None -> true
+      in
+      M.store_cap ctx slot (Cap.set_bounds heap ~base:(Cap.base heap) ~length:16);
+      let after =
+        match Vm.Aspace.translate (M.aspace m) (Cap.base slot) with
+        | Some (_, pte) -> pte.Vm.Pte.cap_dirty
+        | None -> false
+      in
+      (before, after))
+  in
+  check "clean before" false (fst dirty);
+  check "dirty after" true (snd dirty)
+
+let test_untagged_store_no_dirty () =
+  let dirty = with_app (fun m ctx heap ->
+      let slot = Cap.set_bounds heap ~base:(Cap.base heap + 128) ~length:16 in
+      M.store_cap ctx slot (Cap.clear_tag heap);
+      match Vm.Aspace.translate (M.aspace m) (Cap.base slot) with
+      | Some (_, pte) -> pte.Vm.Pte.cap_dirty
+      | None -> true)
+  in
+  check "untagged store leaves page clean" false dirty
+
+let test_capability_fault_on_oob () =
+  let raised = with_app (fun _ ctx heap ->
+      let c = Cap.set_bounds heap ~base:(Cap.base heap + 64) ~length:16 in
+      let past = Cap.incr_addr c 16 in
+      try ignore (M.load_u64 ctx past); false
+      with M.Capability_fault _ -> true)
+  in
+  check "oob load faults" true raised
+
+let test_capability_fault_untagged () =
+  let raised = with_app (fun _ ctx heap ->
+      let c = Cap.clear_tag (Cap.set_bounds heap ~base:(Cap.base heap + 64) ~length:16) in
+      try ignore (M.load_u64 ctx c); false
+      with M.Capability_fault _ -> true)
+  in
+  check "untagged load faults" true raised
+
+let test_page_fault_unmapped () =
+  let m = mk () in
+  let raised = ref false in
+  ignore (M.spawn m ~name:"app" ~core:3 (fun ctx ->
+      let l = M.layout m in
+      let c =
+        Cap.set_bounds (Cap.root ~length:(1 lsl 32))
+          ~base:(l.Vm.Layout.heap_base + (100 * 4096)) ~length:64
+      in
+      try ignore (M.load_u64 ctx c) with M.Page_fault _ -> raised := true));
+  M.run m;
+  check "page fault" true raised.contents
+
+let test_store_without_capstore_page () =
+  let raised = with_app (fun m ctx heap ->
+      let slot = Cap.set_bounds heap ~base:(Cap.base heap + 128) ~length:16 in
+      (match Vm.Aspace.translate (M.aspace m) (Cap.base slot) with
+      | Some (_, pte) -> pte.Vm.Pte.cap_store <- false
+      | None -> ());
+      try M.store_cap ctx slot heap; false with M.Capability_fault _ -> true)
+  in
+  check "cap store to protected page faults" true raised
+
+let test_zero_clears () =
+  let ok = with_app (fun m ctx heap ->
+      let c = Cap.set_bounds heap ~base:(Cap.base heap + 4096) ~length:4096 in
+      let slot = Cap.set_addr c (Cap.base c + 256) in
+      M.store_cap ctx slot heap;
+      M.store_u64 ctx (Cap.set_addr c (Cap.base c + 8)) 99L;
+      M.zero ctx c;
+      let v = M.load_u64 ctx (Cap.set_addr c (Cap.base c + 8)) in
+      let t = M.load_cap ctx slot in
+      ignore m;
+      Int64.equal v 0L && not (Cap.tag t))
+  in
+  check "zeroed and untagged" true ok
+
+(* ---- load barrier ---- *)
+
+let test_clg_fault_fires_and_heals () =
+  let m = mk () in
+  let faults_seen = ref 0 in
+  let loaded = ref Cap.null in
+  M.set_clg_fault_handler m
+    (Some
+       (fun fctx ~vaddr pte ->
+         ignore vaddr;
+         incr faults_seen;
+         M.charge fctx 100;
+         pte.Vm.Pte.clg <- Vm.Pmap.generation (Vm.Aspace.pmap (M.aspace m))));
+  ignore (M.spawn m ~name:"app" ~core:3 (fun ctx ->
+      let l = M.layout m in
+      M.map ctx ~vaddr:l.Vm.Layout.heap_base ~len:4096 ~writable:true;
+      let heap = heap_cap m in
+      let slot = Cap.set_bounds heap ~base:(Cap.base heap) ~length:16 in
+      let v = Cap.set_bounds heap ~base:(Cap.base heap + 2048) ~length:16 in
+      M.store_cap ctx slot v;
+      (* no mismatch yet *)
+      ignore (M.load_cap ctx slot);
+      Alcotest.(check int) "no fault while generations agree" 0 !faults_seen;
+      ()));
+  ignore (M.spawn m ~name:"rev" ~core:2 ~user:false (fun ctx ->
+      M.sleep ctx 1_000_000;
+      let (), _ = M.stop_the_world ctx (fun () -> M.toggle_clg ctx) in
+      ()));
+  M.run m;
+  (* second run: after toggle, app loads trap once then heal *)
+  let m = mk () in
+  M.set_clg_fault_handler m
+    (Some
+       (fun fctx ~vaddr pte ->
+         ignore vaddr;
+         incr faults_seen;
+         M.charge fctx 100;
+         pte.Vm.Pte.clg <- Vm.Pmap.generation (Vm.Aspace.pmap (M.aspace m))));
+  let barrier = M.condvar () in
+  let ready = ref false and toggled = ref false in
+  ignore (M.spawn m ~name:"rev" ~core:2 ~user:false (fun ctx ->
+      while not !ready do M.wait ctx barrier done;
+      let (), _ = M.stop_the_world ctx (fun () -> M.toggle_clg ctx) in
+      toggled := true;
+      M.broadcast ctx barrier));
+  ignore (M.spawn m ~name:"app" ~core:3 (fun ctx ->
+      let l = M.layout m in
+      (* map and populate the page BEFORE the generation toggle: the PTE
+         keeps the old generation and the next tagged load must trap *)
+      M.map ctx ~vaddr:l.Vm.Layout.heap_base ~len:4096 ~writable:true;
+      let heap = heap_cap m in
+      let slot = Cap.set_bounds heap ~base:(Cap.base heap) ~length:16 in
+      let v = Cap.set_bounds heap ~base:(Cap.base heap + 2048) ~length:16 in
+      M.store_cap ctx slot v;
+      ready := true;
+      M.broadcast ctx barrier;
+      while not !toggled do M.wait ctx barrier done;
+      faults_seen := 0;
+      loaded := M.load_cap ctx slot;
+      Alcotest.(check int) "exactly one fault" 1 !faults_seen;
+      (* self-healed: second load does not fault *)
+      ignore (M.load_cap ctx slot);
+      Alcotest.(check int) "healed" 1 !faults_seen));
+  M.run m;
+  check "load returned the capability" true (Cap.tag !loaded);
+  check_int "machine counted it" 1 (M.clg_fault_count m)
+
+let test_untagged_load_never_faults () =
+  let m = mk () in
+  let faults = ref 0 in
+  M.set_clg_fault_handler m
+    (Some (fun _ ~vaddr:_ pte -> incr faults;
+            pte.Vm.Pte.clg <- Vm.Pmap.generation (Vm.Aspace.pmap (M.aspace m))));
+  ignore (M.spawn m ~name:"rev" ~core:2 ~user:false (fun ctx ->
+      let (), _ = M.stop_the_world ctx (fun () -> M.toggle_clg ctx) in ()));
+  ignore (M.spawn m ~name:"app" ~core:3 (fun ctx ->
+      M.sleep ctx 100_000;
+      let l = M.layout m in
+      M.map ctx ~vaddr:l.Vm.Layout.heap_base ~len:4096 ~writable:true;
+      let heap = heap_cap m in
+      let slot = Cap.set_bounds heap ~base:(Cap.base heap) ~length:16 in
+      M.store_u64 ctx slot 123L;
+      ignore (M.load_cap ctx slot)));
+  M.run m;
+  check_int "no faults for untagged granules" 0 !faults
+
+let test_load_filter_applies () =
+  let m = mk () in
+  M.set_cap_load_filter m (Some (fun _ c -> Cap.clear_tag c));
+  let got = ref Cap.null in
+  ignore (M.spawn m ~name:"app" ~core:3 (fun ctx ->
+      let l = M.layout m in
+      M.map ctx ~vaddr:l.Vm.Layout.heap_base ~len:4096 ~writable:true;
+      let heap = heap_cap m in
+      let slot = Cap.set_bounds heap ~base:(Cap.base heap) ~length:16 in
+      M.store_cap ctx slot heap;
+      got := M.load_cap ctx slot));
+  M.run m;
+  check "filter stripped tag" false (Cap.tag !got)
+
+let test_tlb_shootdown_refill () =
+  let m = mk () in
+  ignore (M.spawn m ~name:"app" ~core:3 (fun ctx ->
+      let l = M.layout m in
+      M.map ctx ~vaddr:l.Vm.Layout.heap_base ~len:4096 ~writable:true;
+      let heap = heap_cap m in
+      let c = Cap.set_bounds heap ~base:(Cap.base heap) ~length:16 in
+      ignore (M.load_u64 ctx c);
+      let cost_before = M.now ctx in
+      ignore (M.load_u64 ctx c);
+      let hit_cost = M.now ctx - cost_before in
+      M.tlb_shootdown ctx ~vpages:[ Cap.base c / 4096 ];
+      let t0 = M.now ctx in
+      ignore (M.load_u64 ctx c);
+      let refill_cost = M.now ctx - t0 in
+      check "refill pays the walk" true (refill_cost >= hit_cost + Cost.tlb_walk)));
+  M.run m
+
+let () =
+  Alcotest.run "machine"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "ranges" `Quick test_prng_ranges;
+        ] );
+      ( "scheduling",
+        [
+          Alcotest.test_case "charge" `Quick test_charge_advances_clock;
+          Alcotest.test_case "two cores" `Quick test_two_cores_independent;
+          Alcotest.test_case "context switch" `Quick test_same_core_context_switch;
+          Alcotest.test_case "sleep ordering" `Quick test_sleep_ordering;
+          Alcotest.test_case "condvar wake time" `Quick test_condvar_wakeup_time;
+          Alcotest.test_case "deadlock" `Quick test_deadlock_detection;
+          Alcotest.test_case "quantum fairness" `Quick test_quantum_preemption_fairness;
+        ] );
+      ( "stw",
+        [
+          Alcotest.test_case "pause accounting" `Quick test_stw_pause_accounting;
+          Alcotest.test_case "idle park" `Quick test_stw_idle_thread_parked_in_place;
+          Alcotest.test_case "syscall drain" `Quick test_stw_syscall_drain_cost;
+          Alcotest.test_case "user cannot initiate" `Quick test_stw_user_thread_cannot_initiate;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "load/store" `Quick test_load_store_roundtrip;
+          Alcotest.test_case "cap roundtrip" `Quick test_cap_store_load_roundtrip;
+          Alcotest.test_case "cap-dirty" `Quick test_cap_store_sets_dirty;
+          Alcotest.test_case "untagged no dirty" `Quick test_untagged_store_no_dirty;
+          Alcotest.test_case "oob fault" `Quick test_capability_fault_on_oob;
+          Alcotest.test_case "untagged fault" `Quick test_capability_fault_untagged;
+          Alcotest.test_case "page fault" `Quick test_page_fault_unmapped;
+          Alcotest.test_case "cap_store page" `Quick test_store_without_capstore_page;
+          Alcotest.test_case "zero" `Quick test_zero_clears;
+        ] );
+      ( "barrier",
+        [
+          Alcotest.test_case "clg fault heals" `Quick test_clg_fault_fires_and_heals;
+          Alcotest.test_case "untagged never faults" `Quick test_untagged_load_never_faults;
+          Alcotest.test_case "load filter" `Quick test_load_filter_applies;
+          Alcotest.test_case "shootdown refill" `Quick test_tlb_shootdown_refill;
+        ] );
+    ]

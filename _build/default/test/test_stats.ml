@@ -1,0 +1,168 @@
+(* Statistics library tests. *)
+
+module Summary = Stats.Summary
+module Cdf = Stats.Cdf
+module Table = Stats.Table
+
+let checkf = Alcotest.(check (float 1e-9))
+let check = Alcotest.(check bool)
+
+let test_mean_geomean () =
+  checkf "mean" 2.0 (Summary.mean [ 1.0; 2.0; 3.0 ]);
+  checkf "geomean" 2.0 (Summary.geomean [ 1.0; 2.0; 4.0 ]);
+  Alcotest.check_raises "geomean nonpositive"
+    (Invalid_argument "Summary.geomean: non-positive sample") (fun () ->
+      ignore (Summary.geomean [ 1.0; 0.0 ]))
+
+let test_percentiles () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  checkf "p0" 1.0 (Summary.percentile xs 0.0);
+  checkf "p50" 3.0 (Summary.percentile xs 50.0);
+  checkf "p100" 5.0 (Summary.percentile xs 100.0);
+  checkf "p25 interpolated" 2.0 (Summary.percentile xs 25.0);
+  checkf "p10" 1.4 (Summary.percentile xs 10.0)
+
+let test_summary () =
+  let s = Summary.of_list [ 4.0; 1.0; 3.0; 2.0 ] in
+  Alcotest.(check int) "n" 4 s.Summary.n;
+  checkf "min" 1.0 s.Summary.min;
+  checkf "max" 4.0 s.Summary.max;
+  checkf "median" 2.5 s.Summary.median;
+  checkf "mean" 2.5 s.Summary.mean
+
+let test_cdf () =
+  let c = Cdf.of_samples [ 1.0; 2.0; 2.0; 10.0 ] in
+  checkf "below" 0.0 (Cdf.at c 0.5);
+  checkf "half" 0.75 (Cdf.at c 2.0);
+  checkf "all" 1.0 (Cdf.at c 10.0);
+  checkf "inverse median" 2.0 (Cdf.inverse c 0.5);
+  checkf "inverse max" 10.0 (Cdf.inverse c 1.0);
+  check "points nonempty" true (Cdf.points c () <> [])
+
+let test_table_renders () =
+  let t = Table.create ~header:[ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "333"; "4" ];
+  let buf = Buffer.create 64 in
+  Table.render (Format.formatter_of_buffer buf) t;
+  Format.pp_print_flush (Format.formatter_of_buffer buf) ();
+  check "contains rows" true (String.length (Buffer.contents buf) > 0)
+
+(* ---- boxplot ---- *)
+
+let test_boxplot () =
+  check "empty is None" true (Stats.Boxplot.of_samples ~label:"x" [] = None);
+  match Stats.Boxplot.of_samples ~label:"x" [ 5.0; 1.0; 3.0; 2.0; 4.0 ] with
+  | None -> Alcotest.fail "expected a box"
+  | Some b ->
+      checkf "min" 1.0 b.Stats.Boxplot.min;
+      checkf "median" 3.0 b.Stats.Boxplot.median;
+      checkf "max" 5.0 b.Stats.Boxplot.max;
+      let buf = Buffer.create 256 in
+      let f = Format.formatter_of_buffer buf in
+      Stats.Boxplot.render f ~unit:"us" [ b ];
+      Format.pp_print_flush f ();
+      check "renders" true (String.length (Buffer.contents buf) > 0)
+
+(* ---- histogram ---- *)
+
+let test_histogram_basics () =
+  let h = Stats.Histogram.create () in
+  Alcotest.check_raises "empty percentile"
+    (Invalid_argument "Histogram.percentile: empty") (fun () ->
+      ignore (Stats.Histogram.percentile h 50.0));
+  List.iter (Stats.Histogram.record h) [ 1.0; 10.0; 100.0; 1000.0 ];
+  Alcotest.(check int) "count" 4 (Stats.Histogram.count h);
+  let p50 = Stats.Histogram.percentile h 50.0 in
+  let err = Stats.Histogram.max_relative_error h in
+  check "p50 near 10" true (p50 >= 10.0 *. (1.0 -. err) && p50 <= 10.0 *. (1.0 +. 2.0 *. err));
+  check "p100 near 1000" true (Stats.Histogram.percentile h 100.0 >= 1000.0 *. (1.0 -. err))
+
+let test_histogram_merge () =
+  let a = Stats.Histogram.create () and b = Stats.Histogram.create () in
+  Stats.Histogram.record a 5.0;
+  Stats.Histogram.record b 50.0;
+  let m = Stats.Histogram.merge a b in
+  Alcotest.(check int) "merged count" 2 (Stats.Histogram.count m);
+  let bad = Stats.Histogram.create ~buckets_per_decade:8 () in
+  Alcotest.check_raises "geometry mismatch"
+    (Invalid_argument "Histogram.merge: geometry mismatch") (fun () ->
+      ignore (Stats.Histogram.merge a bad))
+
+let prop_histogram_percentile_bounded =
+  QCheck.Test.make ~name:"histogram percentile within relative-error bound of exact"
+    ~count:100
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (int_range 1 200) (map (fun x -> x +. 0.5) (float_bound_exclusive 5000.0))))
+    (fun xs ->
+      let h = Stats.Histogram.create () in
+      List.iter (Stats.Histogram.record h) xs;
+      let err = Stats.Histogram.max_relative_error h in
+      let sorted = List.sort compare xs in
+      let n = List.length sorted in
+      (* nearest-rank empirical quantile, the definition the histogram
+         upper-bounds *)
+      let exact_rank q =
+        let k = max 1 (int_of_float (ceil (q /. 100.0 *. float_of_int n))) in
+        List.nth sorted (k - 1)
+      in
+      List.for_all
+        (fun q ->
+          let exact = exact_rank q in
+          let est = Stats.Histogram.percentile h q in
+          est >= exact -. 1e-9 && est <= exact *. (1.0 +. err) +. 1e-9)
+        [ 10.0; 50.0; 90.0; 99.0 ])
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentiles are monotone in p" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 1 40) (float_bound_inclusive 1000.0))
+              (pair (float_bound_inclusive 100.0) (float_bound_inclusive 100.0)))
+    (fun (xs, (p1, p2)) ->
+      QCheck.assume (xs <> []);
+      let lo = min p1 p2 and hi = max p1 p2 in
+      Summary.percentile xs lo <= Summary.percentile xs hi +. 1e-9)
+
+let prop_cdf_inverse_consistent =
+  QCheck.Test.make ~name:"cdf(inverse q) >= q" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 1 40) (float_bound_inclusive 1000.0))
+              (float_bound_inclusive 1.0))
+    (fun (xs, q) ->
+      QCheck.assume (xs <> []);
+      let c = Cdf.of_samples xs in
+      Cdf.at c (Cdf.inverse c q) >= q -. 1e-9)
+
+let prop_summary_bounds =
+  QCheck.Test.make ~name:"mean and median lie within [min,max]" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 60) (float_bound_inclusive 1000.0))
+    (fun xs ->
+      QCheck.assume (xs <> []);
+      let s = Summary.of_list xs in
+      s.Summary.min <= s.Summary.mean +. 1e-9
+      && s.Summary.mean <= s.Summary.max +. 1e-9
+      && s.Summary.min <= s.Summary.median
+      && s.Summary.median <= s.Summary.max)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "summary",
+        [
+          Alcotest.test_case "mean/geomean" `Quick test_mean_geomean;
+          Alcotest.test_case "percentiles" `Quick test_percentiles;
+          Alcotest.test_case "summary" `Quick test_summary;
+        ] );
+      ("cdf", [ Alcotest.test_case "cdf" `Quick test_cdf ]);
+      ("boxplot", [ Alcotest.test_case "boxplot" `Quick test_boxplot ]);
+      ( "histogram",
+        [
+          Alcotest.test_case "basics" `Quick test_histogram_basics;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+        ] );
+      ("table", [ Alcotest.test_case "render" `Quick test_table_renders ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_percentile_monotone; prop_cdf_inverse_consistent;
+            prop_summary_bounds; prop_histogram_percentile_bounded ]
+      );
+    ]

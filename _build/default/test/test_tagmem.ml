@@ -1,0 +1,181 @@
+(* Tagged memory and cache model tests. *)
+
+module Mem = Tagmem.Mem
+module Cache = Tagmem.Cache
+module Cap = Cheri.Capability
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let mk () = Mem.create ~size:(1 lsl 16)
+
+let test_data_roundtrip () =
+  let m = mk () in
+  Mem.write_u64 m 128 0x1122334455667788L;
+  Alcotest.(check int64) "u64" 0x1122334455667788L (Mem.read_u64 m 128);
+  Mem.write_u8 m 200 0xab;
+  check_int "u8" 0xab (Mem.read_u8 m 200)
+
+let test_cap_roundtrip () =
+  let m = mk () in
+  let c = Cap.set_bounds (Cap.root ~length:(1 lsl 16)) ~base:256 ~length:64 in
+  Mem.write_cap m 512 c;
+  check "tag set" true (Mem.read_tag m 512);
+  check "cap equal" true (Cap.equal c (Mem.read_cap m 512));
+  (* the data bytes of a tagged granule hold the address *)
+  Alcotest.(check int64) "address in data" (Int64.of_int (Cap.addr c)) (Mem.read_u64 m 512)
+
+let test_untagged_store_clears () =
+  let m = mk () in
+  let c = Cap.set_bounds (Cap.root ~length:(1 lsl 16)) ~base:256 ~length:64 in
+  Mem.write_cap m 512 c;
+  Mem.write_cap m 512 (Cap.clear_tag c);
+  check "tag cleared" false (Mem.read_tag m 512)
+
+let test_tag_coherence_data_write () =
+  let m = mk () in
+  let c = Cap.set_bounds (Cap.root ~length:(1 lsl 16)) ~base:256 ~length:64 in
+  Mem.write_cap m 512 c;
+  Mem.write_u8 m 519 0xff;
+  check "byte store clears tag" false (Mem.read_tag m 512);
+  let loaded = Mem.read_cap m 512 in
+  check "loaded untagged" false (Cap.tag loaded);
+  Mem.write_cap m 512 c;
+  Mem.write_u64 m 520 0L;
+  check "u64 store into granule clears tag" false (Mem.read_tag m 512);
+  Mem.write_cap m 512 c;
+  (* a straddling write must clear both granules *)
+  Mem.write_cap m 528 c;
+  Mem.write_u64 m 524 0L;
+  check "straddle clears first" false (Mem.read_tag m 512);
+  check "straddle clears second" false (Mem.read_tag m 528)
+
+let test_misalignment_rejected () =
+  let m = mk () in
+  Alcotest.check_raises "read_cap unaligned" (Invalid_argument "Mem.read_cap: unaligned")
+    (fun () -> ignore (Mem.read_cap m 8))
+
+let test_clear_tag_keeps_data () =
+  let m = mk () in
+  let c = Cap.set_bounds (Cap.root ~length:(1 lsl 16)) ~base:256 ~length:64 in
+  Mem.write_cap m 512 c;
+  Mem.clear_tag m 512;
+  check "tag gone" false (Mem.read_tag m 512);
+  Alcotest.(check int64) "data intact" (Int64.of_int (Cap.addr c)) (Mem.read_u64 m 512)
+
+let test_count_and_iter () =
+  let m = mk () in
+  let c = Cap.set_bounds (Cap.root ~length:(1 lsl 16)) ~base:0 ~length:16 in
+  Mem.write_cap m 0 c;
+  Mem.write_cap m 64 c;
+  Mem.write_cap m 4096 c;
+  check_int "count in range" 2 (Mem.count_tags m ~lo:0 ~hi:4096);
+  check_int "count all" 3 (Mem.count_tags m ~lo:0 ~hi:(Mem.size m));
+  let seen = ref 0 in
+  Mem.iter_granules m ~lo:0 ~hi:128 (fun _ tagged -> if tagged then incr seen);
+  check_int "iter sees both" 2 !seen
+
+let test_fill_clears_tags () =
+  let m = mk () in
+  let c = Cap.set_bounds (Cap.root ~length:(1 lsl 16)) ~base:0 ~length:16 in
+  Mem.write_cap m 256 c;
+  Mem.fill m ~lo:0 ~hi:1024 0xcc;
+  check "fill cleared tag" false (Mem.read_tag m 256);
+  check_int "fill wrote" 0xcc (Mem.read_u8 m 300)
+
+let test_bounds_checked () =
+  let m = mk () in
+  Alcotest.check_raises "oob write"
+    (Invalid_argument
+       (Printf.sprintf "Mem: access [%#x,+%d) outside [0,%#x)" (Mem.size m) 1 (Mem.size m)))
+    (fun () -> Mem.write_u8 m (Mem.size m) 0)
+
+(* ---- cache ---- *)
+
+let test_cache_hit_miss () =
+  let c = Cache.create () in
+  let lat1 = Cache.access c ~addr:0 ~write:false in
+  let lat2 = Cache.access c ~addr:8 ~write:false in
+  check "first access misses to DRAM" true (lat1 > 100);
+  check "same line hits L1" true (lat2 <= 4);
+  let st = Cache.stats c in
+  check_int "one bus read" 1 st.Cache.bus_reads;
+  check_int "one l1 hit" 1 st.Cache.l1_hits
+
+let test_cache_l2_path () =
+  let c = Cache.create ~l1_kib:1 ~l2_kib:64 () in
+  ignore (Cache.access c ~addr:0 ~write:false);
+  (* evict line 0 from tiny L1 by touching its conflict set *)
+  ignore (Cache.access c ~addr:1024 ~write:false);
+  let lat = Cache.access c ~addr:0 ~write:false in
+  check "L2 hit latency" true (lat > 4 && lat < 100);
+  check_int "l2 hits" 1 (Cache.stats c).Cache.l2_hits
+
+let test_cache_writeback () =
+  let c = Cache.create ~l1_kib:1 ~l2_kib:4 () in
+  ignore (Cache.access c ~addr:0 ~write:true);
+  (* force eviction of the dirty line from L2 *)
+  ignore (Cache.access c ~addr:4096 ~write:false);
+  let st = Cache.stats c in
+  check_int "dirty eviction wrote back" 1 st.Cache.bus_writes
+
+let test_cache_flush () =
+  let c = Cache.create () in
+  ignore (Cache.access c ~addr:0 ~write:true);
+  Cache.flush c;
+  let st = Cache.stats c in
+  check "flush writes back dirty" true (st.Cache.bus_writes >= 1);
+  let lat = Cache.access c ~addr:0 ~write:false in
+  check "post-flush miss" true (lat > 100)
+
+let test_cache_stream_counts_bus () =
+  let c = Cache.create () in
+  let lat = Cache.access_stream c ~addr:0 ~write:false in
+  check "stream cheaper than demand miss" true (lat < 120);
+  check_int "stream still counts bus" 1 (Cache.stats c).Cache.bus_reads
+
+let test_cache_nt_no_alloc () =
+  let c = Cache.create () in
+  ignore (Cache.access_nt c ~addr:0 ~write:false);
+  let lat = Cache.access c ~addr:0 ~write:false in
+  check "nt did not install line" true (lat > 100)
+
+let prop_tag_density =
+  QCheck.Test.make ~name:"tags never exceed one per granule" ~count:100
+    QCheck.(small_list (pair (int_bound 1000) bool))
+    (fun writes ->
+      let m = Mem.create ~size:(1 lsl 14) in
+      let c = Cap.set_bounds (Cap.root ~length:(1 lsl 14)) ~base:0 ~length:16 in
+      List.iter
+        (fun (slot, tagged) ->
+          let a = slot * 16 mod Mem.size m in
+          if tagged then Mem.write_cap m a c else Mem.write_u64 m a 1L)
+        writes;
+      Mem.count_tags m ~lo:0 ~hi:(Mem.size m) <= Mem.size m / 16)
+
+let () =
+  Alcotest.run "tagmem"
+    [
+      ( "mem",
+        [
+          Alcotest.test_case "data roundtrip" `Quick test_data_roundtrip;
+          Alcotest.test_case "cap roundtrip" `Quick test_cap_roundtrip;
+          Alcotest.test_case "untagged store" `Quick test_untagged_store_clears;
+          Alcotest.test_case "tag coherence" `Quick test_tag_coherence_data_write;
+          Alcotest.test_case "misalignment" `Quick test_misalignment_rejected;
+          Alcotest.test_case "clear_tag keeps data" `Quick test_clear_tag_keeps_data;
+          Alcotest.test_case "count and iter" `Quick test_count_and_iter;
+          Alcotest.test_case "fill clears tags" `Quick test_fill_clears_tags;
+          Alcotest.test_case "bounds checked" `Quick test_bounds_checked;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit/miss" `Quick test_cache_hit_miss;
+          Alcotest.test_case "l2 path" `Quick test_cache_l2_path;
+          Alcotest.test_case "writeback" `Quick test_cache_writeback;
+          Alcotest.test_case "flush" `Quick test_cache_flush;
+          Alcotest.test_case "stream bus" `Quick test_cache_stream_counts_bus;
+          Alcotest.test_case "nt no alloc" `Quick test_cache_nt_no_alloc;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_tag_density ]);
+    ]

@@ -1,0 +1,107 @@
+(* Event tracing tests: the ring recorder and the machine's emissions. *)
+
+module M = Sim.Machine
+module Trace = Sim.Trace
+module Revoker = Ccr.Revoker
+module Mrs = Ccr.Mrs
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_ring_basics () =
+  let t = Trace.create ~capacity:4 () in
+  check_int "empty" 0 (Trace.length t);
+  Trace.emit t ~time:10 ~core:0 Trace.Clg_fault 0x1000;
+  Trace.emit t ~time:20 ~core:1 Trace.Stw_request 2;
+  check_int "two" 2 (Trace.length t);
+  check_int "no drops" 0 (Trace.dropped t);
+  (match Trace.to_list t with
+  | [ a; b ] ->
+      check_int "oldest first" 10 a.Trace.time;
+      check_int "then next" 20 b.Trace.time;
+      check "kind" true (a.Trace.kind = Trace.Clg_fault)
+  | _ -> Alcotest.fail "expected two events");
+  Trace.clear t;
+  check_int "cleared" 0 (Trace.length t)
+
+let test_ring_overwrite () =
+  let t = Trace.create ~capacity:3 () in
+  for i = 1 to 5 do
+    Trace.emit t ~time:i ~core:0 (Trace.Custom "x") i
+  done;
+  check_int "capacity bound" 3 (Trace.length t);
+  check_int "dropped" 2 (Trace.dropped t);
+  match Trace.to_list t with
+  | [ a; _; c ] ->
+      check_int "oldest retained" 3 a.Trace.time;
+      check_int "newest" 5 c.Trace.time
+  | _ -> Alcotest.fail "expected three events"
+
+let test_machine_emissions () =
+  let cfg = { M.default_config with heap_bytes = 4 lsl 20; mem_bytes = 16 lsl 20 } in
+  let m = M.create cfg in
+  let tr = Trace.create () in
+  M.attach_tracer m (Some tr);
+  let alloc = Alloc.Backend.snmalloc (Alloc.Allocator.create m) in
+  let rv = Revoker.create m ~strategy:Revoker.Reloaded ~core:2 () in
+  let mrs = Mrs.create m ~alloc ~revoker:rv () in
+  ignore
+    (M.spawn m ~name:"app" ~core:3 (fun ctx ->
+         let table = Mrs.malloc mrs ctx 64 in
+         for _ = 1 to 3000 do
+           let c = Mrs.malloc mrs ctx 256 in
+           let slot = Cheri.Capability.set_addr table (Cheri.Capability.base table) in
+           Sim.Machine.store_cap ctx slot c;
+           (* barriered loads: these trap when an epoch is in flight *)
+           ignore (Sim.Machine.load_cap ctx slot);
+           Mrs.free mrs ctx c
+         done;
+         Mrs.finish mrs ctx));
+  M.run m;
+  let events = Trace.to_list tr in
+  let count kind = List.length (List.filter (fun e -> e.Trace.kind = kind) events) in
+  check "epochs traced" true (count Trace.Epoch_begin >= 1);
+  check_int "balanced begin/end" (count Trace.Epoch_begin) (count Trace.Epoch_end);
+  check "stw triple per epoch" true
+    (count Trace.Stw_request = count Trace.Stw_stopped
+    && count Trace.Stw_stopped = count Trace.Stw_release
+    && count Trace.Stw_request = count Trace.Epoch_begin);
+  check "faults traced" true (count Trace.Clg_fault >= 1);
+  check "batches traced" true (count Trace.Revoke_batch >= 1);
+  (* timestamps are monotone per core *)
+  let last = Hashtbl.create 4 in
+  List.iter
+    (fun e ->
+      let prev = Option.value ~default:0 (Hashtbl.find_opt last e.Trace.core) in
+      check "monotone per core" true (e.Trace.time >= prev);
+      Hashtbl.replace last e.Trace.core e.Trace.time)
+    events;
+  (* dump renders *)
+  let buf = Buffer.create 512 in
+  let f = Format.formatter_of_buffer buf in
+  Trace.dump f ~last:10 tr;
+  Format.pp_print_flush f ();
+  check "dump renders" true (String.length (Buffer.contents buf) > 0)
+
+let test_detach () =
+  let cfg = { M.default_config with heap_bytes = 1 lsl 20; mem_bytes = 8 lsl 20 } in
+  let m = M.create cfg in
+  check "no tracer by default" true (M.tracer m = None);
+  let tr = Trace.create () in
+  M.attach_tracer m (Some tr);
+  M.attach_tracer m None;
+  ignore (M.spawn m ~name:"a" ~core:0 (fun ctx -> M.charge ctx 10));
+  M.run m;
+  check_int "nothing recorded when detached" 0 (Trace.length tr)
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "ring basics" `Quick test_ring_basics;
+          Alcotest.test_case "overwrite" `Quick test_ring_overwrite;
+          Alcotest.test_case "machine emissions" `Quick test_machine_emissions;
+          Alcotest.test_case "detach" `Quick test_detach;
+        ] );
+    ]

@@ -1,0 +1,257 @@
+(* Virtual memory subsystem tests: PTEs, pmap, TLB, address spaces,
+   layout arithmetic, reservations. *)
+
+module Pte = Vm.Pte
+module Pmap = Vm.Pmap
+module Tlb = Vm.Tlb
+module Phys = Vm.Phys
+module Aspace = Vm.Aspace
+module Layout = Vm.Layout
+module Reservation = Vm.Reservation
+module Mem = Tagmem.Mem
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let page = Phys.page_size
+
+let mk_phys () = Phys.create (Mem.create ~size:(1 lsl 20))
+
+let test_phys_alloc_free () =
+  let p = mk_phys () in
+  let total = Phys.total_frames p in
+  check_int "all free initially" total (Phys.free_frames p);
+  let f = Phys.alloc_frame p in
+  check_int "one taken" (total - 1) (Phys.free_frames p);
+  Phys.free_frame p f;
+  check_int "returned" total (Phys.free_frames p)
+
+let test_phys_exhaustion () =
+  let p = mk_phys () in
+  for _ = 1 to Phys.total_frames p do
+    ignore (Phys.alloc_frame p)
+  done;
+  Alcotest.check_raises "exhausted" Out_of_memory (fun () ->
+      ignore (Phys.alloc_frame p))
+
+let test_zero_frame () =
+  let p = mk_phys () in
+  let f = Phys.alloc_frame p in
+  let a = Phys.frame_addr f in
+  Tagmem.Mem.write_u64 (Phys.mem p) a 77L;
+  Phys.zero_frame p f;
+  Alcotest.(check int64) "zeroed" 0L (Tagmem.Mem.read_u64 (Phys.mem p) a)
+
+let test_pmap_basic () =
+  let pm = Pmap.create ~asid:0 in
+  let pte = Pte.make ~frame:3 ~writable:true ~clg:false in
+  Pmap.enter pm ~vpage:10 pte;
+  check "mem" true (Pmap.mem pm ~vpage:10);
+  check "lookup" true (Pmap.lookup pm ~vpage:10 = Some pte);
+  check_int "count" 1 (Pmap.page_count pm);
+  Pmap.remove pm ~vpage:10;
+  check "removed" false (Pmap.mem pm ~vpage:10)
+
+let test_pmap_sorted () =
+  let pm = Pmap.create ~asid:0 in
+  List.iter
+    (fun vp -> Pmap.enter pm ~vpage:vp (Pte.make ~frame:vp ~writable:true ~clg:false))
+    [ 9; 2; 5 ];
+  Alcotest.(check (list int)) "sorted" [ 2; 5; 9 ] (Pmap.sorted_vpages pm)
+
+let test_pmap_lock_protocol () =
+  let pm = Pmap.create ~asid:0 in
+  let contended = Pmap.lock pm ~who:1 in
+  check "uncontended" false contended;
+  Alcotest.check_raises "re-entrant"
+    (Invalid_argument "Pmap.lock: re-entrant acquisition") (fun () ->
+      ignore (Pmap.lock pm ~who:1));
+  Pmap.unlock pm ~who:1;
+  Alcotest.check_raises "unlock not holder"
+    (Invalid_argument "Pmap.unlock: not the holder") (fun () -> Pmap.unlock pm ~who:2);
+  check_int "acquisitions" 1 (Pmap.lock_acquisitions pm)
+
+let test_pmap_generation () =
+  let pm = Pmap.create ~asid:0 in
+  check "initial gen" false (Pmap.generation pm);
+  Pmap.set_generation pm true;
+  check "flipped" true (Pmap.generation pm)
+
+let test_pmap_busy () =
+  let pm = Pmap.create ~asid:0 in
+  check "not busy" false (Pmap.is_busy pm);
+  Pmap.busy pm;
+  Pmap.busy pm;
+  Pmap.unbusy pm;
+  check "still busy" true (Pmap.is_busy pm);
+  Pmap.unbusy pm;
+  Alcotest.check_raises "unbalanced" (Invalid_argument "Pmap.unbusy: not busy")
+    (fun () -> Pmap.unbusy pm)
+
+let test_tlb_fill_and_hit () =
+  let tlb = Tlb.create ~entries:16 () in
+  check "miss first" true (Tlb.lookup tlb ~vpage:5 = None);
+  let pte = Pte.make ~frame:1 ~writable:true ~clg:false in
+  let e = Tlb.insert tlb ~vpage:5 pte in
+  check "snapshot clg" false e.Tlb.clg_snapshot;
+  check "hit" true (Tlb.lookup tlb ~vpage:5 <> None);
+  check_int "hits" 1 (Tlb.hits tlb);
+  check_int "misses" 1 (Tlb.misses tlb)
+
+let test_tlb_snapshot_staleness () =
+  let tlb = Tlb.create ~entries:16 () in
+  let pte = Pte.make ~frame:1 ~writable:true ~clg:false in
+  let e = Tlb.insert tlb ~vpage:5 pte in
+  pte.Pte.clg <- true;
+  check "stale snapshot" false e.Tlb.clg_snapshot;
+  Tlb.refresh e;
+  check "refreshed" true e.Tlb.clg_snapshot
+
+let test_tlb_invalidate () =
+  let tlb = Tlb.create ~entries:16 () in
+  let pte = Pte.make ~frame:1 ~writable:true ~clg:false in
+  ignore (Tlb.insert tlb ~vpage:5 pte);
+  Tlb.invalidate_page tlb ~vpage:5;
+  check "gone" true (Tlb.lookup tlb ~vpage:5 = None);
+  ignore (Tlb.insert tlb ~vpage:5 pte);
+  Tlb.flush tlb;
+  check "flushed" true (Tlb.lookup tlb ~vpage:5 = None)
+
+let test_tlb_conflict () =
+  let tlb = Tlb.create ~entries:16 () in
+  let pte = Pte.make ~frame:1 ~writable:true ~clg:false in
+  ignore (Tlb.insert tlb ~vpage:5 pte);
+  ignore (Tlb.insert tlb ~vpage:21 pte);
+  (* direct-mapped: 21 land 15 = 5, so it evicts vpage 5 *)
+  check "evicted" true (Tlb.lookup tlb ~vpage:5 = None)
+
+let test_layout_shadow_math () =
+  let l = Layout.make ~heap_bytes:(1 lsl 20) in
+  check "heap below shadow" true (l.Layout.heap_limit < l.Layout.shadow_base);
+  let a = l.Layout.heap_base in
+  check_int "first byte" l.Layout.shadow_base (Layout.shadow_addr_of_heap l a);
+  check_int "first bit" 0 (Layout.shadow_bit_of_heap a);
+  let a2 = l.Layout.heap_base + 128 in
+  check_int "next shadow byte" (l.Layout.shadow_base + 1) (Layout.shadow_addr_of_heap l a2);
+  let a3 = l.Layout.heap_base + 16 in
+  check_int "second granule bit" 1 (Layout.shadow_bit_of_heap a3);
+  check "contains" true (Layout.contains_heap l a);
+  check "not below" false (Layout.contains_heap l (a - 1));
+  check "not at limit" false (Layout.contains_heap l l.Layout.heap_limit)
+
+let test_aspace_map_translate () =
+  let phys = mk_phys () in
+  let layout = Layout.make ~heap_bytes:(1 lsl 18) in
+  let asp = Aspace.create phys layout ~asid:0 in
+  let va = layout.Layout.heap_base in
+  let fresh = Aspace.map_range asp ~vaddr:va ~len:(3 * page) ~writable:true in
+  check_int "three pages" 3 fresh;
+  check_int "idempotent" 0 (Aspace.map_range asp ~vaddr:va ~len:page ~writable:true);
+  (match Aspace.translate asp (va + 123) with
+  | Some (pa, pte) ->
+      check "offset preserved" true (pa land (page - 1) = (va + 123) land (page - 1));
+      check "writable" true pte.Pte.writable
+  | None -> Alcotest.fail "translate failed");
+  check "unmapped is None" true (Aspace.translate asp (va + (100 * page)) = None)
+
+let test_aspace_unmap () =
+  let phys = mk_phys () in
+  let layout = Layout.make ~heap_bytes:(1 lsl 18) in
+  let asp = Aspace.create phys layout ~asid:0 in
+  let va = layout.Layout.heap_base in
+  let free0 = Phys.free_frames phys in
+  ignore (Aspace.map_range asp ~vaddr:va ~len:(2 * page) ~writable:true);
+  let removed = Aspace.unmap_range asp ~vaddr:va ~len:(2 * page) in
+  check_int "two removed" 2 (List.length removed);
+  check_int "frames returned" free0 (Phys.free_frames phys);
+  check "gone" true (Aspace.translate asp va = None)
+
+let test_aspace_new_pte_generation () =
+  let phys = mk_phys () in
+  let layout = Layout.make ~heap_bytes:(1 lsl 18) in
+  let asp = Aspace.create phys layout ~asid:0 in
+  Pmap.set_generation (Aspace.pmap asp) true;
+  ignore (Aspace.map_range asp ~vaddr:layout.Layout.heap_base ~len:page ~writable:true);
+  match Aspace.translate asp layout.Layout.heap_base with
+  | Some (_, pte) -> check "adopts generation" true pte.Pte.clg
+  | None -> Alcotest.fail "unmapped"
+
+let test_reservation_lifecycle () =
+  let r = Reservation.make ~base:(16 * page) ~length:(4 * page) in
+  check "active" true (Reservation.state r = Reservation.Active);
+  check "not guarded" false (Reservation.is_guarded r (16 * page));
+  Reservation.unmap_part r ~off:0 ~len:page;
+  check "guarded hole" true (Reservation.is_guarded r (16 * page));
+  check "rest mapped" false (Reservation.is_guarded r (17 * page));
+  check "still active" true (Reservation.state r = Reservation.Active);
+  Reservation.unmap_part r ~off:page ~len:(3 * page);
+  check "quarantined when empty" true (Reservation.state r = Reservation.Quarantined);
+  Reservation.release r;
+  check "released" true (Reservation.state r = Reservation.Released)
+
+let test_reservation_errors () =
+  Alcotest.check_raises "unaligned" (Invalid_argument "Reservation.make: page alignment")
+    (fun () -> ignore (Reservation.make ~base:100 ~length:page));
+  let r = Reservation.make ~base:0 ~length:(2 * page) in
+  Alcotest.check_raises "bad range" (Invalid_argument "Reservation.unmap_part: bad range")
+    (fun () -> Reservation.unmap_part r ~off:0 ~len:(3 * page));
+  Alcotest.check_raises "release active"
+    (Invalid_argument "Reservation.release: not quarantined") (fun () ->
+      Reservation.release r)
+
+let test_reservation_double_unmap_idempotent () =
+  let r = Reservation.make ~base:0 ~length:(2 * page) in
+  Reservation.unmap_part r ~off:0 ~len:page;
+  Reservation.unmap_part r ~off:0 ~len:page;
+  check "still active after double unmap of same page" true
+    (Reservation.state r = Reservation.Active)
+
+let prop_shadow_bijection =
+  QCheck.Test.make ~name:"shadow byte/bit addressing is injective per granule"
+    ~count:300
+    QCheck.(pair (int_bound 4000) (int_bound 4000))
+    (fun (g1, g2) ->
+      let l = Layout.make ~heap_bytes:(1 lsl 20) in
+      let a1 = l.Layout.heap_base + (g1 * 16) and a2 = l.Layout.heap_base + (g2 * 16) in
+      g1 = g2
+      || Layout.shadow_addr_of_heap l a1 <> Layout.shadow_addr_of_heap l a2
+      || Layout.shadow_bit_of_heap a1 <> Layout.shadow_bit_of_heap a2)
+
+let () =
+  Alcotest.run "vm"
+    [
+      ( "phys",
+        [
+          Alcotest.test_case "alloc/free" `Quick test_phys_alloc_free;
+          Alcotest.test_case "exhaustion" `Quick test_phys_exhaustion;
+          Alcotest.test_case "zero frame" `Quick test_zero_frame;
+        ] );
+      ( "pmap",
+        [
+          Alcotest.test_case "basic" `Quick test_pmap_basic;
+          Alcotest.test_case "sorted" `Quick test_pmap_sorted;
+          Alcotest.test_case "lock protocol" `Quick test_pmap_lock_protocol;
+          Alcotest.test_case "generation" `Quick test_pmap_generation;
+          Alcotest.test_case "busy" `Quick test_pmap_busy;
+        ] );
+      ( "tlb",
+        [
+          Alcotest.test_case "fill and hit" `Quick test_tlb_fill_and_hit;
+          Alcotest.test_case "snapshot staleness" `Quick test_tlb_snapshot_staleness;
+          Alcotest.test_case "invalidate" `Quick test_tlb_invalidate;
+          Alcotest.test_case "conflict eviction" `Quick test_tlb_conflict;
+        ] );
+      ("layout", [ Alcotest.test_case "shadow math" `Quick test_layout_shadow_math ]);
+      ( "aspace",
+        [
+          Alcotest.test_case "map/translate" `Quick test_aspace_map_translate;
+          Alcotest.test_case "unmap" `Quick test_aspace_unmap;
+          Alcotest.test_case "new pte generation" `Quick test_aspace_new_pte_generation;
+        ] );
+      ( "reservation",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_reservation_lifecycle;
+          Alcotest.test_case "errors" `Quick test_reservation_errors;
+          Alcotest.test_case "double unmap" `Quick test_reservation_double_unmap_idempotent;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_shadow_bijection ]);
+    ]
