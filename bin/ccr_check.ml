@@ -1,0 +1,195 @@
+(* ccr_check: protocol checking front end.
+
+   Phase 1 runs every revocation strategy over a set of SPEC workload
+   profiles with the shadow-state sanitizer and the vector-clock
+   happens-before checker attached, expecting zero reports.
+
+   Phase 2 proves the checkers are load-bearing: it re-runs a small
+   churn rig with seeded protocol mutations (Revoker.inject_fault) and
+   requires each mutation to be caught under its own rule.
+
+   Exits nonzero if any clean run reports a violation, any run is
+   vacuous (no revocation epochs), or any mutation goes undetected.
+
+     dune exec bin/ccr_check.exe -- --scale 0.1
+     dune exec bin/ccr_check.exe -- --profiles hmmer_retro --skip-mutations *)
+
+open Cmdliner
+module Machine = Sim.Machine
+module Cap = Cheri.Capability
+module Runtime = Ccr.Runtime
+module Revoker = Ccr.Revoker
+module Mrs = Ccr.Mrs
+module Epoch = Ccr.Epoch
+module Sanitizer = Analysis.Sanitizer
+module Race = Analysis.Race
+
+(* ---- phase 1: clean runs ---- *)
+
+let check_profile ~seed ~scale name =
+  match Workload.Profile.find name with
+  | exception Not_found ->
+      Format.eprintf "unknown profile %S@." name;
+      [ false ]
+  | p ->
+      List.map
+        (fun strategy ->
+          let san = ref None and race = ref None in
+          let tracer = Sim.Trace.create () in
+          let result =
+            Workload.Spec.run ~seed ~ops_scale:scale ~tracer
+              ~on_runtime:(fun rt ->
+                san :=
+                  Some
+                    (Sanitizer.attach ?revoker:rt.Runtime.revoker
+                       rt.Runtime.machine);
+                race := Some (Race.attach rt.Runtime.machine))
+              ~mode:(Runtime.Safe strategy) p
+          in
+          let san = Option.get !san and race = Option.get !race in
+          Sanitizer.finish san;
+          let revs =
+            match result.Workload.Result.mrs with
+            | Some s -> s.Mrs.revocations
+            | None -> 0
+          in
+          let ok = Sanitizer.ok san && Race.ok race && revs > 0 in
+          Format.printf "%-14s %-12s %-4s (%d epochs, %d events)@." name
+            (Revoker.strategy_name strategy)
+            (if ok then "ok" else "FAIL")
+            revs (Sim.Trace.total tracer);
+          if not (Sanitizer.ok san) then
+            Sanitizer.report Format.std_formatter san;
+          if not (Race.ok race) then Race.report Format.std_formatter race;
+          if revs = 0 then
+            Format.printf "  no revocation epoch ran: the check is vacuous@.";
+          ok)
+        Revoker.extended_strategies
+
+(* ---- phase 2: seeded protocol mutations ---- *)
+
+let cfg =
+  { Machine.default_config with heap_bytes = 4 lsl 20; mem_bytes = 16 lsl 20 }
+
+(* The test_revoker churn rig: scatter aliases of a victim allocation
+   through memory, registers and a kernel hoard, free it, and churn until
+   its batch's epoch closes. *)
+let mutation_run strategy fault =
+  let m = Machine.create cfg in
+  Machine.attach_tracer m (Some (Sim.Trace.create ()));
+  let alloc = Alloc.Backend.snmalloc (Alloc.Allocator.create m) in
+  let hoards = Kernel.Hoard.create () in
+  let rv = Revoker.create m ~strategy ~core:2 ~hoards () in
+  let mrs = Mrs.create m ~alloc ~revoker:rv () in
+  let san = Sanitizer.attach ~revoker:rv m in
+  Revoker.inject_fault rv fault;
+  ignore
+    (Machine.spawn m ~name:"app" ~core:3 (fun ctx ->
+         let regs = Machine.regs (Machine.self ctx) in
+         let table = Mrs.malloc mrs ctx 4096 in
+         Sim.Regfile.set regs 0 table;
+         let slot i = Cap.set_addr table (Cap.base table + (i * 16)) in
+         let victim = Mrs.malloc mrs ctx 128 in
+         Machine.store_u64 ctx victim 0x5ec2e7L;
+         Machine.store_cap ctx (slot 0) victim;
+         Sim.Regfile.set regs 5 victim;
+         ignore (Kernel.Hoard.register hoards ctx victim);
+         let painted_at = Epoch.counter (Revoker.epoch rv) in
+         Mrs.free mrs ctx victim;
+         let rng = Sim.Prng.create ~seed:11 in
+         while not (Epoch.is_clean (Revoker.epoch rv) ~painted_at) do
+           let c = Mrs.malloc mrs ctx (64 + (16 * Sim.Prng.int rng 16)) in
+           Machine.store_u64 ctx c 1L;
+           Mrs.free mrs ctx c
+         done;
+         Mrs.finish mrs ctx));
+  Machine.run m;
+  Sanitizer.finish san;
+  san
+
+let mutations =
+  [
+    (Revoker.Reloaded, Revoker.Early_dequarantine, "early-dequarantine");
+    (Revoker.Cornucopia, Revoker.Skip_shootdown, "missing-shootdown");
+    (Revoker.Reloaded, Revoker.Skip_hoard_scan, "missing-hoard-scan");
+  ]
+
+let check_mutations () =
+  let baselines =
+    List.map
+      (fun strategy ->
+        let san = mutation_run strategy None in
+        let ok = Sanitizer.ok san in
+        Format.printf "rig %-12s no fault            %-4s@."
+          (Revoker.strategy_name strategy)
+          (if ok then "ok" else "FAIL");
+        if not ok then Sanitizer.report Format.std_formatter san;
+        ok)
+      [ Revoker.Reloaded; Revoker.Cornucopia ]
+  in
+  let detected =
+    List.map
+      (fun (strategy, fault, rule) ->
+        let san = mutation_run strategy (Some fault) in
+        let n = Sanitizer.count san rule in
+        let ok = n > 0 in
+        Format.printf "rig %-12s %-19s %-4s (%d %S report(s))@."
+          (Revoker.strategy_name strategy)
+          (Revoker.fault_name fault)
+          (if ok then "ok" else "MISSED")
+          n rule;
+        if not ok then Sanitizer.report Format.std_formatter san;
+        ok)
+      mutations
+  in
+  baselines @ detected
+
+(* ---- driver ---- *)
+
+let profiles_arg =
+  Arg.(
+    value
+    & opt (list string) [ "hmmer_retro"; "hmmer_nph3" ]
+    & info [ "profiles"; "p" ] ~docv:"NAMES"
+        ~doc:"Comma-separated SPEC profiles to check.")
+
+let scale_arg =
+  Arg.(
+    value & opt float 0.1
+    & info [ "scale" ] ~doc:"Operation-count scale per profile.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic seed.")
+
+let skip_mutations_arg =
+  Arg.(
+    value & flag
+    & info [ "skip-mutations" ] ~doc:"Only run the clean-workload checks.")
+
+let main profiles scale seed skip_mutations =
+  let clean =
+    List.concat_map (fun p -> check_profile ~seed ~scale p) profiles
+  in
+  let mutated = if skip_mutations then [] else check_mutations () in
+  let all = clean @ mutated in
+  let failed = List.length (List.filter not all) in
+  if failed = 0 then begin
+    Format.printf "ccr_check: %d check(s) passed@." (List.length all);
+    0
+  end
+  else begin
+    Format.printf "ccr_check: %d of %d check(s) FAILED@." failed
+      (List.length all);
+    1
+  end
+
+let cmd =
+  Cmd.v
+    (Cmd.info "ccr_check" ~version:"1.0"
+       ~doc:
+         "Check the revocation protocol with the shadow-state sanitizer \
+          and the happens-before race detector.")
+    Term.(
+      const main $ profiles_arg $ scale_arg $ seed_arg $ skip_mutations_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,125 @@
+module Machine = Sim.Machine
+module Trace = Sim.Trace
+
+type race = {
+  c_rule : string;
+  c_addr : int;
+  c_time : int;
+  c_core : int;
+  c_paint_core : int;
+}
+
+type access = { a_vc : int array; a_core : int }
+
+type t = {
+  tracer : Trace.t;
+  mutable sub : int option;
+  vc : int array array; (* per-core vector clocks *)
+  chan : int array; (* the quarantine queue, modelled as a channel *)
+  paints : (int, access) Hashtbl.t; (* region base -> painting access *)
+  mutable found : race list; (* newest first *)
+}
+
+let join dst src =
+  for k = 0 to Array.length dst - 1 do
+    if src.(k) > dst.(k) then dst.(k) <- src.(k)
+  done
+
+let leq a b =
+  let ok = ref true in
+  for k = 0 to Array.length a - 1 do
+    if a.(k) > b.(k) then ok := false
+  done;
+  !ok
+
+let check t (e : Trace.event) rule =
+  let addr = e.Trace.arg and core = e.Trace.core in
+  match Hashtbl.find_opt t.paints addr with
+  | None -> ()
+  | Some a ->
+      if not (leq a.a_vc t.vc.(core)) then
+        t.found <-
+          {
+            c_rule = rule;
+            c_addr = addr;
+            c_time = e.Trace.time;
+            c_core = core;
+            c_paint_core = a.a_core;
+          }
+          :: t.found
+
+let on_event t (e : Trace.event) =
+  let core = e.Trace.core in
+  if core >= 0 && core < Array.length t.vc then begin
+    let me = t.vc.(core) in
+    me.(core) <- me.(core) + 1;
+    match e.Trace.kind with
+    | Trace.Stw_stopped ->
+        (* every user thread has parked: the initiator has observed them *)
+        Array.iter (fun other -> join me other) t.vc
+    | Trace.Stw_release ->
+        (* the world resumes having observed whatever the initiator did *)
+        Array.iter (fun other -> join other me) t.vc
+    | Trace.Tlb_shootdown ->
+        (* the IPI is acknowledged by every core *)
+        Array.iter (fun other -> join other me) t.vc
+    | Trace.Quarantine_enq -> join t.chan me
+    | Trace.Quarantine_deq -> join me t.chan
+    | Trace.Paint ->
+        Hashtbl.replace t.paints e.Trace.arg
+          { a_vc = Array.copy me; a_core = core }
+    | Trace.Unpaint -> check t e "unordered-clear"
+    | Trace.Reuse ->
+        check t e "unordered-reuse";
+        Hashtbl.remove t.paints e.Trace.arg
+    | _ -> ()
+  end
+
+let attach m =
+  let tracer =
+    match Machine.tracer m with
+    | Some tr -> tr
+    | None ->
+        let tr = Trace.create () in
+        Machine.attach_tracer m (Some tr);
+        tr
+  in
+  let n = Machine.num_cores m in
+  let t =
+    {
+      tracer;
+      sub = None;
+      vc = Array.init n (fun _ -> Array.make n 0);
+      chan = Array.make n 0;
+      paints = Hashtbl.create 1024;
+      found = [];
+    }
+  in
+  t.sub <- Some (Trace.subscribe tracer (on_event t));
+  t
+
+let detach t =
+  match t.sub with
+  | None -> ()
+  | Some id ->
+      Trace.unsubscribe t.tracer id;
+      t.sub <- None
+
+let races t = List.rev t.found
+let ok t = t.found = []
+
+let report fmt t =
+  if ok t then Format.fprintf fmt "race detector: no races@."
+  else begin
+    Format.fprintf fmt "race detector: %d race(s)@." (List.length t.found);
+    let shown = ref 0 in
+    List.iter
+      (fun r ->
+        if !shown < 10 then begin
+          incr shown;
+          Format.fprintf fmt
+            "  [%d] %s of 0x%x on core %d, painted on core %d@." r.c_time
+            r.c_rule r.c_addr r.c_core r.c_paint_core
+        end)
+      (races t)
+  end

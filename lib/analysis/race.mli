@@ -1,0 +1,42 @@
+(** Vector-clock happens-before checker for quarantine hand-offs.
+
+    Each core carries a vector clock, advanced by every traced event it
+    initiates. Synchronization edges come from the machine's own
+    coordination events:
+
+    - a completed stop-the-world quiesce ([Stw_stopped]) makes the
+      initiator inherit every core's history, and the release
+      ([Stw_release]) publishes the initiator's history to every core —
+      the paper's "thread_single" barrier (§4.4);
+    - a TLB shootdown publishes the initiator's history to all cores
+      (the IPI acknowledgement, §2.2.4);
+    - the quarantine queue is a channel: [Quarantine_enq] joins the
+      enqueuer's clock into the channel, [Quarantine_deq] joins the
+      channel into the dequeuer (the revoker's condition-variable
+      hand-off).
+
+    A region's [Paint] is the racing access: the later [Unpaint] (bitmap
+    clear) and [Reuse] (allocator release) must be ordered after it by
+    those edges alone. A clear or reuse whose core's clock has not
+    absorbed the paint is reported as a race — e.g. a thread resetting
+    revocation state off to the side of the epoch protocol. A clean run
+    of any strategy produces no reports: every hand-off flows through
+    the quarantine channel or a stop-the-world. *)
+
+type race = {
+  c_rule : string;  (** ["unordered-clear"] or ["unordered-reuse"] *)
+  c_addr : int;
+  c_time : int;  (** when the unordered access happened *)
+  c_core : int;  (** core of the unordered access *)
+  c_paint_core : int;  (** core that painted the region *)
+}
+
+type t
+
+val attach : Sim.Machine.t -> t
+(** Subscribe to the machine's tracer (installing one if absent). *)
+
+val detach : t -> unit
+val races : t -> race list
+val ok : t -> bool
+val report : Format.formatter -> t -> unit

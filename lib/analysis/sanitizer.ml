@@ -1,0 +1,419 @@
+module Capability = Cheri.Capability
+module Machine = Sim.Machine
+module Trace = Sim.Trace
+module Epoch = Ccr.Epoch
+module Revoker = Ccr.Revoker
+module Revmap = Ccr.Revmap
+module Pmap = Vm.Pmap
+module Phys = Vm.Phys
+module Pte = Vm.Pte
+
+type violation = {
+  v_rule : string;
+  v_time : int;
+  v_core : int;
+  v_detail : string;
+}
+
+(* Quarantine lifecycle of one freed region, mirrored from the event
+   stream. [Cleared] regions await their [Reuse] event, which drops them
+   from the table. *)
+type state = Painted | Enqueued | Dequarantined | Cleared
+
+let state_name = function
+  | Painted -> "painted"
+  | Enqueued -> "enqueued"
+  | Dequarantined -> "dequarantined"
+  | Cleared -> "cleared"
+
+type region = {
+  r_size : int;
+  r_painted_at : int; (* epoch counter when painted *)
+  mutable r_state : state;
+}
+
+let max_stored = 200
+
+type t = {
+  m : Machine.t;
+  revoker : Revoker.t option;
+  tracer : Trace.t;
+  mutable sub : int option;
+  regions : (int, region) Hashtbl.t;
+  mutable counter : int; (* mirrored epoch counter *)
+  mutable in_epoch : bool;
+  mutable begin_arg : int;
+  mutable in_stw : bool;
+  (* per-epoch event counts, reset at [Epoch_begin] *)
+  mutable ep_sweeps : int;
+  mutable ep_shootdowns : int;
+  mutable ep_hoard_scans : int;
+  mutable ep_clg_toggles : int;
+  (* independent byte accounts: event-derived vs. region-table-derived *)
+  mutable painted_bytes : int;
+  mutable unpainted_bytes : int;
+  (* regions quarantined when the current epoch began, sorted by base *)
+  mutable snapshot : (int * int) array;
+  mutable stored : violation list; (* newest first, capped *)
+  mutable total : int;
+  counts : (string, int) Hashtbl.t;
+}
+
+let strategy t = Option.map Revoker.strategy t.revoker
+
+let violation t ~time ~core rule detail =
+  t.total <- t.total + 1;
+  Hashtbl.replace t.counts rule
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts rule));
+  if t.total <= max_stored then
+    t.stored <-
+      { v_rule = rule; v_time = time; v_core = core; v_detail = detail }
+      :: t.stored
+
+(* ---- snapshot of quarantined regions, with binary search ---- *)
+
+let take_snapshot t =
+  let acc = ref [] in
+  Hashtbl.iter
+    (fun addr r ->
+      match r.r_state with
+      | Painted | Enqueued -> acc := (addr, r.r_size) :: !acc
+      | Dequarantined | Cleared -> ())
+    t.regions;
+  let a = Array.of_list !acc in
+  Array.sort (fun (x, _) (y, _) -> compare x y) a;
+  t.snapshot <- a
+
+let in_snapshot t a =
+  let s = t.snapshot in
+  let n = Array.length s in
+  if n = 0 then None
+  else begin
+    (* greatest base <= a *)
+    let lo = ref 0 and hi = ref (n - 1) and best = ref (-1) in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let base, _ = s.(mid) in
+      if base <= a then begin
+        best := mid;
+        lo := mid + 1
+      end
+      else hi := mid - 1
+    done;
+    if !best < 0 then None
+    else
+      let base, size = s.(!best) in
+      if a < base + size then Some (base, size) else None
+  end
+
+(* ---- end-of-epoch shadow sweep (host-side, zero simulated cost) ---- *)
+
+let sweep_stale t ~time ~core =
+  if Array.length t.snapshot > 0 then begin
+    let mem = Machine.mem t.m in
+    let pmap = Vm.Aspace.pmap (Machine.aspace t.m) in
+    Pmap.iter pmap ~f:(fun vpage pte ->
+        let base = Phys.frame_addr pte.Pte.frame in
+        Tagmem.Mem.iter_granules mem ~lo:base ~hi:(base + Phys.page_size)
+          (fun pa tagged ->
+            if tagged then
+              let c = Tagmem.Mem.read_cap mem pa in
+              match in_snapshot t (Capability.base c) with
+              | Some (rbase, _) ->
+                  let st =
+                    match Hashtbl.find_opt t.regions rbase with
+                    | Some r -> state_name r.r_state
+                    | None -> "gone"
+                  in
+                  let painted =
+                    match t.revoker with
+                    | Some rv ->
+                        if
+                          Revmap.test_host (Revoker.revmap rv)
+                            (Capability.base c)
+                        then "painted"
+                        else "unpainted"
+                    | None -> "?"
+                  in
+                  violation t ~time ~core "stale-cap-memory"
+                    (Printf.sprintf
+                       "pa 0x%x (vpage 0x%x) holds cap 0x%x into quarantined \
+                        0x%x (%s, bitmap %s) after epoch %d"
+                       pa vpage (Capability.base c) rbase st painted t.counter)
+              | None -> ()));
+    List.iter
+      (fun th ->
+        Sim.Regfile.iteri (Machine.regs th) (fun i c ->
+            if Capability.tag c then
+              match in_snapshot t (Capability.base c) with
+              | Some (rbase, _) ->
+                  violation t ~time ~core "stale-cap-regfile"
+                    (Printf.sprintf
+                       "%s r%d holds cap into quarantined 0x%x after epoch %d"
+                       (Machine.thread_name th) i rbase t.counter)
+              | None -> ()))
+      (Machine.user_threads t.m);
+    match t.revoker with
+    | None -> ()
+    | Some rv ->
+        Kernel.Hoard.iter (Revoker.hoards rv) ~f:(fun h c ->
+            if Capability.tag c then
+              match in_snapshot t (Capability.base c) with
+              | Some (rbase, _) ->
+                  violation t ~time ~core "stale-cap-hoard"
+                    (Printf.sprintf
+                       "hoard handle %d holds cap into quarantined 0x%x \
+                        after epoch %d"
+                       h rbase t.counter)
+              | None -> ())
+  end
+
+let table_bytes t =
+  Hashtbl.fold
+    (fun _ r acc ->
+      match r.r_state with
+      | Painted | Enqueued | Dequarantined -> acc + r.r_size
+      | Cleared -> acc)
+    t.regions 0
+
+let check_accounting t ~time ~core =
+  let live = table_bytes t in
+  let net = t.painted_bytes - t.unpainted_bytes in
+  if live <> net then
+    violation t ~time ~core "quarantine-accounting"
+      (Printf.sprintf
+         "painted-unpainted = %d bytes but region table holds %d" net live);
+  match t.revoker with
+  | None -> ()
+  | Some rv ->
+      let bitmap = Revmap.set_bits (Revoker.revmap rv) * 16 in
+      if bitmap <> net then
+        violation t ~time ~core "quarantine-accounting"
+          (Printf.sprintf "revocation bitmap holds %d bytes, events say %d"
+             bitmap net)
+
+(* ---- per-event transition function ---- *)
+
+let on_event t (e : Trace.event) =
+  let time = e.Trace.time and core = e.Trace.core in
+  let v = violation t ~time ~core in
+  match e.Trace.kind with
+  | Trace.Stw_stopped -> t.in_stw <- true
+  | Trace.Stw_release -> t.in_stw <- false
+  | Trace.Epoch_begin ->
+      let arg = e.Trace.arg in
+      if t.in_epoch then v "epoch-unbalanced" "Epoch_begin inside an epoch";
+      if arg land 1 <> 0 then
+        v "epoch-parity" (Printf.sprintf "epoch begins at odd counter %d" arg);
+      if arg <> t.counter then
+        v "epoch-monotonic"
+          (Printf.sprintf "epoch begins at %d, expected counter %d" arg
+             t.counter);
+      t.in_epoch <- true;
+      t.begin_arg <- arg;
+      t.counter <- arg + 1;
+      t.ep_sweeps <- 0;
+      t.ep_shootdowns <- 0;
+      t.ep_hoard_scans <- 0;
+      t.ep_clg_toggles <- 0;
+      take_snapshot t
+  | Trace.Epoch_end ->
+      let arg = e.Trace.arg in
+      if not t.in_epoch then v "epoch-unbalanced" "Epoch_end outside an epoch";
+      if arg land 1 <> 0 then
+        v "epoch-parity" (Printf.sprintf "epoch ends at odd counter %d" arg);
+      if t.in_epoch && arg <> t.begin_arg + 2 then
+        v "epoch-monotonic"
+          (Printf.sprintf "epoch began at %d but ends at %d" t.begin_arg arg);
+      t.counter <- arg;
+      t.in_epoch <- false;
+      (match strategy t with
+      | Some Revoker.Cornucopia ->
+          if t.ep_sweeps > 0 && t.ep_shootdowns = 0 then
+            v "missing-shootdown"
+              (Printf.sprintf
+                 "Cornucopia epoch swept %d pages with no TLB shootdown"
+                 t.ep_sweeps)
+      | _ -> ());
+      (match t.revoker with
+      | Some rv when Revoker.strategy rv <> Revoker.Paint_sync ->
+          if
+            Kernel.Hoard.size (Revoker.hoards rv) > 0
+            && t.ep_hoard_scans = 0
+          then
+            v "missing-hoard-scan"
+              (Printf.sprintf
+                 "epoch ended with %d hoarded capabilities never scanned"
+                 (Kernel.Hoard.size (Revoker.hoards rv)))
+      | Some _ | None -> ());
+      (match strategy t with
+      | Some Revoker.Paint_sync | None -> ()
+      | Some _ -> sweep_stale t ~time ~core);
+      check_accounting t ~time ~core;
+      t.snapshot <- [||]
+  | Trace.Paint -> (
+      let addr = e.Trace.arg and size = e.Trace.arg2 in
+      match Hashtbl.find_opt t.regions addr with
+      | Some r when r.r_state <> Cleared ->
+          v "double-paint"
+            (Printf.sprintf "0x%x painted while already %s" addr
+               (state_name r.r_state));
+          t.painted_bytes <- t.painted_bytes + size
+      | Some _ | None ->
+          Hashtbl.replace t.regions addr
+            { r_size = size; r_painted_at = t.counter; r_state = Painted };
+          t.painted_bytes <- t.painted_bytes + size)
+  | Trace.Unpaint -> (
+      let addr = e.Trace.arg and size = e.Trace.arg2 in
+      t.unpainted_bytes <- t.unpainted_bytes + size;
+      match Hashtbl.find_opt t.regions addr with
+      | None ->
+          v "unpaint-not-dequarantined"
+            (Printf.sprintf "0x%x cleared but never painted" addr)
+      | Some r ->
+          if r.r_state <> Dequarantined then
+            v "unpaint-not-dequarantined"
+              (Printf.sprintf "0x%x cleared while %s" addr
+                 (state_name r.r_state));
+          r.r_state <- Cleared)
+  | Trace.Quarantine_enq -> (
+      let addr = e.Trace.arg in
+      match Hashtbl.find_opt t.regions addr with
+      | Some ({ r_state = Painted; _ } as r) -> r.r_state <- Enqueued
+      | Some r ->
+          v "enqueue-unpainted"
+            (Printf.sprintf "0x%x enqueued while %s" addr (state_name r.r_state))
+      | None ->
+          v "enqueue-unpainted"
+            (Printf.sprintf "0x%x enqueued but never painted" addr))
+  | Trace.Quarantine_deq -> (
+      let addr = e.Trace.arg in
+      match Hashtbl.find_opt t.regions addr with
+      | Some ({ r_state = Enqueued; _ } as r) ->
+          if t.counter < Epoch.clean_target r.r_painted_at then
+            v "early-dequarantine"
+              (Printf.sprintf
+                 "0x%x painted at epoch %d left quarantine at %d (clean \
+                  target %d)"
+                 addr r.r_painted_at t.counter
+                 (Epoch.clean_target r.r_painted_at));
+          r.r_state <- Dequarantined
+      | Some r ->
+          v "dequeue-not-enqueued"
+            (Printf.sprintf "0x%x dequeued while %s" addr (state_name r.r_state))
+      | None ->
+          v "dequeue-not-enqueued"
+            (Printf.sprintf "0x%x dequeued but never painted" addr))
+  | Trace.Reuse -> (
+      let addr = e.Trace.arg in
+      match Hashtbl.find_opt t.regions addr with
+      | None -> v "early-reuse" (Printf.sprintf "0x%x reused, never painted" addr)
+      | Some r ->
+          (match r.r_state with
+          | Painted | Enqueued ->
+              v "early-reuse"
+                (Printf.sprintf "0x%x reused while still %s" addr
+                   (state_name r.r_state))
+          | Dequarantined | Cleared ->
+              if t.counter < Epoch.clean_target r.r_painted_at then
+                v "early-reuse"
+                  (Printf.sprintf
+                     "0x%x painted at epoch %d reused at %d (clean target %d)"
+                     addr r.r_painted_at t.counter
+                     (Epoch.clean_target r.r_painted_at)));
+          Hashtbl.remove t.regions addr)
+  | Trace.Tlb_shootdown -> t.ep_shootdowns <- t.ep_shootdowns + 1
+  | Trace.Hoard_scan -> t.ep_hoard_scans <- t.ep_hoard_scans + 1
+  | Trace.Page_sweep -> t.ep_sweeps <- t.ep_sweeps + 1
+  | Trace.Clg_toggle ->
+      t.ep_clg_toggles <- t.ep_clg_toggles + 1;
+      if not t.in_stw then
+        v "clg-toggle-outside-stw"
+          "capability-load generation flipped without the world stopped";
+      if t.ep_clg_toggles > 1 then
+        v "clg-double-toggle"
+          (Printf.sprintf "generation flipped %d times in one epoch"
+             t.ep_clg_toggles);
+      let gen0 = Machine.core_clg t.m 0 in
+      for i = 1 to Machine.num_cores t.m - 1 do
+        if Machine.core_clg t.m i <> gen0 then
+          v "clg-core-disagreement"
+            (Printf.sprintf "core %d generation differs from core 0 after \
+                             toggle" i)
+      done
+  | Trace.Stw_request | Trace.Clg_fault | Trace.Context_switch
+  | Trace.Revoke_batch | Trace.Custom _ ->
+      ()
+
+let attach ?revoker m =
+  let tracer =
+    match Machine.tracer m with
+    | Some tr -> tr
+    | None ->
+        let tr = Trace.create () in
+        Machine.attach_tracer m (Some tr);
+        tr
+  in
+  let t =
+    {
+      m;
+      revoker;
+      tracer;
+      sub = None;
+      regions = Hashtbl.create 1024;
+      counter = 0;
+      in_epoch = false;
+      begin_arg = 0;
+      in_stw = false;
+      ep_sweeps = 0;
+      ep_shootdowns = 0;
+      ep_hoard_scans = 0;
+      ep_clg_toggles = 0;
+      painted_bytes = 0;
+      unpainted_bytes = 0;
+      snapshot = [||];
+      stored = [];
+      total = 0;
+      counts = Hashtbl.create 16;
+    }
+  in
+  t.sub <- Some (Trace.subscribe tracer (on_event t));
+  t
+
+let detach t =
+  match t.sub with
+  | None -> ()
+  | Some id ->
+      Trace.unsubscribe t.tracer id;
+      t.sub <- None
+
+let finish t =
+  let time = Machine.global_time t.m in
+  if t.in_epoch then
+    violation t ~time ~core:(-1) "epoch-unbalanced"
+      "run finished inside an open epoch";
+  check_accounting t ~time ~core:(-1)
+
+let violations t = List.rev t.stored
+let total_violations t = t.total
+let count t rule = Option.value ~default:0 (Hashtbl.find_opt t.counts rule)
+let ok t = t.total = 0
+
+let report fmt t =
+  if ok t then Format.fprintf fmt "sanitizer: no violations@."
+  else begin
+    Format.fprintf fmt "sanitizer: %d violation(s)@." t.total;
+    let rules =
+      List.sort compare (Hashtbl.fold (fun k n acc -> (k, n) :: acc) t.counts [])
+    in
+    List.iter (fun (r, n) -> Format.fprintf fmt "  %-28s %6d@." r n) rules;
+    let shown = ref 0 in
+    List.iter
+      (fun v ->
+        if !shown < 10 then begin
+          incr shown;
+          Format.fprintf fmt "  [%d @ core %d] %s: %s@." v.v_time v.v_core
+            v.v_rule v.v_detail
+        end)
+      (violations t)
+  end

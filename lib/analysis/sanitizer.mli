@@ -1,0 +1,64 @@
+(** Shadow-state sanitizer for the revocation protocol.
+
+    Subscribes to the machine's lossless event stream
+    ({!Sim.Trace.subscribe}) and replays the quarantine lifecycle of
+    every freed region against the paper's protocol:
+
+    - epoch counters stay even outside revocations, odd inside, and
+      advance by exactly two per epoch (§2.2.3);
+    - no region leaves quarantine, and no freed memory is reused, before
+      the epoch counter reaches {!Ccr.Epoch.clean_target} of the counter
+      at paint time (§2.2.3);
+    - the quarantine bitmap's byte accounting balances: painted bytes
+      equal unpainted bytes plus the regions still in flight;
+    - Cornucopia epochs that sweep concurrently issue TLB shootdowns
+      (§2.2.5), and every sweeping strategy scans the kernel capability
+      hoards while the hoards are non-empty (§4.4);
+    - the capability-load generation toggles only with the world stopped,
+      exactly once per epoch, and every core agrees afterwards (§4.1);
+    - when an epoch ends, a shadow sweep of all mapped pages, user
+      register files and kernel hoards finds no tagged capability whose
+      base lies in a region that was quarantined when the epoch began
+      (§3.2's invariant, checked against host state with zero simulated
+      cost).
+
+    The checks are host-side only: attaching a sanitizer never charges a
+    simulated cycle, so instrumented runs are cycle-identical to bare
+    ones. *)
+
+type violation = {
+  v_rule : string;  (** stable rule identifier, e.g. ["early-reuse"] *)
+  v_time : int;  (** core-local cycle of the offending event *)
+  v_core : int;
+  v_detail : string;
+}
+
+type t
+
+val attach : ?revoker:Ccr.Revoker.t -> Sim.Machine.t -> t
+(** Attach to the machine's tracer (installing a fresh tracer if none is
+    attached yet) and begin checking. [revoker] enables the checks that
+    need protocol context: strategy-specific rules, bitmap cross-checks
+    and the hoard handle. Without it only the event-stream lifecycle
+    rules run. *)
+
+val detach : t -> unit
+(** Stop observing; recorded violations remain readable. *)
+
+val violations : t -> violation list
+(** Violations in detection order (capped; see {!total_violations}). *)
+
+val total_violations : t -> int
+(** Including any beyond the storage cap. *)
+
+val count : t -> string -> int
+(** Number of violations of one rule. *)
+
+val ok : t -> bool
+
+val finish : t -> unit
+(** Run the end-of-run checks (accounting balance, unterminated epoch).
+    Call after {!Sim.Machine.run} returns. *)
+
+val report : Format.formatter -> t -> unit
+(** Human-readable summary: per-rule counts and first examples. *)

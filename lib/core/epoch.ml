@@ -14,7 +14,11 @@ let bump t ctx ~want_parity =
 
 let begin_revocation t ctx = bump t ctx ~want_parity:0
 let end_revocation t ctx = bump t ctx ~want_parity:1
-let clean_target e = if e land 1 = 0 then e + 2 else e + 3
+let clean_target e =
+  let t = if e land 1 = 0 then e + 2 else e + 3 in
+  (* saturate instead of wrapping negative near max_int: memory painted
+     that late is simply never considered clean *)
+  if t < e then max_int else t
 let is_clean t ~painted_at = t.counter >= clean_target painted_at
 
 let wait_clean t ctx ~painted_at =

@@ -24,7 +24,8 @@ val end_revocation : t -> Sim.Machine.ctx -> unit
 val clean_target : int -> int
 (** [clean_target e] is the counter value at which memory painted at
     counter value [e] is known revoked: [e + 2] when [e] is even,
-    [e + 3] when odd. *)
+    [e + 3] when odd. Saturates at [max_int] rather than wrapping if
+    [e] is within 3 of [max_int]. *)
 
 val is_clean : t -> painted_at:int -> bool
 

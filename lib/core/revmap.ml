@@ -74,8 +74,15 @@ let rmw_range t ctx ~addr ~size ~set =
     incr w
   done
 
-let paint t ctx ~addr ~size = rmw_range t ctx ~addr ~size ~set:true
-let clear t ctx ~addr ~size = rmw_range t ctx ~addr ~size ~set:false
+let paint t ctx ~addr ~size =
+  rmw_range t ctx ~addr ~size ~set:true;
+  Machine.trace_emit t.m ~time:(Machine.now ctx) ~core:(Machine.core_id ctx)
+    ~arg2:size Sim.Trace.Paint addr
+
+let clear t ctx ~addr ~size =
+  rmw_range t ctx ~addr ~size ~set:false;
+  Machine.trace_emit t.m ~time:(Machine.now ctx) ~core:(Machine.core_id ctx)
+    ~arg2:size Sim.Trace.Unpaint addr
 
 let test t ctx a =
   if not (Layout.contains_heap t.layout a) then false

@@ -20,6 +20,15 @@ let extended_strategies = all_strategies @ [ Cheriot_filter ]
 
 type batch = { entries : (int * int) list; bytes : int }
 
+(* Deliberate protocol mutations, used by the sanitizer's mutation tests
+   (and nothing else) to prove each invariant check actually fires. *)
+type fault = Skip_shootdown | Skip_hoard_scan | Early_dequarantine
+
+let fault_name = function
+  | Skip_shootdown -> "skip-shootdown"
+  | Skip_hoard_scan -> "skip-hoard-scan"
+  | Early_dequarantine -> "early-dequarantine"
+
 type phase_record = {
   epoch_index : int;
   requested_at : int;
@@ -71,11 +80,15 @@ type t = {
   mutable barrier_armed : bool;
       (* Reloaded: set once the epoch-opening stop-the-world has completed,
          i.e. from when the §3.2 invariant is established *)
+  mutable fault : fault option;
 }
 
 let strategy t = t.strategy
 let epoch t = t.epoch
 let revmap t = t.revmap
+let hoards t = t.hoards
+let inject_fault t f = t.fault <- f
+let injected_fault t = t.fault
 let set_on_clean t f = t.on_clean <- Some f
 let in_flight t = t.in_flight
 let currently_revoking t = t.current_entries
@@ -116,7 +129,8 @@ let scan_roots t ctx =
   List.iter
     (fun th -> revoked := !revoked + Sweep.scan_regfile ctx t.revmap (Machine.regs th))
     (Machine.user_threads t.m);
-  revoked := !revoked + Sweep.scan_hoard ctx t.revmap t.hoards;
+  if t.fault <> Some Skip_hoard_scan then
+    revoked := !revoked + Sweep.scan_hoard ctx t.revmap t.hoards;
   !revoked
 
 let sweep_vpage t ctx vp =
@@ -288,7 +302,8 @@ let run_cornucopia t ctx =
                 pte.Pte.cap_dirty <- false;
                 Machine.charge ctx Cost.pte_update
               end);
-          Machine.tlb_shootdown ctx ~vpages:[ vp ];
+          if t.fault <> Some Skip_shootdown then
+            Machine.tlb_shootdown ctx ~vpages:[ vp ];
           let st = Sweep.sweep_page ~non_temporal:t.non_temporal ctx t.revmap ~pte in
           incr pages;
           revoked := !revoked + st.Sweep.revoked)
@@ -302,6 +317,12 @@ let run_cornucopia t ctx =
           (fun vp ->
             match Pmap.lookup pmap ~vpage:vp with
             | Some pte when pte.Pte.cap_dirty ->
+                (* a page first capability-dirtied during the concurrent
+                   phase has never entered the visit set; record it or the
+                   NEXT epoch will skip it while it still holds
+                   capabilities swept only up to this epoch's quarantine
+                   (§4.5's never-forget discipline) *)
+                Hashtbl.replace t.visit_set vp ();
                 pte.Pte.cap_dirty <- false;
                 Machine.charge ctx Cost.pte_update;
                 let st =
@@ -419,6 +440,23 @@ let run_epoch t ctx batches =
   | None -> ());
   Epoch.begin_revocation t.epoch ctx;
   let idx = Epoch.counter t.epoch in
+  let delivered = ref false in
+  let deliver () =
+    if not !delivered then begin
+      delivered := true;
+      List.iter
+        (fun b ->
+          List.iter
+            (fun (addr, size) ->
+              Machine.trace_emit t.m ~time:(Machine.now ctx) ~core:t.core
+                ~arg2:size Sim.Trace.Quarantine_deq addr)
+            b.entries;
+          match t.on_clean with None -> () | Some f -> f ctx b)
+        batches
+    end
+  in
+  (* mutation hook: hand the quarantine back before the sweep has run *)
+  if t.fault = Some Early_dequarantine then deliver ();
   let o =
     match t.strategy with
     | Paint_sync -> run_paint_sync t ctx
@@ -450,9 +488,7 @@ let run_epoch t ctx batches =
     }
     :: t.records;
   (* the batches processed by this epoch are now clean: dequarantine *)
-  (match t.on_clean with
-  | None -> ()
-  | Some f -> List.iter (fun b -> f ctx b) batches);
+  deliver ();
   t.current_entries <- [];
   t.in_flight <- false
 
@@ -479,6 +515,11 @@ let thread_body t ctx =
   loop ()
 
 let enqueue t ctx batch =
+  List.iter
+    (fun (addr, size) ->
+      Machine.trace_emit t.m ~time:(Machine.now ctx) ~core:(Machine.core_id ctx)
+        ~arg2:size Sim.Trace.Quarantine_enq addr)
+    batch.entries;
   t.queue <- batch :: t.queue;
   t.queued_bytes <- t.queued_bytes + batch.bytes;
   Machine.broadcast ctx t.work_cv
@@ -516,6 +557,7 @@ let create m ~strategy ~core ?(non_temporal = false)
       total_bytes = 0;
       current_entries = [];
       barrier_armed = false;
+      fault = None;
     }
   in
   (match strategy with

@@ -40,6 +40,19 @@ val extended_strategies : strategy list
 type batch = { entries : (int * int) list; bytes : int }
 (** Quarantined regions, [(addr, size)] pairs, already painted. *)
 
+type fault = Skip_shootdown | Skip_hoard_scan | Early_dequarantine
+(** Deliberate protocol mutations for sanitizer self-tests:
+    - [Skip_shootdown]: Cornucopia omits the per-page TLB shootdown after
+      clearing capability-dirty bits (§2.2.5 violation — racing stores
+      through stale TLB entries escape the re-sweep).
+    - [Skip_hoard_scan]: root scans omit the kernel capability hoards
+      (§4.4 violation — hoarded stale capabilities survive the epoch).
+    - [Early_dequarantine]: batches are handed back to the allocator at
+      epoch {e begin} instead of epoch end (§2.2.3 violation — memory is
+      reused while stale capabilities still exist). *)
+
+val fault_name : fault -> string
+
 type phase_record = {
   epoch_index : int; (** counter value during the revocation (odd) *)
   requested_at : int; (** cycle the epoch's work began *)
@@ -77,6 +90,14 @@ val create :
 val strategy : t -> strategy
 val epoch : t -> Epoch.t
 val revmap : t -> Revmap.t
+val hoards : t -> Kernel.Hoard.t
+
+val inject_fault : t -> fault option -> unit
+(** Arm (or disarm, with [None]) a protocol mutation. Only sanitizer
+    self-tests should ever set this: the resulting runs are deliberately
+    temporal-safety-unsound. *)
+
+val injected_fault : t -> fault option
 
 val set_on_clean : t -> (Sim.Machine.ctx -> batch -> unit) -> unit
 (** Callback invoked (on the revoker thread) for each batch whose

@@ -42,6 +42,8 @@ let sweep_page ?(non_temporal = false) ctx revmap ~pte =
       end
     end
   done;
+  Machine.trace_emit (Machine.machine ctx) ~time:(Machine.now ctx)
+    ~core:(Machine.core_id ctx) ~arg2:!revoked Sim.Trace.Page_sweep base;
   { granules = n; tagged = !tagged; revoked = !revoked; upgraded = !upgraded }
 
 let scan_regfile ctx revmap regs =
@@ -63,4 +65,6 @@ let scan_hoard ctx revmap hoard =
         c')
   in
   Machine.charge ctx (n * Cost.alu);
+  Machine.trace_emit (Machine.machine ctx) ~time:(Machine.now ctx)
+    ~core:(Machine.core_id ctx) ~arg2:!revoked Sim.Trace.Hoard_scan n;
   !revoked

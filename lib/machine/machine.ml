@@ -161,11 +161,16 @@ let global_time m =
   Array.fold_left (fun acc c -> max acc c.clock) 0 m.cores
 
 let cache_stats m i = Cache.stats m.cores.(i).cache
-let attach_tracer m t = m.trace <- t
+let attach_tracer m t =
+  (match t with Some tr -> Trace.set_warn_on_drop tr true | None -> ());
+  m.trace <- t
+
 let tracer m = m.trace
 
-let trace_emit m ~time ~core kind arg =
-  match m.trace with None -> () | Some t -> Trace.emit t ~time ~core kind arg
+let trace_emit m ~time ~core ?(arg2 = 0) kind arg =
+  match m.trace with
+  | None -> ()
+  | Some t -> Trace.emit t ~time ~core ~arg2 kind arg
 
 let spawn m ~name ~core ?(user = true) body =
   if core < 0 || core >= Array.length m.cores then invalid_arg "Machine.spawn: core";
@@ -374,7 +379,9 @@ let toggle_clg ctx =
       charge ctx Cost.alu)
     m.cores;
   let pmap = Aspace.pmap m.aspace in
-  Pmap.set_generation pmap (not (Pmap.generation pmap))
+  Pmap.set_generation pmap (not (Pmap.generation pmap));
+  trace_emit m ~time:(core_of ctx).clock ~core:ctx.th.tcore Trace.Clg_toggle
+    (if Pmap.generation pmap then 1 else 0)
 
 let core_clg m i = m.cores.(i).clg
 let set_clg_fault_handler m h = m.clg_handler <- h
@@ -572,7 +579,9 @@ let tlb_shootdown ctx ~vpages =
       (fun c ->
         List.iter (fun vp -> Tlb.invalidate_page c.tlb ~vpage:vp) vpages;
         charge ctx Cost.tlb_shootdown_per_core)
-      ctx.m.cores
+      ctx.m.cores;
+    trace_emit ctx.m ~time:(core_of ctx).clock ~core:ctx.th.tcore
+      Trace.Tlb_shootdown (List.length vpages)
   end
 
 let map ctx ~vaddr ~len ~writable =

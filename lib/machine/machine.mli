@@ -230,10 +230,18 @@ val translate : ctx -> int -> (int * Vm.Pte.t) option
 
 val attach_tracer : t -> Trace.t option -> unit
 (** Attach (or detach) an event recorder: the machine then emits
-    stop-the-world request/stop/release, CLG-fault, and context-switch
-    events; other layers may emit through the same recorder. *)
+    stop-the-world request/stop/release, CLG-fault, CLG-toggle,
+    TLB-shootdown, and context-switch events; other layers may emit
+    through the same recorder. Attaching enables the recorder's
+    drop warning ({!Trace.set_warn_on_drop}) so a truncated ring is
+    never silently observed. *)
 
 val tracer : t -> Trace.t option
+
+val trace_emit : t -> time:int -> core:int -> ?arg2:int -> Trace.kind -> int -> unit
+(** Emit through the attached recorder, if any — the emission point used
+    by higher layers (revoker, revmap, sweep) so analyses can subscribe
+    to one stream. No-op without a tracer. *)
 
 (** {1 Statistics} *)
 

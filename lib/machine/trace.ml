@@ -7,6 +7,15 @@ type kind =
   | Epoch_begin
   | Epoch_end
   | Revoke_batch
+  | Paint
+  | Unpaint
+  | Quarantine_enq
+  | Quarantine_deq
+  | Reuse
+  | Tlb_shootdown
+  | Clg_toggle
+  | Hoard_scan
+  | Page_sweep
   | Custom of string
 
 let kind_name = function
@@ -18,26 +27,70 @@ let kind_name = function
   | Epoch_begin -> "epoch-begin"
   | Epoch_end -> "epoch-end"
   | Revoke_batch -> "revoke-batch"
+  | Paint -> "paint"
+  | Unpaint -> "unpaint"
+  | Quarantine_enq -> "quarantine-enq"
+  | Quarantine_deq -> "quarantine-deq"
+  | Reuse -> "reuse"
+  | Tlb_shootdown -> "tlb-shootdown"
+  | Clg_toggle -> "clg-toggle"
+  | Hoard_scan -> "hoard-scan"
+  | Page_sweep -> "page-sweep"
   | Custom s -> s
 
-type event = { time : int; core : int; kind : kind; arg : int }
+type event = { time : int; core : int; kind : kind; arg : int; arg2 : int }
 
 type t = {
   ring : event array;
   mutable next : int; (* total emitted *)
+  mutable subscribers : (int * (event -> unit)) list;
+  mutable next_sub : int;
+  mutable warn_on_drop : bool;
+  mutable warned : bool;
 }
 
-let dummy = { time = 0; core = -1; kind = Custom "empty"; arg = 0 }
+let dummy = { time = 0; core = -1; kind = Custom "empty"; arg = 0; arg2 = 0 }
 
 let create ?(capacity = 4096) () =
   if capacity <= 0 then invalid_arg "Trace.create";
-  { ring = Array.make capacity dummy; next = 0 }
+  {
+    ring = Array.make capacity dummy;
+    next = 0;
+    subscribers = [];
+    next_sub = 0;
+    warn_on_drop = false;
+    warned = false;
+  }
 
-let emit t ~time ~core kind arg =
-  t.ring.(t.next mod Array.length t.ring) <- { time; core; kind; arg };
-  t.next <- t.next + 1
+let set_warn_on_drop t flag = t.warn_on_drop <- flag
+
+let emit t ~time ~core ?(arg2 = 0) kind arg =
+  let e = { time; core; kind; arg; arg2 } in
+  if t.next >= Array.length t.ring && t.warn_on_drop && not t.warned then begin
+    t.warned <- true;
+    Printf.eprintf
+      "Trace: ring capacity %d exceeded; older events are being dropped \
+       (subscribers still observe the full stream)\n%!"
+      (Array.length t.ring)
+  end;
+  t.ring.(t.next mod Array.length t.ring) <- e;
+  t.next <- t.next + 1;
+  match t.subscribers with
+  | [] -> ()
+  | subs -> List.iter (fun (_, f) -> f e) subs
+
+let subscribe t f =
+  let id = t.next_sub in
+  t.next_sub <- t.next_sub + 1;
+  (* oldest-first callback order *)
+  t.subscribers <- t.subscribers @ [ (id, f) ];
+  id
+
+let unsubscribe t id =
+  t.subscribers <- List.filter (fun (i, _) -> i <> id) t.subscribers
 
 let length t = min t.next (Array.length t.ring)
+let total t = t.next
 let dropped t = max 0 (t.next - Array.length t.ring)
 
 let to_list t =
@@ -47,10 +100,17 @@ let to_list t =
   List.init n (fun i -> t.ring.((first + i) mod cap))
 
 let iter t f = List.iter f (to_list t)
-let clear t = t.next <- 0
+
+let clear t =
+  t.next <- 0;
+  t.warned <- false
 
 let pp_event fmt e =
-  Format.fprintf fmt "%12d c%d %-14s %#x" e.time e.core (kind_name e.kind) e.arg
+  if e.arg2 = 0 then
+    Format.fprintf fmt "%12d c%d %-14s %#x" e.time e.core (kind_name e.kind) e.arg
+  else
+    Format.fprintf fmt "%12d c%d %-14s %#x %#x" e.time e.core (kind_name e.kind)
+      e.arg e.arg2
 
 let dump fmt ?last t =
   let events = to_list t in
@@ -61,5 +121,7 @@ let dump fmt ?last t =
         let len = List.length events in
         List.filteri (fun i _ -> i >= len - n) events
   in
-  if dropped t > 0 then Format.fprintf fmt "(%d older events dropped)@." (dropped t);
+  if dropped t > 0 then
+    Format.fprintf fmt "(%d events emitted; %d older events dropped)@." t.next
+      (dropped t);
   List.iter (fun e -> Format.fprintf fmt "%a@." pp_event e) events

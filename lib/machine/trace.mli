@@ -1,10 +1,16 @@
-(** Bounded event tracing.
+(** Bounded event tracing with lossless subscribers.
 
     A fixed-capacity ring of timestamped events, cheap enough to leave
     attached to a machine during benchmarking. The machine emits
     scheduler- and barrier-level events when a tracer is attached
     ({!Machine.attach_tracer}); higher layers (the revoker, the shim) may
-    emit their own through the same recorder. *)
+    emit their own through the same recorder.
+
+    The ring drops old events once full — fine for post-mortem dumps,
+    fatal for protocol checkers. Analyses that must observe every event
+    (e.g. [Analysis.Sanitizer]) register a {!subscribe} callback, which
+    is invoked synchronously on every {!emit} and bypasses the ring
+    entirely. *)
 
 type kind =
   | Stw_request
@@ -12,9 +18,18 @@ type kind =
   | Stw_release
   | Clg_fault
   | Context_switch
-  | Epoch_begin
-  | Epoch_end
-  | Revoke_batch
+  | Epoch_begin  (** arg: epoch counter before the begin increment *)
+  | Epoch_end  (** arg: epoch counter after the end increment *)
+  | Revoke_batch  (** arg: quarantine bytes handed to the epoch *)
+  | Paint  (** arg: region base; arg2: size (quarantine bitmap set) *)
+  | Unpaint  (** arg: region base; arg2: size (bitmap cleared) *)
+  | Quarantine_enq  (** arg: region base; arg2: size (batch to revoker) *)
+  | Quarantine_deq  (** arg: region base; arg2: size (epoch closed) *)
+  | Reuse  (** arg: region base; arg2: size (returned to allocator) *)
+  | Tlb_shootdown  (** arg: number of pages invalidated on every core *)
+  | Clg_toggle  (** arg: the new generation (0/1) all cores adopt *)
+  | Hoard_scan  (** arg: hoarded capabilities scanned *)
+  | Page_sweep  (** arg: frame base swept; arg2: capabilities revoked *)
   | Custom of string
 
 val kind_name : kind -> string
@@ -24,6 +39,7 @@ type event = {
   core : int;
   kind : kind;
   arg : int; (** kind-specific: vaddr, counter value, bytes, ... *)
+  arg2 : int; (** secondary payload (region size, revoked count); 0 if unused *)
 }
 
 type t
@@ -31,9 +47,25 @@ type t
 val create : ?capacity:int -> unit -> t
 (** Default capacity 4096 events; older events are overwritten. *)
 
-val emit : t -> time:int -> core:int -> kind -> int -> unit
+val emit : t -> time:int -> core:int -> ?arg2:int -> kind -> int -> unit
+
+val subscribe : t -> (event -> unit) -> int
+(** Register a lossless callback invoked on every subsequent {!emit}
+    (before any ring overwrite can drop the event). Returns an id for
+    {!unsubscribe}. Callbacks run in subscription order. *)
+
+val unsubscribe : t -> int -> unit
+
+val set_warn_on_drop : t -> bool -> unit
+(** When enabled, the first event that overwrites an unread slot prints
+    a one-shot warning to stderr. {!Machine.attach_tracer} enables this
+    so a truncated ring is never silently mistaken for the full stream. *)
+
 val length : t -> int
 (** Events currently retained (≤ capacity). *)
+
+val total : t -> int
+(** Events emitted since creation (retained or not). *)
 
 val dropped : t -> int
 (** Events overwritten since creation. *)
@@ -46,4 +78,6 @@ val clear : t -> unit
 
 val pp_event : Format.formatter -> event -> unit
 val dump : Format.formatter -> ?last:int -> t -> unit
-(** Print the most recent [last] events (default: all retained). *)
+(** Print the most recent [last] events (default: all retained),
+    prefixed by an emitted/dropped accounting line when the ring has
+    overflowed. *)

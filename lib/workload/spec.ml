@@ -108,7 +108,7 @@ let birth_op (p : Profile.t) rt ctx rng regs table =
   | Some slot -> alloc_into p rt ctx rng regs table slot
 
 let run ?(seed = 1) ?(ops_scale = 1.0) ?policy ?(non_temporal = false)
-    ?(allocator = Runtime.Snmalloc) ?tracer ~mode (p : Profile.t) =
+    ?(allocator = Runtime.Snmalloc) ?tracer ?on_runtime ~mode (p : Profile.t) =
   let heap_bytes = Profile.heap_bytes_needed p in
   let config =
     {
@@ -123,6 +123,7 @@ let run ?(seed = 1) ?(ops_scale = 1.0) ?policy ?(non_temporal = false)
   in
   let m = rt.Runtime.machine in
   Machine.attach_tracer m tracer;
+  (match on_runtime with Some f -> f rt | None -> ());
   let rng = Prng.create ~seed:(seed * 7919) in
   let ops = int_of_float (float_of_int p.Profile.ops *. ops_scale) in
   let wall_end = ref 0 in

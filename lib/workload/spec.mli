@@ -15,9 +15,12 @@ val run :
   ?non_temporal:bool ->
   ?allocator:Ccr.Runtime.allocator_kind ->
   ?tracer:Sim.Trace.t ->
+  ?on_runtime:(Ccr.Runtime.t -> unit) ->
   mode:Ccr.Runtime.mode ->
   Profile.t ->
   Result.t
 (** [ops_scale] multiplies the profile's operation count (default 1.0).
     The same [seed] produces the same operation stream across modes, so
-    results are paired. *)
+    results are paired. [on_runtime] is called with the freshly-built
+    runtime after the tracer is attached but before any thread runs —
+    the hook analyses (sanitizer, race detector) use to subscribe. *)

@@ -397,6 +397,67 @@ let test_phase_ordering () =
   check "reloaded stw tiny vs cherivoke" true (rel < 0.15 *. chv);
   check "reloaded stw below cornucopia" true (rel < cor)
 
+(* ---- epoch arithmetic and wakeup edges (§2.2.3) ---- *)
+
+let test_clean_target_parity () =
+  (* painted while the counter is even (no epoch in flight): the next
+     full epoch suffices, +2. Painted mid-epoch (odd): the in-flight
+     epoch may already have swept past it, so it must also survive the
+     one after, +3. *)
+  check_int "even 0" 2 (Epoch.clean_target 0);
+  check_int "odd 1" 4 (Epoch.clean_target 1);
+  check_int "even 2" 4 (Epoch.clean_target 2);
+  check_int "odd 3" 6 (Epoch.clean_target 3)
+
+let test_clean_target_saturates () =
+  (* near max_int the +2/+3 must saturate, not wrap negative: memory
+     painted that late is simply never considered clean *)
+  check_int "even near max" max_int (Epoch.clean_target (max_int - 1));
+  check_int "odd at max" max_int (Epoch.clean_target max_int);
+  check "monotone at the edge" true
+    (Epoch.clean_target (max_int - 3) <= Epoch.clean_target (max_int - 1))
+
+let test_is_clean_boundary () =
+  let m = M.create cfg in
+  let e = Epoch.create () in
+  ignore
+    (M.spawn m ~name:"rev" ~core:0 ~user:false (fun ctx ->
+         check "not clean at 0" false (Epoch.is_clean e ~painted_at:0);
+         Epoch.begin_revocation e ctx;
+         check "mid-epoch not clean" false (Epoch.is_clean e ~painted_at:0);
+         check "in progress" true (Epoch.in_progress e);
+         Epoch.end_revocation e ctx;
+         (* counter = 2 = clean_target 0: clean at exactly the target *)
+         check "clean exactly at target" true (Epoch.is_clean e ~painted_at:0);
+         check "painted mid-epoch still dirty" false
+           (Epoch.is_clean e ~painted_at:1);
+         Epoch.begin_revocation e ctx;
+         check "still dirty at 3" false (Epoch.is_clean e ~painted_at:1);
+         Epoch.end_revocation e ctx;
+         check "clean at 4" true (Epoch.is_clean e ~painted_at:1)));
+  M.run m
+
+let test_wait_clean_wakes_at_target () =
+  let m = M.create cfg in
+  let e = Epoch.create () in
+  let observed = ref (-1) in
+  ignore
+    (M.spawn m ~name:"waiter" ~core:1 (fun ctx ->
+         Epoch.wait_clean e ctx ~painted_at:0;
+         observed := Epoch.counter e));
+  ignore
+    (M.spawn m ~name:"rev" ~core:0 ~user:false (fun ctx ->
+         M.sleep ctx 100;
+         Epoch.begin_revocation e ctx;
+         (* the begin broadcast wakes the waiter, but counter = 1 is
+            below clean_target 0 = 2: it must go back to sleep *)
+         M.sleep ctx 100;
+         check_int "waiter not woken early" (-1) !observed;
+         Epoch.end_revocation e ctx;
+         M.sleep ctx 100));
+  M.run m;
+  check_int "woke exactly at clean target" 2 !observed
+
 let () =
   let soundness =
     List.map
@@ -432,6 +493,16 @@ let () =
             test_cornucopia_needs_rescan;
           Alcotest.test_case "mid-epoch free held over" `Quick
             test_free_during_epoch_held_over;
+        ] );
+      ( "epoch",
+        [
+          Alcotest.test_case "clean_target parity" `Quick
+            test_clean_target_parity;
+          Alcotest.test_case "clean_target saturates" `Quick
+            test_clean_target_saturates;
+          Alcotest.test_case "is_clean boundary" `Quick test_is_clean_boundary;
+          Alcotest.test_case "wait_clean wakes at target" `Quick
+            test_wait_clean_wakes_at_target;
         ] );
       ( "extensions",
         [

@@ -37,6 +37,44 @@ let test_ring_overwrite () =
       check_int "newest" 5 c.Trace.time
   | _ -> Alcotest.fail "expected three events"
 
+let test_subscribers_lossless () =
+  let t = Trace.create ~capacity:4 () in
+  let seen = ref 0 and last_arg = ref (-1) in
+  let id =
+    Trace.subscribe t (fun e ->
+        incr seen;
+        last_arg := e.Trace.arg)
+  in
+  for i = 1 to 100 do
+    Trace.emit t ~time:i ~core:0 (Trace.Custom "x") i
+  done;
+  check_int "ring stays bounded" 4 (Trace.length t);
+  check_int "total counts everything" 100 (Trace.total t);
+  check_int "dropped accounted" 96 (Trace.dropped t);
+  check_int "subscriber saw every event" 100 !seen;
+  check_int "in order" 100 !last_arg;
+  Trace.unsubscribe t id;
+  Trace.emit t ~time:101 ~core:0 (Trace.Custom "x") 101;
+  check_int "unsubscribed callback silent" 100 !seen;
+  check_int "emission still recorded" 101 (Trace.total t)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_dump_reports_drops () =
+  let t = Trace.create ~capacity:2 () in
+  for i = 1 to 5 do
+    Trace.emit t ~time:i ~core:0 (Trace.Custom "x") i
+  done;
+  let buf = Buffer.create 256 in
+  let f = Format.formatter_of_buffer buf in
+  Trace.dump f t;
+  Format.pp_print_flush f ();
+  check "dump discloses the truncation" true
+    (contains (Buffer.contents buf) "dropped")
+
 let test_machine_emissions () =
   let cfg = { M.default_config with heap_bytes = 4 lsl 20; mem_bytes = 16 lsl 20 } in
   let m = M.create cfg in
@@ -101,6 +139,10 @@ let () =
         [
           Alcotest.test_case "ring basics" `Quick test_ring_basics;
           Alcotest.test_case "overwrite" `Quick test_ring_overwrite;
+          Alcotest.test_case "subscribers lossless" `Quick
+            test_subscribers_lossless;
+          Alcotest.test_case "dump reports drops" `Quick
+            test_dump_reports_drops;
           Alcotest.test_case "machine emissions" `Quick test_machine_emissions;
           Alcotest.test_case "detach" `Quick test_detach;
         ] );
