@@ -118,6 +118,42 @@ let ratio ~test ~base = float_of_int test /. float_of_int base
 let pct (r : Result.t) q =
   Stats.Summary.percentile (Array.to_list r.Result.latencies_us) q
 
+(* One flat record per (profile x mode) spec run, for machine-readable
+   output: overheads are against the same profile's Baseline run, and
+   the pause tail is the p99 of per-epoch world-stopped durations. *)
+type json_record = {
+  j_strategy : string;
+  j_profile : string;
+  j_cycles : int;
+  j_overhead_pct : float;
+  j_pause_p99 : float;
+}
+
+let json_records t =
+  ensure_spec t;
+  List.concat_map
+    (fun workload ->
+      let base = (Hashtbl.find t.spec (workload, "baseline")).Result.wall_cycles in
+      List.map
+        (fun mode ->
+          let r = Hashtbl.find t.spec (workload, mode) in
+          let pauses =
+            List.map
+              (fun p -> float_of_int p.Revoker.stw_cycles)
+              r.Result.phases
+          in
+          {
+            j_strategy = mode;
+            j_profile = workload;
+            j_cycles = r.Result.wall_cycles;
+            j_overhead_pct = overhead_pct ~test:r.Result.wall_cycles ~base;
+            j_pause_p99 =
+              (if pauses = [] then 0.0
+               else Stats.Summary.percentile pauses 99.0);
+          })
+        mode_names)
+    spec_names
+
 (* median over per-epoch phase records *)
 let phase_median records f =
   match records with

@@ -31,8 +31,29 @@ let all_targets : (string * string * (Campaign.t -> unit)) list =
     ("micro", "bechamel microbenchmarks of primitives", fun _ -> Micro.run ());
   ]
 
+(* Machine-readable output: one flat JSON record per (profile x mode)
+   spec run, for dashboards and CI trend tracking. *)
+let write_json path records =
+  let oc = open_out path in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i (r : Campaign.json_record) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  {\"strategy\": %S, \"profile\": %S, \"cycles\": %d, \
+            \"overhead_pct\": %.4f, \"pause_p99\": %.1f}"
+           r.Campaign.j_strategy r.Campaign.j_profile r.Campaign.j_cycles
+           r.Campaign.j_overhead_pct r.Campaign.j_pause_p99))
+    records;
+  Buffer.add_string buf "\n]\n";
+  Buffer.output_buffer oc buf;
+  close_out oc
+
 let usage () =
-  print_endline "usage: main.exe [--scale S] [--seed N] [--list] [target ...]";
+  print_endline
+    "usage: main.exe [--scale S] [--seed N] [--json OUT] [--list] [target ...]";
   print_endline "targets:";
   List.iter (fun (n, d, _) -> Printf.printf "  %-18s %s\n" n d) all_targets;
   print_endline "(no targets = run everything)"
@@ -40,6 +61,7 @@ let usage () =
 let () =
   let scale = ref 0.5 in
   let seed = ref 1 in
+  let json_out = ref None in
   let targets = ref [] in
   let rec parse = function
     | [] -> ()
@@ -48,6 +70,9 @@ let () =
         parse rest
     | "--seed" :: v :: rest ->
         seed := int_of_string v;
+        parse rest
+    | "--json" :: v :: rest ->
+        json_out := Some v;
         parse rest
     | ("--list" | "--help" | "-h") :: _ ->
         usage ();
@@ -66,7 +91,11 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   let chosen =
     match List.rev !targets with
-    | [] -> List.map (fun (n, _, _) -> n) all_targets
+    | [] ->
+        (* --json with no targets dumps the spec campaign without
+           rendering every figure *)
+        if !json_out <> None then []
+        else List.map (fun (n, _, _) -> n) all_targets
     | l -> l
   in
   Format.printf
@@ -81,4 +110,9 @@ let () =
       let _, _, f = List.find (fun (n, _, _) -> n = name) all_targets in
       f c)
     chosen;
+  (match !json_out with
+  | Some path ->
+      write_json path (Campaign.json_records c);
+      Format.printf "wrote %s@." path
+  | None -> ());
   Format.printf "@.[harness completed in %.1fs]@." (Unix.gettimeofday () -. t0)

@@ -164,10 +164,58 @@ let grpc_cmd =
     (Cmd.info "grpc" ~doc:"Run the gRPC-QPS-style multithreaded workload.")
     Term.(const run $ messages $ mode_arg $ seed_arg $ phases_arg $ trace_arg)
 
+let tenant_cmd =
+  let workload =
+    Arg.(
+      value
+      & opt string "hmmer_retro"
+      & info [ "workload"; "w" ] ~doc:"SPEC profile every tenant runs.")
+  in
+  let tenants =
+    Arg.(value & opt int 2 & info [ "tenants"; "n" ] ~doc:"Concurrent processes.")
+  in
+  let scale =
+    Arg.(value & opt float 0.25 & info [ "scale" ] ~doc:"Operation-count scale.")
+  in
+  let sched =
+    let sched_conv =
+      Arg.conv
+        ( (function
+          | "round-robin" | "rr" -> Ok Os.Revsched.Round_robin
+          | "pressure" -> Ok Os.Revsched.Pressure
+          | s -> Error (`Msg (Printf.sprintf "unknown scheduler %S" s))),
+          fun fmt p ->
+            Format.pp_print_string fmt (Os.Revsched.policy_name p) )
+    in
+    Arg.(
+      value
+      & opt sched_conv Os.Revsched.Round_robin
+      & info [ "sched" ]
+          ~doc:"Revocation scheduling policy: round-robin or pressure.")
+  in
+  let run workload tenants scale sched mode seed =
+    match Workload.Profile.find workload with
+    | p ->
+        let r =
+          Workload.Tenant.run ~seed ~ops_scale:scale ~sched ~tenants ~mode p
+        in
+        Workload.Tenant.pp Format.std_formatter r;
+        0
+    | exception Not_found ->
+        Format.eprintf "unknown workload %S@." workload;
+        1
+  in
+  Cmd.v
+    (Cmd.info "tenant"
+       ~doc:
+         "Run N concurrent tenant processes under the cross-process \
+          revocation scheduler.")
+    Term.(const run $ workload $ tenants $ scale $ sched $ mode_arg $ seed_arg)
+
 let main =
   Cmd.group
     (Cmd.info "ccr_sim" ~version:"1.0"
        ~doc:"Cornucopia Reloaded: CHERI heap temporal safety on a simulated machine.")
-    [ spec_cmd; pgbench_cmd; grpc_cmd ]
+    [ spec_cmd; pgbench_cmd; grpc_cmd; tenant_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -8,6 +8,7 @@ let chunk_size = 64 * 1024
 
 type t = {
   m : Machine.t;
+  aspace : Vm.Aspace.t; (* the address space whose heap this allocator serves *)
   heap_cap : Capability.t;
   free_lists : int list array; (* per size class: slot base addresses *)
   large_free : (int, int list) Hashtbl.t; (* rounded size -> addresses *)
@@ -24,8 +25,9 @@ type t = {
   mutable scrub_bytes : int;
 }
 
-let create m =
-  let layout = Machine.layout m in
+let create ?aspace m =
+  let aspace = match aspace with Some a -> a | None -> Machine.aspace m in
+  let layout = Vm.Aspace.layout aspace in
   let heap_base = layout.Layout.heap_base in
   let heap_limit = layout.Layout.heap_limit in
   let root = Capability.root ~length:(1 lsl 40) in
@@ -35,6 +37,7 @@ let create m =
   assert (Capability.tag heap_cap);
   {
     m;
+    aspace;
     heap_cap;
     free_lists = Array.make Sizeclass.num_classes [];
     large_free = Hashtbl.create 64;
@@ -54,8 +57,31 @@ let create m =
 let heap_cap t = t.heap_cap
 
 let note_rss t =
-  let rss = Vm.Aspace.mapped_pages (Machine.aspace t.m) in
+  let rss = Vm.Aspace.mapped_pages t.aspace in
   if rss > t.peak_rss then t.peak_rss <- rss
+
+(* Fork: the child's heap is byte-identical to the parent's (copy-on-write),
+   so its allocator state must be too. Free lists and the live/dirty sets are
+   duplicated; lifetime statistics restart from zero for the new process. *)
+let clone t ~aspace =
+  {
+    m = t.m;
+    aspace;
+    heap_cap = t.heap_cap;
+    free_lists = Array.copy t.free_lists;
+    large_free = Hashtbl.copy t.large_free;
+    live = Hashtbl.copy t.live;
+    dirty = Hashtbl.copy t.dirty;
+    heap_limit = t.heap_limit;
+    bump = t.bump;
+    live_bytes = t.live_bytes;
+    total_allocated = 0;
+    total_freed = 0;
+    allocations = 0;
+    peak_rss = 0;
+    scrubs = 0;
+    scrub_bytes = 0;
+  }
 
 let align_up x a = (x + a - 1) land lnot (a - 1)
 

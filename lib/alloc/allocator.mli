@@ -15,7 +15,15 @@
 
 type t
 
-val create : Sim.Machine.t -> t
+val create : ?aspace:Vm.Aspace.t -> Sim.Machine.t -> t
+(** [aspace] (default: the machine's initial address space) is the space
+    whose heap region is served and whose mapped-page count feeds
+    {!note_rss}. *)
+
+val clone : t -> aspace:Vm.Aspace.t -> t
+(** Fork support: duplicate the allocator's metadata (free lists, live
+    and dirty sets, bump pointer) for a copy-on-write child whose heap
+    contents are identical. Lifetime statistics start from zero. *)
 
 val heap_cap : t -> Cheri.Capability.t
 (** The allocator's progenitor capability spanning the whole heap. *)

@@ -9,9 +9,10 @@ type t = {
   peak_rss_pages : unit -> int;
   scrub_bytes : unit -> int;
   allocation_count : unit -> int;
+  clone : (aspace:Vm.Aspace.t -> t) option;
 }
 
-let snmalloc a =
+let rec snmalloc a =
   {
     name = "snmalloc";
     malloc = (fun ctx size -> Allocator.malloc a ctx size);
@@ -23,6 +24,7 @@ let snmalloc a =
     peak_rss_pages = (fun () -> Allocator.peak_rss_pages a);
     scrub_bytes = (fun () -> Allocator.scrub_bytes a);
     allocation_count = (fun () -> Allocator.allocation_count a);
+    clone = Some (fun ~aspace -> snmalloc (Allocator.clone a ~aspace));
   }
 
 let jemalloc j =
@@ -37,4 +39,5 @@ let jemalloc j =
     peak_rss_pages = (fun () -> Jemalloc.peak_rss_pages j);
     scrub_bytes = (fun () -> Jemalloc.scrub_bytes j);
     allocation_count = (fun () -> Jemalloc.allocation_count j);
+    clone = None;
   }

@@ -19,6 +19,10 @@ type t = {
   peak_rss_pages : unit -> int;
   scrub_bytes : unit -> int;
   allocation_count : unit -> int;
+  clone : (aspace:Vm.Aspace.t -> t) option;
+      (** duplicate metadata for a copy-on-write fork child ([None] when
+          the allocator does not support fork, as with the run-based
+          jemalloc) *)
 }
 
 val snmalloc : Allocator.t -> t

@@ -18,6 +18,7 @@ type run = {
 
 type t = {
   m : Machine.t;
+  aspace : Vm.Aspace.t;
   heap_cap : Capability.t;
   bins : run list array; (* per class: non-full runs, address-ordered *)
   full : (int, run) Hashtbl.t; (* run base -> run, when full *)
@@ -35,8 +36,9 @@ type t = {
   mutable scrub_bytes : int;
 }
 
-let create m =
-  let layout = Machine.layout m in
+let create ?aspace m =
+  let aspace = match aspace with Some a -> a | None -> Machine.aspace m in
+  let layout = Vm.Aspace.layout aspace in
   let heap_base = layout.Layout.heap_base in
   let heap_limit = layout.Layout.heap_limit in
   let root = Capability.root ~length:(1 lsl 40) in
@@ -46,6 +48,7 @@ let create m =
   assert (Capability.tag heap_cap);
   {
     m;
+    aspace;
     heap_cap;
     bins = Array.make Sizeclass.num_classes [];
     full = Hashtbl.create 64;
@@ -64,7 +67,7 @@ let create m =
   }
 
 let note_rss t =
-  let rss = Vm.Aspace.mapped_pages (Machine.aspace t.m) in
+  let rss = Vm.Aspace.mapped_pages t.aspace in
   if rss > t.peak_rss then t.peak_rss <- rss
 
 let align_up x a = (x + a - 1) land lnot (a - 1)

@@ -20,7 +20,7 @@
 
 type t
 
-val create : Sim.Machine.t -> t
+val create : ?aspace:Vm.Aspace.t -> Sim.Machine.t -> t
 val malloc : t -> Sim.Machine.ctx -> int -> Cheri.Capability.t
 val free : t -> Sim.Machine.ctx -> Cheri.Capability.t -> unit
 

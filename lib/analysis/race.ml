@@ -6,6 +6,7 @@ type race = {
   c_addr : int;
   c_time : int;
   c_core : int;
+  c_pid : int;
   c_paint_core : int;
 }
 
@@ -14,11 +15,25 @@ type access = { a_vc : int array; a_core : int }
 type t = {
   tracer : Trace.t;
   mutable sub : int option;
+  ncores : int;
   vc : int array array; (* per-core vector clocks *)
-  chan : int array; (* the quarantine queue, modelled as a channel *)
-  paints : (int, access) Hashtbl.t; (* region base -> painting access *)
+  chans : (int, int array) Hashtbl.t;
+      (* per-process quarantine queues, modelled as channels: each
+         process's batches flow through its own revoker *)
+  paints : (int * int, access) Hashtbl.t;
+      (* (pid, region base) -> painting access; regions are per-process
+         since fork gives two processes independent quarantine lives at
+         the same virtual address *)
   mutable found : race list; (* newest first *)
 }
+
+let chan t pid =
+  match Hashtbl.find_opt t.chans pid with
+  | Some c -> c
+  | None ->
+      let c = Array.make t.ncores 0 in
+      Hashtbl.replace t.chans pid c;
+      c
 
 let join dst src =
   for k = 0 to Array.length dst - 1 do
@@ -34,7 +49,7 @@ let leq a b =
 
 let check t (e : Trace.event) rule =
   let addr = e.Trace.arg and core = e.Trace.core in
-  match Hashtbl.find_opt t.paints addr with
+  match Hashtbl.find_opt t.paints (e.Trace.pid, addr) with
   | None -> ()
   | Some a ->
       if not (leq a.a_vc t.vc.(core)) then
@@ -44,6 +59,7 @@ let check t (e : Trace.event) rule =
             c_addr = addr;
             c_time = e.Trace.time;
             c_core = core;
+            c_pid = e.Trace.pid;
             c_paint_core = a.a_core;
           }
           :: t.found
@@ -63,15 +79,15 @@ let on_event t (e : Trace.event) =
     | Trace.Tlb_shootdown ->
         (* the IPI is acknowledged by every core *)
         Array.iter (fun other -> join other me) t.vc
-    | Trace.Quarantine_enq -> join t.chan me
-    | Trace.Quarantine_deq -> join me t.chan
+    | Trace.Quarantine_enq -> join (chan t e.Trace.pid) me
+    | Trace.Quarantine_deq -> join me (chan t e.Trace.pid)
     | Trace.Paint ->
-        Hashtbl.replace t.paints e.Trace.arg
+        Hashtbl.replace t.paints (e.Trace.pid, e.Trace.arg)
           { a_vc = Array.copy me; a_core = core }
     | Trace.Unpaint -> check t e "unordered-clear"
     | Trace.Reuse ->
         check t e "unordered-reuse";
-        Hashtbl.remove t.paints e.Trace.arg
+        Hashtbl.remove t.paints (e.Trace.pid, e.Trace.arg)
     | _ -> ()
   end
 
@@ -89,8 +105,9 @@ let attach m =
     {
       tracer;
       sub = None;
+      ncores = n;
       vc = Array.init n (fun _ -> Array.make n 0);
-      chan = Array.make n 0;
+      chans = Hashtbl.create 8;
       paints = Hashtbl.create 1024;
       found = [];
     }
@@ -118,8 +135,8 @@ let report fmt t =
         if !shown < 10 then begin
           incr shown;
           Format.fprintf fmt
-            "  [%d] %s of 0x%x on core %d, painted on core %d@." r.c_time
-            r.c_rule r.c_addr r.c_core r.c_paint_core
+            "  [%d] %s of 0x%x on core %d (pid %d), painted on core %d@."
+            r.c_time r.c_rule r.c_addr r.c_core r.c_pid r.c_paint_core
         end)
       (races t)
   end

@@ -21,13 +21,22 @@
     absorbed the paint is reported as a race — e.g. a thread resetting
     revocation state off to the side of the epoch protocol. A clean run
     of any strategy produces no reports: every hand-off flows through
-    the quarantine channel or a stop-the-world. *)
+    the quarantine channel or a stop-the-world.
+
+    Multi-process runs partition the shadow state by the events' process
+    id: paints are keyed per-process (fork gives two processes
+    independent quarantine lives at the same virtual address) and each
+    process's revoker hand-off is its own channel. Stop-the-world and
+    shootdown joins stay global — scoped pauses synchronize fewer cores
+    in reality, so the global join is conservative and can only miss
+    races, never invent them. *)
 
 type race = {
   c_rule : string;  (** ["unordered-clear"] or ["unordered-reuse"] *)
   c_addr : int;
   c_time : int;  (** when the unordered access happened *)
   c_core : int;  (** core of the unordered access *)
+  c_pid : int;  (** owning process of the region's quarantine life *)
   c_paint_core : int;  (** core that painted the region *)
 }
 

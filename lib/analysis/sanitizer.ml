@@ -12,6 +12,7 @@ type violation = {
   v_rule : string;
   v_time : int;
   v_core : int;
+  v_pid : int;
   v_detail : string;
 }
 
@@ -34,11 +35,14 @@ type region = {
 
 let max_stored = 200
 
-type t = {
-  m : Machine.t;
-  revoker : Revoker.t option;
-  tracer : Trace.t;
-  mutable sub : int option;
+(* All shadow state is partitioned by process: each pid's revocation
+   pipeline is an independent protocol instance with its own epoch
+   counter, region table and byte accounts. Events carry the owning pid
+   (0 for single-process runs, which therefore see exactly one
+   partition). *)
+type pstate = {
+  pid : int;
+  mutable revoker : Revoker.t option;
   regions : (int, region) Hashtbl.t;
   mutable counter : int; (* mirrored epoch counter *)
   mutable in_epoch : bool;
@@ -54,38 +58,76 @@ type t = {
   mutable unpainted_bytes : int;
   (* regions quarantined when the current epoch began, sorted by base *)
   mutable snapshot : (int * int) array;
+}
+
+type t = {
+  m : Machine.t;
+  tracer : Trace.t;
+  mutable sub : int option;
+  pstates : (int, pstate) Hashtbl.t;
   mutable stored : violation list; (* newest first, capped *)
   mutable total : int;
   counts : (string, int) Hashtbl.t;
 }
 
-let strategy t = Option.map Revoker.strategy t.revoker
+let fresh_pstate pid =
+  {
+    pid;
+    revoker = None;
+    regions = Hashtbl.create 1024;
+    counter = 0;
+    in_epoch = false;
+    begin_arg = 0;
+    in_stw = false;
+    ep_sweeps = 0;
+    ep_shootdowns = 0;
+    ep_hoard_scans = 0;
+    ep_clg_toggles = 0;
+    painted_bytes = 0;
+    unpainted_bytes = 0;
+    snapshot = [||];
+  }
 
-let violation t ~time ~core rule detail =
+let pstate t pid =
+  match Hashtbl.find_opt t.pstates pid with
+  | Some ps -> ps
+  | None ->
+      let ps = fresh_pstate pid in
+      Hashtbl.replace t.pstates pid ps;
+      ps
+
+let register_process t ~pid ?revoker () =
+  let ps = pstate t pid in
+  ps.revoker <- revoker
+
+let strategy ps = Option.map Revoker.strategy ps.revoker
+
+let violation t ~time ~core ~pid rule detail =
   t.total <- t.total + 1;
   Hashtbl.replace t.counts rule
     (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts rule));
   if t.total <= max_stored then
     t.stored <-
-      { v_rule = rule; v_time = time; v_core = core; v_detail = detail }
+      { v_rule = rule; v_time = time; v_core = core; v_pid = pid;
+        v_detail = detail }
       :: t.stored
 
 (* ---- snapshot of quarantined regions, with binary search ---- *)
 
-let take_snapshot t =
+let take_snapshot ps =
   let acc = ref [] in
   Hashtbl.iter
     (fun addr r ->
       match r.r_state with
       | Painted | Enqueued -> acc := (addr, r.r_size) :: !acc
       | Dequarantined | Cleared -> ())
-    t.regions;
+    ps.regions;
   let a = Array.of_list !acc in
   Array.sort (fun (x, _) (y, _) -> compare x y) a;
-  t.snapshot <- a
+  ps.snapshot <- a
 
-let in_snapshot t a =
-  let s = t.snapshot in
+let in_snapshot ps a =
+  let s = ps.snapshot in
   let n = Array.length s in
   if n = 0 then None
   else begin
@@ -106,167 +148,204 @@ let in_snapshot t a =
       if a < base + size then Some (base, size) else None
   end
 
+(* The address space a pid's memory lives in: preferably its revoker's
+   binding, else any live thread's, else (pid 0) the machine's initial
+   space. *)
+let aspace_of t ps =
+  match ps.revoker with
+  | Some rv -> Some (Revoker.aspace rv)
+  | None -> (
+      match Machine.aspace_of_pid t.m ps.pid with
+      | Some a -> Some a
+      | None -> if ps.pid = 0 then Some (Machine.aspace t.m) else None)
+
 (* ---- end-of-epoch shadow sweep (host-side, zero simulated cost) ---- *)
 
-let sweep_stale t ~time ~core =
-  if Array.length t.snapshot > 0 then begin
+let sweep_stale t ps ~time ~core =
+  if Array.length ps.snapshot > 0 then begin
+    let v = violation t ~time ~core ~pid:ps.pid in
     let mem = Machine.mem t.m in
-    let pmap = Vm.Aspace.pmap (Machine.aspace t.m) in
-    Pmap.iter pmap ~f:(fun vpage pte ->
-        let base = Phys.frame_addr pte.Pte.frame in
-        Tagmem.Mem.iter_granules mem ~lo:base ~hi:(base + Phys.page_size)
-          (fun pa tagged ->
-            if tagged then
-              let c = Tagmem.Mem.read_cap mem pa in
-              match in_snapshot t (Capability.base c) with
-              | Some (rbase, _) ->
-                  let st =
-                    match Hashtbl.find_opt t.regions rbase with
-                    | Some r -> state_name r.r_state
-                    | None -> "gone"
-                  in
-                  let painted =
-                    match t.revoker with
-                    | Some rv ->
-                        if
-                          Revmap.test_host (Revoker.revmap rv)
-                            (Capability.base c)
-                        then "painted"
-                        else "unpainted"
-                    | None -> "?"
-                  in
-                  violation t ~time ~core "stale-cap-memory"
-                    (Printf.sprintf
-                       "pa 0x%x (vpage 0x%x) holds cap 0x%x into quarantined \
-                        0x%x (%s, bitmap %s) after epoch %d"
-                       pa vpage (Capability.base c) rbase st painted t.counter)
-              | None -> ()));
+    (match aspace_of t ps with
+    | None -> ()
+    | Some asp ->
+        Pmap.iter (Vm.Aspace.pmap asp) ~f:(fun vpage pte ->
+            let base = Phys.frame_addr pte.Pte.frame in
+            Tagmem.Mem.iter_granules mem ~lo:base ~hi:(base + Phys.page_size)
+              (fun pa tagged ->
+                if tagged then
+                  let c = Tagmem.Mem.read_cap mem pa in
+                  match in_snapshot ps (Capability.base c) with
+                  | Some (rbase, _) ->
+                      let st =
+                        match Hashtbl.find_opt ps.regions rbase with
+                        | Some r -> state_name r.r_state
+                        | None -> "gone"
+                      in
+                      let painted =
+                        match ps.revoker with
+                        | Some rv ->
+                            if
+                              Revmap.test_host (Revoker.revmap rv)
+                                (Capability.base c)
+                            then "painted"
+                            else "unpainted"
+                        | None -> "?"
+                      in
+                      v "stale-cap-memory"
+                        (Printf.sprintf
+                           "pa 0x%x (vpage 0x%x) holds cap 0x%x into \
+                            quarantined 0x%x (%s, bitmap %s) after epoch %d"
+                           pa vpage (Capability.base c) rbase st painted
+                           ps.counter)
+                  | None -> ())));
     List.iter
       (fun th ->
-        Sim.Regfile.iteri (Machine.regs th) (fun i c ->
-            if Capability.tag c then
-              match in_snapshot t (Capability.base c) with
-              | Some (rbase, _) ->
-                  violation t ~time ~core "stale-cap-regfile"
-                    (Printf.sprintf
-                       "%s r%d holds cap into quarantined 0x%x after epoch %d"
-                       (Machine.thread_name th) i rbase t.counter)
-              | None -> ()))
+        if Machine.thread_pid th = ps.pid then
+          Sim.Regfile.iteri (Machine.regs th) (fun i c ->
+              if Capability.tag c then
+                match in_snapshot ps (Capability.base c) with
+                | Some (rbase, _) ->
+                    v "stale-cap-regfile"
+                      (Printf.sprintf
+                         "%s r%d holds cap into quarantined 0x%x after epoch \
+                          %d"
+                         (Machine.thread_name th) i rbase ps.counter)
+                | None -> ()))
       (Machine.user_threads t.m);
-    match t.revoker with
+    match ps.revoker with
     | None -> ()
     | Some rv ->
         Kernel.Hoard.iter (Revoker.hoards rv) ~f:(fun h c ->
             if Capability.tag c then
-              match in_snapshot t (Capability.base c) with
+              match in_snapshot ps (Capability.base c) with
               | Some (rbase, _) ->
-                  violation t ~time ~core "stale-cap-hoard"
+                  v "stale-cap-hoard"
                     (Printf.sprintf
                        "hoard handle %d holds cap into quarantined 0x%x \
                         after epoch %d"
-                       h rbase t.counter)
+                       h rbase ps.counter)
               | None -> ())
   end
 
-let table_bytes t =
+let table_bytes ps =
   Hashtbl.fold
     (fun _ r acc ->
       match r.r_state with
       | Painted | Enqueued | Dequarantined -> acc + r.r_size
       | Cleared -> acc)
-    t.regions 0
+    ps.regions 0
 
-let check_accounting t ~time ~core =
-  let live = table_bytes t in
-  let net = t.painted_bytes - t.unpainted_bytes in
+let check_accounting t ps ~time ~core =
+  let v = violation t ~time ~core ~pid:ps.pid in
+  let live = table_bytes ps in
+  let net = ps.painted_bytes - ps.unpainted_bytes in
   if live <> net then
-    violation t ~time ~core "quarantine-accounting"
+    v "quarantine-accounting"
       (Printf.sprintf
          "painted-unpainted = %d bytes but region table holds %d" net live);
-  match t.revoker with
+  match ps.revoker with
   | None -> ()
   | Some rv ->
       let bitmap = Revmap.set_bits (Revoker.revmap rv) * 16 in
       if bitmap <> net then
-        violation t ~time ~core "quarantine-accounting"
+        v "quarantine-accounting"
           (Printf.sprintf "revocation bitmap holds %d bytes, events say %d"
              bitmap net)
+
+(* Fork: the child's copy-on-write bitmap carries every bit the parent's
+   did, and the kernel re-enqueues the parent's still-quarantined
+   regions in the child's shim. Mirror that here: the parent's regions
+   that are still in quarantine start a fresh [Painted] life in the
+   child's partition. *)
+let on_fork t parent_ps ~child_pid =
+  let child = pstate t child_pid in
+  Hashtbl.iter
+    (fun addr (r : region) ->
+      match r.r_state with
+      | Painted | Enqueued | Dequarantined ->
+          Hashtbl.replace child.regions addr
+            { r_size = r.r_size; r_painted_at = child.counter;
+              r_state = Painted };
+          child.painted_bytes <- child.painted_bytes + r.r_size
+      | Cleared -> ())
+    parent_ps.regions
 
 (* ---- per-event transition function ---- *)
 
 let on_event t (e : Trace.event) =
   let time = e.Trace.time and core = e.Trace.core in
-  let v = violation t ~time ~core in
+  let ps = pstate t e.Trace.pid in
+  let v = violation t ~time ~core ~pid:ps.pid in
   match e.Trace.kind with
-  | Trace.Stw_stopped -> t.in_stw <- true
-  | Trace.Stw_release -> t.in_stw <- false
+  | Trace.Stw_stopped -> ps.in_stw <- true
+  | Trace.Stw_release -> ps.in_stw <- false
   | Trace.Epoch_begin ->
       let arg = e.Trace.arg in
-      if t.in_epoch then v "epoch-unbalanced" "Epoch_begin inside an epoch";
+      if ps.in_epoch then v "epoch-unbalanced" "Epoch_begin inside an epoch";
       if arg land 1 <> 0 then
         v "epoch-parity" (Printf.sprintf "epoch begins at odd counter %d" arg);
-      if arg <> t.counter then
+      if arg <> ps.counter then
         v "epoch-monotonic"
           (Printf.sprintf "epoch begins at %d, expected counter %d" arg
-             t.counter);
-      t.in_epoch <- true;
-      t.begin_arg <- arg;
-      t.counter <- arg + 1;
-      t.ep_sweeps <- 0;
-      t.ep_shootdowns <- 0;
-      t.ep_hoard_scans <- 0;
-      t.ep_clg_toggles <- 0;
-      take_snapshot t
+             ps.counter);
+      ps.in_epoch <- true;
+      ps.begin_arg <- arg;
+      ps.counter <- arg + 1;
+      ps.ep_sweeps <- 0;
+      ps.ep_shootdowns <- 0;
+      ps.ep_hoard_scans <- 0;
+      ps.ep_clg_toggles <- 0;
+      take_snapshot ps
   | Trace.Epoch_end ->
       let arg = e.Trace.arg in
-      if not t.in_epoch then v "epoch-unbalanced" "Epoch_end outside an epoch";
+      if not ps.in_epoch then v "epoch-unbalanced" "Epoch_end outside an epoch";
       if arg land 1 <> 0 then
         v "epoch-parity" (Printf.sprintf "epoch ends at odd counter %d" arg);
-      if t.in_epoch && arg <> t.begin_arg + 2 then
+      if ps.in_epoch && arg <> ps.begin_arg + 2 then
         v "epoch-monotonic"
-          (Printf.sprintf "epoch began at %d but ends at %d" t.begin_arg arg);
-      t.counter <- arg;
-      t.in_epoch <- false;
-      (match strategy t with
+          (Printf.sprintf "epoch began at %d but ends at %d" ps.begin_arg arg);
+      ps.counter <- arg;
+      ps.in_epoch <- false;
+      (match strategy ps with
       | Some Revoker.Cornucopia ->
-          if t.ep_sweeps > 0 && t.ep_shootdowns = 0 then
+          if ps.ep_sweeps > 0 && ps.ep_shootdowns = 0 then
             v "missing-shootdown"
               (Printf.sprintf
                  "Cornucopia epoch swept %d pages with no TLB shootdown"
-                 t.ep_sweeps)
+                 ps.ep_sweeps)
       | _ -> ());
-      (match t.revoker with
+      (match ps.revoker with
       | Some rv when Revoker.strategy rv <> Revoker.Paint_sync ->
           if
             Kernel.Hoard.size (Revoker.hoards rv) > 0
-            && t.ep_hoard_scans = 0
+            && ps.ep_hoard_scans = 0
           then
             v "missing-hoard-scan"
               (Printf.sprintf
                  "epoch ended with %d hoarded capabilities never scanned"
                  (Kernel.Hoard.size (Revoker.hoards rv)))
       | Some _ | None -> ());
-      (match strategy t with
+      (match strategy ps with
       | Some Revoker.Paint_sync | None -> ()
-      | Some _ -> sweep_stale t ~time ~core);
-      check_accounting t ~time ~core;
-      t.snapshot <- [||]
+      | Some _ -> sweep_stale t ps ~time ~core);
+      check_accounting t ps ~time ~core;
+      ps.snapshot <- [||]
   | Trace.Paint -> (
       let addr = e.Trace.arg and size = e.Trace.arg2 in
-      match Hashtbl.find_opt t.regions addr with
+      match Hashtbl.find_opt ps.regions addr with
       | Some r when r.r_state <> Cleared ->
           v "double-paint"
             (Printf.sprintf "0x%x painted while already %s" addr
                (state_name r.r_state));
-          t.painted_bytes <- t.painted_bytes + size
+          ps.painted_bytes <- ps.painted_bytes + size
       | Some _ | None ->
-          Hashtbl.replace t.regions addr
-            { r_size = size; r_painted_at = t.counter; r_state = Painted };
-          t.painted_bytes <- t.painted_bytes + size)
+          Hashtbl.replace ps.regions addr
+            { r_size = size; r_painted_at = ps.counter; r_state = Painted };
+          ps.painted_bytes <- ps.painted_bytes + size)
   | Trace.Unpaint -> (
       let addr = e.Trace.arg and size = e.Trace.arg2 in
-      t.unpainted_bytes <- t.unpainted_bytes + size;
-      match Hashtbl.find_opt t.regions addr with
+      ps.unpainted_bytes <- ps.unpainted_bytes + size;
+      match Hashtbl.find_opt ps.regions addr with
       | None ->
           v "unpaint-not-dequarantined"
             (Printf.sprintf "0x%x cleared but never painted" addr)
@@ -278,7 +357,7 @@ let on_event t (e : Trace.event) =
           r.r_state <- Cleared)
   | Trace.Quarantine_enq -> (
       let addr = e.Trace.arg in
-      match Hashtbl.find_opt t.regions addr with
+      match Hashtbl.find_opt ps.regions addr with
       | Some ({ r_state = Painted; _ } as r) -> r.r_state <- Enqueued
       | Some r ->
           v "enqueue-unpainted"
@@ -288,14 +367,14 @@ let on_event t (e : Trace.event) =
             (Printf.sprintf "0x%x enqueued but never painted" addr))
   | Trace.Quarantine_deq -> (
       let addr = e.Trace.arg in
-      match Hashtbl.find_opt t.regions addr with
+      match Hashtbl.find_opt ps.regions addr with
       | Some ({ r_state = Enqueued; _ } as r) ->
-          if t.counter < Epoch.clean_target r.r_painted_at then
+          if ps.counter < Epoch.clean_target r.r_painted_at then
             v "early-dequarantine"
               (Printf.sprintf
                  "0x%x painted at epoch %d left quarantine at %d (clean \
                   target %d)"
-                 addr r.r_painted_at t.counter
+                 addr r.r_painted_at ps.counter
                  (Epoch.clean_target r.r_painted_at));
           r.r_state <- Dequarantined
       | Some r ->
@@ -306,7 +385,7 @@ let on_event t (e : Trace.event) =
             (Printf.sprintf "0x%x dequeued but never painted" addr))
   | Trace.Reuse -> (
       let addr = e.Trace.arg in
-      match Hashtbl.find_opt t.regions addr with
+      match Hashtbl.find_opt ps.regions addr with
       | None -> v "early-reuse" (Printf.sprintf "0x%x reused, never painted" addr)
       | Some r ->
           (match r.r_state with
@@ -315,34 +394,45 @@ let on_event t (e : Trace.event) =
                 (Printf.sprintf "0x%x reused while still %s" addr
                    (state_name r.r_state))
           | Dequarantined | Cleared ->
-              if t.counter < Epoch.clean_target r.r_painted_at then
+              if ps.counter < Epoch.clean_target r.r_painted_at then
                 v "early-reuse"
                   (Printf.sprintf
                      "0x%x painted at epoch %d reused at %d (clean target %d)"
-                     addr r.r_painted_at t.counter
+                     addr r.r_painted_at ps.counter
                      (Epoch.clean_target r.r_painted_at)));
-          Hashtbl.remove t.regions addr)
-  | Trace.Tlb_shootdown -> t.ep_shootdowns <- t.ep_shootdowns + 1
-  | Trace.Hoard_scan -> t.ep_hoard_scans <- t.ep_hoard_scans + 1
-  | Trace.Page_sweep -> t.ep_sweeps <- t.ep_sweeps + 1
-  | Trace.Clg_toggle ->
-      t.ep_clg_toggles <- t.ep_clg_toggles + 1;
-      if not t.in_stw then
+          Hashtbl.remove ps.regions addr)
+  | Trace.Tlb_shootdown -> ps.ep_shootdowns <- ps.ep_shootdowns + 1
+  | Trace.Hoard_scan -> ps.ep_hoard_scans <- ps.ep_hoard_scans + 1
+  | Trace.Page_sweep -> ps.ep_sweeps <- ps.ep_sweeps + 1
+  | Trace.Clg_toggle -> (
+      ps.ep_clg_toggles <- ps.ep_clg_toggles + 1;
+      if not ps.in_stw then
         v "clg-toggle-outside-stw"
           "capability-load generation flipped without the world stopped";
-      if t.ep_clg_toggles > 1 then
+      if ps.ep_clg_toggles > 1 then
         v "clg-double-toggle"
           (Printf.sprintf "generation flipped %d times in one epoch"
-             t.ep_clg_toggles);
-      let gen0 = Machine.core_clg t.m 0 in
-      for i = 1 to Machine.num_cores t.m - 1 do
-        if Machine.core_clg t.m i <> gen0 then
-          v "clg-core-disagreement"
-            (Printf.sprintf "core %d generation differs from core 0 after \
-                             toggle" i)
-      done
+             ps.ep_clg_toggles);
+      (* Only cores running this process's address space adopt the new
+         generation; they must all agree with the page map's. *)
+      match aspace_of t ps with
+      | None -> ()
+      | Some asp ->
+          let asid = Vm.Aspace.asid asp in
+          let gen = Pmap.generation (Vm.Aspace.pmap asp) in
+          for i = 0 to Machine.num_cores t.m - 1 do
+            if Machine.core_asid t.m i = asid && Machine.core_clg t.m i <> gen
+            then
+              v "clg-core-disagreement"
+                (Printf.sprintf
+                   "core %d generation differs from pid %d's page map after \
+                    toggle"
+                   i ps.pid)
+          done)
+  | Trace.Proc_fork -> on_fork t ps ~child_pid:e.Trace.arg
   | Trace.Stw_request | Trace.Clg_fault | Trace.Context_switch
-  | Trace.Revoke_batch | Trace.Custom _ ->
+  | Trace.Revoke_batch | Trace.Cow_fault | Trace.Proc_exec | Trace.Proc_exit
+  | Trace.Sched_grant | Trace.Custom _ ->
       ()
 
 let attach ?revoker m =
@@ -357,26 +447,15 @@ let attach ?revoker m =
   let t =
     {
       m;
-      revoker;
       tracer;
       sub = None;
-      regions = Hashtbl.create 1024;
-      counter = 0;
-      in_epoch = false;
-      begin_arg = 0;
-      in_stw = false;
-      ep_sweeps = 0;
-      ep_shootdowns = 0;
-      ep_hoard_scans = 0;
-      ep_clg_toggles = 0;
-      painted_bytes = 0;
-      unpainted_bytes = 0;
-      snapshot = [||];
+      pstates = Hashtbl.create 8;
       stored = [];
       total = 0;
       counts = Hashtbl.create 16;
     }
   in
+  register_process t ~pid:0 ?revoker ();
   t.sub <- Some (Trace.subscribe tracer (on_event t));
   t
 
@@ -389,10 +468,17 @@ let detach t =
 
 let finish t =
   let time = Machine.global_time t.m in
-  if t.in_epoch then
-    violation t ~time ~core:(-1) "epoch-unbalanced"
-      "run finished inside an open epoch";
-  check_accounting t ~time ~core:(-1)
+  let pids =
+    List.sort compare (Hashtbl.fold (fun pid _ acc -> pid :: acc) t.pstates [])
+  in
+  List.iter
+    (fun pid ->
+      let ps = pstate t pid in
+      if ps.in_epoch then
+        violation t ~time ~core:(-1) ~pid "epoch-unbalanced"
+          "run finished inside an open epoch";
+      check_accounting t ps ~time ~core:(-1))
+    pids
 
 let violations t = List.rev t.stored
 let total_violations t = t.total
@@ -412,8 +498,8 @@ let report fmt t =
       (fun v ->
         if !shown < 10 then begin
           incr shown;
-          Format.fprintf fmt "  [%d @ core %d] %s: %s@." v.v_time v.v_core
-            v.v_rule v.v_detail
+          Format.fprintf fmt "  [%d @ core %d, pid %d] %s: %s@." v.v_time
+            v.v_core v.v_pid v.v_rule v.v_detail
         end)
       (violations t)
   end

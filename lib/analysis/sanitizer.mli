@@ -22,6 +22,14 @@
       (§3.2's invariant, checked against host state with zero simulated
       cost).
 
+    All shadow state is partitioned by the events' process id: each
+    process's revocation pipeline is checked as an independent protocol
+    instance with its own epoch counter, region table and byte accounts.
+    Single-process runs see exactly one partition (pid 0) and behave as
+    before. A [Proc_fork] event clones the parent's still-quarantined
+    regions into the child's partition (the child's copy-on-write bitmap
+    carries their bits and its shim re-enqueues them).
+
     The checks are host-side only: attaching a sanitizer never charges a
     simulated cycle, so instrumented runs are cycle-identical to bare
     ones. *)
@@ -30,6 +38,7 @@ type violation = {
   v_rule : string;  (** stable rule identifier, e.g. ["early-reuse"] *)
   v_time : int;  (** core-local cycle of the offending event *)
   v_core : int;
+  v_pid : int;  (** owning process of the offending event *)
   v_detail : string;
 }
 
@@ -41,6 +50,12 @@ val attach : ?revoker:Ccr.Revoker.t -> Sim.Machine.t -> t
     need protocol context: strategy-specific rules, bitmap cross-checks
     and the hoard handle. Without it only the event-stream lifecycle
     rules run. *)
+
+val register_process : t -> pid:int -> ?revoker:Ccr.Revoker.t -> unit -> unit
+(** Give a process's partition its protocol context (its revoker), as
+    [attach]'s [?revoker] does for pid 0. Partitions are created lazily
+    for any pid seen in the stream, so this is only needed for the
+    revoker-dependent checks. Wire it to {!Os.set_on_process}. *)
 
 val detach : t -> unit
 (** Stop observing; recorded violations remain readable. *)

@@ -46,7 +46,7 @@ let on_clean t ctx (batch : Revoker.batch) =
       Revmap.clear (Revoker.revmap t.revoker) ctx ~addr ~size;
       t.alloc.Backend.release_range ctx ~addr ~size;
       Machine.trace_emit t.m ~time:(Machine.now ctx) ~core:(Machine.core_id ctx)
-        ~arg2:size Sim.Trace.Reuse addr)
+        ~pid:(Revoker.pid t.revoker) ~arg2:size Sim.Trace.Reuse addr)
     batch.Revoker.entries;
   t.outstanding_bytes <- t.outstanding_bytes - batch.Revoker.bytes;
   Machine.broadcast ctx t.drained
@@ -131,6 +131,23 @@ let free t ctx cap =
   t.buffer_bytes <- t.buffer_bytes + size;
   t.sum_freed <- t.sum_freed + size;
   t.alloc.Backend.note_rss ()
+
+let revoker t = t.revoker
+let buffered_entries t = List.rev t.buffer
+let flush = trigger
+
+let adopt_quarantine t entries =
+  List.iter
+    (fun (addr, size) ->
+      t.buffer <- (addr, size) :: t.buffer;
+      t.buffer_bytes <- t.buffer_bytes + size;
+      t.sum_freed <- t.sum_freed + size)
+    entries
+
+let wait_drained t ctx =
+  while quarantine_bytes t > 0 do
+    Machine.wait ctx t.drained
+  done
 
 let finish t ctx =
   t.finishing <- true;

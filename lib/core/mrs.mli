@@ -41,6 +41,26 @@ val quarantine_bytes : t -> int
 
 val policy : t -> Policy.t
 val allocator : t -> Alloc.Backend.t
+val revoker : t -> Revoker.t
+
+val buffered_entries : t -> (int * int) list
+(** Quarantined regions still in the fill buffer (painted, not yet handed
+    to the revoker), oldest first. Exposed for fork: the child inherits
+    copy-on-write views of these regions. *)
+
+val flush : t -> Sim.Machine.ctx -> unit
+(** Hand the current buffer to the revoker immediately, regardless of
+    policy. No-op when the buffer is empty. *)
+
+val adopt_quarantine : t -> (int * int) list -> unit
+(** Fork support: append regions to the fill buffer {e without} painting
+    them — the child's copy-on-write shadow bitmap already carries their
+    bits. They flow through this shim's revoker like ordinary frees. *)
+
+val wait_drained : t -> Sim.Machine.ctx -> unit
+(** Block until every quarantined byte (buffered, queued and in-flight)
+    has been dequarantined. Callers should {!flush} first; the reaper
+    uses this to drain a zombie's quarantine before releasing its frames. *)
 
 (** {1 Statistics (Table 2 of the paper)} *)
 

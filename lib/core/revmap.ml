@@ -5,6 +5,7 @@ module Machine = Sim.Machine
 
 type t = {
   m : Machine.t;
+  mutable aspace : Vm.Aspace.t; (* host-side probes translate through this *)
   layout : Layout.t;
   shadow_cap : Capability.t; (* spans the shadow region; data perms only *)
   mutable bits : int;
@@ -12,7 +13,8 @@ type t = {
 
 let granule = 16
 
-let create m =
+let create ?aspace m =
+  let aspace = match aspace with Some a -> a | None -> Machine.aspace m in
   let layout = Machine.layout m in
   let root = Capability.root ~length:(1 lsl 40) in
   let shadow_cap =
@@ -24,7 +26,16 @@ let create m =
       (Perms.union Perms.load (Perms.union Perms.store Perms.global))
   in
   assert (Capability.tag shadow_cap);
-  { m; layout; shadow_cap; bits = 0 }
+  { m; aspace; layout; shadow_cap; bits = 0 }
+
+(* Fork inheritance: the child's shadow pages are CoW copies of the
+   parent's, so its painted-bit population starts at the parent's. *)
+let seed_bits t n = t.bits <- n
+
+(* Exec: the process got a fresh (all-clear) shadow region. *)
+let rebind t ~aspace =
+  t.aspace <- aspace;
+  t.bits <- 0
 
 let popcount64 =
   let rec go n acc =
@@ -77,12 +88,12 @@ let rmw_range t ctx ~addr ~size ~set =
 let paint t ctx ~addr ~size =
   rmw_range t ctx ~addr ~size ~set:true;
   Machine.trace_emit t.m ~time:(Machine.now ctx) ~core:(Machine.core_id ctx)
-    ~arg2:size Sim.Trace.Paint addr
+    ~pid:(Machine.ctx_pid ctx) ~arg2:size Sim.Trace.Paint addr
 
 let clear t ctx ~addr ~size =
   rmw_range t ctx ~addr ~size ~set:false;
   Machine.trace_emit t.m ~time:(Machine.now ctx) ~core:(Machine.core_id ctx)
-    ~arg2:size Sim.Trace.Unpaint addr
+    ~pid:(Machine.ctx_pid ctx) ~arg2:size Sim.Trace.Unpaint addr
 
 let test t ctx a =
   if not (Layout.contains_heap t.layout a) then false
@@ -99,7 +110,7 @@ let test_host t a =
   else begin
     let g = (a - t.layout.Layout.heap_base) / granule in
     let word_addr = t.layout.Layout.shadow_base + (g / 64 * 8) in
-    match Vm.Aspace.translate (Machine.aspace t.m) word_addr with
+    match Vm.Aspace.translate t.aspace word_addr with
     | None -> false
     | Some (pa, _) ->
         let word = Tagmem.Mem.read_u64 (Machine.mem t.m) pa in

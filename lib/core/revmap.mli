@@ -13,7 +13,18 @@
 
 type t
 
-val create : Sim.Machine.t -> t
+val create : ?aspace:Vm.Aspace.t -> Sim.Machine.t -> t
+(** [?aspace] (default: the machine's primordial space) is the address
+    space host-side probes ({!test_host}) translate through — each
+    process's revmap reads its own shadow mapping. *)
+
+val seed_bits : t -> int -> unit
+(** Set the painted-bit population counter — fork inheritance: a child's
+    copy-on-write shadow pages start with the parent's bits set. *)
+
+val rebind : t -> aspace:Vm.Aspace.t -> unit
+(** Point host-side probes at a fresh space with an all-clear shadow
+    region (exec), resetting the population counter. *)
 
 val paint : t -> Sim.Machine.ctx -> addr:int -> size:int -> unit
 (** Set the bits for [\[addr, addr+size)]. Word-at-a-time read-modify-

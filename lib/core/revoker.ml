@@ -41,7 +41,11 @@ type phase_record = {
   bytes_processed : int;
 }
 
-type helper_mode = Idle | Sweep_reloaded of bool | Sweep_cheriot | Stop
+type helper_mode =
+  | Idle
+  | Sweep_reloaded of bool * bool (* generation, force-visit-all *)
+  | Sweep_cheriot
+  | Stop
 
 type helper = {
   h_core : int;
@@ -55,6 +59,8 @@ type helper = {
 
 type t = {
   m : Machine.t;
+  mutable aspace : Vm.Aspace.t;
+  pid : int;
   strategy : strategy;
   core : int;
   non_temporal : bool;
@@ -81,9 +87,21 @@ type t = {
       (* Reloaded: set once the epoch-opening stop-the-world has completed,
          i.e. from when the §3.2 invariant is established *)
   mutable fault : fault option;
+  mutable mixed_gen : bool;
+      (* set when this revoker inherited a fork-split address space whose
+         PTEs carry two generations (§4.3): the next Reloaded epoch must
+         visit every heap page unconditionally, since pages stale from
+         before the fork can alias the post-toggle current generation *)
+  mutable gate_acquire : Machine.ctx -> unit;
+  mutable gate_release : Machine.ctx -> unit;
+      (* cross-process revocation scheduler hooks, held around each epoch *)
+  mutable service_threads : Machine.thread list;
+      (* the revoker thread + helpers, for exec-time aspace rebinding *)
 }
 
 let strategy t = t.strategy
+let pid t = t.pid
+let aspace t = t.aspace
 let epoch t = t.epoch
 let revmap t = t.revmap
 let hoards t = t.hoards
@@ -92,6 +110,9 @@ let injected_fault t = t.fault
 let set_on_clean t f = t.on_clean <- Some f
 let in_flight t = t.in_flight
 let currently_revoking t = t.current_entries
+
+let queued_entries t =
+  List.concat_map (fun b -> b.entries) (List.rev t.queue)
 let barrier_armed t = t.barrier_armed
 let queued_bytes t = t.queued_bytes
 let records t = List.rev t.records
@@ -99,19 +120,19 @@ let revocation_count t = t.revocations
 let total_bytes_processed t = t.total_bytes
 
 let heap_vpages t =
-  let layout = Machine.layout t.m in
+  let layout = Vm.Aspace.layout t.aspace in
   let lo = layout.Layout.heap_base / Phys.page_size in
   let hi = (layout.Layout.heap_limit - 1) / Phys.page_size in
   List.filter
     (fun vp -> vp >= lo && vp <= hi)
-    (Pmap.sorted_vpages (Vm.Aspace.pmap (Machine.aspace t.m)))
+    (Pmap.sorted_vpages (Vm.Aspace.pmap t.aspace))
 
 (* Fold freshly capability-dirty pages into the visit set. Per §4.5, the
    re-implementation never removes a page from the set once it has held
    capabilities (except Reloaded's clean-page detection, applied at sweep
    time). Clears the hardware bit when [reset] so later stores re-dirty. *)
 let update_visit_set t ctx ~reset =
-  let pmap = Vm.Aspace.pmap (Machine.aspace t.m) in
+  let pmap = Vm.Aspace.pmap t.aspace in
   List.iter
     (fun vp ->
       match Pmap.lookup pmap ~vpage:vp with
@@ -127,14 +148,16 @@ let update_visit_set t ctx ~reset =
 let scan_roots t ctx =
   let revoked = ref 0 in
   List.iter
-    (fun th -> revoked := !revoked + Sweep.scan_regfile ctx t.revmap (Machine.regs th))
+    (fun th ->
+      if Machine.thread_pid th = t.pid then
+        revoked := !revoked + Sweep.scan_regfile ctx t.revmap (Machine.regs th))
     (Machine.user_threads t.m);
   if t.fault <> Some Skip_hoard_scan then
     revoked := !revoked + Sweep.scan_hoard ctx t.revmap t.hoards;
   !revoked
 
 let sweep_vpage t ctx vp =
-  let pmap = Vm.Aspace.pmap (Machine.aspace t.m) in
+  let pmap = Vm.Aspace.pmap t.aspace in
   match Pmap.lookup pmap ~vpage:vp with
   | None -> Sweep.zero_stats
   | Some pte -> Sweep.sweep_page ~non_temporal:t.non_temporal ctx t.revmap ~pte
@@ -144,12 +167,12 @@ let sweep_vpage t ctx vp =
 
 (* Reloaded: bring one page to the current generation, content-sweeping it
    only if it may hold capabilities. Returns (pages, revoked) deltas. *)
-let visit_reloaded t ctx gen vp =
-  let pmap = Vm.Aspace.pmap (Machine.aspace t.m) in
+let visit_reloaded t ctx gen ~force vp =
+  let pmap = Vm.Aspace.pmap t.aspace in
   match Pmap.lookup pmap ~vpage:vp with
   | None -> (0, 0)
   | Some pte ->
-      if pte.Pte.clg <> gen then begin
+      if pte.Pte.clg <> gen || force then begin
         let pages, revoked =
           if Hashtbl.mem t.visit_set vp then begin
             let st = Sweep.sweep_page ~non_temporal:t.non_temporal ctx t.revmap ~pte in
@@ -196,7 +219,7 @@ let helper_body t h ctx =
             Machine.safe_point ctx;
             let pages, revoked =
               match mode with
-              | Sweep_reloaded gen -> visit_reloaded t ctx gen vp
+              | Sweep_reloaded (gen, force) -> visit_reloaded t ctx gen ~force vp
               | Sweep_cheriot -> visit_cheriot t ctx vp
               | Idle | Stop -> (0, 0)
             in
@@ -266,7 +289,7 @@ type epoch_outcome = {
 let run_cherivoke t ctx =
   let pages = ref 0 and revoked = ref 0 in
   let (), rep =
-    Machine.stop_the_world ctx (fun () ->
+    Machine.stop_the_world ctx ~scope:[ t.pid ] (fun () ->
         update_visit_set t ctx ~reset:true;
         revoked := scan_roots t ctx;
         Hashtbl.iter
@@ -284,7 +307,8 @@ let run_cherivoke t ctx =
   }
 
 let run_cornucopia t ctx =
-  let pmap = Vm.Aspace.pmap (Machine.aspace t.m) in
+  let pmap = Vm.Aspace.pmap t.aspace in
+  let asid = Vm.Aspace.asid t.aspace in
   let pages = ref 0 and revoked = ref 0 in
   (* concurrent phase: sweep every page that has ever held capabilities,
      clearing its dirty bit first so stores during the sweep re-dirty it *)
@@ -303,7 +327,7 @@ let run_cornucopia t ctx =
                 Machine.charge ctx Cost.pte_update
               end);
           if t.fault <> Some Skip_shootdown then
-            Machine.tlb_shootdown ctx ~vpages:[ vp ];
+            Machine.tlb_shootdown ~asid ctx ~vpages:[ vp ];
           let st = Sweep.sweep_page ~non_temporal:t.non_temporal ctx t.revmap ~pte in
           incr pages;
           revoked := !revoked + st.Sweep.revoked)
@@ -311,7 +335,7 @@ let run_cornucopia t ctx =
   let conc = Machine.now ctx - t0 in
   (* stop-the-world phase: roots, then pages re-dirtied during the sweep *)
   let (), rep =
-    Machine.stop_the_world ctx (fun () ->
+    Machine.stop_the_world ctx ~scope:[ t.pid ] (fun () ->
         revoked := !revoked + scan_roots t ctx;
         List.iter
           (fun vp ->
@@ -341,21 +365,21 @@ let run_cornucopia t ctx =
   }
 
 let run_reloaded t ctx =
-  let pmap = Vm.Aspace.pmap (Machine.aspace t.m) in
+  let pmap = Vm.Aspace.pmap t.aspace in
   let root_revoked = ref 0 in
   (* stop-the-world: toggle generations, scan registers and hoards; no
      PTE is touched (§4.1) — unless the §4.1 ablation of a per-PTE barrier
      flag is enabled, in which case every PTE is updated with the world
      stopped, which is exactly what the generation scheme avoids. *)
   let (), rep =
-    Machine.stop_the_world ctx (fun () ->
+    Machine.stop_the_world ctx ~scope:[ t.pid ] (fun () ->
         Machine.toggle_clg ctx;
         update_visit_set t ctx ~reset:true;
         root_revoked := scan_roots t ctx;
         if t.pte_flag_barrier then begin
           let pages = heap_vpages t in
           List.iter (fun _ -> Machine.charge ctx Cost.pte_update) pages;
-          Machine.tlb_shootdown ctx ~vpages:pages
+          Machine.tlb_shootdown ~asid:(Vm.Aspace.asid t.aspace) ctx ~vpages:pages
         end)
   in
   t.barrier_armed <- true;
@@ -363,11 +387,14 @@ let run_reloaded t ctx =
      content-sweep only pages that may hold capabilities. The application
      races us via its load-barrier faults; page visits are idempotent. *)
   let gen = Pmap.generation pmap in
+  let force = t.mixed_gen in
   let t0 = Machine.now ctx in
   let pages, revoked =
-    fan_out t ctx ~pages:(heap_vpages t) ~mode:(Sweep_reloaded gen)
-      ~visit:(visit_reloaded t ctx gen)
+    fan_out t ctx ~pages:(heap_vpages t)
+      ~mode:(Sweep_reloaded (gen, force))
+      ~visit:(visit_reloaded t ctx gen ~force)
   in
+  t.mixed_gen <- false;
   {
     o_stw = rep.Machine.released_at - rep.Machine.requested_at;
     o_conc = Machine.now ctx - t0;
@@ -382,7 +409,7 @@ let run_cheriot t ctx =
      one concurrent content sweep erases them from memory. *)
   let root_revoked = ref 0 in
   let (), rep =
-    Machine.stop_the_world ctx (fun () ->
+    Machine.stop_the_world ctx ~scope:[ t.pid ] (fun () ->
         update_visit_set t ctx ~reset:true;
         root_revoked := scan_roots t ctx)
   in
@@ -406,7 +433,7 @@ let run_paint_sync _t _ctx = { o_stw = 0; o_conc = 0; o_pages = 0; o_revoked = 0
    TLB; sweep without locks held; re-lock to update the PTE idempotently. *)
 let clg_fault_handler t ctx ~vaddr pte =
   let t0 = Machine.now ctx in
-  let pmap = Vm.Aspace.pmap (Machine.aspace t.m) in
+  let pmap = Vm.Aspace.pmap t.aspace in
   let gen = Pmap.generation pmap in
   let vp = vaddr / Phys.page_size in
   let stale = Machine.with_pmap_lock ctx (fun () -> pte.Pte.clg = gen) in
@@ -434,9 +461,11 @@ let run_epoch t ctx batches =
   let requested_at = Machine.now ctx in
   (match Machine.tracer t.m with
   | Some tr ->
-      Sim.Trace.emit tr ~time:requested_at ~core:t.core Sim.Trace.Epoch_begin
+      Sim.Trace.emit tr ~time:requested_at ~core:t.core ~pid:t.pid
+        Sim.Trace.Epoch_begin
         (Epoch.counter t.epoch);
-      Sim.Trace.emit tr ~time:requested_at ~core:t.core Sim.Trace.Revoke_batch bytes
+      Sim.Trace.emit tr ~time:requested_at ~core:t.core ~pid:t.pid
+        Sim.Trace.Revoke_batch bytes
   | None -> ());
   Epoch.begin_revocation t.epoch ctx;
   let idx = Epoch.counter t.epoch in
@@ -449,7 +478,7 @@ let run_epoch t ctx batches =
           List.iter
             (fun (addr, size) ->
               Machine.trace_emit t.m ~time:(Machine.now ctx) ~core:t.core
-                ~arg2:size Sim.Trace.Quarantine_deq addr)
+                ~pid:t.pid ~arg2:size Sim.Trace.Quarantine_deq addr)
             b.entries;
           match t.on_clean with None -> () | Some f -> f ctx b)
         batches
@@ -468,7 +497,8 @@ let run_epoch t ctx batches =
   Epoch.end_revocation t.epoch ctx;
   (match Machine.tracer t.m with
   | Some tr ->
-      Sim.Trace.emit tr ~time:(Machine.now ctx) ~core:t.core Sim.Trace.Epoch_end
+      Sim.Trace.emit tr ~time:(Machine.now ctx) ~core:t.core ~pid:t.pid
+        Sim.Trace.Epoch_end
         (Epoch.counter t.epoch)
   | None -> ());
   t.barrier_armed <- false;
@@ -506,10 +536,16 @@ let thread_body t ctx =
             Machine.broadcast ctx h.h_work_cv)
           t.helpers
     | _ ->
+        (* Cross-process arbitration: epochs of different processes are
+           serialised by the global revocation scheduler when one is
+           installed; the default gates are no-ops. *)
+        t.gate_acquire ctx;
         let batches = List.rev t.queue in
         t.queue <- [];
         t.queued_bytes <- 0;
-        run_epoch t ctx batches;
+        Fun.protect
+          ~finally:(fun () -> t.gate_release ctx)
+          (fun () -> run_epoch t ctx batches);
         loop ()
   in
   loop ()
@@ -518,7 +554,7 @@ let enqueue t ctx batch =
   List.iter
     (fun (addr, size) ->
       Machine.trace_emit t.m ~time:(Machine.now ctx) ~core:(Machine.core_id ctx)
-        ~arg2:size Sim.Trace.Quarantine_enq addr)
+        ~pid:t.pid ~arg2:size Sim.Trace.Quarantine_enq addr)
     batch.entries;
   t.queue <- batch :: t.queue;
   t.queued_bytes <- t.queued_bytes + batch.bytes;
@@ -528,18 +564,72 @@ let request_shutdown t ctx =
   t.shutdown <- true;
   Machine.broadcast ctx t.work_cv
 
+let set_epoch_gate t ~acquire ~release =
+  t.gate_acquire <- acquire;
+  t.gate_release <- release
+
+(* Fork (§4.3): the child's revoker starts from the parent's sweep state —
+   the visit set (pages that have ever held capabilities; the child's CoW
+   copies hold the same ones) and the painted-bit population of the
+   inherited shadow bitmap. [mixed_gen] arms the one-shot full visit that
+   makes the child's first Reloaded epoch sound across the two inherited
+   generations. *)
+let inherit_from t ~parent =
+  Hashtbl.iter (fun vp () -> Hashtbl.replace t.visit_set vp ()) parent.visit_set;
+  Revmap.seed_bits t.revmap (Revmap.set_bits parent.revmap);
+  t.mixed_gen <- true
+
+let register_barrier t =
+  let m = t.m in
+  let asid = Vm.Aspace.asid t.aspace in
+  match t.strategy with
+  | Reloaded -> Machine.set_clg_fault_handler m ~asid (Some (clg_fault_handler t))
+  | Cheriot_filter ->
+      Machine.set_cap_load_filter m ~asid
+        (Some
+           (fun fctx c ->
+             (* pipelined tightly-coupled bitmap probe: one cycle *)
+             Machine.charge fctx 1;
+             if Revmap.test_host t.revmap (Capability.base c) then
+               Capability.clear_tag c
+             else c))
+  | Paint_sync | Cherivoke | Cornucopia -> ()
+
+let unregister_barrier t =
+  let asid = Vm.Aspace.asid t.aspace in
+  (match t.strategy with
+  | Reloaded -> Machine.set_clg_fault_handler t.m ~asid None
+  | Cheriot_filter -> Machine.set_cap_load_filter t.m ~asid None
+  | Paint_sync | Cherivoke | Cornucopia -> ())
+
+(* Exec: the process replaced its image. The quarantine must already have
+   been drained; the revoker keeps its epoch counter but forgets the old
+   space entirely and re-arms its barrier under the new asid. *)
+let rebind t ~aspace =
+  unregister_barrier t;
+  t.aspace <- aspace;
+  Revmap.rebind t.revmap ~aspace;
+  Hashtbl.reset t.visit_set;
+  t.mixed_gen <- false;
+  t.barrier_armed <- false;
+  List.iter (fun th -> Machine.assign_aspace th aspace) t.service_threads;
+  register_barrier t
+
 let create m ~strategy ~core ?(non_temporal = false)
     ?(background_threads = 1) ?(helper_cores = [ 1; 0 ])
-    ?(pte_flag_barrier = false) ?hoards () =
+    ?(pte_flag_barrier = false) ?hoards ?aspace ?(pid = 0) () =
   let hoards = match hoards with Some h -> h | None -> Kernel.Hoard.create () in
+  let aspace = match aspace with Some a -> a | None -> Machine.aspace m in
   let t =
     {
       m;
+      aspace;
+      pid;
       strategy;
       core;
       non_temporal;
       pte_flag_barrier;
-      revmap = Revmap.create m;
+      revmap = Revmap.create ~aspace m;
       epoch = Epoch.create ();
       hoards;
       work_cv = Machine.condvar ();
@@ -558,20 +648,13 @@ let create m ~strategy ~core ?(non_temporal = false)
       current_entries = [];
       barrier_armed = false;
       fault = None;
+      mixed_gen = false;
+      gate_acquire = (fun _ -> ());
+      gate_release = (fun _ -> ());
+      service_threads = [];
     }
   in
-  (match strategy with
-  | Reloaded -> Machine.set_clg_fault_handler m (Some (clg_fault_handler t))
-  | Cheriot_filter ->
-      Machine.set_cap_load_filter m
-        (Some
-           (fun fctx c ->
-             (* pipelined tightly-coupled bitmap probe: one cycle *)
-             Machine.charge fctx 1;
-             if Revmap.test_host t.revmap (Capability.base c) then
-               Capability.clear_tag c
-             else c))
-  | Paint_sync | Cherivoke | Cornucopia -> ());
+  register_barrier t;
   (* §7.1: optional helper threads share the background sweep *)
   if background_threads > 1 then begin
     let helpers =
@@ -589,13 +672,18 @@ let create m ~strategy ~core ?(non_temporal = false)
     t.helpers <- helpers;
     List.iteri
       (fun i h ->
-        ignore
-          (Machine.spawn m
-             ~name:(Printf.sprintf "revoker-helper-%d" i)
-             ~core:h.h_core ~user:false (helper_body t h)))
+        let th =
+          Machine.spawn m
+            ~name:(Printf.sprintf "revoker-helper-%d.%d" pid i)
+            ~core:h.h_core ~user:false ~pid ~aspace (helper_body t h)
+        in
+        t.service_threads <- th :: t.service_threads)
       helpers
   end;
-  ignore
-    (Machine.spawn m ~name:(Printf.sprintf "revoker-%s" (strategy_name strategy))
-       ~core ~user:false (thread_body t));
+  let th =
+    Machine.spawn m
+      ~name:(Printf.sprintf "revoker-%s.%d" (strategy_name strategy) pid)
+      ~core ~user:false ~pid ~aspace (thread_body t)
+  in
+  t.service_threads <- th :: t.service_threads;
   t

@@ -76,6 +76,8 @@ val create :
   ?helper_cores:int list ->
   ?pte_flag_barrier:bool ->
   ?hoards:Kernel.Hoard.t ->
+  ?aspace:Vm.Aspace.t ->
+  ?pid:int ->
   unit ->
   t
 (** [background_threads] > 1 spawns §7.1-style helper threads (on
@@ -84,10 +86,16 @@ val create :
     ablation in which starting an epoch updates every PTE under
     stop-the-world instead of toggling the in-core generation bit.
     Builds the revoker, registers the load-barrier fault handler
-    (Reloaded) or load filter (CHERIoT), and spawns the revoker thread on
-    [core]; must be called before {!Sim.Machine.run}. *)
+    (Reloaded) or load filter (CHERIoT) for [aspace]'s asid, and spawns
+    the revoker thread on [core]; must be called before
+    {!Sim.Machine.run}. [aspace] defaults to the machine's initial
+    address space and [pid] to 0, reproducing the single-process
+    behaviour: the revoker sweeps only [aspace]'s pages, stops only
+    [pid]'s threads, and shoots down only cores running [aspace]. *)
 
 val strategy : t -> strategy
+val pid : t -> int
+val aspace : t -> Vm.Aspace.t
 val epoch : t -> Epoch.t
 val revmap : t -> Revmap.t
 val hoards : t -> Kernel.Hoard.t
@@ -116,6 +124,11 @@ val currently_revoking : t -> (int * int) list
 (** The quarantined regions being revoked by the in-flight epoch (empty
     between epochs). Used by invariant-checking tests. *)
 
+val queued_entries : t -> (int * int) list
+(** Regions in batches handed over but not yet begun, oldest first.
+    Together with {!currently_revoking} and the shim's fill buffer this
+    enumerates every quarantined region — fork walks all three. *)
+
 val barrier_armed : t -> bool
 (** Reloaded only: the epoch-opening stop-the-world has completed, so the
     §3.2 invariant (no unchecked capability can be loaded or held) is in
@@ -127,3 +140,21 @@ val records : t -> phase_record list
 
 val revocation_count : t -> int
 val total_bytes_processed : t -> int
+
+val set_epoch_gate :
+  t -> acquire:(Sim.Machine.ctx -> unit) -> release:(Sim.Machine.ctx -> unit) -> unit
+(** Install cross-process scheduler hooks: [acquire] is called on the
+    revoker thread before each epoch's work begins and [release] after it
+    completes (also on abnormal exit). The default hooks are no-ops, so
+    single-process runs are unaffected. *)
+
+val inherit_from : t -> parent:t -> unit
+(** Fork support (§4.3): seed this (child) revoker's sweep state from the
+    parent's — visit set and painted-bit population — and arm a one-shot
+    full-heap visit so the child's first Reloaded epoch is sound despite
+    the two capability-load generations inherited across the fork. *)
+
+val rebind : t -> aspace:Vm.Aspace.t -> unit
+(** Exec support: point the revoker (and its shadow bitmap, service
+    threads, and load barrier registration) at a fresh address space,
+    dropping all sweep state. The quarantine must already be empty. *)

@@ -43,7 +43,8 @@ let sweep_page ?(non_temporal = false) ctx revmap ~pte =
     end
   done;
   Machine.trace_emit (Machine.machine ctx) ~time:(Machine.now ctx)
-    ~core:(Machine.core_id ctx) ~arg2:!revoked Sim.Trace.Page_sweep base;
+    ~core:(Machine.core_id ctx) ~pid:(Machine.ctx_pid ctx) ~arg2:!revoked
+    Sim.Trace.Page_sweep base;
   { granules = n; tagged = !tagged; revoked = !revoked; upgraded = !upgraded }
 
 let scan_regfile ctx revmap regs =
@@ -66,5 +67,6 @@ let scan_hoard ctx revmap hoard =
   in
   Machine.charge ctx (n * Cost.alu);
   Machine.trace_emit (Machine.machine ctx) ~time:(Machine.now ctx)
-    ~core:(Machine.core_id ctx) ~arg2:!revoked Sim.Trace.Hoard_scan n;
+    ~core:(Machine.core_id ctx) ~pid:(Machine.ctx_pid ctx) ~arg2:!revoked
+    Sim.Trace.Hoard_scan n;
   !revoked

@@ -38,6 +38,18 @@ val mrs_shim : int
 
 val syscall_entry : int
 
+val aspace_switch : int
+(** extra cost of switching address spaces on a core (full TLB flush +
+    root page-table install), on top of {!context_switch} *)
+
+val cow_copy : int
+(** duplicating a shared 4 KiB frame on a copy-on-write break (read +
+    write of the whole page, tags included) *)
+
+val fork_base : int
+(** fixed kernel cost of [fork]/[exec] (process table, pmap clone setup);
+    per-page PTE work is charged separately at {!pte_update}. *)
+
 val cycles_to_ms : int -> float
 val cycles_to_us : int -> float
 val cycles_of_us : float -> int

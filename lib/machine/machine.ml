@@ -42,6 +42,8 @@ and thread = {
   name : string;
   tcore : int;
   user : bool;
+  pid : int;
+  mutable asp : Aspace.t;
   regs : Regfile.t;
   body : ctx -> unit;
   mutable state : state;
@@ -58,6 +60,7 @@ and core = {
   cid : int;
   mutable clock : int;
   mutable clg : bool;
+  mutable casid : int; (* asid of the currently-installed address space *)
   cache : Cache.t;
   tlb : Tlb.t;
   mutable resident : int;
@@ -82,8 +85,10 @@ and t = {
   mutable next_tid : int;
   mutable seq : int;
   mutable stw : stw option;
-  mutable clg_handler : (ctx -> vaddr:int -> Pte.t -> unit) option;
-  mutable load_filter : (ctx -> Capability.t -> Capability.t) option;
+  (* CLG fault handlers and load filters are per address space: each
+     process's revoker registers under its own asid. *)
+  clg_handlers : (int, ctx -> vaddr:int -> Pte.t -> unit) Hashtbl.t;
+  load_filters : (int, ctx -> Capability.t -> Capability.t) Hashtbl.t;
   mutable store_hook : (vaddr:int -> Capability.t -> unit) option;
   prng : Prng.t;
   mutable ctx_switches : int;
@@ -124,6 +129,7 @@ let create cfg =
           cid;
           clock = 0;
           clg = false;
+          casid = 0;
           cache = Cache.create ();
           tlb = Tlb.create ();
           resident = -1;
@@ -140,8 +146,8 @@ let create cfg =
     next_tid = 0;
     seq = 0;
     stw = None;
-    clg_handler = None;
-    load_filter = None;
+    clg_handlers = Hashtbl.create 8;
+    load_filters = Hashtbl.create 8;
     store_hook = None;
     prng = Prng.create ~seed:cfg.seed;
     ctx_switches = 0;
@@ -167,19 +173,22 @@ let attach_tracer m t =
 
 let tracer m = m.trace
 
-let trace_emit m ~time ~core ?(arg2 = 0) kind arg =
+let trace_emit m ~time ~core ?(pid = 0) ?(arg2 = 0) kind arg =
   match m.trace with
   | None -> ()
-  | Some t -> Trace.emit t ~time ~core ~arg2 kind arg
+  | Some t -> Trace.emit t ~time ~core ~pid ~arg2 kind arg
 
-let spawn m ~name ~core ?(user = true) body =
+let spawn m ~name ~core ?(user = true) ?(pid = 0) ?aspace body =
   if core < 0 || core >= Array.length m.cores then invalid_arg "Machine.spawn: core";
+  let asp = match aspace with Some a -> a | None -> m.aspace in
   let th =
     {
       tid = m.next_tid;
       name;
       tcore = core;
       user;
+      pid;
+      asp;
       regs = Regfile.create ();
       body;
       state = Created;
@@ -198,14 +207,33 @@ let spawn m ~name ~core ?(user = true) body =
 
 let thread_name th = th.name
 let thread_cpu_cycles th = th.cpu
+let thread_pid th = th.pid
+let thread_aspace th = th.asp
 let regs th = th.regs
 let self ctx = ctx.th
 let machine ctx = ctx.m
 let core_id ctx = ctx.th.tcore
 let core_of ctx = ctx.m.cores.(ctx.th.tcore)
 let now ctx = (core_of ctx).clock
+let ctx_pid ctx = ctx.th.pid
+let ctx_aspace ctx = ctx.th.asp
 let user_threads m = List.filter (fun th -> th.user) m.threads
 let find_thread m name = List.find_opt (fun th -> th.name = name) m.threads
+let core_asid m i = m.cores.(i).casid
+
+(* Host-side: rebind a thread to another address space; the switch takes
+   architectural effect (TLB flush, generation resync) at its next
+   resume. Used by [exec] to move a process's service threads over. *)
+let assign_aspace th a = th.asp <- a
+
+let aspace_of_pid m pid =
+  let rec find = function
+    | [] -> None
+    | th :: rest ->
+        if th.pid = pid && th.state <> Finished then Some th.asp
+        else find rest
+  in
+  find m.threads
 
 let charge ctx n =
   assert (n >= 0);
@@ -320,14 +348,17 @@ let exit_syscall ctx =
 
 type stw_report = { requested_at : int; stopped_at : int; released_at : int }
 
-let stop_the_world ctx f =
+let stop_the_world ctx ?scope f =
   let m = ctx.m and th = ctx.th in
   if th.user then invalid_arg "stop_the_world: user threads may not stop the world";
   if m.stw <> None then invalid_arg "stop_the_world: nested";
   charge ctx Cost.stw_base;
   let t0 = (core_of ctx).clock in
+  let in_scope x =
+    match scope with None -> true | Some pids -> List.mem x.pid pids
+  in
   let targets =
-    List.filter (fun x -> x.user && x.state <> Finished) m.threads
+    List.filter (fun x -> x.user && x.state <> Finished && in_scope x) m.threads
   in
   let s = { initiator = th; t0; pending = targets; parked = []; stopped_at = t0 } in
   m.stw <- Some s;
@@ -349,11 +380,12 @@ let stop_the_world ctx f =
   end;
   charge ctx (Cost.quiesce_per_thread * List.length targets);
   let stopped_at = max s.stopped_at (core_of ctx).clock in
-  trace_emit m ~time:t0 ~core:th.tcore Trace.Stw_request (List.length targets);
-  trace_emit m ~time:stopped_at ~core:th.tcore Trace.Stw_stopped 0;
+  trace_emit m ~time:t0 ~core:th.tcore ~pid:th.pid Trace.Stw_request
+    (List.length targets);
+  trace_emit m ~time:stopped_at ~core:th.tcore ~pid:th.pid Trace.Stw_stopped 0;
   let result = f () in
   let released_at = (core_of ctx).clock in
-  trace_emit m ~time:released_at ~core:th.tcore Trace.Stw_release
+  trace_emit m ~time:released_at ~core:th.tcore ~pid:th.pid Trace.Stw_release
     (released_at - t0);
   List.iter
     (fun x ->
@@ -368,29 +400,47 @@ let stop_the_world ctx f =
 
 (* ---- CLG ---- *)
 
+(* Toggle the CLG of the caller's address space: the per-core bit flips
+   only on cores that have this space installed; cores running other
+   processes keep their own generation and resync at their next
+   address-space switch. With a single process every core matches, which
+   is exactly the old machine-wide behaviour. *)
 let toggle_clg ctx =
   let m = ctx.m in
   (match m.stw with
   | Some s when s.initiator.tid = ctx.th.tid -> ()
   | _ -> invalid_arg "toggle_clg: requires the world stopped by the caller");
+  let asid = Aspace.asid ctx.th.asp in
   Array.iter
     (fun c ->
-      c.clg <- not c.clg;
-      charge ctx Cost.alu)
+      if c.casid = asid then begin
+        c.clg <- not c.clg;
+        charge ctx Cost.alu
+      end)
     m.cores;
-  let pmap = Aspace.pmap m.aspace in
+  let pmap = Aspace.pmap ctx.th.asp in
   Pmap.set_generation pmap (not (Pmap.generation pmap));
-  trace_emit m ~time:(core_of ctx).clock ~core:ctx.th.tcore Trace.Clg_toggle
+  trace_emit m ~time:(core_of ctx).clock ~core:ctx.th.tcore ~pid:ctx.th.pid
+    Trace.Clg_toggle
     (if Pmap.generation pmap then 1 else 0)
 
 let core_clg m i = m.cores.(i).clg
-let set_clg_fault_handler m h = m.clg_handler <- h
-let set_cap_load_filter m f = m.load_filter <- f
+
+let set_clg_fault_handler m ?(asid = 0) h =
+  match h with
+  | None -> Hashtbl.remove m.clg_handlers asid
+  | Some h -> Hashtbl.replace m.clg_handlers asid h
+
+let set_cap_load_filter m ?(asid = 0) f =
+  match f with
+  | None -> Hashtbl.remove m.load_filters asid
+  | Some f -> Hashtbl.replace m.load_filters asid f
+
 let set_cap_store_hook m h = m.store_hook <- h
 
 (* ---- translation ---- *)
 
-let translate_entry ctx va ~write =
+let rec translate_entry ctx va ~write =
   let vpage = va / page_size in
   let c = core_of ctx in
   let e =
@@ -398,13 +448,38 @@ let translate_entry ctx va ~write =
     | Some e -> e
     | None -> (
         charge ctx Cost.tlb_walk;
-        match Pmap.lookup (Aspace.pmap ctx.m.aspace) ~vpage with
+        match Pmap.lookup (Aspace.pmap ctx.th.asp) ~vpage with
         | None -> raise (Page_fault { vaddr = va; write })
         | Some pte -> Tlb.insert c.tlb ~vpage pte)
   in
   if write && not e.Tlb.pte.Pte.writable then
-    raise (Page_fault { vaddr = va; write });
-  e
+    if e.Tlb.pte.Pte.cow then begin
+      (* Copy-on-write break: trap, privatise the frame under the pmap
+         lock, and retry. The PTE is mutated in place, so sibling cores
+         sharing this space observe the new frame through their own TLB
+         entries; no cross-space effect is possible since each space has
+         private PTEs. *)
+      charge ctx Cost.trap;
+      let pmap = Aspace.pmap ctx.th.asp in
+      let contended = Pmap.lock pmap ~who:ctx.th.tid in
+      charge ctx (if contended then 2 * Cost.pmap_lock else Cost.pmap_lock);
+      let copied =
+        Fun.protect
+          ~finally:(fun () -> Pmap.unlock pmap ~who:ctx.th.tid)
+          (fun () ->
+            if e.Tlb.pte.Pte.cow then Aspace.cow_break ctx.th.asp ~vpage
+            else false (* raced with a sibling thread's break *))
+      in
+      charge ctx Cost.pte_update;
+      if copied then charge ctx Cost.cow_copy;
+      Tlb.refresh e;
+      trace_emit ctx.m ~time:c.clock ~core:ctx.th.tcore ~pid:ctx.th.pid
+        ~arg2:(if copied then 1 else 0)
+        Trace.Cow_fault va;
+      translate_entry ctx va ~write
+    end
+    else raise (Page_fault { vaddr = va; write })
+  else e
 
 let translate ctx va =
   match
@@ -486,9 +561,10 @@ let rec load_cap ctx cap =
     (* Capability load generation fault (§4.1): trap, let the registered
        handler bring the page to the current generation, re-execute. *)
     ctx.m.clg_faults <- ctx.m.clg_faults + 1;
-    trace_emit ctx.m ~time:(core_of ctx).clock ~core:ctx.th.tcore Trace.Clg_fault va;
+    trace_emit ctx.m ~time:(core_of ctx).clock ~core:ctx.th.tcore
+      ~pid:ctx.th.pid Trace.Clg_fault va;
     charge ctx Cost.trap;
-    (match ctx.m.clg_handler with
+    (match Hashtbl.find_opt ctx.m.clg_handlers (Aspace.asid ctx.th.asp) with
     | None ->
         (* No software component installed: the PTE may already be
            current (stale TLB); refresh and re-check. *)
@@ -510,7 +586,7 @@ let rec load_cap ctx cap =
         Capability.clear_tag v
       else v
     in
-    match ctx.m.load_filter with
+    match Hashtbl.find_opt ctx.m.load_filters (Aspace.asid ctx.th.asp) with
     | Some f when Capability.tag v -> f ctx v
     | Some _ | None -> v
   end
@@ -568,35 +644,52 @@ let kern_access ctx ~pa ~write =
 (* ---- VM operations ---- *)
 
 let with_pmap_lock ctx f =
-  let pmap = Aspace.pmap ctx.m.aspace in
+  let pmap = Aspace.pmap ctx.th.asp in
   let contended = Pmap.lock pmap ~who:ctx.th.tid in
   charge ctx (if contended then 2 * Cost.pmap_lock else Cost.pmap_lock);
   Fun.protect ~finally:(fun () -> Pmap.unlock pmap ~who:ctx.th.tid) f
 
-let tlb_shootdown ctx ~vpages =
+(* Invalidate [vpages] on every core that has the given address space
+   installed (all cores when [asid] is omitted — the machine-wide IPI of
+   the single-process model). *)
+let tlb_shootdown ?asid ctx ~vpages =
   if vpages <> [] then begin
     Array.iter
       (fun c ->
-        List.iter (fun vp -> Tlb.invalidate_page c.tlb ~vpage:vp) vpages;
-        charge ctx Cost.tlb_shootdown_per_core)
+        let hit = match asid with None -> true | Some a -> c.casid = a in
+        if hit then begin
+          List.iter (fun vp -> Tlb.invalidate_page c.tlb ~vpage:vp) vpages;
+          charge ctx Cost.tlb_shootdown_per_core
+        end)
       ctx.m.cores;
     trace_emit ctx.m ~time:(core_of ctx).clock ~core:ctx.th.tcore
-      Trace.Tlb_shootdown (List.length vpages)
+      ~pid:ctx.th.pid Trace.Tlb_shootdown (List.length vpages)
   end
 
 let map ctx ~vaddr ~len ~writable =
   with_pmap_lock ctx (fun () ->
-      let fresh = Aspace.map_range ctx.m.aspace ~vaddr ~len ~writable in
+      let fresh = Aspace.map_range ctx.th.asp ~vaddr ~len ~writable in
       charge ctx (fresh * (Cost.page_zero + Cost.pte_update)))
 
 let unmap ctx ~vaddr ~len =
   let vpages =
     with_pmap_lock ctx (fun () ->
-        let vpages = Aspace.unmap_range ctx.m.aspace ~vaddr ~len in
+        let vpages = Aspace.unmap_range ctx.th.asp ~vaddr ~len in
         charge ctx (List.length vpages * Cost.pte_update);
         vpages)
   in
-  tlb_shootdown ctx ~vpages
+  tlb_shootdown ctx ~asid:(Aspace.asid ctx.th.asp) ~vpages
+
+(* Switch the calling thread to another address space immediately:
+   exec's tail end. The core takes a full TLB flush and resyncs its CLG
+   bit from the new space's generation. *)
+let adopt_aspace ctx a =
+  ctx.th.asp <- a;
+  let c = core_of ctx in
+  Tlb.flush c.tlb;
+  c.casid <- Aspace.asid a;
+  c.clg <- Pmap.generation (Aspace.pmap a);
+  charge ctx Cost.aspace_switch
 
 (* ---- scheduler ---- *)
 
@@ -657,13 +750,27 @@ let resume m th =
     if c.resident >= 0 then begin
       m.ctx_switches <- m.ctx_switches + 1;
       (match m.trace with
-      | Some t -> Trace.emit t ~time:c.clock ~core:c.cid Trace.Context_switch th.tid
+      | Some t ->
+          Trace.emit t ~time:c.clock ~core:c.cid ~pid:th.pid
+            Trace.Context_switch th.tid
       | None -> ());
       c.clock <- c.clock + Cost.context_switch;
       c.busy <- c.busy + Cost.context_switch;
       th.cpu <- th.cpu + Cost.context_switch
     end;
     c.resident <- th.tid
+  end;
+  (* Address-space switch: full TLB flush plus CLG resync from the
+     incoming space's generation. Free when the space is already
+     installed — in particular always free in single-process runs. *)
+  let asid = Aspace.asid th.asp in
+  if c.casid <> asid then begin
+    Tlb.flush c.tlb;
+    c.casid <- asid;
+    c.clg <- Pmap.generation (Aspace.pmap th.asp);
+    c.clock <- c.clock + Cost.aspace_switch;
+    c.busy <- c.busy + Cost.aspace_switch;
+    th.cpu <- th.cpu + Cost.aspace_switch
   end;
   th.slice_start <- c.clock;
   m.seq <- m.seq + 1;

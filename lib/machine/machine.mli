@@ -61,11 +61,16 @@ val spawn :
   name:string ->
   core:int ->
   ?user:bool ->
+  ?pid:int ->
+  ?aspace:Vm.Aspace.t ->
   (ctx -> unit) ->
   thread
 (** Create a thread pinned to [core]. [user] threads (default [true]) are
     quiesced by stop-the-world; revoker/system threads pass
-    [~user:false]. The body runs when {!run} is called. *)
+    [~user:false]. [pid] (default 0) and [aspace] (default: the
+    machine's primordial space) attach the thread to a process; the
+    single-process world never passes either. The body runs when {!run}
+    is called. *)
 
 val run : t -> unit
 (** Drive the machine until every thread has finished. Raises
@@ -77,6 +82,8 @@ val thread_name : thread -> string
 val thread_cpu_cycles : thread -> int
 (** Total on-core cycles this thread has consumed. *)
 
+val thread_pid : thread -> int
+val thread_aspace : thread -> Vm.Aspace.t
 val regs : thread -> Regfile.t
 val self : ctx -> thread
 val machine : ctx -> t
@@ -84,8 +91,30 @@ val core_id : ctx -> int
 val now : ctx -> int
 (** The current thread's core clock. *)
 
+val ctx_pid : ctx -> int
+(** Process id of the current thread (0 in single-process runs). *)
+
+val ctx_aspace : ctx -> Vm.Aspace.t
+(** Address space the current thread executes in. *)
+
 val user_threads : t -> thread list
 val find_thread : t -> string -> thread option
+
+val core_asid : t -> int -> int
+(** Asid of the address space currently installed on a core. *)
+
+val aspace_of_pid : t -> int -> Vm.Aspace.t option
+(** Address space of any live thread belonging to [pid] — how analyses
+    resolve a process's current space without holding a stale handle
+    across [exec]. *)
+
+val assign_aspace : thread -> Vm.Aspace.t -> unit
+(** Host-side rebinding (exec): takes architectural effect — TLB flush,
+    CLG resync — when the thread is next resumed. *)
+
+val adopt_aspace : ctx -> Vm.Aspace.t -> unit
+(** Switch the calling thread to another space immediately, flushing the
+    core's TLB and resyncing its CLG bit; charges {!Cost.aspace_switch}. *)
 
 (** {1 Time and synchronization} *)
 
@@ -126,32 +155,40 @@ type stw_report = {
   released_at : int; (** world resumed *)
 }
 
-val stop_the_world : ctx -> (unit -> 'a) -> 'a * stw_report
+val stop_the_world : ctx -> ?scope:int list -> (unit -> 'a) -> 'a * stw_report
 (** [stop_the_world ctx f] quiesces every user thread (draining in-flight
     syscalls), runs [f] with the world stopped, releases, and reports the
-    phase boundaries. Only non-user threads may call this. *)
+    phase boundaries. Only non-user threads may call this.
+    [?scope] restricts quiescence to the user threads of the listed
+    pids — a per-process pause whose cost scales with that process's
+    thread count, not the machine's (the multi-tenant point of §4.4).
+    Omitted: every user thread, the original machine-wide pause. *)
 
 (** {1 Capability load generation (the load barrier)} *)
 
 val toggle_clg : ctx -> unit
-(** Flip the in-core generation bit of every core and the pmap's
-    generation for newly-installed PTEs. PTEs themselves are untouched
-    (§4.1). Must be called with the world stopped. *)
+(** Flip the in-core generation bit of every core running the caller's
+    address space, and that space's pmap generation for newly-installed
+    PTEs. PTEs themselves are untouched (§4.1). Cores running other
+    processes are unaffected (they resync at their next space switch);
+    with a single process this is every core, the original machine-wide
+    toggle. Must be called with the world stopped. *)
 
 val core_clg : t -> int -> bool
 
 val set_clg_fault_handler :
-  t -> (ctx -> vaddr:int -> Vm.Pte.t -> unit) option -> unit
+  t -> ?asid:int -> (ctx -> vaddr:int -> Vm.Pte.t -> unit) option -> unit
 (** Handler invoked (in the faulting thread, trap cost already charged)
     when a tagged capability load hits a generation mismatch. The handler
     must bring the PTE to the current generation (or the load will fault
-    forever). [None] disables the barrier (no strategy toggles
-    generations then). *)
+    forever). Registered per address space ([asid], default 0): each
+    process's revoker handles only its own faults. [None] unregisters. *)
 
 val set_cap_load_filter :
-  t -> (ctx -> Cheri.Capability.t -> Cheri.Capability.t) option -> unit
+  t -> ?asid:int -> (ctx -> Cheri.Capability.t -> Cheri.Capability.t) option -> unit
 (** CHERIoT-style architectural load filter (§6.3): applied to every
-    tagged capability as it is loaded, with no trap. *)
+    tagged capability as it is loaded, with no trap. Per address space,
+    like the CLG handler. *)
 
 val set_cap_store_hook :
   t -> (vaddr:int -> Cheri.Capability.t -> unit) option -> unit
@@ -170,6 +207,9 @@ exception
     (or an attack being stopped). *)
 
 exception Page_fault of { vaddr : int; write : bool }
+(** Stores to copy-on-write pages do not raise this: they trap, privatise
+    the frame ({!Vm.Aspace.cow_break}, charged), emit [Cow_fault], and
+    retry transparently. *)
 
 val load_u64 : ctx -> Cheri.Capability.t -> int64
 val store_u64 : ctx -> Cheri.Capability.t -> int64 -> unit
@@ -218,8 +258,10 @@ val map : ctx -> vaddr:int -> len:int -> writable:bool -> unit
 val unmap : ctx -> vaddr:int -> len:int -> unit
 (** Unmap and shoot down. *)
 
-val tlb_shootdown : ctx -> vpages:int list -> unit
-(** Invalidate the pages on every core, charging the initiating thread. *)
+val tlb_shootdown : ?asid:int -> ctx -> vpages:int list -> unit
+(** Invalidate the pages on every core with address space [asid]
+    installed (every core when omitted), charging the initiating thread
+    per core hit. *)
 
 val with_pmap_lock : ctx -> (unit -> 'a) -> 'a
 
@@ -238,7 +280,8 @@ val attach_tracer : t -> Trace.t option -> unit
 
 val tracer : t -> Trace.t option
 
-val trace_emit : t -> time:int -> core:int -> ?arg2:int -> Trace.kind -> int -> unit
+val trace_emit :
+  t -> time:int -> core:int -> ?pid:int -> ?arg2:int -> Trace.kind -> int -> unit
 (** Emit through the attached recorder, if any — the emission point used
     by higher layers (revoker, revmap, sweep) so analyses can subscribe
     to one stream. No-op without a tracer. *)

@@ -16,6 +16,11 @@ type kind =
   | Clg_toggle
   | Hoard_scan
   | Page_sweep
+  | Cow_fault
+  | Proc_fork
+  | Proc_exec
+  | Proc_exit
+  | Sched_grant
   | Custom of string
 
 let kind_name = function
@@ -36,9 +41,21 @@ let kind_name = function
   | Clg_toggle -> "clg-toggle"
   | Hoard_scan -> "hoard-scan"
   | Page_sweep -> "page-sweep"
+  | Cow_fault -> "cow-fault"
+  | Proc_fork -> "proc-fork"
+  | Proc_exec -> "proc-exec"
+  | Proc_exit -> "proc-exit"
+  | Sched_grant -> "sched-grant"
   | Custom s -> s
 
-type event = { time : int; core : int; kind : kind; arg : int; arg2 : int }
+type event = {
+  time : int;
+  core : int;
+  pid : int;
+  kind : kind;
+  arg : int;
+  arg2 : int;
+}
 
 type t = {
   ring : event array;
@@ -49,7 +66,7 @@ type t = {
   mutable warned : bool;
 }
 
-let dummy = { time = 0; core = -1; kind = Custom "empty"; arg = 0; arg2 = 0 }
+let dummy = { time = 0; core = -1; pid = 0; kind = Custom "empty"; arg = 0; arg2 = 0 }
 
 let create ?(capacity = 4096) () =
   if capacity <= 0 then invalid_arg "Trace.create";
@@ -64,8 +81,8 @@ let create ?(capacity = 4096) () =
 
 let set_warn_on_drop t flag = t.warn_on_drop <- flag
 
-let emit t ~time ~core ?(arg2 = 0) kind arg =
-  let e = { time; core; kind; arg; arg2 } in
+let emit t ~time ~core ?(pid = 0) ?(arg2 = 0) kind arg =
+  let e = { time; core; pid; kind; arg; arg2 } in
   if t.next >= Array.length t.ring && t.warn_on_drop && not t.warned then begin
     t.warned <- true;
     Printf.eprintf
@@ -106,11 +123,13 @@ let clear t =
   t.warned <- false
 
 let pp_event fmt e =
+  let pid = if e.pid = 0 then "" else Printf.sprintf " p%d" e.pid in
   if e.arg2 = 0 then
-    Format.fprintf fmt "%12d c%d %-14s %#x" e.time e.core (kind_name e.kind) e.arg
+    Format.fprintf fmt "%12d c%d%s %-14s %#x" e.time e.core pid
+      (kind_name e.kind) e.arg
   else
-    Format.fprintf fmt "%12d c%d %-14s %#x %#x" e.time e.core (kind_name e.kind)
-      e.arg e.arg2
+    Format.fprintf fmt "%12d c%d%s %-14s %#x %#x" e.time e.core pid
+      (kind_name e.kind) e.arg e.arg2
 
 let dump fmt ?last t =
   let events = to_list t in

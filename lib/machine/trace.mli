@@ -30,6 +30,12 @@ type kind =
   | Clg_toggle  (** arg: the new generation (0/1) all cores adopt *)
   | Hoard_scan  (** arg: hoarded capabilities scanned *)
   | Page_sweep  (** arg: frame base swept; arg2: capabilities revoked *)
+  | Cow_fault  (** arg: faulting vaddr; arg2: 1 iff a physical copy was made *)
+  | Proc_fork  (** arg: child pid; arg2: pages downgraded to CoW *)
+  | Proc_exec  (** arg: pages released from the replaced image *)
+  | Proc_exit  (** arg: quarantine bytes handed to the reaper *)
+  | Sched_grant
+      (** arg: pid granted the revocation token; arg2: waiters remaining *)
   | Custom of string
 
 val kind_name : kind -> string
@@ -37,6 +43,7 @@ val kind_name : kind -> string
 type event = {
   time : int; (** cycles, initiator's core clock *)
   core : int;
+  pid : int; (** owning process; 0 for kernel/single-process activity *)
   kind : kind;
   arg : int; (** kind-specific: vaddr, counter value, bytes, ... *)
   arg2 : int; (** secondary payload (region size, revoked count); 0 if unused *)
@@ -47,7 +54,7 @@ type t
 val create : ?capacity:int -> unit -> t
 (** Default capacity 4096 events; older events are overwritten. *)
 
-val emit : t -> time:int -> core:int -> ?arg2:int -> kind -> int -> unit
+val emit : t -> time:int -> core:int -> ?pid:int -> ?arg2:int -> kind -> int -> unit
 
 val subscribe : t -> (event -> unit) -> int
 (** Register a lossless callback invoked on every subsequent {!emit}

@@ -103,6 +103,22 @@ let count_tags m ~lo ~hi =
   iter_granules m ~lo ~hi (fun _ tagged -> if tagged then incr n);
   !n
 
+(* Copy [len] bytes from [src] to [dst], preserving tags and shadow
+   capabilities. Both ranges must be granule-aligned, as must [len];
+   copy-on-write duplicates whole frames, which satisfies this. *)
+let copy_range m ~src ~dst ~len =
+  check m src len;
+  check m dst len;
+  if not (aligned src && aligned dst && len land (granule - 1) = 0) then
+    invalid_arg "Mem.copy_range: unaligned";
+  Bytes.blit m.data src m.data dst len;
+  let g0 = gidx src and gd = gidx dst in
+  for i = 0 to (len / granule) - 1 do
+    let t = read_tag m ((g0 + i) * granule) in
+    set_tag_bit m (gd + i) t;
+    m.shadow.(gd + i) <- (if t then m.shadow.(g0 + i) else Capability.null)
+  done
+
 let fill m ~lo ~hi v =
   check m lo 0;
   check m hi 0;

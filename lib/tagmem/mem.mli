@@ -60,3 +60,8 @@ val count_tags : t -> lo:int -> hi:int -> int
 
 val fill : t -> lo:int -> hi:int -> int -> unit
 (** Fill bytes with a constant, clearing tags. *)
+
+val copy_range : t -> src:int -> dst:int -> len:int -> unit
+(** [copy_range m ~src ~dst ~len] copies data bytes, tag bits, and shadow
+    capabilities — the primitive behind copy-on-write frame duplication.
+    All of [src], [dst], and [len] must be granule-aligned. *)

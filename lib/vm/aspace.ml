@@ -40,3 +40,68 @@ let translate t va =
 
 let mapped_pages t = Pmap.page_count t.pmap
 let resident_bytes t = mapped_pages t * page
+let asid t = Pmap.asid t.pmap
+
+(* Copy-on-write fork. Every mapping is shared frame-for-frame: writable
+   pages (in both parent and child) are downgraded to read-only with the
+   [cow] bit set so the first store on either side takes a fault and gets
+   a private copy. The child pmap inherits the parent's CLG generation and
+   each PTE keeps its per-page [clg] bit (§4.3: the child inherits the
+   parent's revocation-in-progress state verbatim). Returns the new space
+   and the parent vpages that were downgraded — the caller must shoot
+   those down from TLBs so stale writable snapshots cannot linger. *)
+let fork t ~asid =
+  let child = { phys = t.phys; layout = t.layout; pmap = Pmap.create ~asid } in
+  Pmap.set_generation child.pmap (Pmap.generation t.pmap);
+  let downgraded = ref [] in
+  Pmap.iter t.pmap ~f:(fun vp (pte : Pte.t) ->
+      Phys.ref_frame t.phys pte.Pte.frame;
+      let cpte = Pte.make ~frame:pte.Pte.frame ~writable:false ~clg:pte.Pte.clg in
+      cpte.Pte.readable <- pte.Pte.readable;
+      cpte.Pte.cap_store <- pte.Pte.cap_store;
+      cpte.Pte.cap_dirty <- pte.Pte.cap_dirty;
+      cpte.Pte.load_trap <- pte.Pte.load_trap;
+      cpte.Pte.wired <- pte.Pte.wired;
+      cpte.Pte.cow <- pte.Pte.writable || pte.Pte.cow;
+      Pmap.enter child.pmap ~vpage:vp cpte;
+      if pte.Pte.writable then begin
+        pte.Pte.writable <- false;
+        pte.Pte.cow <- true;
+        downgraded := vp :: !downgraded
+      end);
+  (child, List.rev !downgraded)
+
+(* Resolve a CoW fault on [vpage]. If the frame is no longer shared the
+   PTE is upgraded in place; otherwise the frame is duplicated. Returns
+   [true] iff a physical copy happened (the caller charges for it). *)
+let cow_break t ~vpage =
+  match Pmap.lookup t.pmap ~vpage with
+  | None -> invalid_arg "Aspace.cow_break: unmapped vpage"
+  | Some pte ->
+      if not pte.Pte.cow then invalid_arg "Aspace.cow_break: not a CoW page";
+      let copied =
+        if Phys.frame_refs t.phys pte.Pte.frame = 1 then false
+        else begin
+          let fresh = Phys.alloc_frame t.phys in
+          Phys.copy_frame t.phys ~src:pte.Pte.frame ~dst:fresh;
+          Phys.free_frame t.phys pte.Pte.frame;
+          pte.Pte.frame <- fresh;
+          true
+        end
+      in
+      pte.Pte.writable <- true;
+      pte.Pte.cow <- false;
+      copied
+
+(* Tear down every mapping (process reap / exec). Frames are dropped by
+   one reference each; shared CoW frames survive in their other owners. *)
+let release_all t =
+  let vps = Pmap.sorted_vpages t.pmap in
+  List.iter
+    (fun vp ->
+      (match Pmap.lookup t.pmap ~vpage:vp with
+      | Some pte -> Phys.free_frame t.phys pte.Pte.frame
+      | None -> ());
+      Pmap.remove t.pmap ~vpage:vp)
+    vps;
+  List.length vps

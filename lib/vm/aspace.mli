@@ -25,3 +25,22 @@ val translate : t -> int -> (int * Pte.t) option
 
 val mapped_pages : t -> int
 val resident_bytes : t -> int
+
+val asid : t -> int
+(** The pmap's address-space id. *)
+
+val fork : t -> asid:int -> t * int list
+(** Copy-on-write duplicate: child PTEs share the parent's frames
+    (reference-counted) with writable pages downgraded to read-only +
+    [cow] on both sides; the child pmap inherits the parent's CLG
+    generation and per-page [clg] bits (§4.3). Returns the child and the
+    parent vpages that lost write permission — shoot those down. *)
+
+val cow_break : t -> vpage:int -> bool
+(** Resolve a CoW fault: privatise the frame (copying it if still
+    shared) and restore write permission. Returns [true] iff a physical
+    copy was made. *)
+
+val release_all : t -> int
+(** Unmap everything, dropping one reference per frame; returns the
+    number of pages released. Used by [exec] and process reaping. *)

@@ -6,12 +6,19 @@ type t = {
   total : int;
   mutable free : int list;
   mutable nfree : int;
+  refs : int array; (* sharing count per frame; 0 = free *)
 }
 
 let create mem =
   let total = Tagmem.Mem.size mem / page_size in
   let rec frames i acc = if i < 0 then acc else frames (i - 1) (i :: acc) in
-  { mem; total; free = frames (total - 1) []; nfree = total }
+  {
+    mem;
+    total;
+    free = frames (total - 1) [];
+    nfree = total;
+    refs = Array.make total 0;
+  }
 
 let mem t = t.mem
 let total_frames t = t.total
@@ -23,15 +30,32 @@ let alloc_frame t =
   | f :: rest ->
       t.free <- rest;
       t.nfree <- t.nfree - 1;
+      t.refs.(f) <- 1;
       f
+
+let ref_frame t f =
+  assert (f >= 0 && f < t.total && t.refs.(f) > 0);
+  t.refs.(f) <- t.refs.(f) + 1
+
+let frame_refs t f =
+  assert (f >= 0 && f < t.total);
+  t.refs.(f)
 
 let free_frame t f =
   assert (f >= 0 && f < t.total);
-  t.free <- f :: t.free;
-  t.nfree <- t.nfree + 1
+  assert (t.refs.(f) > 0);
+  t.refs.(f) <- t.refs.(f) - 1;
+  if t.refs.(f) = 0 then begin
+    t.free <- f :: t.free;
+    t.nfree <- t.nfree + 1
+  end
 
 let frame_addr f = f lsl page_shift
 
 let zero_frame t f =
   let lo = frame_addr f in
   Tagmem.Mem.fill t.mem ~lo ~hi:(lo + page_size) 0
+
+let copy_frame t ~src ~dst =
+  Tagmem.Mem.copy_range t.mem ~src:(frame_addr src) ~dst:(frame_addr dst)
+    ~len:page_size

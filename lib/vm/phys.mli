@@ -18,11 +18,27 @@ val total_frames : t -> int
 val free_frames : t -> int
 
 val alloc_frame : t -> int
-(** Returns a frame number. Raises [Out_of_memory] when exhausted. *)
+(** Returns a frame number with sharing count 1. Raises [Out_of_memory]
+    when exhausted. *)
+
+val ref_frame : t -> int -> unit
+(** Bump a live frame's sharing count — copy-on-write [fork] maps the
+    same frame into two address spaces. *)
+
+val frame_refs : t -> int -> int
+(** Current sharing count (0 = free). *)
 
 val free_frame : t -> int -> unit
+(** Drop one reference; the frame returns to the free list only when the
+    last reference goes. For never-shared frames this is exactly the old
+    alloc/free discipline. *)
+
 val frame_addr : int -> int
 (** Physical byte address of a frame's first byte. *)
 
 val zero_frame : t -> int -> unit
 (** Zero the frame's bytes and clear its tags. *)
+
+val copy_frame : t -> src:int -> dst:int -> unit
+(** Duplicate a whole frame, preserving data, tags, and shadow
+    capabilities — the copy half of copy-on-write. *)

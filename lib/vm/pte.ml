@@ -7,6 +7,7 @@ type t = {
   mutable clg : bool;
   mutable load_trap : bool;
   mutable wired : bool;
+  mutable cow : bool; (* write-protected only to force a copy-on-write break *)
 }
 
 let make ~frame ~writable ~clg =
@@ -19,6 +20,7 @@ let make ~frame ~writable ~clg =
     clg;
     load_trap = false;
     wired = false;
+    cow = false;
   }
 
 let pp fmt t =

@@ -22,6 +22,10 @@ type t = {
       (** "all capability loads trap" disposition (§7.6 proposal); when set,
           any tagged load faults regardless of generation *)
   mutable wired : bool; (** may not be swapped/changed during sweep *)
+  mutable cow : bool;
+      (** write-protected only because the frame is shared copy-on-write;
+          the first store takes a fault, privatises the frame, and
+          restores write permission *)
 }
 
 val make : frame:int -> writable:bool -> clg:bool -> t

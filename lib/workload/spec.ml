@@ -107,6 +107,31 @@ let birth_op (p : Profile.t) rt ctx rng regs table =
   | None -> ()
   | Some slot -> alloc_into p rt ctx rng regs table slot
 
+(* The SPEC trace proper, reusable by any driver: build the object table,
+   then run the deterministic operation stream against [rt]. Runs on the
+   calling thread; multi-tenant drivers run one per process. *)
+let app_body (p : Profile.t) rt ~rng ~ops ~ops_done ctx =
+  let regs = Machine.regs (Machine.self ctx) in
+  let table = Objtable.create rt ctx ~slots:p.Profile.slots in
+  let initial =
+    int_of_float (p.Profile.target_live *. float_of_int p.Profile.slots)
+  in
+  for slot = 0 to initial - 1 do
+    alloc_into p rt ctx rng regs table slot
+  done;
+  for _ = 1 to ops do
+    let x = Prng.float rng 1.0 in
+    if x < p.Profile.churn then churn_op p rt ctx rng regs table ~realloc:true
+    else if x < p.Profile.churn +. p.Profile.kill_only then
+      churn_op p rt ctx rng regs table ~realloc:false
+    else if x < p.Profile.churn +. p.Profile.kill_only +. p.Profile.birth_only
+    then birth_op p rt ctx rng regs table
+    else access_op p ctx rng regs table;
+    if p.Profile.compute_per_op > 0 then
+      Machine.charge ctx p.Profile.compute_per_op;
+    incr ops_done
+  done
+
 let run ?(seed = 1) ?(ops_scale = 1.0) ?policy ?(non_temporal = false)
     ?(allocator = Runtime.Snmalloc) ?tracer ?on_runtime ~mode (p : Profile.t) =
   let heap_bytes = Profile.heap_bytes_needed p in
@@ -130,24 +155,7 @@ let run ?(seed = 1) ?(ops_scale = 1.0) ?policy ?(non_temporal = false)
   let ops_done = ref 0 in
   let app =
     Machine.spawn m ~name:"app" ~core:3 (fun ctx ->
-        let regs = Machine.regs (Machine.self ctx) in
-        let table = Objtable.create rt ctx ~slots:p.Profile.slots in
-        let initial = int_of_float (p.Profile.target_live *. float_of_int p.Profile.slots) in
-        for slot = 0 to initial - 1 do
-          alloc_into p rt ctx rng regs table slot
-        done;
-        for _ = 1 to ops do
-          let x = Prng.float rng 1.0 in
-          if x < p.Profile.churn then churn_op p rt ctx rng regs table ~realloc:true
-          else if x < p.Profile.churn +. p.Profile.kill_only then
-            churn_op p rt ctx rng regs table ~realloc:false
-          else if x < p.Profile.churn +. p.Profile.kill_only +. p.Profile.birth_only
-          then birth_op p rt ctx rng regs table
-          else access_op p ctx rng regs table;
-          if p.Profile.compute_per_op > 0 then
-            Machine.charge ctx p.Profile.compute_per_op;
-          incr ops_done
-        done;
+        app_body p rt ~rng ~ops ~ops_done ctx;
         wall_end := Machine.now ctx;
         Runtime.finish rt ctx)
   in

@@ -8,6 +8,19 @@
     free / allocation / access operations, with pointer chasing and
     object bodies whose capability density matches the profile. *)
 
+val app_body :
+  Profile.t ->
+  Ccr.Runtime.t ->
+  rng:Sim.Prng.t ->
+  ops:int ->
+  ops_done:int ref ->
+  Sim.Machine.ctx ->
+  unit
+(** The trace engine alone, on the calling thread: build the object
+    table, then execute [ops] operations against the given runtime,
+    bumping [ops_done] per op. {!run} wraps it in a fresh machine;
+    {!Tenant.run} runs one per forked process. *)
+
 val run :
   ?seed:int ->
   ?ops_scale:float ->

@@ -1,0 +1,426 @@
+(* lib/os tests: copy-on-write fork, per-process revocation, exec, the
+   reaper's quarantine handoff, the cross-process scheduler, and the
+   multi-tenant driver under every strategy with the checkers attached. *)
+
+module M = Sim.Machine
+module Trace = Sim.Trace
+module Cap = Cheri.Capability
+module Runtime = Ccr.Runtime
+module Revoker = Ccr.Revoker
+module Mrs = Ccr.Mrs
+module Profile = Workload.Profile
+module Tenant = Workload.Tenant
+module Sanitizer = Analysis.Sanitizer
+module Race = Analysis.Race
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let config =
+  {
+    M.default_config with
+    heap_bytes = 4 lsl 20;
+    mem_bytes = 48 lsl 20;
+    seed = 11;
+  }
+
+let count_kind tr kind =
+  let n = ref 0 in
+  Trace.iter tr (fun e -> if e.Trace.kind = kind then incr n);
+  !n
+
+let with_os ?(mode = Runtime.Baseline) ?sched ?fault body =
+  let os = Os.create ~config ?sched mode in
+  (match fault with Some f -> Os.inject_fault os (Some f) | None -> ());
+  let m = Os.machine os in
+  let tr = Trace.create ~capacity:262144 () in
+  M.attach_tracer m (Some tr);
+  let san = Sanitizer.attach ?revoker:(Os.runtime (Os.init os)).Runtime.revoker m in
+  Os.set_on_process os (fun p ->
+      Sanitizer.register_process san ~pid:(Os.pid p)
+        ?revoker:(Os.runtime p).Runtime.revoker ());
+  Os.spawn_reaper os;
+  ignore
+    (M.spawn m ~name:"init" ~core:0 (fun ctx ->
+         body os ctx;
+         Os.wait_children os ctx;
+         Os.shutdown os ctx));
+  M.run m;
+  Sanitizer.finish san;
+  (os, tr, san)
+
+(* ---- copy-on-write fork ---- *)
+
+let test_fork_cow_isolation () =
+  let seen = ref [] in
+  let _, tr, san =
+    with_os (fun os ctx ->
+        let rt = Os.runtime (Os.init os) in
+        let c = Runtime.malloc rt ctx 64 in
+        M.store_u64 ctx c 42L;
+        ignore
+          (Os.fork os ctx ~parent:(Os.init os) ~name:"child" ~core:1
+             (fun cctx proc ->
+               seen := ("child-pre", M.load_u64 cctx c) :: !seen;
+               M.store_u64 cctx c 7L;
+               seen := ("child-post", M.load_u64 cctx c) :: !seen;
+               Os.exit os cctx proc));
+        Os.wait_children os ctx;
+        seen := ("parent", M.load_u64 ctx c) :: !seen)
+  in
+  check "sanitizer clean" true (Sanitizer.ok san);
+  let v tag = List.assoc tag !seen in
+  check "child reads parent's value through the shared frame" true
+    (v "child-pre" = 42L);
+  check "child write lands in its private copy" true (v "child-post" = 7L);
+  check "parent's frame is untouched by the child's write" true
+    (v "parent" = 42L);
+  check "the child's first write took a CoW fault" true
+    (count_kind tr Trace.Cow_fault >= 1);
+  check_int "one fork" 1 (count_kind tr Trace.Proc_fork)
+
+let test_fork_shares_until_write () =
+  let refs = ref (-1) in
+  let _, _, _ =
+    with_os (fun os ctx ->
+        let rt = Os.runtime (Os.init os) in
+        let c = Runtime.malloc rt ctx 64 in
+        M.store_u64 ctx c 1L;
+        let asp = Os.proc_aspace (Os.init os) in
+        let phys = Vm.Aspace.phys asp in
+        (match Vm.Aspace.translate asp (Cap.base c) with
+        | Some (_, pte) ->
+            ignore
+              (Os.fork os ctx ~parent:(Os.init os) ~name:"child" ~core:1
+                 (fun cctx proc ->
+                   ignore (M.load_u64 cctx c);
+                   refs := Vm.Phys.frame_refs phys pte.Vm.Pte.frame;
+                   Os.exit os cctx proc))
+        | None -> Alcotest.fail "heap page unmapped"))
+  in
+  check "frame shared (2 refs) while only reads happen" true (!refs = 2)
+
+(* ---- CoW fault on a quarantined page ---- *)
+
+let test_cow_fault_on_quarantined_page () =
+  let mode = Runtime.Safe Revoker.Reloaded in
+  let _, tr, san =
+    with_os ~mode (fun os ctx ->
+        let rt = Os.runtime (Os.init os) in
+        (* two small objects land on the same heap page: free one (it is
+           painted and quarantined), keep the other live *)
+        let dead = Runtime.malloc rt ctx 64 in
+        let live = Runtime.malloc rt ctx 64 in
+        M.store_u64 ctx live 5L;
+        Runtime.free rt ctx dead;
+        ignore
+          (Os.fork os ctx ~parent:(Os.init os) ~name:"child" ~core:1
+             (fun cctx proc ->
+               (* the child's first store hits the CoW page that also
+                  holds the quarantined region *)
+               M.store_u64 cctx live 9L;
+               (* drain the child's inherited quarantine through its own
+                  revoker before exiting *)
+               (match (Os.runtime proc).Runtime.mrs with
+               | Some mrs ->
+                   Mrs.flush mrs cctx;
+                   Mrs.wait_drained mrs cctx
+               | None -> ());
+               Os.exit os cctx proc)))
+  in
+  check "CoW fault fired on the quarantined page" true
+    (count_kind tr Trace.Cow_fault >= 1);
+  check "sanitizer clean across fork + quarantine + CoW" true
+    (Sanitizer.ok san)
+
+(* ---- stale CLG generation inherited across fork ---- *)
+
+let test_fork_inherits_stale_generation () =
+  let mode = Runtime.Safe Revoker.Reloaded in
+  let gen_at_fork = ref false in
+  let _, tr, san =
+    with_os ~mode (fun os ctx ->
+        let rt = Os.runtime (Os.init os) in
+        let mrs = Option.get rt.Runtime.mrs in
+        (* run one full epoch in the parent so its generation is odd:
+           pages mapped afterwards carry the new generation, pages from
+           before carry the old one *)
+        let a = Runtime.malloc rt ctx 256 in
+        ignore (M.load_u64 ctx a);
+        Runtime.free rt ctx a;
+        Mrs.flush mrs ctx;
+        Mrs.wait_drained mrs ctx;
+        let asp = Os.proc_aspace (Os.init os) in
+        gen_at_fork := Vm.Pmap.generation (Vm.Aspace.pmap asp);
+        let b = Runtime.malloc rt ctx 256 in
+        M.store_u64 ctx b 3L;
+        ignore
+          (Os.fork os ctx ~parent:(Os.init os) ~name:"child" ~core:1
+             (fun cctx proc ->
+               let crt = Os.runtime proc in
+               let cmrs = Option.get crt.Runtime.mrs in
+               (* the child's address space starts on the inherited
+                  (toggled) generation *)
+               let casp = Os.proc_aspace proc in
+               check "child inherits the parent's generation" true
+                 (Vm.Pmap.generation (Vm.Aspace.pmap casp) = !gen_at_fork);
+               (* free in the child and run its first epoch: soundness
+                  requires the mixed-generation full visit *)
+               let c = Runtime.malloc crt cctx 128 in
+               M.store_cap cctx b (Cap.set_addr c (Cap.base c));
+               Runtime.free crt cctx c;
+               Mrs.flush cmrs cctx;
+               Mrs.wait_drained cmrs cctx;
+               (* the stale capability stored into [b]'s body has been
+                  revoked by the child's sweep *)
+               let reloaded = M.load_cap cctx b in
+               check "stale cap revoked by the child's first epoch" false
+                 (Cap.tag reloaded);
+               Os.exit os cctx proc)))
+  in
+  check "parent ran an epoch before the fork" true
+    (count_kind tr Trace.Clg_toggle >= 1);
+  check "sanitizer clean across generation inheritance" true
+    (Sanitizer.ok san)
+
+(* ---- exit with a batch mid-epoch: quarantine handed to the reaper ---- *)
+
+let test_exit_mid_epoch_drains () =
+  let mode = Runtime.Safe Revoker.Reloaded in
+  let child_q = ref 0 in
+  let exited_q = ref (-1) in
+  let os, tr, san =
+    with_os ~mode (fun os ctx ->
+        ignore
+          (Os.fork os ctx ~parent:(Os.init os) ~name:"child" ~core:1
+             (fun cctx proc ->
+               let crt = Os.runtime proc in
+               let cmrs = Option.get crt.Runtime.mrs in
+               for _ = 1 to 16 do
+                 let c = Runtime.malloc crt cctx 512 in
+                 Runtime.free crt cctx c
+               done;
+               (* hand one batch to the revoker and exit immediately:
+                  the epoch is still in flight when the process dies *)
+               Mrs.flush cmrs cctx;
+               child_q := Mrs.quarantine_bytes cmrs;
+               Os.exit os cctx proc;
+               exited_q := Mrs.quarantine_bytes cmrs)))
+  in
+  check "child exited with quarantine outstanding" true (!child_q > 0);
+  check "quarantine still pending right after exit" true (!exited_q > 0);
+  (* the reaper waited for the child's epochs to drain every byte *)
+  let child = Option.get (Os.find_proc os 1) in
+  check_int "child reaped" 0
+    (match Os.proc_state child with Os.Reaped -> 0 | _ -> 1);
+  check_int "no quarantined bytes leaked" 0
+    (Os.proc_stats os child).Os.quarantine_bytes;
+  check "Proc_exit recorded the handoff" true
+    (let n = ref 0 in
+     Trace.iter tr (fun e ->
+         if e.Trace.kind = Trace.Proc_exit && e.Trace.arg > 0 then incr n);
+     !n >= 1);
+  check "sanitizer clean: every region completed its lifecycle" true
+    (Sanitizer.ok san)
+
+(* frames released by the reaper are reusable by others *)
+let test_reap_recovers_frames () =
+  let free_before = ref 0 and free_after = ref 0 in
+  let os, _, _ =
+    with_os (fun os ctx ->
+        let phys = Vm.Aspace.phys (Os.proc_aspace (Os.init os)) in
+        free_before := Vm.Phys.free_frames phys;
+        ignore
+          (Os.fork os ctx ~parent:(Os.init os) ~name:"child" ~core:1
+             (fun cctx proc ->
+               let crt = Os.runtime proc in
+               (* map fresh private pages in the child *)
+               for _ = 1 to 32 do
+                 let c = Runtime.malloc crt cctx 4096 in
+                 M.store_u64 cctx c 1L
+               done;
+               Os.exit os cctx proc));
+        Os.wait_children os ctx;
+        free_after := Vm.Phys.free_frames phys)
+  in
+  ignore os;
+  check "reaper returned the child's frames to the shared pool" true
+    (!free_after >= !free_before)
+
+(* ---- exec ---- *)
+
+let test_exec_fresh_image () =
+  let mode = Runtime.Safe Revoker.Reloaded in
+  let os, tr, san =
+    with_os ~mode (fun os ctx ->
+        ignore
+          (Os.fork os ctx ~parent:(Os.init os) ~name:"child" ~core:1
+             (fun cctx proc ->
+               let crt = Os.runtime proc in
+               let c = Runtime.malloc crt cctx 128 in
+               M.store_u64 cctx c 1L;
+               Runtime.free crt cctx c;
+               let old_asid = Vm.Aspace.asid (Os.proc_aspace proc) in
+               Os.exec os cctx proc ~name:"child-image2";
+               check "exec installed a fresh asid" false
+                 (Vm.Aspace.asid (Os.proc_aspace proc) = old_asid);
+               (* the new image allocates from a clean heap *)
+               let crt2 = Os.runtime proc in
+               let d = Runtime.malloc crt2 cctx 128 in
+               M.store_u64 cctx d 2L;
+               check "new image's heap works" true (M.load_u64 cctx d = 2L);
+               Runtime.free crt2 cctx d;
+               (match crt2.Runtime.mrs with
+               | Some mrs ->
+                   Mrs.flush mrs cctx;
+                   Mrs.wait_drained mrs cctx
+               | None -> ());
+               Os.exit os cctx proc)))
+  in
+  ignore os;
+  check_int "one exec" 1 (count_kind tr Trace.Proc_exec);
+  check "sanitizer clean across exec" true (Sanitizer.ok san)
+
+(* ---- seeded fault: child adopts quarantine for immediate reuse ---- *)
+
+let test_adopt_quarantine_fault_detected () =
+  let mode = Runtime.Safe Revoker.Reloaded in
+  let _, _, san =
+    with_os ~mode ~fault:Os.Adopt_quarantine (fun os ctx ->
+        let rt = Os.runtime (Os.init os) in
+        let mrs = Option.get rt.Runtime.mrs in
+        (* park regions in the parent's quarantine, then fork: the
+           faulty kernel hands them to the child as reusable memory
+           before the parent's epoch has closed *)
+        let caps = List.init 8 (fun _ -> Runtime.malloc rt ctx 256) in
+        List.iter (fun c -> Runtime.free rt ctx c) caps;
+        check "parent holds quarantine at fork" true
+          (Mrs.quarantine_bytes mrs > 0);
+        ignore
+          (Os.fork os ctx ~parent:(Os.init os) ~name:"child" ~core:1
+             (fun cctx proc ->
+               let crt = Os.runtime proc in
+               (* reuse: the allocator hands back the adopted regions
+                  while the parent's copies are still un-revoked *)
+               let c = Runtime.malloc crt cctx 256 in
+               M.store_u64 cctx c 13L;
+               Os.exit os cctx proc));
+        Mrs.flush mrs ctx;
+        Mrs.wait_drained mrs ctx)
+  in
+  check "sanitizer caught the premature adoption" false (Sanitizer.ok san);
+  check "reuse before the epoch closed" true
+    (Sanitizer.count san "early-reuse" > 0
+    || Sanitizer.count san "unpaint-not-dequarantined" > 0
+    || Sanitizer.count san "dequeue-not-enqueued" > 0)
+
+(* ---- multi-tenant acceptance: clean under every strategy ---- *)
+
+let tiny = { (Profile.find "hmmer_retro") with Profile.ops = 1_200; slots = 200 }
+
+let run_tenants ?(tenants = 2) ?sched mode =
+  let tr = Trace.create ~capacity:4096 () in
+  let san = ref None in
+  let race = ref None in
+  let r =
+    Tenant.run ~seed:7 ~tenants ?sched ~tracer:tr ~mode tiny
+      ~on_os:(fun os ->
+        let m = Os.machine os in
+        let s =
+          Sanitizer.attach ?revoker:(Os.runtime (Os.init os)).Runtime.revoker m
+        in
+        Os.set_on_process os (fun p ->
+            Sanitizer.register_process s ~pid:(Os.pid p)
+              ?revoker:(Os.runtime p).Runtime.revoker ());
+        san := Some s;
+        race := Some (Race.attach m))
+  in
+  let s = Option.get !san in
+  Sanitizer.finish s;
+  (r, s, Option.get !race)
+
+let test_tenant_all_strategies () =
+  List.iter
+    (fun strategy ->
+      let name = Revoker.strategy_name strategy in
+      let r, san, race = run_tenants (Runtime.Safe strategy) in
+      check (name ^ ": both tenants ran") true
+        (List.length r.Tenant.per_tenant = 2);
+      List.iter
+        (fun (t : Tenant.tenant_result) ->
+          check (name ^ ": tenant did work") true (t.Tenant.t_ops > 0))
+        r.Tenant.per_tenant;
+      check (name ^ ": fairness is a ratio >= 1") true
+        (r.Tenant.fairness >= 1.0);
+      if not (Sanitizer.ok san) then
+        Sanitizer.report Format.err_formatter san;
+      check (name ^ ": sanitizer clean") true (Sanitizer.ok san);
+      check (name ^ ": race-free") true (Race.ok race))
+    Revoker.extended_strategies
+
+let test_tenant_baseline () =
+  let r, san, _ = run_tenants Runtime.Baseline in
+  check "baseline tenants ran" true (List.length r.Tenant.per_tenant = 2);
+  check "baseline sanitizer clean" true (Sanitizer.ok san)
+
+let test_tenant_sched_policies () =
+  let r_rr, _, _ =
+    run_tenants ~sched:Os.Revsched.Round_robin
+      (Runtime.Safe Revoker.Reloaded)
+  in
+  let r_p, _, _ =
+    run_tenants ~sched:Os.Revsched.Pressure (Runtime.Safe Revoker.Reloaded)
+  in
+  check "round-robin grants recorded" true
+    (List.exists
+       (fun (s : Os.Revsched.stats) -> s.Os.Revsched.grants > 0)
+       r_rr.Tenant.sched_stats);
+  check "pressure grants recorded" true
+    (List.exists
+       (fun (s : Os.Revsched.stats) -> s.Os.Revsched.grants > 0)
+       r_p.Tenant.sched_stats);
+  (* round-robin grant counts never diverge by more than one among
+     continuously-contending tenants; just assert both finished *)
+  check "both policies complete" true
+    (r_rr.Tenant.total_ops > 0 && r_p.Tenant.total_ops > 0)
+
+let test_tenant_deterministic () =
+  let r1, _, _ = run_tenants (Runtime.Safe Revoker.Reloaded) in
+  let r2, _, _ = run_tenants (Runtime.Safe Revoker.Reloaded) in
+  check_int "same wall cycles" r1.Tenant.wall_cycles r2.Tenant.wall_cycles;
+  check_int "same total ops" r1.Tenant.total_ops r2.Tenant.total_ops
+
+let () =
+  Alcotest.run "os"
+    [
+      ( "fork",
+        [
+          Alcotest.test_case "cow isolation" `Quick test_fork_cow_isolation;
+          Alcotest.test_case "frame sharing" `Quick test_fork_shares_until_write;
+          Alcotest.test_case "cow fault on quarantined page" `Quick
+            test_cow_fault_on_quarantined_page;
+          Alcotest.test_case "stale generation inherited" `Quick
+            test_fork_inherits_stale_generation;
+        ] );
+      ( "exit",
+        [
+          Alcotest.test_case "mid-epoch exit drains" `Quick
+            test_exit_mid_epoch_drains;
+          Alcotest.test_case "reap recovers frames" `Quick
+            test_reap_recovers_frames;
+        ] );
+      ("exec", [ Alcotest.test_case "fresh image" `Quick test_exec_fresh_image ]);
+      ( "faults",
+        [
+          Alcotest.test_case "adopt-quarantine detected" `Quick
+            test_adopt_quarantine_fault_detected;
+        ] );
+      ( "tenant",
+        [
+          Alcotest.test_case "all strategies clean" `Quick
+            test_tenant_all_strategies;
+          Alcotest.test_case "baseline" `Quick test_tenant_baseline;
+          Alcotest.test_case "sched policies" `Quick test_tenant_sched_policies;
+          Alcotest.test_case "deterministic" `Quick test_tenant_deterministic;
+        ] );
+    ]
