@@ -120,13 +120,20 @@ let pct (r : Result.t) q =
 
 (* One flat record per (profile x mode) spec run, for machine-readable
    output: overheads are against the same profile's Baseline run, and
-   the pause tail is the p99 of per-epoch world-stopped durations. *)
+   the pause tail is the p99 of per-epoch world-stopped durations. Every
+   record carries the PRNG seed and the fault-schedule id so a dashboard
+   row is reproducible from the record alone; the benchmark harness
+   never arms a chaos schedule, so its schedule id is 0 (the field
+   aligns these records with ccr_chaos output, where it is nonzero). *)
 type json_record = {
   j_strategy : string;
   j_profile : string;
+  j_seed : int;
+  j_schedule : int; (* fault-schedule id; 0 = no faults armed *)
   j_cycles : int;
   j_overhead_pct : float;
   j_pause_p99 : float;
+  j_abandoned_bytes : int; (* quarantine dropped unrevoked at finish *)
 }
 
 let json_records t =
@@ -145,11 +152,17 @@ let json_records t =
           {
             j_strategy = mode;
             j_profile = workload;
+            j_seed = t.seed;
+            j_schedule = 0;
             j_cycles = r.Result.wall_cycles;
             j_overhead_pct = overhead_pct ~test:r.Result.wall_cycles ~base;
             j_pause_p99 =
               (if pauses = [] then 0.0
                else Stats.Summary.percentile pauses 99.0);
+            j_abandoned_bytes =
+              (match r.Result.mrs with
+              | Some s -> s.Ccr.Mrs.abandoned_bytes
+              | None -> 0);
           })
         mode_names)
     spec_names

@@ -42,10 +42,13 @@ let write_json path records =
       if i > 0 then Buffer.add_string buf ",\n";
       Buffer.add_string buf
         (Printf.sprintf
-           "  {\"strategy\": %S, \"profile\": %S, \"cycles\": %d, \
-            \"overhead_pct\": %.4f, \"pause_p99\": %.1f}"
-           r.Campaign.j_strategy r.Campaign.j_profile r.Campaign.j_cycles
-           r.Campaign.j_overhead_pct r.Campaign.j_pause_p99))
+           "  {\"strategy\": %S, \"profile\": %S, \"seed\": %d, \
+            \"fault_schedule\": %d, \"cycles\": %d, \"overhead_pct\": %.4f, \
+            \"pause_p99\": %.1f, \"abandoned_bytes\": %d}"
+           r.Campaign.j_strategy r.Campaign.j_profile r.Campaign.j_seed
+           r.Campaign.j_schedule r.Campaign.j_cycles
+           r.Campaign.j_overhead_pct r.Campaign.j_pause_p99
+           r.Campaign.j_abandoned_bytes))
     records;
   Buffer.add_string buf "\n]\n";
   Buffer.output_buffer oc buf;
@@ -58,6 +61,14 @@ let usage () =
   List.iter (fun (n, d, _) -> Printf.printf "  %-18s %s\n" n d) all_targets;
   print_endline "(no targets = run everything)"
 
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "main.exe: %s\n" msg;
+      usage ();
+      exit 1)
+    fmt
+
 let () =
   let scale = ref 0.5 in
   let seed = ref 1 in
@@ -66,14 +77,20 @@ let () =
   let rec parse = function
     | [] -> ()
     | "--scale" :: v :: rest ->
-        scale := float_of_string v;
+        (match float_of_string_opt v with
+        | Some s when s > 0.0 -> scale := s
+        | Some _ | None -> die "--scale needs a positive number, got %S" v);
         parse rest
     | "--seed" :: v :: rest ->
-        seed := int_of_string v;
+        (match int_of_string_opt v with
+        | Some s -> seed := s
+        | None -> die "--seed needs an integer, got %S" v);
         parse rest
     | "--json" :: v :: rest ->
         json_out := Some v;
         parse rest
+    | [ ("--scale" | "--seed" | "--json") ] as flag ->
+        die "%s needs a value" (List.hd flag)
     | ("--list" | "--help" | "-h") :: _ ->
         usage ();
         exit 0
@@ -82,11 +99,10 @@ let () =
           targets := t :: !targets;
           parse rest
         end
-        else begin
-          Printf.eprintf "unknown target %S\n" t;
-          usage ();
-          exit 1
-        end
+        else if String.length t > 0 && t.[0] = '-' then
+          die "unknown option %S" t
+        else
+          die "unknown target %S" t
   in
   parse (List.tl (Array.to_list Sys.argv));
   let chosen =

@@ -1,0 +1,661 @@
+(* ccr_chaos: deterministic fault-injection campaigns over the
+   revocation stack.
+
+   For each (seed, strategy) cell the runner first executes a churn rig
+   with no faults to calibrate a horizon, plans a Chaos schedule from the
+   seed, and re-runs the identical rig with the schedule armed and the
+   shadow-state sanitizer plus the happens-before race detector attached.
+   A cell passes only if every planned fault actually fired, at least one
+   revocation epoch ran, the run terminated, and both checkers are clean
+   — i.e. no quarantined block was reused before a clean epoch even while
+   sweeps crashed, quiesces stuck, acks dropped, tags flipped and drains
+   stalled.
+
+   Every fourth seed additionally runs a multi-process rig in which a
+   chaos controller kills a tenant at an arbitrary epoch phase (Os.kill);
+   the reaper must still drain the victim's quarantine through the full
+   protocol.
+
+   The storm rig (unless --skip-storm) overloads a Reloaded run past its
+   recovery budgets — a CLG fault storm and a burst of sweep crashes —
+   and requires the graceful-degradation ladder to walk
+   Reloaded -> Cornucopia -> Cherivoke while the run still terminates
+   with clean checkers.
+
+   Exits nonzero on any cell failure.
+
+     dune exec bin/ccr_chaos.exe -- --seeds 20
+     dune exec bin/ccr_chaos.exe -- --seeds 3 --ops 1500 --json chaos.json
+     dune exec bin/ccr_chaos.exe -- --strategies reloaded --kinds sweep-crash *)
+
+open Cmdliner
+module Machine = Sim.Machine
+module Trace = Sim.Trace
+module Prng = Sim.Prng
+module Cap = Cheri.Capability
+module Runtime = Ccr.Runtime
+module Revoker = Ccr.Revoker
+module Mrs = Ccr.Mrs
+module Policy = Ccr.Policy
+module Syscall = Kernel.Syscall
+module Sanitizer = Analysis.Sanitizer
+module Race = Analysis.Race
+
+let config seed =
+  {
+    Machine.default_config with
+    heap_bytes = 4 lsl 20;
+    mem_bytes = 16 lsl 20;
+    seed;
+  }
+
+(* Small quarantine minimum so short runs close many epochs. *)
+let policy = Policy.with_min Policy.default 16_384
+
+(* Campaign knobs: the watchdog sits just above light_profile's drain cap
+   (so fault-free syscalls can never trip it), retries are short so
+   injected faults resolve quickly, and the storm trigger stays off. *)
+let campaign_recovery =
+  {
+    Revoker.default_recovery with
+    watchdog_timeout = 600_000;
+    max_quiesce_retries = 2;
+    backoff_base = 5_000;
+  }
+
+(* ---- the churn rig ---- *)
+
+(* Malloc/free churn over a 64-slot working set, with aliases written
+   through a capability table, a spine of live page-sized blocks whose
+   capability reloads exercise the load barrier on many distinct pages,
+   and periodic light syscalls for quiesce-drain coverage. *)
+let churn ?(finish = true) rt ~seed ~ops ~spine ctx =
+  let rng = Prng.create ~seed:(seed lxor 0x5eed) in
+  let regs = Machine.regs (Machine.self ctx) in
+  let table = Runtime.malloc rt ctx 4096 in
+  Sim.Regfile.set regs 0 table;
+  let slot i = Cap.set_addr table (Cap.base table + (i * 16)) in
+  let spine_caps = Array.init spine (fun _ -> Runtime.malloc rt ctx 4096) in
+  Array.iter (fun c -> Machine.store_cap ctx c c) spine_caps;
+  let slots = Array.make 64 None in
+  for i = 0 to ops - 1 do
+    let j = Prng.int rng 64 in
+    (match slots.(j) with
+    | Some c ->
+        ignore (Machine.load_u64 ctx c);
+        Runtime.free rt ctx c;
+        slots.(j) <- None
+    | None ->
+        let c = Runtime.malloc rt ctx (48 + (16 * Prng.int rng 61)) in
+        Machine.store_u64 ctx c (Int64.of_int i);
+        Machine.store_cap ctx (slot (j land 31)) c;
+        slots.(j) <- Some c);
+    if i land 7 = 0 then
+      Array.iter (fun c -> ignore (Machine.load_cap ctx c)) spine_caps;
+    if i land 31 = 0 then Syscall.perform ~profile:Syscall.light_profile ctx
+  done;
+  Array.iter
+    (function Some c -> Runtime.free rt ctx c | None -> ())
+    slots;
+  if finish then Runtime.finish rt ctx
+
+(* ---- per-cell results ---- *)
+
+type cell = {
+  c_rig : string;
+  c_seed : int;
+  c_strategy : string; (* requested *)
+  c_final : string; (* after any downshifts *)
+  c_sched : int;
+  c_horizon : int;
+  c_injected : (string * int) list; (* kind name -> injections *)
+  c_unfired : string list;
+  c_epochs : int;
+  c_cycles : int;
+  c_rs : Revoker.recovery_stats;
+  c_throttled : int;
+  c_abandoned : int;
+  c_ok : bool;
+  c_note : string;
+}
+
+let zero_rs =
+  {
+    Revoker.epoch_aborts = 0;
+    sweep_crash_retries = 0;
+    quiesce_timeouts = 0;
+    backoff_cycles = 0;
+    downshifts = 0;
+  }
+
+let report_checkers san race =
+  if not (Sanitizer.ok san) then Sanitizer.report Format.err_formatter san;
+  if not (Race.ok race) then Race.report Format.err_formatter race
+
+(* One churn execution; [schedule = None] is the calibration pass. *)
+let churn_exec ~seed ~ops ~spine ~recovery ~strategy schedule =
+  let rt =
+    Runtime.create ~config:(config seed) ~policy ~recovery
+      (Runtime.Safe strategy)
+  in
+  let m = rt.Runtime.machine in
+  Machine.attach_tracer m (Some (Trace.create ~capacity:262144 ()));
+  let san = Sanitizer.attach ?revoker:rt.Runtime.revoker m in
+  let race = Race.attach m in
+  let chaos =
+    Option.map
+      (fun s ->
+        Chaos.install m ~revoker:rt.Runtime.revoker ~mrs:rt.Runtime.mrs s)
+      schedule
+  in
+  ignore
+    (Machine.spawn m ~name:"app" ~core:3 (fun ctx ->
+         churn rt ~seed ~ops ~spine ctx));
+  let crashed =
+    match Machine.run m with () -> None | exception e -> Some e
+  in
+  Sanitizer.finish san;
+  (rt, san, race, chaos, Machine.global_time m, crashed)
+
+let cell_of_run ?epochs ~rig ~seed ~strategy ~sched ~horizon ~requested rt san
+    race chaos cycles crashed =
+  let stats = Runtime.mrs_stats rt in
+  let epochs =
+    match epochs with
+    | Some n -> n
+    | None -> (
+        match stats with Some s -> s.Mrs.revocations | None -> 0)
+  in
+  let rs, final =
+    match rt.Runtime.revoker with
+    | Some rv -> (Revoker.recovery_stats rv, Revoker.strategy rv)
+    | None -> (zero_rs, requested)
+  in
+  let injected =
+    match chaos with
+    | None -> []
+    | Some t ->
+        List.map
+          (fun o -> (Chaos.kind_name o.Chaos.o_kind, o.Chaos.o_injected))
+          (Chaos.outcomes t)
+  in
+  let unfired =
+    match chaos with
+    | None -> []
+    | Some t -> List.map Chaos.kind_name (Chaos.unfired t)
+  in
+  let checkers = Sanitizer.ok san && Race.ok race in
+  let ok =
+    crashed = None && checkers && unfired = [] && epochs > 0
+  in
+  let note =
+    match crashed with
+    | Some e -> Printexc.to_string e
+    | None ->
+        if not checkers then "checker findings"
+        else if unfired <> [] then "unfired fault(s)"
+        else if epochs = 0 then "vacuous: no epoch ran"
+        else ""
+  in
+  if not checkers then report_checkers san race;
+  {
+    c_rig = rig;
+    c_seed = seed;
+    c_strategy = Revoker.strategy_name strategy;
+    c_final = Revoker.strategy_name final;
+    c_sched = sched;
+    c_horizon = horizon;
+    c_injected = injected;
+    c_unfired = unfired;
+    c_epochs = epochs;
+    c_cycles = cycles;
+    c_rs = rs;
+    c_throttled =
+      (match stats with Some s -> s.Mrs.throttled_allocs | None -> 0);
+    c_abandoned =
+      (match stats with Some s -> s.Mrs.abandoned_bytes | None -> 0);
+    c_ok = ok;
+    c_note = note;
+  }
+
+(* Calibrate, plan, inject. Returns None when no requested fault kind is
+   applicable to the strategy (e.g. paint+sync with only sweep faults
+   requested): there is nothing to inject, so no cell. *)
+let churn_cell ~seed ~ops ~kinds strategy =
+  let _, _, _, _, horizon, crashed =
+    churn_exec ~seed ~ops ~spine:16 ~recovery:campaign_recovery ~strategy None
+  in
+  (match crashed with
+  | Some e ->
+      failwith
+        (Printf.sprintf "calibration run died (%s seed %d): %s"
+           (Revoker.strategy_name strategy)
+           seed (Printexc.to_string e))
+  | None -> ());
+  let schedule = Chaos.plan ~seed ~strategy ~horizon ~kinds () in
+  if schedule.Chaos.faults = [] then None
+  else
+    let rt, san, race, chaos, cycles, crashed =
+      churn_exec ~seed ~ops ~spine:16 ~recovery:campaign_recovery ~strategy
+        (Some schedule)
+    in
+    Some
+      (cell_of_run ~rig:"churn" ~seed ~strategy
+         ~sched:(Chaos.schedule_id schedule) ~horizon ~requested:strategy rt
+         san race chaos cycles crashed)
+
+(* ---- the tenant-kill rig ---- *)
+
+(* Two forked tenants churn in their own address spaces; a chaos
+   controller kills tenant-a at a fixed cycle regardless of what phase
+   its revoker is in. The victim churns forever — only the kill ends it —
+   so the fault always fires; the reaper must then drain its quarantine
+   through the full epoch protocol. *)
+let tenant_kill_cell ~seed ~ops strategy =
+  let kill_at = 2_000_000 in
+  let schedule =
+    {
+      Chaos.sched_id = (seed * 31) land 0x3fffffff;
+      horizon = kill_at * 4;
+      faults =
+        [
+          {
+            Chaos.f_id = 0;
+            f_kind = Chaos.Tenant_kill;
+            f_at = kill_at;
+            f_param = 0;
+            f_count = 1;
+          };
+        ];
+    }
+  in
+  let os =
+    Os.create ~config:(config seed) ~policy ~recovery:campaign_recovery
+      (Runtime.Safe strategy)
+  in
+  let m = Os.machine os in
+  Machine.attach_tracer m (Some (Trace.create ~capacity:262144 ()));
+  let init_rt = Os.runtime (Os.init os) in
+  let san = Sanitizer.attach ?revoker:init_rt.Runtime.revoker m in
+  Os.set_on_process os (fun p ->
+      Sanitizer.register_process san ~pid:(Os.pid p)
+        ?revoker:(Os.runtime p).Runtime.revoker ());
+  let race = Race.attach m in
+  Os.spawn_reaper os;
+  let victim = ref None in
+  let chaos =
+    Chaos.install m ~revoker:init_rt.Runtime.revoker ~mrs:init_rt.Runtime.mrs
+      ~kill:(fun ctx ->
+        match !victim with
+        | Some p when Os.proc_state p = Os.Running -> Os.kill os ctx p
+        | _ -> 0)
+      schedule
+  in
+  ignore
+    (Machine.spawn m ~name:"init" ~core:0 (fun ctx ->
+         victim :=
+           Some
+             (Os.fork os ctx ~parent:(Os.init os) ~name:"tenant-a" ~core:1
+                (fun cctx proc ->
+                  (* immortal: churn until killed *)
+                  let rec forever round =
+                    churn ~finish:false (Os.runtime proc)
+                      ~seed:((seed * 3) + round)
+                      ~ops:512 ~spine:4 cctx;
+                    forever (round + 1)
+                  in
+                  forever 1));
+         ignore
+           (Os.fork os ctx ~parent:(Os.init os) ~name:"tenant-b" ~core:3
+              (fun cctx proc ->
+                churn ~finish:false (Os.runtime proc) ~seed:((seed * 3) + 2)
+                  ~ops cctx ~spine:4;
+                Os.exit os cctx proc));
+         Os.wait_children os ctx;
+         Os.shutdown os ctx));
+  let crashed =
+    match Machine.run m with () -> None | exception e -> Some e
+  in
+  Sanitizer.finish san;
+  (* epochs close in the tenants' own revokers, not init's *)
+  let epochs =
+    List.fold_left
+      (fun acc p ->
+        match Runtime.mrs_stats (Os.runtime p) with
+        | Some s -> acc + s.Mrs.revocations
+        | None -> acc)
+      0 (Os.procs os)
+  in
+  let cell =
+    cell_of_run ~epochs ~rig:"tenant-kill" ~seed ~strategy
+      ~sched:(Chaos.schedule_id schedule) ~horizon:schedule.Chaos.horizon
+      ~requested:strategy init_rt san race (Some chaos)
+      (Machine.global_time m) crashed
+  in
+  (* the victim must really have died mid-flight and been reaped *)
+  let killed_ok =
+    match !victim with Some p -> Os.proc_state p = Os.Reaped | None -> false
+  in
+  if killed_ok then cell
+  else { cell with c_ok = false; c_note = "victim not killed and reaped" }
+
+(* ---- the storm rig ---- *)
+
+(* Push a Reloaded run past every budget: a 64-page capability spine
+   generates a CLG fault storm (threshold 20), and a burst of 12 sweep
+   crashes with max_crash_retries = 2 / max_epoch_aborts = 2 forces two
+   strategy downshifts whichever trigger fires first. The run must end
+   on Cherivoke with clean checkers. *)
+let storm_recovery =
+  {
+    campaign_recovery with
+    clg_storm_threshold = 20;
+    max_crash_retries = 2;
+    max_epoch_aborts = 2;
+  }
+
+let storm_cell ~seed =
+  let strategy = Revoker.Reloaded in
+  let _, _, _, _, horizon, _ =
+    churn_exec ~seed ~ops:3_000 ~spine:64 ~recovery:storm_recovery ~strategy
+      None
+  in
+  let schedule =
+    {
+      Chaos.sched_id = 0x5702; (* storm: not seed-planned *)
+      horizon;
+      faults =
+        [
+          {
+            Chaos.f_id = 0;
+            f_kind = Chaos.Sweep_crash;
+            f_at = horizon / 3;
+            f_param = 0;
+            f_count = 12;
+          };
+        ];
+    }
+  in
+  let rt =
+    Runtime.create ~config:(config seed) ~policy ~recovery:storm_recovery
+      (Runtime.Safe strategy)
+  in
+  let m = rt.Runtime.machine in
+  let tr = Trace.create ~capacity:262144 () in
+  Machine.attach_tracer m (Some tr);
+  let san = Sanitizer.attach ?revoker:rt.Runtime.revoker m in
+  let race = Race.attach m in
+  let chaos =
+    Chaos.install m ~revoker:rt.Runtime.revoker ~mrs:rt.Runtime.mrs schedule
+  in
+  let rv = Option.get rt.Runtime.revoker in
+  ignore
+    (Machine.spawn m ~name:"app" ~core:3 (fun ctx ->
+         (* churn until the crash burst is spent and the ladder has hit
+            the floor, then wind down; bounded so a logic error cannot
+            hang the campaign *)
+         let rec rounds n =
+           churn ~finish:false rt ~seed:(seed + n) ~ops:512 ~spine:64 ctx;
+           let spent =
+             List.for_all (fun o -> o.Chaos.o_spent) (Chaos.outcomes chaos)
+           in
+           if (not (spent && Revoker.strategy rv = Revoker.Cherivoke))
+              && n < 200
+           then rounds (n + 1)
+         in
+         rounds 0;
+         Runtime.finish rt ctx));
+  let crashed =
+    match Machine.run m with () -> None | exception e -> Some e
+  in
+  Sanitizer.finish san;
+  let cell =
+    cell_of_run ~rig:"storm" ~seed ~strategy
+      ~sched:(Chaos.schedule_id schedule) ~horizon ~requested:strategy rt san
+      race (Some chaos) (Machine.global_time m) crashed
+  in
+  (* ladder assertions: Reloaded -> Cornucopia -> Cherivoke, witnessed in
+     the trace with the right strategy codes *)
+  let shifts = ref [] in
+  Trace.iter tr (fun e ->
+      if e.Trace.kind = Trace.Strategy_downshift then
+        shifts := (e.Trace.arg, e.Trace.arg2) :: !shifts);
+  let shifts = List.rev !shifts in
+  let expected =
+    [
+      (Revoker.strategy_code Revoker.Reloaded,
+       Revoker.strategy_code Revoker.Cornucopia);
+      (Revoker.strategy_code Revoker.Cornucopia,
+       Revoker.strategy_code Revoker.Cherivoke);
+    ]
+  in
+  let final_ok = Revoker.strategy rv = Revoker.Cherivoke in
+  let ladder_ok = shifts = expected in
+  if cell.c_ok && final_ok && ladder_ok then cell
+  else
+    {
+      cell with
+      c_ok = false;
+      c_note =
+        (if cell.c_note <> "" then cell.c_note
+         else if not final_ok then
+           "storm did not degrade to cherivoke (final "
+           ^ Revoker.strategy_name (Revoker.strategy rv)
+           ^ ")"
+         else
+           Printf.sprintf "unexpected downshift ladder [%s]"
+             (String.concat "; "
+                (List.map
+                   (fun (a, b) -> Printf.sprintf "%d->%d" a b)
+                   shifts)));
+    }
+
+(* ---- reporting ---- *)
+
+let print_cell verbose c =
+  if verbose || not c.c_ok then begin
+    let rs = c.c_rs in
+    Format.printf
+      "%-11s seed %-3d %-12s %-4s sched %08x epochs %-3d inj [%s] aborts %d \
+       crash-retries %d wd %d shifts %d final %s%s@."
+      c.c_rig c.c_seed c.c_strategy
+      (if c.c_ok then "ok" else "FAIL")
+      c.c_sched c.c_epochs
+      (String.concat ", "
+         (List.map (fun (k, n) -> Printf.sprintf "%s:%d" k n) c.c_injected))
+      rs.Revoker.epoch_aborts rs.Revoker.sweep_crash_retries
+      rs.Revoker.quiesce_timeouts rs.Revoker.downshifts c.c_final
+      (if c.c_note = "" then "" else " — " ^ c.c_note)
+  end
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | ch -> Buffer.add_char b ch)
+    s;
+  Buffer.contents b
+
+let write_json path cells =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "[\n";
+  List.iteri
+    (fun i c ->
+      let rs = c.c_rs in
+      out
+        "  {\"rig\": \"%s\", \"seed\": %d, \"strategy\": \"%s\", \"final\": \
+         \"%s\", \"schedule\": %d, \"horizon\": %d, \"ok\": %b, \"epochs\": \
+         %d, \"cycles\": %d, \"injected\": {%s}, \"unfired\": [%s], \
+         \"epoch_aborts\": %d, \"sweep_crash_retries\": %d, \
+         \"quiesce_timeouts\": %d, \"backoff_cycles\": %d, \"downshifts\": \
+         %d, \"throttled_allocs\": %d, \"abandoned_bytes\": %d, \"note\": \
+         \"%s\"}%s\n"
+        c.c_rig c.c_seed c.c_strategy c.c_final c.c_sched c.c_horizon c.c_ok
+        c.c_epochs c.c_cycles
+        (String.concat ", "
+           (List.map
+              (fun (k, n) -> Printf.sprintf "\"%s\": %d" k n)
+              c.c_injected))
+        (String.concat ", "
+           (List.map (fun k -> Printf.sprintf "\"%s\"" k) c.c_unfired))
+        rs.Revoker.epoch_aborts rs.Revoker.sweep_crash_retries
+        rs.Revoker.quiesce_timeouts rs.Revoker.backoff_cycles
+        rs.Revoker.downshifts c.c_throttled c.c_abandoned
+        (json_escape c.c_note)
+        (if i = List.length cells - 1 then "" else ","))
+    cells;
+  out "]\n";
+  close_out oc
+
+(* ---- CLI ---- *)
+
+let strategy_conv =
+  let parse s =
+    match
+      List.find_opt
+        (fun st -> Revoker.strategy_name st = s)
+        Revoker.extended_strategies
+    with
+    | Some st -> Ok st
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown strategy %S (expected one of: %s)" s
+                (String.concat ", "
+                   (List.map Revoker.strategy_name
+                      Revoker.extended_strategies))))
+  in
+  Arg.conv
+    (parse, fun ppf st -> Format.pp_print_string ppf (Revoker.strategy_name st))
+
+let kind_conv =
+  let parse s =
+    match Chaos.kind_of_name s with
+    | Some k -> Ok k
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown fault kind %S (expected one of: %s)" s
+                (String.concat ", " (List.map Chaos.kind_name Chaos.all_kinds))))
+  in
+  Arg.conv (parse, fun ppf k -> Format.pp_print_string ppf (Chaos.kind_name k))
+
+let seeds_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "seeds" ] ~docv:"N" ~doc:"Seeds per strategy.")
+
+let seed_base_arg =
+  Arg.(value & opt int 1 & info [ "seed-base" ] ~doc:"First seed.")
+
+let ops_arg =
+  Arg.(
+    value & opt int 3_000
+    & info [ "ops" ] ~doc:"Churn operations per run.")
+
+let strategies_arg =
+  Arg.(
+    value
+    & opt (list strategy_conv) Revoker.extended_strategies
+    & info [ "strategies" ] ~docv:"NAMES"
+        ~doc:"Comma-separated strategies to attack.")
+
+let kinds_arg =
+  Arg.(
+    value
+    & opt (list kind_conv)
+        Chaos.
+          [
+            Sweep_crash;
+            Stuck_quiesce;
+            Shootdown_ack_loss;
+            Tag_corruption;
+            Quarantine_stall;
+          ]
+    & info [ "kinds" ] ~docv:"NAMES"
+        ~doc:
+          "Comma-separated fault kinds for the churn rig (tenant-kill runs \
+           its own rig).")
+
+let skip_storm_arg =
+  Arg.(value & flag & info [ "skip-storm" ] ~doc:"Skip the storm rig.")
+
+let skip_tenants_arg =
+  Arg.(
+    value & flag
+    & info [ "skip-tenants" ] ~doc:"Skip the tenant-kill rig.")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Write per-cell records as JSON.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every cell.")
+
+let main seeds seed_base ops strategies kinds skip_storm skip_tenants json
+    verbose =
+  if seeds < 1 then begin
+    Format.eprintf "ccr_chaos: --seeds must be at least 1@.";
+    1
+  end
+  else begin
+    let cells = ref [] in
+    let push c =
+      print_cell verbose c;
+      cells := c :: !cells
+    in
+    for i = 0 to seeds - 1 do
+      let seed = seed_base + i in
+      List.iter
+        (fun strategy ->
+          (match churn_cell ~seed ~ops ~kinds strategy with
+          | Some c -> push c
+          | None -> ());
+          if (not skip_tenants) && i mod 4 = 0 then
+            push (tenant_kill_cell ~seed ~ops strategy))
+        strategies
+    done;
+    if not skip_storm then push (storm_cell ~seed:seed_base);
+    let cells = List.rev !cells in
+    (match json with Some path -> write_json path cells | None -> ());
+    let failed = List.filter (fun c -> not c.c_ok) cells in
+    let injected =
+      List.fold_left
+        (fun acc c ->
+          List.fold_left (fun a (_, n) -> a + n) acc c.c_injected)
+        0 cells
+    in
+    if failed = [] then begin
+      Format.printf
+        "ccr_chaos: %d cell(s), %d fault injection(s), all recovered, \
+         checkers clean@."
+        (List.length cells) injected;
+      0
+    end
+    else begin
+      Format.printf "ccr_chaos: %d of %d cell(s) FAILED@."
+        (List.length failed) (List.length cells);
+      1
+    end
+  end
+
+let cmd =
+  Cmd.v
+    (Cmd.info "ccr_chaos" ~version:"1.0"
+       ~doc:
+         "Deterministic fault-injection campaigns: sweep crashes, stuck \
+          quiesces, ack loss, tag corruption, drain stalls and tenant kills \
+          against every revocation strategy, with the protocol checkers \
+          attached.")
+    Term.(
+      const main $ seeds_arg $ seed_base_arg $ ops_arg $ strategies_arg
+      $ kinds_arg $ skip_storm_arg $ skip_tenants_arg $ json_arg
+      $ verbose_arg)
+
+let () = exit (Cmd.eval' cmd)

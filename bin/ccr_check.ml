@@ -167,6 +167,11 @@ let skip_mutations_arg =
     & info [ "skip-mutations" ] ~doc:"Only run the clean-workload checks.")
 
 let main profiles scale seed skip_mutations =
+  if scale <= 0.0 then begin
+    Format.eprintf "ccr_check: --scale must be positive (got %g)@." scale;
+    1
+  end
+  else
   let clean =
     List.concat_map (fun p -> check_profile ~seed ~scale p) profiles
   in

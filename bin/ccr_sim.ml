@@ -13,7 +13,7 @@ module Result = Workload.Result
 
 let mode_of_string = function
   | "baseline" -> Ok Runtime.Baseline
-  | "paint+sync" | "paintـsync" | "paint" -> Ok (Runtime.Safe Revoker.Paint_sync)
+  | "paint+sync" | "paint-sync" | "paint" -> Ok (Runtime.Safe Revoker.Paint_sync)
   | "cherivoke" -> Ok (Runtime.Safe Revoker.Cherivoke)
   | "cornucopia" -> Ok (Runtime.Safe Revoker.Cornucopia)
   | "reloaded" -> Ok (Runtime.Safe Revoker.Reloaded)
@@ -77,7 +77,13 @@ let report ~phases (r : Result.t) =
       Format.printf "revocations:  %d (%.1f MiB freed, %d blocked ops)@."
         s.Ccr.Mrs.revocations
         (float_of_int s.Ccr.Mrs.sum_freed_bytes /. 1048576.0)
-        s.Ccr.Mrs.blocked_allocs
+        s.Ccr.Mrs.blocked_allocs;
+      if s.Ccr.Mrs.abandoned_bytes > 0 then
+        Format.printf "abandoned:    %d quarantine bytes dropped unrevoked at finish@."
+          s.Ccr.Mrs.abandoned_bytes;
+      if s.Ccr.Mrs.throttled_allocs > 0 then
+        Format.printf "throttled:    %d mallocs slowed by epoch-abort backpressure@."
+          s.Ccr.Mrs.throttled_allocs
   | None -> ());
   if Array.length r.Result.latencies_us > 0 then begin
     let l = Array.to_list r.Result.latencies_us in
@@ -112,15 +118,20 @@ let spec_cmd =
     Arg.(value & opt float 0.5 & info [ "scale" ] ~doc:"Operation-count scale.")
   in
   let run workload scale mode seed phases trace =
-    match Workload.Profile.find workload with
-    | p ->
-        let tracer = mk_tracer trace in
-        report ~phases (Workload.Spec.run ~seed ~ops_scale:scale ?tracer ~mode p);
-        dump_trace trace tracer;
-        0
-    | exception Not_found ->
-        Format.eprintf "unknown workload %S@." workload;
-        1
+    if scale <= 0.0 then begin
+      Format.eprintf "ccr_sim spec: --scale must be positive (got %g)@." scale;
+      1
+    end
+    else
+      match Workload.Profile.find workload with
+      | p ->
+          let tracer = mk_tracer trace in
+          report ~phases (Workload.Spec.run ~seed ~ops_scale:scale ?tracer ~mode p);
+          dump_trace trace tracer;
+          0
+      | exception Not_found ->
+          Format.eprintf "unknown workload %S@." workload;
+          1
   in
   Cmd.v
     (Cmd.info "spec" ~doc:"Run a synthetic SPEC CPU2006 workload.")
@@ -137,13 +148,24 @@ let pgbench_cmd =
       & info [ "rate" ] ~doc:"Fixed arrival schedule, transactions/second.")
   in
   let run transactions rate mode seed phases trace =
-    let config =
-      { Workload.Pgbench.default_config with transactions; rate; seed }
-    in
-    let tracer = mk_tracer trace in
-    report ~phases (Workload.Pgbench.run ~config ?tracer ~mode ());
-    dump_trace trace tracer;
-    0
+    if transactions < 1 then begin
+      Format.eprintf "ccr_sim pgbench: --transactions must be at least 1 (got %d)@."
+        transactions;
+      1
+    end
+    else if (match rate with Some r -> r <= 0.0 | None -> false) then begin
+      Format.eprintf "ccr_sim pgbench: --rate must be positive@.";
+      1
+    end
+    else begin
+      let config =
+        { Workload.Pgbench.default_config with transactions; rate; seed }
+      in
+      let tracer = mk_tracer trace in
+      report ~phases (Workload.Pgbench.run ~config ?tracer ~mode ());
+      dump_trace trace tracer;
+      0
+    end
   in
   Cmd.v
     (Cmd.info "pgbench" ~doc:"Run the pgbench-style interactive workload.")
@@ -154,11 +176,18 @@ let grpc_cmd =
     Arg.(value & opt int 24000 & info [ "messages" ] ~doc:"Message count.")
   in
   let run messages mode seed phases trace =
-    let config = { Workload.Grpc.default_config with messages; seed } in
-    let tracer = mk_tracer trace in
-    report ~phases (Workload.Grpc.run ~config ?tracer ~mode ());
-    dump_trace trace tracer;
-    0
+    if messages < 1 then begin
+      Format.eprintf "ccr_sim grpc: --messages must be at least 1 (got %d)@."
+        messages;
+      1
+    end
+    else begin
+      let config = { Workload.Grpc.default_config with messages; seed } in
+      let tracer = mk_tracer trace in
+      report ~phases (Workload.Grpc.run ~config ?tracer ~mode ());
+      dump_trace trace tracer;
+      0
+    end
   in
   Cmd.v
     (Cmd.info "grpc" ~doc:"Run the gRPC-QPS-style multithreaded workload.")
@@ -194,16 +223,26 @@ let tenant_cmd =
           ~doc:"Revocation scheduling policy: round-robin or pressure.")
   in
   let run workload tenants scale sched mode seed =
-    match Workload.Profile.find workload with
-    | p ->
-        let r =
-          Workload.Tenant.run ~seed ~ops_scale:scale ~sched ~tenants ~mode p
-        in
-        Workload.Tenant.pp Format.std_formatter r;
-        0
-    | exception Not_found ->
-        Format.eprintf "unknown workload %S@." workload;
-        1
+    if tenants < 1 then begin
+      Format.eprintf "ccr_sim tenant: --tenants must be at least 1 (got %d)@."
+        tenants;
+      1
+    end
+    else if scale <= 0.0 then begin
+      Format.eprintf "ccr_sim tenant: --scale must be positive (got %g)@." scale;
+      1
+    end
+    else
+      match Workload.Profile.find workload with
+      | p ->
+          let r =
+            Workload.Tenant.run ~seed ~ops_scale:scale ~sched ~tenants ~mode p
+          in
+          Workload.Tenant.pp Format.std_formatter r;
+          0
+      | exception Not_found ->
+          Format.eprintf "unknown workload %S@." workload;
+          1
   in
   Cmd.v
     (Cmd.info "tenant"

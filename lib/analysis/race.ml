@@ -79,6 +79,11 @@ let on_event t (e : Trace.event) =
     | Trace.Tlb_shootdown ->
         (* the IPI is acknowledged by every core *)
         Array.iter (fun other -> join other me) t.vc
+    | Trace.Proc_kill ->
+        (* the victim's threads are torn down at their next scheduling
+           point before the killer proceeds: the killer has observed
+           everything they published (it re-enqueues their quarantine) *)
+        Array.iter (fun other -> join me other) t.vc
     | Trace.Quarantine_enq -> join (chan t e.Trace.pid) me
     | Trace.Quarantine_deq -> join me (chan t e.Trace.pid)
     | Trace.Paint ->

@@ -29,7 +29,8 @@ let state_name = function
 
 type region = {
   r_size : int;
-  r_painted_at : int; (* epoch counter when painted *)
+  mutable r_painted_at : int;
+      (* epoch counter when painted; clamped down on epoch abort *)
   mutable r_state : state;
 }
 
@@ -430,9 +431,38 @@ let on_event t (e : Trace.event) =
                    i ps.pid)
           done)
   | Trace.Proc_fork -> on_fork t ps ~child_pid:e.Trace.arg
-  | Trace.Stw_request | Trace.Clg_fault | Trace.Context_switch
-  | Trace.Revoke_batch | Trace.Cow_fault | Trace.Proc_exec | Trace.Proc_exit
-  | Trace.Sched_grant | Trace.Custom _ ->
+  | Trace.Epoch_abort ->
+      (* The epoch was retracted: the on-machine counter moved back to the
+         pre-begin (even) value without the epoch's work completing. Roll
+         the mirror back too and clamp any paint stamp recorded during the
+         aborted epoch — those stamps are now "from the future" and would
+         otherwise mark sound later deliveries as early. Clamping is the
+         exact mirror of what the shim does to its batch stamps: regions
+         painted before the retried epoch begins are covered by it just
+         like anything painted at the restored counter. *)
+      let arg = e.Trace.arg in
+      if not ps.in_epoch then
+        v "epoch-unbalanced" "Epoch_abort outside an epoch";
+      if arg land 1 <> 0 then
+        v "epoch-parity" (Printf.sprintf "epoch aborts to odd counter %d" arg);
+      if ps.in_epoch && arg <> ps.begin_arg then
+        v "epoch-monotonic"
+          (Printf.sprintf "epoch began at %d but aborts to %d" ps.begin_arg arg);
+      ps.counter <- arg;
+      ps.in_epoch <- false;
+      ps.snapshot <- [||];
+      Hashtbl.iter
+        (fun _ (r : region) ->
+          if r.r_painted_at > arg then r.r_painted_at <- arg)
+        ps.regions
+  | Trace.Epoch_resume ->
+      if not ps.in_epoch then
+        v "epoch-unbalanced" "Epoch_resume outside an epoch"
+  | Trace.Proc_kill | Trace.Stw_abandon | Trace.Strategy_downshift
+  | Trace.Quarantine_abandoned | Trace.Tag_corruption | Trace.Shootdown_retry
+  | Trace.Chaos_inject | Trace.Stw_request | Trace.Clg_fault
+  | Trace.Context_switch | Trace.Revoke_batch | Trace.Cow_fault
+  | Trace.Proc_exec | Trace.Proc_exit | Trace.Sched_grant | Trace.Custom _ ->
       ()
 
 let attach ?revoker m =

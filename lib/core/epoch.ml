@@ -1,10 +1,11 @@
 module Machine = Sim.Machine
 
-type t = { mutable counter : int; changed : Machine.condvar }
+type t = { mutable counter : int; mutable aborts : int; changed : Machine.condvar }
 
-let create () = { counter = 0; changed = Machine.condvar () }
+let create () = { counter = 0; aborts = 0; changed = Machine.condvar () }
 let counter t = t.counter
 let in_progress t = t.counter land 1 = 1
+let aborts t = t.aborts
 
 let bump t ctx ~want_parity =
   if t.counter land 1 <> want_parity then
@@ -14,6 +15,20 @@ let bump t ctx ~want_parity =
 
 let begin_revocation t ctx = bump t ctx ~want_parity:0
 let end_revocation t ctx = bump t ctx ~want_parity:1
+
+(* Aborting an epoch retracts the begin increment instead of completing
+   it: the counter returns to its pre-begin (even) value. This is the
+   only sound direction — completing a pass that did not finish sweeping
+   would let [is_clean] clear memory that was never revoked, whereas
+   moving the counter backwards can only make waiters wait longer.
+   Waiters are woken anyway so anyone waiting on [wait_change] (epoch
+   gates, schedulers) re-examines the world. *)
+let abort_revocation t ctx =
+  if t.counter land 1 <> 1 then
+    invalid_arg "Epoch: abort outside an open revocation";
+  t.counter <- t.counter - 1;
+  t.aborts <- t.aborts + 1;
+  Machine.broadcast ctx t.changed
 let clean_target e =
   let t = if e land 1 = 0 then e + 2 else e + 3 in
   (* saturate instead of wrapping negative near max_int: memory painted

@@ -21,6 +21,16 @@ val begin_revocation : t -> Sim.Machine.ctx -> unit
 val end_revocation : t -> Sim.Machine.ctx -> unit
 (** Increment (must currently be odd) and wake waiters. *)
 
+val abort_revocation : t -> Sim.Machine.ctx -> unit
+(** Retract an open revocation: decrement (must currently be odd) back
+    to the pre-begin even value and wake waiters. Sound by construction:
+    the counter only ever under-promises, so {!is_clean} can never
+    become true for memory whose sweep did not complete — allocators
+    simply wait for the retried epoch. *)
+
+val aborts : t -> int
+(** Times {!abort_revocation} has retracted an epoch. *)
+
 val clean_target : int -> int
 (** [clean_target e] is the counter value at which memory painted at
     counter value [e] is known revoked: [e + 2] when [e] is even,

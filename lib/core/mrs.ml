@@ -16,6 +16,10 @@ type t = {
   mutable live_samples : int list;
   mutable quarantine_samples : int list;
   mutable blocked : int;
+  mutable throttled : int; (* mallocs slowed by abort backpressure *)
+  mutable abandoned : int; (* quarantine bytes dropped by [finish] *)
+  mutable release_stall : (Machine.ctx -> int) option;
+      (* chaos: extra cycles to stall before each batch release *)
   drained : Machine.condvar; (* signaled after each batch is dequarantined *)
   (* counter values at batch handoff: dequarantine asserts the §2.2.3
      epoch protocol against them *)
@@ -40,6 +44,11 @@ let on_clean t ctx (batch : Revoker.batch) =
         assert (Epoch.is_clean (Revoker.epoch t.revoker) ~painted_at);
       Hashtbl.remove t.batch_epochs t.next_clean;
       t.next_clean <- t.next_clean + 1
+  | None -> ());
+  (match t.release_stall with
+  | Some h ->
+      let d = h ctx in
+      if d > 0 then Machine.sleep ctx d
   | None -> ());
   List.iter
     (fun (addr, size) ->
@@ -67,6 +76,9 @@ let create m ~alloc ~revoker ?(policy = Policy.default) () =
       live_samples = [];
       quarantine_samples = [];
       blocked = 0;
+      throttled = 0;
+      abandoned = 0;
+      release_stall = None;
       drained = Machine.condvar ();
       batch_epochs = Hashtbl.create 64;
       batch_id = 0;
@@ -74,6 +86,20 @@ let create m ~alloc ~revoker ?(policy = Policy.default) () =
     }
   in
   Revoker.set_on_clean revoker (fun ctx batch -> on_clean t ctx batch);
+  (* Epoch aborts move the counter backwards, which can leave handed-off
+     batches stamped "from the future" relative to the restored counter —
+     [is_clean] would then trip on perfectly sound deliveries. Clamping
+     the stamps down to the restored value is sound: the batches were
+     enqueued before the retried epoch begins, so that epoch's completion
+     covers them exactly as it covers anything painted at the restored
+     counter. *)
+  Revoker.set_on_abort revoker
+    (Some
+       (fun _ctx ->
+         let c = Epoch.counter (Revoker.epoch revoker) in
+         Hashtbl.filter_map_inplace
+           (fun _ painted_at -> Some (min painted_at c))
+           t.batch_epochs));
   t
 
 let trigger t ctx =
@@ -117,6 +143,13 @@ let maybe_block t ctx =
 
 let malloc t ctx size =
   Machine.charge ctx Sim.Cost.mrs_shim;
+  (* abort backpressure: while the revoker cannot retire quarantine, slow
+     the application down instead of letting it outrun recovery *)
+  let bp = Revoker.backpressure t.revoker in
+  if bp > 0 then begin
+    t.throttled <- t.throttled + 1;
+    Machine.sleep ctx bp
+  end;
   maybe_block t ctx;
   maybe_trigger t ctx;
   t.alloc.Backend.malloc ctx size
@@ -149,9 +182,22 @@ let wait_drained t ctx =
     Machine.wait ctx t.drained
   done
 
+let set_release_stall t f = t.release_stall <- f
+
 let finish t ctx =
   t.finishing <- true;
+  (* Quarantine still buffered (or queued/in-flight) at process end is
+     abandoned, as on a real exiting system — but not silently: account
+     it and leave a trace event so nothing "drains" by vanishing. *)
+  let dropped = quarantine_bytes t in
+  if dropped > 0 then begin
+    t.abandoned <- t.abandoned + dropped;
+    Machine.trace_emit t.m ~time:(Machine.now ctx) ~core:(Machine.core_id ctx)
+      ~pid:(Revoker.pid t.revoker) Sim.Trace.Quarantine_abandoned dropped
+  end;
   Revoker.request_shutdown t.revoker ctx
+
+let abandoned_bytes t = t.abandoned
 
 type stats = {
   revocations : int;
@@ -159,6 +205,8 @@ type stats = {
   live_samples : int list;
   quarantine_samples : int list;
   blocked_allocs : int;
+  throttled_allocs : int;
+  abandoned_bytes : int;
 }
 
 let stats t =
@@ -168,4 +216,6 @@ let stats t =
     live_samples = List.rev t.live_samples;
     quarantine_samples = List.rev t.quarantine_samples;
     blocked_allocs = t.blocked;
+    throttled_allocs = t.throttled;
+    abandoned_bytes = t.abandoned;
   }

@@ -34,7 +34,17 @@ val free : t -> Sim.Machine.ctx -> Cheri.Capability.t -> unit
 val finish : t -> Sim.Machine.ctx -> unit
 (** End of workload: stop triggering and let the revoker thread drain
     and exit. Outstanding quarantine is abandoned (the process is
-    exiting), as on a real system. *)
+    exiting), as on a real system — accounted in {!abandoned_bytes} and
+    announced with a [Quarantine_abandoned] trace event rather than
+    dropped silently. *)
+
+val abandoned_bytes : t -> int
+(** Quarantine bytes dropped (never revoked) by {!finish}. *)
+
+val set_release_stall : t -> (Sim.Machine.ctx -> int) option -> unit
+(** Chaos hook: called before each clean batch is released; the returned
+    cycle count is slept on the revoker thread first, modelling a
+    quarantine-drain stall (blocked [malloc]s keep waiting meanwhile). *)
 
 val quarantine_bytes : t -> int
 (** Current buffer + queued + in-flight quarantine. *)
@@ -70,6 +80,8 @@ type stats = {
   live_samples : int list; (** allocated heap sampled at each trigger *)
   quarantine_samples : int list; (** quarantine size at each trigger *)
   blocked_allocs : int; (** malloc/free operations that had to block *)
+  throttled_allocs : int; (** mallocs slowed by epoch-abort backpressure *)
+  abandoned_bytes : int; (** quarantine dropped unrevoked at [finish] *)
 }
 
 val stats : t -> stats

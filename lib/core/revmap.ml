@@ -52,13 +52,19 @@ let check_range t ~addr ~size =
 
 (* Apply [op] to the shadow words covering granules [g0, g1): for each
    64-bit word, a mask of the affected bits is computed and the word is
-   read-modified-written through the user mapping. *)
+   read-modified-written through the user mapping. Returns the number of
+   bits actually flipped; the caller folds it into [t.bits] in the same
+   host-side section as its trace emit — each [rmw_u64] is a scheduling
+   point, so updating the counter word-by-word would let a checker
+   comparing [set_bits] against the event ledger observe a half-applied
+   range from another thread. *)
 let rmw_range t ctx ~addr ~size ~set =
   check_range t ~addr ~size;
   let g0 = (addr - t.layout.Layout.heap_base) / granule in
   let g1 = g0 + (size / granule) in
   let w = ref (g0 / 64) in
   let last_word = (g1 - 1) / 64 in
+  let flipped = ref 0 in
   while !w <= last_word do
     let lo_bit = max g0 (!w * 64) - (!w * 64) in
     let hi_bit = min g1 ((!w + 1) * 64) - (!w * 64) in
@@ -80,18 +86,20 @@ let rmw_range t ctx ~addr ~size ~set =
     let nw =
       if set then Int64.logor old mask else Int64.logand old (Int64.lognot mask)
     in
-    let delta = popcount64 (Int64.logxor nw old) in
-    if set then t.bits <- t.bits + delta else t.bits <- t.bits - delta;
+    flipped := !flipped + popcount64 (Int64.logxor nw old);
     incr w
-  done
+  done;
+  !flipped
 
 let paint t ctx ~addr ~size =
-  rmw_range t ctx ~addr ~size ~set:true;
+  let delta = rmw_range t ctx ~addr ~size ~set:true in
+  t.bits <- t.bits + delta;
   Machine.trace_emit t.m ~time:(Machine.now ctx) ~core:(Machine.core_id ctx)
     ~pid:(Machine.ctx_pid ctx) ~arg2:size Sim.Trace.Paint addr
 
 let clear t ctx ~addr ~size =
-  rmw_range t ctx ~addr ~size ~set:false;
+  let delta = rmw_range t ctx ~addr ~size ~set:false in
+  t.bits <- t.bits - delta;
   Machine.trace_emit t.m ~time:(Machine.now ctx) ~core:(Machine.core_id ctx)
     ~pid:(Machine.ctx_pid ctx) ~arg2:size Sim.Trace.Unpaint addr
 

@@ -18,6 +18,25 @@ let strategy_name = function
 let all_strategies = [ Paint_sync; Cherivoke; Cornucopia; Reloaded ]
 let extended_strategies = all_strategies @ [ Cheriot_filter ]
 
+let strategy_code = function
+  | Paint_sync -> 0
+  | Cherivoke -> 1
+  | Cornucopia -> 2
+  | Reloaded -> 3
+  | Cheriot_filter -> 4
+
+(* The graceful-degradation ladder: each step trades pause quality for
+   fewer moving parts. Reloaded's load barrier needs CLG toggles and a
+   racing background sweep; Cornucopia still sweeps concurrently but
+   closes with a STW re-sweep; Cherivoke does everything inside one STW
+   and depends on nothing but the sweep itself. Paint_sync is not a
+   downshift target (it provides no safety), and Cherivoke is the floor. *)
+let downshift_of = function
+  | Reloaded -> Some Cornucopia
+  | Cornucopia -> Some Cherivoke
+  | Cheriot_filter -> Some Cherivoke
+  | Cherivoke | Paint_sync -> None
+
 type batch = { entries : (int * int) list; bytes : int }
 
 (* Deliberate protocol mutations, used by the sanitizer's mutation tests
@@ -28,6 +47,45 @@ let fault_name = function
   | Skip_shootdown -> "skip-shootdown"
   | Skip_hoard_scan -> "skip-hoard-scan"
   | Early_dequarantine -> "early-dequarantine"
+
+exception Induced_crash
+
+exception Epoch_aborted
+(* internal: a quiesce watchdog exhausted its retry budget *)
+
+type recovery = {
+  watchdog_timeout : int;
+  max_quiesce_retries : int;
+  backoff_base : int;
+  max_crash_retries : int;
+  max_epoch_aborts : int;
+  clg_storm_threshold : int;
+  malloc_throttle : int;
+}
+
+let default_recovery =
+  {
+    (* 4x the default syscall drain cap: unreachable in a fault-free
+       run, so arming the watchdog by default changes nothing there *)
+    watchdog_timeout = 200_000_000;
+    max_quiesce_retries = 3;
+    backoff_base = 20_000;
+    max_crash_retries = 5;
+    max_epoch_aborts = 3;
+    (* storms are workload-relative; downshifting on the load barrier's
+       normal fault traffic would be wrong, so the trigger is off until
+       a caller that knows its workload sets a threshold *)
+    clg_storm_threshold = max_int;
+    malloc_throttle = 50_000;
+  }
+
+type recovery_stats = {
+  epoch_aborts : int;
+  sweep_crash_retries : int;
+  quiesce_timeouts : int;
+  backoff_cycles : int;
+  downshifts : int;
+}
 
 type phase_record = {
   epoch_index : int;
@@ -55,13 +113,16 @@ type helper = {
   mutable h_mode : helper_mode;
   mutable h_pages : int;
   mutable h_revoked : int;
+  mutable h_failed : bool; (* an induced crash hit this helper's share *)
 }
 
 type t = {
   m : Machine.t;
   mutable aspace : Vm.Aspace.t;
   pid : int;
-  strategy : strategy;
+  mutable strategy : strategy;
+      (* mutable: graceful degradation downshifts it (see [downshift_of]) *)
+  recovery : recovery;
   core : int;
   non_temporal : bool;
   pte_flag_barrier : bool;
@@ -97,6 +158,24 @@ type t = {
       (* cross-process revocation scheduler hooks, held around each epoch *)
   mutable service_threads : Machine.thread list;
       (* the revoker thread + helpers, for exec-time aspace rebinding *)
+  (* ---- crash-recovery state ---- *)
+  ck_done : (int, unit) Hashtbl.t;
+      (* pages fully visited by the current epoch's attempts: the sweep
+         checkpoint a crashed pass resumes from (Reloaded/CHERIoT) *)
+  mutable ck_stw_done : bool;
+      (* the epoch-opening stop-the-world completed; a resumed attempt
+         must not repeat it (the CLG toggle is not idempotent) *)
+  mutable sweep_hook : (Machine.ctx -> int -> unit) option;
+      (* chaos: consulted at every page visit; may raise [Induced_crash] *)
+  mutable on_abort : (Machine.ctx -> unit) option;
+      (* the shim clamps its paint-epoch stamps here when an epoch is
+         retracted (the counter moved backwards) *)
+  mutable consecutive_aborts : int;
+  mutable rs_epoch_aborts : int;
+  mutable rs_sweep_crashes : int;
+  mutable rs_quiesce_timeouts : int;
+  mutable rs_backoff_cycles : int;
+  mutable rs_downshifts : int;
 }
 
 let strategy t = t.strategy
@@ -108,8 +187,30 @@ let hoards t = t.hoards
 let inject_fault t f = t.fault <- f
 let injected_fault t = t.fault
 let set_on_clean t f = t.on_clean <- Some f
+let set_on_abort t f = t.on_abort <- f
+let set_sweep_hook t f = t.sweep_hook <- f
 let in_flight t = t.in_flight
 let currently_revoking t = t.current_entries
+
+let recovery_stats t =
+  {
+    epoch_aborts = t.rs_epoch_aborts;
+    sweep_crash_retries = t.rs_sweep_crashes;
+    quiesce_timeouts = t.rs_quiesce_timeouts;
+    backoff_cycles = t.rs_backoff_cycles;
+    downshifts = t.rs_downshifts;
+  }
+
+let consecutive_aborts t = t.consecutive_aborts
+
+(* Allocation backpressure: while epochs are aborting, [Mrs.malloc]
+   throttles by this many cycles per call instead of letting the
+   application outrun a revoker that cannot currently retire quarantine. *)
+let backpressure t =
+  if t.consecutive_aborts > 0 then t.recovery.malloc_throttle else 0
+
+let sweep_point t ctx vp =
+  match t.sweep_hook with None -> () | Some h -> h ctx vp
 
 let queued_entries t =
   List.concat_map (fun b -> b.entries) (List.rev t.queue)
@@ -172,7 +273,14 @@ let visit_reloaded t ctx gen ~force vp =
   match Pmap.lookup pmap ~vpage:vp with
   | None -> (0, 0)
   | Some pte ->
-      if pte.Pte.clg <> gen || force then begin
+      (* [ck_done] is the epoch's sweep checkpoint: pages a crashed
+         attempt already finished (content sweep AND generation update)
+         are skipped on resume. For non-forced epochs the generation bit
+         alone would skip them; the explicit set also covers [force]
+         (post-fork mixed-generation) epochs and gives the resume trace
+         assertion a single mechanism. *)
+      if (pte.Pte.clg <> gen || force) && not (Hashtbl.mem t.ck_done vp) then begin
+        sweep_point t ctx vp;
         let pages, revoked =
           if Hashtbl.mem t.visit_set vp then begin
             let st = Sweep.sweep_page ~non_temporal:t.non_temporal ctx t.revmap ~pte in
@@ -189,16 +297,20 @@ let visit_reloaded t ctx gen ~force vp =
               pte.Pte.clg <- gen;
               Machine.charge ctx Cost.pte_update
             end);
+        Hashtbl.replace t.ck_done vp ();
         (pages, revoked)
       end
       else (0, 0)
 
 (* CHERIoT: the load filter guarantees stale capabilities cannot be
    propagated, so a single idempotent content sweep per epoch suffices —
-   no generations, no re-scan. *)
+   no generations, no re-scan. Resume-safe like Reloaded: the filter is
+   always armed, so a crashed pass restarts from [ck_done]. *)
 let visit_cheriot t ctx vp =
-  if Hashtbl.mem t.visit_set vp then begin
+  if Hashtbl.mem t.visit_set vp && not (Hashtbl.mem t.ck_done vp) then begin
+    sweep_point t ctx vp;
     let st = sweep_vpage t ctx vp in
+    Hashtbl.replace t.ck_done vp ();
     (1, st.Sweep.revoked)
   end
   else (0, 0)
@@ -214,18 +326,24 @@ let helper_body t h ctx =
     | Stop -> ()
     | Idle -> if t.shutdown then () else loop ()
     | (Sweep_reloaded _ | Sweep_cheriot) as mode ->
-        List.iter
-          (fun vp ->
-            Machine.safe_point ctx;
-            let pages, revoked =
-              match mode with
-              | Sweep_reloaded (gen, force) -> visit_reloaded t ctx gen ~force vp
-              | Sweep_cheriot -> visit_cheriot t ctx vp
-              | Idle | Stop -> (0, 0)
-            in
-            h.h_pages <- h.h_pages + pages;
-            h.h_revoked <- h.h_revoked + revoked)
-          h.h_queue;
+        (* an induced crash must not kill the helper thread itself — it
+           records the failure and goes back to Idle so the coordinator
+           can notice, abort the pass, and re-dispatch the retry *)
+        (try
+           List.iter
+             (fun vp ->
+               Machine.safe_point ctx;
+               let pages, revoked =
+                 match mode with
+                 | Sweep_reloaded (gen, force) ->
+                     visit_reloaded t ctx gen ~force vp
+                 | Sweep_cheriot -> visit_cheriot t ctx vp
+                 | Idle | Stop -> (0, 0)
+               in
+               h.h_pages <- h.h_pages + pages;
+               h.h_revoked <- h.h_revoked + revoked)
+             h.h_queue
+         with Induced_crash -> h.h_failed <- true);
         h.h_queue <- [];
         h.h_mode <- Idle;
         Machine.broadcast ctx h.h_done_cv;
@@ -256,17 +374,23 @@ let fan_out t ctx ~pages ~mode ~visit =
           h.h_queue <- shares.(i + 1);
           h.h_pages <- 0;
           h.h_revoked <- 0;
+          h.h_failed <- false;
           h.h_mode <- mode;
           Machine.broadcast ctx h.h_work_cv)
         helpers;
       let p = ref 0 and r = ref 0 in
-      List.iter
-        (fun vp ->
-          Machine.safe_point ctx;
-          let dp, dr = visit vp in
-          p := !p + dp;
-          r := !r + dr)
-        shares.(0);
+      let crashed = ref false in
+      (try
+         List.iter
+           (fun vp ->
+             Machine.safe_point ctx;
+             let dp, dr = visit vp in
+             p := !p + dp;
+             r := !r + dr)
+           shares.(0)
+       with Induced_crash -> crashed := true);
+      (* drain every helper even when crashing, so the retry never
+         dispatches onto a helper still chewing the aborted pass *)
       List.iter
         (fun h ->
           while h.h_mode <> Idle do
@@ -275,6 +399,8 @@ let fan_out t ctx ~pages ~mode ~visit =
           p := !p + h.h_pages;
           r := !r + h.h_revoked)
         helpers;
+      if !crashed || List.exists (fun h -> h.h_failed) helpers then
+        raise Induced_crash;
       (!p, !r)
 
 (* ---- strategy bodies: each runs one revocation epoch ---- *)
@@ -286,14 +412,55 @@ type epoch_outcome = {
   o_revoked : int;
 }
 
+(* Watchdogged stop-the-world: arm [Machine.stop_the_world]'s deadline
+   with the recovery timeout; on [Quiesce_timeout] back off exponentially
+   and retry, and after the retry budget raise [Epoch_aborted] so the
+   epoch is retracted rather than wedging the revoker forever behind one
+   stuck thread. *)
+let quiesce t ctx f =
+  let r = t.recovery in
+  let timeout = if r.watchdog_timeout > 0 then Some r.watchdog_timeout else None in
+  let rec go attempt =
+    match Machine.stop_the_world ctx ~scope:[ t.pid ] ?timeout f with
+    | result -> result
+    | exception Machine.Quiesce_timeout _ ->
+        t.rs_quiesce_timeouts <- t.rs_quiesce_timeouts + 1;
+        if attempt >= r.max_quiesce_retries then raise Epoch_aborted
+        else begin
+          let backoff = r.backoff_base * (1 lsl attempt) in
+          t.rs_backoff_cycles <- t.rs_backoff_cycles + backoff;
+          Machine.sleep ctx backoff;
+          go (attempt + 1)
+        end
+  in
+  go 0
+
+(* Graceful degradation: move one rung down [downshift_of]'s ladder.
+   Deliberately does NOT unregister the old barrier — the CLG handler
+   (resp. load filter) keeps healing pages left at a stale generation by
+   the abandoned strategy and simply goes quiet once none remain, whereas
+   tearing it down would leave those pages faulting with no handler. *)
+let downshift t ctx =
+  match downshift_of t.strategy with
+  | None -> false
+  | Some s ->
+      Machine.trace_emit t.m ~time:(Machine.now ctx) ~core:t.core ~pid:t.pid
+        ~arg2:(strategy_code s) Sim.Trace.Strategy_downshift
+        (strategy_code t.strategy);
+      t.strategy <- s;
+      t.rs_downshifts <- t.rs_downshifts + 1;
+      t.consecutive_aborts <- 0;
+      true
+
 let run_cherivoke t ctx =
   let pages = ref 0 and revoked = ref 0 in
   let (), rep =
-    Machine.stop_the_world ctx ~scope:[ t.pid ] (fun () ->
+    quiesce t ctx (fun () ->
         update_visit_set t ctx ~reset:true;
         revoked := scan_roots t ctx;
         Hashtbl.iter
           (fun vp () ->
+            sweep_point t ctx vp;
             let st = sweep_vpage t ctx vp in
             incr pages;
             revoked := !revoked + st.Sweep.revoked)
@@ -321,6 +488,7 @@ let run_cornucopia t ctx =
       match Pmap.lookup pmap ~vpage:vp with
       | None -> ()
       | Some pte ->
+          sweep_point t ctx vp;
           Machine.with_pmap_lock ctx (fun () ->
               if pte.Pte.cap_dirty then begin
                 pte.Pte.cap_dirty <- false;
@@ -335,12 +503,13 @@ let run_cornucopia t ctx =
   let conc = Machine.now ctx - t0 in
   (* stop-the-world phase: roots, then pages re-dirtied during the sweep *)
   let (), rep =
-    Machine.stop_the_world ctx ~scope:[ t.pid ] (fun () ->
+    quiesce t ctx (fun () ->
         revoked := !revoked + scan_roots t ctx;
         List.iter
           (fun vp ->
             match Pmap.lookup pmap ~vpage:vp with
             | Some pte when pte.Pte.cap_dirty ->
+                sweep_point t ctx vp;
                 (* a page first capability-dirtied during the concurrent
                    phase has never entered the visit set; record it or the
                    NEXT epoch will skip it while it still holds
@@ -364,23 +533,38 @@ let run_cornucopia t ctx =
     o_revoked = !revoked;
   }
 
-let run_reloaded t ctx =
+let run_reloaded t ~resume ctx =
   let pmap = Vm.Aspace.pmap t.aspace in
   let root_revoked = ref 0 in
   (* stop-the-world: toggle generations, scan registers and hoards; no
      PTE is touched (§4.1) — unless the §4.1 ablation of a per-PTE barrier
      flag is enabled, in which case every PTE is updated with the world
-     stopped, which is exactly what the generation scheme avoids. *)
-  let (), rep =
-    Machine.stop_the_world ctx ~scope:[ t.pid ] (fun () ->
-        Machine.toggle_clg ctx;
-        update_visit_set t ctx ~reset:true;
-        root_revoked := scan_roots t ctx;
-        if t.pte_flag_barrier then begin
-          let pages = heap_vpages t in
-          List.iter (fun _ -> Machine.charge ctx Cost.pte_update) pages;
-          Machine.tlb_shootdown ~asid:(Vm.Aspace.asid t.aspace) ctx ~vpages:pages
-        end)
+     stopped, which is exactly what the generation scheme avoids.
+
+     A resumed attempt whose first pass already completed this STW must
+     NOT repeat it: the CLG toggle is not idempotent (toggling again
+     would flip "stale" back to "current" and un-revoke everything the
+     barrier still has to heal). The barrier has been armed since the
+     first toggle, so skipping straight to the background sweep is sound. *)
+  let o_stw =
+    if resume && t.ck_stw_done then 0
+    else begin
+      let (), rep =
+        quiesce t ctx (fun () ->
+            Machine.toggle_clg ctx;
+            update_visit_set t ctx ~reset:true;
+            root_revoked := scan_roots t ctx;
+            if t.pte_flag_barrier then begin
+              let pages = heap_vpages t in
+              List.iter (fun _ -> Machine.charge ctx Cost.pte_update) pages;
+              Machine.tlb_shootdown
+                ~asid:(Vm.Aspace.asid t.aspace)
+                ctx ~vpages:pages
+            end)
+      in
+      t.ck_stw_done <- true;
+      rep.Machine.released_at - rep.Machine.requested_at
+    end
   in
   t.barrier_armed <- true;
   (* background phase: visit every heap page still at the old generation;
@@ -396,22 +580,32 @@ let run_reloaded t ctx =
   in
   t.mixed_gen <- false;
   {
-    o_stw = rep.Machine.released_at - rep.Machine.requested_at;
+    o_stw;
     o_conc = Machine.now ctx - t0;
     o_pages = pages;
     o_revoked = revoked + !root_revoked;
   }
 
-let run_cheriot t ctx =
+let run_cheriot t ~resume ctx =
   (* No load generations: the per-load filter already blocks stale
      capabilities. A short stop-the-world scans registers and hoards
      (stores of register-held stale capabilities are not filtered), then
-     one concurrent content sweep erases them from memory. *)
+     one concurrent content sweep erases them from memory. The root scan
+     is not repeated on resume: the filter blocks any load of a stale
+     capability, so registers cannot have re-acquired one since the
+     completed scan. *)
   let root_revoked = ref 0 in
-  let (), rep =
-    Machine.stop_the_world ctx ~scope:[ t.pid ] (fun () ->
-        update_visit_set t ctx ~reset:true;
-        root_revoked := scan_roots t ctx)
+  let o_stw =
+    if resume && t.ck_stw_done then 0
+    else begin
+      let (), rep =
+        quiesce t ctx (fun () ->
+            update_visit_set t ctx ~reset:true;
+            root_revoked := scan_roots t ctx)
+      in
+      t.ck_stw_done <- true;
+      rep.Machine.released_at - rep.Machine.requested_at
+    end
   in
   let t0 = Machine.now ctx in
   let targets = List.filter (Hashtbl.mem t.visit_set) (heap_vpages t) in
@@ -419,7 +613,7 @@ let run_cheriot t ctx =
     fan_out t ctx ~pages:targets ~mode:Sweep_cheriot ~visit:(visit_cheriot t ctx)
   in
   {
-    o_stw = rep.Machine.released_at - rep.Machine.requested_at;
+    o_stw;
     o_conc = Machine.now ctx - t0;
     o_pages = pages;
     o_revoked = revoked + !root_revoked;
@@ -486,41 +680,107 @@ let run_epoch t ctx batches =
   in
   (* mutation hook: hand the quarantine back before the sweep has run *)
   if t.fault = Some Early_dequarantine then deliver ();
-  let o =
-    match t.strategy with
-    | Paint_sync -> run_paint_sync t ctx
-    | Cherivoke -> run_cherivoke t ctx
-    | Cornucopia -> run_cornucopia t ctx
-    | Reloaded -> run_reloaded t ctx
-    | Cheriot_filter -> run_cheriot t ctx
+  Hashtbl.reset t.ck_done;
+  t.ck_stw_done <- false;
+  (* Run the strategy body, retrying after induced sweep crashes from the
+     [ck_done] checkpoint. Strategies with an always-armed barrier
+     (Reloaded, CHERIoT) resume where the crashed pass left off; the
+     barrier-less sweepers must restart their whole pass, because a page
+     swept before the crash can have been re-polluted with stale
+     capabilities while the world was running afterwards. Returns [None]
+     when the epoch must be aborted. *)
+  let rec attempt n =
+    let resume = n > 0 in
+    match
+      match t.strategy with
+      | Paint_sync -> run_paint_sync t ctx
+      | Cherivoke -> run_cherivoke t ctx
+      | Cornucopia -> run_cornucopia t ctx
+      | Reloaded -> run_reloaded t ~resume ctx
+      | Cheriot_filter -> run_cheriot t ~resume ctx
+    with
+    | o -> Some o
+    | exception Induced_crash ->
+        t.rs_sweep_crashes <- t.rs_sweep_crashes + 1;
+        if n >= t.recovery.max_crash_retries then None
+        else begin
+          (match t.strategy with
+          | Cherivoke | Cornucopia | Paint_sync ->
+              Hashtbl.reset t.ck_done;
+              t.ck_stw_done <- false
+          | Reloaded | Cheriot_filter -> ());
+          Machine.trace_emit t.m ~time:(Machine.now ctx) ~core:t.core
+            ~pid:t.pid ~arg2:(n + 1) Sim.Trace.Epoch_resume
+            (Epoch.counter t.epoch);
+          let backoff = t.recovery.backoff_base * (1 lsl min n 6) in
+          t.rs_backoff_cycles <- t.rs_backoff_cycles + backoff;
+          Machine.sleep ctx backoff;
+          attempt (n + 1)
+        end
+    | exception Epoch_aborted -> None
   in
-  Epoch.end_revocation t.epoch ctx;
-  (match Machine.tracer t.m with
-  | Some tr ->
-      Sim.Trace.emit tr ~time:(Machine.now ctx) ~core:t.core ~pid:t.pid
-        Sim.Trace.Epoch_end
-        (Epoch.counter t.epoch)
-  | None -> ());
-  t.barrier_armed <- false;
-  t.revocations <- t.revocations + 1;
-  t.total_bytes <- t.total_bytes + bytes;
-  t.records <-
-    {
-      epoch_index = idx;
-      requested_at;
-      stw_cycles = o.o_stw;
-      concurrent_cycles = o.o_conc;
-      fault_cycles = t.fault_cycles;
-      fault_count = t.fault_count;
-      pages_visited = o.o_pages;
-      caps_revoked = o.o_revoked;
-      bytes_processed = bytes;
-    }
-    :: t.records;
-  (* the batches processed by this epoch are now clean: dequarantine *)
-  deliver ();
-  t.current_entries <- [];
-  t.in_flight <- false
+  match attempt 0 with
+  | Some o ->
+      Epoch.end_revocation t.epoch ctx;
+      (match Machine.tracer t.m with
+      | Some tr ->
+          Sim.Trace.emit tr ~time:(Machine.now ctx) ~core:t.core ~pid:t.pid
+            Sim.Trace.Epoch_end
+            (Epoch.counter t.epoch)
+      | None -> ());
+      t.barrier_armed <- false;
+      t.consecutive_aborts <- 0;
+      t.revocations <- t.revocations + 1;
+      t.total_bytes <- t.total_bytes + bytes;
+      t.records <-
+        {
+          epoch_index = idx;
+          requested_at;
+          stw_cycles = o.o_stw;
+          concurrent_cycles = o.o_conc;
+          fault_cycles = t.fault_cycles;
+          fault_count = t.fault_count;
+          pages_visited = o.o_pages;
+          caps_revoked = o.o_revoked;
+          bytes_processed = bytes;
+        }
+        :: t.records;
+      (* a CLG fault storm this epoch means the load barrier itself is
+         costing more than the pauses it avoids: downshift *)
+      if t.fault_count > t.recovery.clg_storm_threshold then
+        ignore (downshift t ctx);
+      (* the batches processed by this epoch are now clean: dequarantine *)
+      deliver ();
+      t.current_entries <- [];
+      t.in_flight <- false
+  | None ->
+      (* Abort: retract the epoch counter (sound — it only under-promises)
+         and put the unswept batches back at the head of the queue for the
+         retried epoch. Nothing is delivered. *)
+      t.rs_epoch_aborts <- t.rs_epoch_aborts + 1;
+      t.consecutive_aborts <- t.consecutive_aborts + 1;
+      Epoch.abort_revocation t.epoch ctx;
+      (match t.on_abort with Some f -> f ctx | None -> ());
+      Machine.trace_emit t.m ~time:(Machine.now ctx) ~core:t.core ~pid:t.pid
+        ~arg2:t.consecutive_aborts Sim.Trace.Epoch_abort
+        (Epoch.counter t.epoch);
+      t.barrier_armed <- false;
+      (* If the aborted epoch already toggled the CLG (Reloaded), the heap
+         now mixes two generations and the NEXT epoch's toggle would make
+         today's unswept stale pages look current. [mixed_gen] arms the
+         same one-shot force-visit-all that makes post-fork epochs sound. *)
+      if t.ck_stw_done && t.strategy = Reloaded then t.mixed_gen <- true;
+      (* t.queue is newest-first; the aborted batches are the oldest work,
+         so they belong at the tail *)
+      t.queue <- t.queue @ List.rev batches;
+      t.queued_bytes <- t.queued_bytes + bytes;
+      t.current_entries <- [];
+      t.in_flight <- false;
+      if t.consecutive_aborts >= t.recovery.max_epoch_aborts then
+        ignore (downshift t ctx);
+      let backoff = t.recovery.backoff_base * (1 lsl min t.consecutive_aborts 6) in
+      t.rs_backoff_cycles <- t.rs_backoff_cycles + backoff;
+      Machine.sleep ctx backoff
 
 let thread_body t ctx =
   let rec loop () =
@@ -595,12 +855,12 @@ let register_barrier t =
              else c))
   | Paint_sync | Cherivoke | Cornucopia -> ()
 
+(* Unconditional: [t.strategy] may have downshifted since the barrier was
+   registered, so matching on it here would leak the old registration. *)
 let unregister_barrier t =
   let asid = Vm.Aspace.asid t.aspace in
-  (match t.strategy with
-  | Reloaded -> Machine.set_clg_fault_handler t.m ~asid None
-  | Cheriot_filter -> Machine.set_cap_load_filter t.m ~asid None
-  | Paint_sync | Cherivoke | Cornucopia -> ())
+  Machine.set_clg_fault_handler t.m ~asid None;
+  Machine.set_cap_load_filter t.m ~asid None
 
 (* Exec: the process replaced its image. The quarantine must already have
    been drained; the revoker keeps its epoch counter but forgets the old
@@ -617,7 +877,8 @@ let rebind t ~aspace =
 
 let create m ~strategy ~core ?(non_temporal = false)
     ?(background_threads = 1) ?(helper_cores = [ 1; 0 ])
-    ?(pte_flag_barrier = false) ?hoards ?aspace ?(pid = 0) () =
+    ?(pte_flag_barrier = false) ?(recovery = default_recovery) ?hoards ?aspace
+    ?(pid = 0) () =
   let hoards = match hoards with Some h -> h | None -> Kernel.Hoard.create () in
   let aspace = match aspace with Some a -> a | None -> Machine.aspace m in
   let t =
@@ -626,6 +887,7 @@ let create m ~strategy ~core ?(non_temporal = false)
       aspace;
       pid;
       strategy;
+      recovery;
       core;
       non_temporal;
       pte_flag_barrier;
@@ -652,6 +914,16 @@ let create m ~strategy ~core ?(non_temporal = false)
       gate_acquire = (fun _ -> ());
       gate_release = (fun _ -> ());
       service_threads = [];
+      ck_done = Hashtbl.create 256;
+      ck_stw_done = false;
+      sweep_hook = None;
+      on_abort = None;
+      consecutive_aborts = 0;
+      rs_epoch_aborts = 0;
+      rs_sweep_crashes = 0;
+      rs_quiesce_timeouts = 0;
+      rs_backoff_cycles = 0;
+      rs_downshifts = 0;
     }
   in
   register_barrier t;
@@ -667,6 +939,7 @@ let create m ~strategy ~core ?(non_temporal = false)
             h_mode = Idle;
             h_pages = 0;
             h_revoked = 0;
+            h_failed = false;
           })
     in
     t.helpers <- helpers;

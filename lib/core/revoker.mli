@@ -53,6 +53,52 @@ type fault = Skip_shootdown | Skip_hoard_scan | Early_dequarantine
 
 val fault_name : fault -> string
 
+exception Induced_crash
+(** Raised by a chaos sweep hook (see {!set_sweep_hook}) to model the
+    sweep machinery dying mid-page. Never escapes the revoker: the epoch
+    retries from its checkpoint or is aborted. *)
+
+val strategy_code : strategy -> int
+(** Stable small-integer encoding for trace event arguments
+    (Paint_sync = 0 … Cheriot_filter = 4). *)
+
+val downshift_of : strategy -> strategy option
+(** The graceful-degradation ladder: [Reloaded -> Cornucopia ->
+    Cherivoke], [Cheriot_filter -> Cherivoke]; [Cherivoke] is the floor
+    and [Paint_sync] (no safety) is never a target. *)
+
+type recovery = {
+  watchdog_timeout : int;
+      (** quiesce watchdog deadline, cycles; [0] disarms the watchdog *)
+  max_quiesce_retries : int;
+      (** stop-the-world attempts before the epoch is aborted *)
+  backoff_base : int;
+      (** first retry backoff, cycles; doubles per consecutive failure *)
+  max_crash_retries : int;
+      (** sweep-crash resumptions before the epoch is aborted *)
+  max_epoch_aborts : int;
+      (** consecutive epoch aborts before the strategy downshifts *)
+  clg_storm_threshold : int;
+      (** per-epoch CLG fault count above which Reloaded downshifts;
+          [max_int] disables the trigger *)
+  malloc_throttle : int;
+      (** cycles of [Mrs.malloc] backpressure per call while epochs are
+          aborting *)
+}
+
+val default_recovery : recovery
+(** Watchdog armed at 200M cycles (unreachable in fault-free runs, so
+    default behaviour is unchanged), 3 quiesce retries, 5 crash retries,
+    downshift after 3 consecutive aborts, storm trigger disabled. *)
+
+type recovery_stats = {
+  epoch_aborts : int;
+  sweep_crash_retries : int;
+  quiesce_timeouts : int;
+  backoff_cycles : int;
+  downshifts : int;
+}
+
 type phase_record = {
   epoch_index : int; (** counter value during the revocation (odd) *)
   requested_at : int; (** cycle the epoch's work began *)
@@ -75,6 +121,7 @@ val create :
   ?background_threads:int ->
   ?helper_cores:int list ->
   ?pte_flag_barrier:bool ->
+  ?recovery:recovery ->
   ?hoards:Kernel.Hoard.t ->
   ?aspace:Vm.Aspace.t ->
   ?pid:int ->
@@ -94,6 +141,9 @@ val create :
     [pid]'s threads, and shoots down only cores running [aspace]. *)
 
 val strategy : t -> strategy
+(** The {e current} strategy: graceful degradation may have downshifted
+    it from the one passed to {!create}. *)
+
 val pid : t -> int
 val aspace : t -> Vm.Aspace.t
 val epoch : t -> Epoch.t
@@ -110,6 +160,24 @@ val injected_fault : t -> fault option
 val set_on_clean : t -> (Sim.Machine.ctx -> batch -> unit) -> unit
 (** Callback invoked (on the revoker thread) for each batch whose
     revocation epoch has completed; the mrs shim dequarantines there. *)
+
+val set_on_abort : t -> (Sim.Machine.ctx -> unit) option -> unit
+(** Callback invoked (on the revoker thread) immediately after an epoch
+    abort retracts the counter. The mrs shim clamps its paint-epoch
+    stamps there so they never sit above the restored counter. *)
+
+val set_sweep_hook : t -> (Sim.Machine.ctx -> int -> unit) option -> unit
+(** Chaos hook consulted at every page visit (argument: the vpage),
+    before the page is swept, on whichever thread performs the visit. May
+    raise {!Induced_crash} to model a sweep-thread crash; the epoch
+    resumes from its checkpoint or aborts after [max_crash_retries]. *)
+
+val recovery_stats : t -> recovery_stats
+val consecutive_aborts : t -> int
+
+val backpressure : t -> int
+(** Cycles of per-call allocation throttle currently requested
+    ([malloc_throttle] while epochs are aborting, else [0]). *)
 
 val enqueue : t -> Sim.Machine.ctx -> batch -> unit
 (** Hand a painted batch to the revoker and wake it. *)

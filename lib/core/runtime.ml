@@ -20,7 +20,8 @@ type t = {
 }
 
 let create ?(config = Machine.default_config) ?(policy = Policy.default)
-    ?(revoker_core = 2) ?(non_temporal = false) ?(allocator = Snmalloc) mode =
+    ?(revoker_core = 2) ?(non_temporal = false) ?recovery
+    ?(allocator = Snmalloc) mode =
   let machine = Machine.create config in
   let alloc =
     match allocator with
@@ -33,7 +34,7 @@ let create ?(config = Machine.default_config) ?(policy = Policy.default)
   | Safe strategy ->
       let revoker =
         Revoker.create machine ~strategy ~core:revoker_core ~non_temporal
-          ~hoards ()
+          ?recovery ~hoards ()
       in
       let mrs = Mrs.create machine ~alloc ~revoker ~policy () in
       { machine; alloc; hoards; mode; mrs = Some mrs; revoker = Some revoker }

@@ -29,11 +29,13 @@ val create :
   ?policy:Policy.t ->
   ?revoker_core:int ->
   ?non_temporal:bool ->
+  ?recovery:Revoker.recovery ->
   ?allocator:allocator_kind ->
   mode ->
   t
 (** [revoker_core] defaults to 2, the paper's pinning; [allocator]
-    defaults to [Snmalloc]. *)
+    defaults to [Snmalloc]; [recovery] tunes the revoker's watchdog /
+    retry / degradation knobs (default {!Revoker.default_recovery}). *)
 
 val malloc : t -> Sim.Machine.ctx -> int -> Cheri.Capability.t
 val free : t -> Sim.Machine.ctx -> Cheri.Capability.t -> unit

@@ -20,6 +20,12 @@ val default_profile : profile
 val light_profile : profile
 (** Short calls that rarely obstruct quiesce. *)
 
+val draw_drain : Sim.Prng.t -> profile -> int
+(** One drain-cost draw: a Pareto([drain_scale], [drain_shape]) sample
+    truncated to [drain_cap]. Exposed so tests can pin the sampling
+    distribution (determinism under a fixed seed, the cap actually
+    binding) without running a whole syscall. *)
+
 val perform : ?profile:profile -> Sim.Machine.ctx -> unit
 (** Execute one blocking syscall: enter (drain drawn), sleep the service
     time, exit. *)

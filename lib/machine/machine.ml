@@ -54,6 +54,7 @@ and thread = {
   mutable cpu : int;
   mutable last_ran : int;
   mutable slice_start : int;
+  mutable killed : bool;
 }
 
 and core = {
@@ -70,6 +71,7 @@ and core = {
 and stw = {
   initiator : thread;
   t0 : int;
+  deadline : int option; (* watchdog: give up waiting past this time *)
   mutable pending : thread list;
   mutable parked : thread list;
   mutable stopped_at : int;
@@ -90,6 +92,17 @@ and t = {
   clg_handlers : (int, ctx -> vaddr:int -> Pte.t -> unit) Hashtbl.t;
   load_filters : (int, ctx -> Capability.t -> Capability.t) Hashtbl.t;
   mutable store_hook : (vaddr:int -> Capability.t -> unit) option;
+  (* Fault-injection hooks (lib/chaos): generic callbacks so this layer
+     knows nothing about fault schedules. All default to absent. *)
+  mutable drain_hook : (ctx -> int -> int) option;
+      (* rewrite the uninterruptible drain charged when a quiesce
+         catches this thread mid-syscall *)
+  mutable ack_hook : (core:int -> bool) option;
+      (* [true] = this core's shootdown ack was lost; the IPI loop
+         retries (bounded) until the ack lands *)
+  mutable tag_hook : (pa:int -> bool) option;
+      (* [true] = this tag read returns corrupted data once; the
+         machine detects it (tag parity), charges a re-read, retries *)
   prng : Prng.t;
   mutable ctx_switches : int;
   mutable stw_count : int;
@@ -105,6 +118,16 @@ exception
   Capability_fault of { cap : Capability.t; op : string; vaddr : int }
 
 exception Page_fault of { vaddr : int; write : bool }
+
+exception Quiesce_timeout of { stalled : int; waited : int }
+(* A watchdogged stop-the-world gave up: [stalled] threads never parked
+   (or parked past the deadline) after [waited] cycles. The world has
+   already been released when this is raised. *)
+
+exception Thread_killed
+(* Raised inside a fiber whose thread was torn down by [kill_pid]; the
+   scheduler discontinues the stored continuation with it so that
+   [Fun.protect] finalizers (lock releases, gate releases) run. *)
 
 type _ Effect.t += Yield : unit Effect.t
 
@@ -149,6 +172,9 @@ let create cfg =
     clg_handlers = Hashtbl.create 8;
     load_filters = Hashtbl.create 8;
     store_hook = None;
+    drain_hook = None;
+    ack_hook = None;
+    tag_hook = None;
     prng = Prng.create ~seed:cfg.seed;
     ctx_switches = 0;
     stw_count = 0;
@@ -199,6 +225,7 @@ let spawn m ~name ~core ?(user = true) ?(pid = 0) ?aspace body =
       cpu = 0;
       last_ran = 0;
       slice_start = 0;
+      killed = false;
     }
   in
   m.next_tid <- m.next_tid + 1;
@@ -251,7 +278,14 @@ let wake_initiator s =
   (match ini.state with
   | Waiting_stw ->
       ini.state <- Runnable;
-      ini.wake_time <- max ini.wake_time s.stopped_at
+      (* With a watchdog armed, never sleep past the deadline even if
+         the quiesce nominally completed later (a long syscall drain):
+         the initiator wakes at the deadline and abandons the pause.
+         [wake_time] was pre-set to the deadline when the wait began,
+         so it must be overwritten, not maxed. *)
+      (match s.deadline with
+      | None -> ini.wake_time <- max ini.wake_time s.stopped_at
+      | Some d -> ini.wake_time <- min d (max s.t0 s.stopped_at))
   | _ -> ());
   ()
 
@@ -337,8 +371,41 @@ let broadcast ctx cv =
     cv.waiters;
   cv.waiters <- []
 
+(* Host-side teardown of every user thread belonging to [pid] (an
+   external kill, as opposed to the thread running off the end of its
+   body). Marked threads die at their next resume: the scheduler
+   discontinues their continuation with [Thread_killed] so finalizers
+   run. Blocked threads are made schedulable so the death is prompt;
+   threads parked under an active STW stay parked (they are quiesced)
+   and die after the release. Returns the number of threads killed. *)
+let kill_pid m pid =
+  let n = ref 0 in
+  List.iter
+    (fun th ->
+      if th.user && th.pid = pid && th.state <> Finished && not th.killed then begin
+        incr n;
+        th.killed <- true;
+        match th.state with
+        | Waiting _ ->
+            (* stays on the condvar's waiter list; broadcast skips
+               non-Waiting threads so the stale entry is harmless *)
+            th.state <- Runnable
+        | Sleeping ->
+            th.state <- Runnable;
+            th.wake_time <- m.cores.(th.tcore).clock
+        | Parked _ -> th.state <- Parked Runnable
+        | Created | Runnable | Running | Waiting_stw | Finished -> ()
+      end)
+    m.threads;
+  !n
+
+let set_drain_hook m h = m.drain_hook <- h
+let set_shootdown_ack_hook m h = m.ack_hook <- h
+let set_tag_read_hook m h = m.tag_hook <- h
+
 let enter_syscall ctx ~drain =
   charge ctx Cost.syscall_entry;
+  let drain = match ctx.m.drain_hook with Some h -> h ctx drain | None -> drain in
   ctx.th.in_syscall <- true;
   ctx.th.syscall_drain <- max 0 drain
 
@@ -348,19 +415,39 @@ let exit_syscall ctx =
 
 type stw_report = { requested_at : int; stopped_at : int; released_at : int }
 
-let stop_the_world ctx ?scope f =
+(* Restore every parked thread and drop the stw record. Shared by the
+   normal release, the watchdog abandon, and the exceptional unwind. *)
+let release_world m s ~released_at =
+  List.iter
+    (fun x ->
+      match x.state with
+      | Parked saved ->
+          x.state <- saved;
+          x.wake_time <- max x.wake_time released_at
+      | _ -> ())
+    s.parked;
+  m.stw <- None
+
+let stop_the_world ctx ?scope ?timeout f =
   let m = ctx.m and th = ctx.th in
   if th.user then invalid_arg "stop_the_world: user threads may not stop the world";
   if m.stw <> None then invalid_arg "stop_the_world: nested";
   charge ctx Cost.stw_base;
   let t0 = (core_of ctx).clock in
+  let deadline =
+    match timeout with
+    | None -> None
+    | Some dt -> if dt <= 0 then invalid_arg "stop_the_world: timeout" else Some (t0 + dt)
+  in
   let in_scope x =
     match scope with None -> true | Some pids -> List.mem x.pid pids
   in
   let targets =
     List.filter (fun x -> x.user && x.state <> Finished && in_scope x) m.threads
   in
-  let s = { initiator = th; t0; pending = targets; parked = []; stopped_at = t0 } in
+  let s =
+    { initiator = th; t0; deadline; pending = targets; parked = []; stopped_at = t0 }
+  in
   m.stw <- Some s;
   m.stw_count <- m.stw_count + 1;
   (* Threads that are off-core (blocked, sleeping, not yet started) are
@@ -376,26 +463,46 @@ let stop_the_world ctx ?scope f =
     s.pending;
   if s.pending <> [] then begin
     th.state <- Waiting_stw;
+    (* With a watchdog armed the initiator is independently schedulable
+       at the deadline (see [eligible_time]); otherwise only
+       [wake_initiator] can wake it. *)
+    (match deadline with Some d -> th.wake_time <- d | None -> ());
     perform_yield ()
   end;
   charge ctx (Cost.quiesce_per_thread * List.length targets);
-  let stopped_at = max s.stopped_at (core_of ctx).clock in
   trace_emit m ~time:t0 ~core:th.tcore ~pid:th.pid Trace.Stw_request
     (List.length targets);
+  let timed_out =
+    match deadline with
+    | None -> false
+    | Some d -> s.pending <> [] || s.stopped_at > d
+  in
+  if timed_out then begin
+    (* Quiesce watchdog: some thread never reached a safe point (or its
+       uninterruptible drain runs past the deadline). Give the world
+       back exactly as found and report the stall to the caller. *)
+    let now = max (core_of ctx).clock t0 in
+    let stalled = List.length s.pending in
+    trace_emit m ~time:now ~core:th.tcore ~pid:th.pid ~arg2:(now - t0)
+      Trace.Stw_abandon stalled;
+    release_world m s ~released_at:now;
+    raise (Quiesce_timeout { stalled; waited = now - t0 })
+  end;
+  let stopped_at = max s.stopped_at (core_of ctx).clock in
   trace_emit m ~time:stopped_at ~core:th.tcore ~pid:th.pid Trace.Stw_stopped 0;
-  let result = f () in
+  let result =
+    try f ()
+    with e ->
+      (* Never leave the machine wedged: an exception inside the paused
+         section (an induced sweep crash, a protocol failure) must still
+         release every parked thread before unwinding. *)
+      release_world m s ~released_at:(core_of ctx).clock;
+      raise e
+  in
   let released_at = (core_of ctx).clock in
   trace_emit m ~time:released_at ~core:th.tcore ~pid:th.pid Trace.Stw_release
     (released_at - t0);
-  List.iter
-    (fun x ->
-      match x.state with
-      | Parked saved ->
-          x.state <- saved;
-          x.wake_time <- max x.wake_time released_at
-      | _ -> ())
-    s.parked;
-  m.stw <- None;
+  release_world m s ~released_at;
   (result, { requested_at = t0; stopped_at; released_at })
 
 (* ---- CLG ---- *)
@@ -618,16 +725,34 @@ let store_cap ctx cap v =
 
 (* ---- kernel-mode physical access ---- *)
 
+(* Transient tag-read corruption (chaos tag hook): the tag bit arrives
+   with bad parity, the hardware detects it, charges a trap plus a
+   repeat access, and re-reads. The loop terminates because the hook
+   models *transient* upsets (the engine disarms each hit); a hook that
+   corrupted a read forever would spin, which is the correct model of
+   unrecoverable memory. *)
+let rec tag_retry ctx ~pa ~sweep =
+  match ctx.m.tag_hook with
+  | Some h when h ~pa ->
+      trace_emit ctx.m ~time:(core_of ctx).clock ~core:ctx.th.tcore
+        ~pid:ctx.th.pid ~arg2:(if sweep then 1 else 0) Trace.Tag_corruption pa;
+      charge ctx (Cost.trap + Cache.access (core_of ctx).cache ~addr:pa ~write:false);
+      tag_retry ctx ~pa ~sweep
+  | Some _ | None -> ()
+
 let kern_read_cap ctx ~pa =
   charge ctx (Cache.access (core_of ctx).cache ~addr:pa ~write:false);
+  tag_retry ctx ~pa ~sweep:true;
   Mem.read_cap ctx.m.mem pa
 
 let kern_read_cap_nt ctx ~pa =
   charge ctx (Cache.access_nt (core_of ctx).cache ~addr:pa ~write:false);
+  tag_retry ctx ~pa ~sweep:true;
   Mem.read_cap ctx.m.mem pa
 
 let kern_read_cap_stream ctx ~pa =
   charge ctx (Cache.access_stream (core_of ctx).cache ~addr:pa ~write:false);
+  tag_retry ctx ~pa ~sweep:true;
   Mem.read_cap ctx.m.mem pa
 
 let kern_clear_tag ctx ~pa =
@@ -636,6 +761,7 @@ let kern_clear_tag ctx ~pa =
 
 let kern_read_tag ctx ~pa =
   charge ctx (Cache.access (core_of ctx).cache ~addr:pa ~write:false);
+  tag_retry ctx ~pa ~sweep:false;
   Mem.read_tag ctx.m.mem pa
 
 let kern_access ctx ~pa ~write =
@@ -651,17 +777,44 @@ let with_pmap_lock ctx f =
 
 (* Invalidate [vpages] on every core that has the given address space
    installed (all cores when [asid] is omitted — the machine-wide IPI of
-   the single-process model). *)
+   the single-process model). The IPI protocol is acknowledged: a core
+   whose ack is lost (chaos ack hook) is re-IPI'd, bounded by
+   [max_shootdown_retries]; exhausting the bound is a hard protocol
+   failure since revocation soundness depends on the invalidation. *)
+let max_shootdown_retries = 4
+
 let tlb_shootdown ?asid ctx ~vpages =
   if vpages <> [] then begin
-    Array.iter
-      (fun c ->
-        let hit = match asid with None -> true | Some a -> c.casid = a in
-        if hit then begin
-          List.iter (fun vp -> Tlb.invalidate_page c.tlb ~vpage:vp) vpages;
-          charge ctx Cost.tlb_shootdown_per_core
-        end)
-      ctx.m.cores;
+    let hit c = match asid with None -> true | Some a -> c.casid = a in
+    let unacked =
+      ref (Array.to_list (Array.map (fun c -> c.cid) ctx.m.cores)
+           |> List.filter (fun cid -> hit ctx.m.cores.(cid)))
+    in
+    let attempt = ref 0 in
+    while !unacked <> [] do
+      if !attempt > max_shootdown_retries then
+        failwith "tlb_shootdown: ack never arrived";
+      let still = ref [] in
+      List.iter
+        (fun cid ->
+          let c = ctx.m.cores.(cid) in
+          Tlb.invalidate_pages c.tlb ~vpages;
+          charge ctx Cost.tlb_shootdown_per_core;
+          let lost =
+            match ctx.m.ack_hook with Some h -> h ~core:cid | None -> false
+          in
+          if lost then begin
+            (* The invalidation may or may not have landed before the
+               ack was dropped; resending is idempotent, so treat the
+               whole core as un-acked and retry. *)
+            trace_emit ctx.m ~time:(core_of ctx).clock ~core:ctx.th.tcore
+              ~pid:ctx.th.pid ~arg2:(!attempt + 1) Trace.Shootdown_retry cid;
+            still := cid :: !still
+          end)
+        !unacked;
+      unacked := List.rev !still;
+      incr attempt
+    done;
     trace_emit ctx.m ~time:(core_of ctx).clock ~core:ctx.th.tcore
       ~pid:ctx.th.pid Trace.Tlb_shootdown (List.length vpages)
   end
@@ -698,7 +851,15 @@ let eligible_time m th =
   match th.state with
   | Created | Runnable -> Some (max c.clock th.wake_time)
   | Sleeping -> Some (max c.clock th.wake_time)
-  | Running | Waiting _ | Waiting_stw | Parked _ | Finished -> None
+  | Waiting_stw -> (
+      (* A watchdogged STW initiator is schedulable at its deadline even
+         if the quiesce never completes; without a deadline it can only
+         be woken by [wake_initiator]. *)
+      match m.stw with
+      | Some s when s.initiator.tid = th.tid && s.deadline <> None ->
+          Some (max c.clock th.wake_time)
+      | _ -> None)
+  | Running | Waiting _ | Parked _ | Finished -> None
 
 let pick m =
   let best = ref None in
@@ -779,12 +940,20 @@ let resume m th =
   match th.cont with
   | Some k ->
       th.cont <- None;
-      Effect.Deep.continue k ()
+      if th.killed then
+        (* Tear the fiber down through its own stack so Fun.protect
+           finalizers (gate releases, pmap unlocks) still run; the
+           exception lands in this thread's [exnc] below. *)
+        Effect.Deep.discontinue k Thread_killed
+      else Effect.Deep.continue k ()
+  | None when th.killed -> on_finish m th
   | None ->
       let handler =
         {
           Effect.Deep.retc = (fun () -> on_finish m th);
-          exnc = (fun e -> raise e);
+          exnc =
+            (fun e ->
+              match e with Thread_killed -> on_finish m th | e -> raise e);
           effc =
             (fun (type a) (eff : a Effect.t) ->
               match eff with

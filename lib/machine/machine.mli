@@ -100,6 +100,22 @@ val ctx_aspace : ctx -> Vm.Aspace.t
 val user_threads : t -> thread list
 val find_thread : t -> string -> thread option
 
+exception Thread_killed
+(** Delivered inside a fiber torn down by {!kill_pid}: the scheduler
+    discontinues the thread's stored continuation with this exception at
+    its next resume, so [Fun.protect] finalizers on its stack run. *)
+
+val kill_pid : t -> int -> int
+(** Host-side external kill: mark every live user thread of the pid for
+    teardown and make blocked ones schedulable so death is prompt.
+    Threads parked under an active stop-the-world stay parked (they are
+    already quiesced) and die after the release; a killed thread that a
+    quiesce was still waiting on is removed from the pending set when it
+    dies, so a kill can unstick a stalled pause rather than wedge it.
+    Returns the number of threads marked. Non-user (revoker/service)
+    threads are untouched — they must keep draining the dead process's
+    quarantine. *)
+
 val core_asid : t -> int -> int
 (** Asid of the address space currently installed on a core. *)
 
@@ -155,14 +171,29 @@ type stw_report = {
   released_at : int; (** world resumed *)
 }
 
-val stop_the_world : ctx -> ?scope:int list -> (unit -> 'a) -> 'a * stw_report
+exception Quiesce_timeout of { stalled : int; waited : int }
+(** A watchdogged stop-the-world gave up: [stalled] threads had still
+    not parked at the deadline (0 when every thread parked but an
+    uninterruptible syscall drain pushed the quiesce past it). The
+    world has already been released — parked threads restored, the STW
+    slot cleared, [Stw_abandon] emitted — when this reaches the caller,
+    so retrying is always legal. *)
+
+val stop_the_world :
+  ctx -> ?scope:int list -> ?timeout:int -> (unit -> 'a) -> 'a * stw_report
 (** [stop_the_world ctx f] quiesces every user thread (draining in-flight
     syscalls), runs [f] with the world stopped, releases, and reports the
     phase boundaries. Only non-user threads may call this.
     [?scope] restricts quiescence to the user threads of the listed
     pids — a per-process pause whose cost scales with that process's
     thread count, not the machine's (the multi-tenant point of §4.4).
-    Omitted: every user thread, the original machine-wide pause. *)
+    Omitted: every user thread, the original machine-wide pause.
+    [?timeout] arms a quiesce watchdog: if the world has not stopped
+    [timeout] cycles after the request, the pause is abandoned and
+    {!Quiesce_timeout} raised ([f] never runs). Omitted: wait forever,
+    the original behaviour. An exception escaping [f] (with or without
+    a watchdog) still releases every parked thread before unwinding —
+    the machine is never left stopped. *)
 
 (** {1 Capability load generation (the load barrier)} *)
 
@@ -194,6 +225,30 @@ val set_cap_store_hook :
   t -> (vaddr:int -> Cheri.Capability.t -> unit) option -> unit
 (** Observation hook for tagged capability stores (test instrumentation):
     called with the target address and the stored value. *)
+
+(** {1 Fault-injection hooks}
+
+    Generic callbacks the chaos engine ([lib/chaos]) installs; the
+    machine knows nothing about fault schedules. All absent by
+    default, in which case behaviour is exactly the unhooked machine. *)
+
+val set_drain_hook : t -> (ctx -> int -> int) option -> unit
+(** Rewrite the uninterruptible drain a thread declares on syscall
+    entry — a "stuck quiesce" returns a drain longer than any watchdog
+    deadline, so a pause that catches the thread mid-syscall times out. *)
+
+val set_shootdown_ack_hook : t -> (core:int -> bool) option -> unit
+(** Consulted once per core per shootdown attempt; [true] means that
+    core's ack was lost. The IPI loop emits [Shootdown_retry] and
+    resends (idempotent) up to a bound, then fails hard — revocation
+    soundness depends on the invalidation landing. *)
+
+val set_tag_read_hook : t -> (pa:int -> bool) option -> unit
+(** Consulted on kernel-mode tag/capability reads (the sweep's access
+    path); [true] means this read's tag bit arrived corrupted. The
+    machine detects it (tag parity), emits [Tag_corruption], charges a
+    trap plus a repeat access, and re-reads — transient upsets cost
+    time but never corrupt a revocation verdict. *)
 
 (** {1 Memory operations} (virtual addresses via capabilities) *)
 

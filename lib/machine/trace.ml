@@ -20,7 +20,16 @@ type kind =
   | Proc_fork
   | Proc_exec
   | Proc_exit
+  | Proc_kill
   | Sched_grant
+  | Stw_abandon
+  | Epoch_abort
+  | Epoch_resume
+  | Strategy_downshift
+  | Quarantine_abandoned
+  | Tag_corruption
+  | Shootdown_retry
+  | Chaos_inject
   | Custom of string
 
 let kind_name = function
@@ -45,7 +54,16 @@ let kind_name = function
   | Proc_fork -> "proc-fork"
   | Proc_exec -> "proc-exec"
   | Proc_exit -> "proc-exit"
+  | Proc_kill -> "proc-kill"
   | Sched_grant -> "sched-grant"
+  | Stw_abandon -> "stw-abandon"
+  | Epoch_abort -> "epoch-abort"
+  | Epoch_resume -> "epoch-resume"
+  | Strategy_downshift -> "strategy-downshift"
+  | Quarantine_abandoned -> "quarantine-abandoned"
+  | Tag_corruption -> "tag-corruption"
+  | Shootdown_retry -> "shootdown-retry"
+  | Chaos_inject -> "chaos-inject"
   | Custom s -> s
 
 type event = {

@@ -34,8 +34,34 @@ type kind =
   | Proc_fork  (** arg: child pid; arg2: pages downgraded to CoW *)
   | Proc_exec  (** arg: pages released from the replaced image *)
   | Proc_exit  (** arg: quarantine bytes handed to the reaper *)
+  | Proc_kill
+      (** pid: the victim; arg: user threads torn down; arg2: quarantine
+          bytes flushed to the victim's revoker *)
   | Sched_grant
       (** arg: pid granted the revocation token; arg2: waiters remaining *)
+  | Stw_abandon
+      (** arg: threads still unparked at the deadline; arg2: cycles waited.
+          Emitted instead of [Stw_stopped] when a quiesce watchdog fires —
+          the world was released without ever being fully stopped. *)
+  | Epoch_abort
+      (** arg: epoch counter restored (the value [Epoch_begin] carried);
+          arg2: consecutive aborts so far. The in-flight revocation pass
+          was given up; its batches remain quarantined. *)
+  | Epoch_resume
+      (** arg: current (odd) epoch counter; arg2: retry attempt number.
+          A crashed sweep restarts from its checkpoint inside the SAME
+          open epoch — the counter does not move. *)
+  | Strategy_downshift
+      (** arg: old strategy code; arg2: new strategy code
+          (see [Revoker.strategy_code]) *)
+  | Quarantine_abandoned
+      (** arg: bytes dropped from the fill buffer at [Mrs.finish] *)
+  | Tag_corruption
+      (** arg: physical address whose tag read was corrupted (detected
+          and re-read; arg2: 1 iff during a kernel sweep read) *)
+  | Shootdown_retry
+      (** arg: core whose shootdown ack was lost; arg2: retry attempt *)
+  | Chaos_inject  (** arg: fault id in its schedule; arg2: fault-kind code *)
   | Custom of string
 
 val kind_name : kind -> string

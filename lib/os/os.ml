@@ -141,6 +141,7 @@ type t = {
   m : Machine.t;
   mode : Runtime.mode;
   policy : Policy.t;
+  recovery : Revoker.recovery option;
   sched : Revsched.t;
   revoker_core : int;
   procs : (int, proc) Hashtbl.t;
@@ -180,14 +181,15 @@ let register_with_sched t (p : proc) =
   | _ -> ()
 
 let create ?config ?(policy = Policy.default) ?(sched = Revsched.Round_robin)
-    ?(revoker_core = 2) ?allocator mode =
-  let rt = Runtime.create ?config ~policy ~revoker_core ?allocator mode in
+    ?(revoker_core = 2) ?recovery ?allocator mode =
+  let rt = Runtime.create ?config ~policy ~revoker_core ?recovery ?allocator mode in
   let m = rt.Runtime.machine in
   let t =
     {
       m;
       mode;
       policy;
+      recovery;
       sched = Revsched.create m ~policy:sched;
       revoker_core;
       procs = Hashtbl.create 8;
@@ -284,8 +286,8 @@ let fork t ctx ~parent ~name ~core body =
         }
     | Runtime.Safe strategy ->
         let revoker =
-          Revoker.create t.m ~strategy ~core:t.revoker_core ~hoards
-            ~aspace:child_asp ~pid:child_pid ()
+          Revoker.create t.m ~strategy ~core:t.revoker_core ?recovery:t.recovery
+            ~hoards ~aspace:child_asp ~pid:child_pid ()
         in
         (match parent.rt.Runtime.revoker with
         | Some pr -> Revoker.inherit_from revoker ~parent:pr
@@ -409,6 +411,39 @@ let exit t ctx proc =
   Machine.trace_emit t.m ~time:(Machine.now ctx) ~core:(Machine.core_id ctx)
     ~pid:proc.pid Sim.Trace.Proc_exit leftover;
   Machine.broadcast ctx t.chld_cv
+
+(* Forcible termination at an arbitrary epoch phase. Every user thread of
+   the victim is marked killed; each unwinds ([Thread_killed] through its
+   [Fun.protect] finalizers) at its next scheduling point — including
+   threads parked in a stop-the-world, blocked on condvars, or asleep in
+   a syscall, which is what lets a kill unstick a wedged quiesce. The
+   victim's revoker and helper threads are kernel-side and keep running:
+   like [exit], leftover quarantine is flushed to them and drained by the
+   reaper before the frames return to the shared pool, so a kill never
+   shortcuts the epoch protocol. *)
+let kill t ctx proc =
+  if proc.p_state <> Running then invalid_arg "Os.kill: process not running";
+  if Machine.ctx_pid ctx = proc.pid then
+    invalid_arg "Os.kill: a process cannot kill itself (use exit)";
+  let killed = Machine.kill_pid t.m proc.pid in
+  let leftover =
+    match proc.rt.Runtime.mrs with
+    | Some mrs -> Mrs.quarantine_bytes mrs
+    | None -> 0
+  in
+  (* Emitted before the flush: the kill is a synchronization edge (the
+     victim's threads are torn down before the killer proceeds), and the
+     race detector needs to see it before the killer re-enqueues the
+     victim's quarantine from its own core. *)
+  Machine.trace_emit t.m ~time:(Machine.now ctx) ~core:(Machine.core_id ctx)
+    ~pid:proc.pid ~arg2:leftover Sim.Trace.Proc_kill killed;
+  (match proc.rt.Runtime.mrs with
+  | Some mrs -> Mrs.flush mrs ctx
+  | None -> ());
+  proc.p_state <- Zombie;
+  proc.exited_at <- Machine.now ctx;
+  Machine.broadcast ctx t.chld_cv;
+  killed
 
 let zombies t =
   Hashtbl.fold (fun _ p acc -> if p.p_state = Zombie then p :: acc else acc) t.procs []

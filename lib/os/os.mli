@@ -70,13 +70,16 @@ val create :
   ?policy:Ccr.Policy.t ->
   ?sched:Revsched.policy ->
   ?revoker_core:int ->
+  ?recovery:Ccr.Revoker.recovery ->
   ?allocator:Ccr.Runtime.allocator_kind ->
   Ccr.Runtime.mode ->
   t
 (** Build a machine (via {!Ccr.Runtime.create}) and a process table
     whose pid 0 ("init") owns the machine's initial address space and
     runtime. [sched] (default [Round_robin]) picks the revocation
-    scheduling policy. Call {!spawn_reaper} before {!Sim.Machine.run}. *)
+    scheduling policy; [recovery] applies to every process's revoker
+    (init's and forked children's). Call {!spawn_reaper} before
+    {!Sim.Machine.run}. *)
 
 val machine : t -> Sim.Machine.t
 val sched : t -> Revsched.t
@@ -123,6 +126,18 @@ val exit : t -> Sim.Machine.ctx -> proc -> unit
     revoker and become a zombie. The reaper waits for the quarantine to
     drain (the revoker keeps running), shuts the revoker down, and only
     then returns the frames to the shared pool. *)
+
+val kill : t -> Sim.Machine.ctx -> proc -> int
+(** Forcibly terminate another process at an arbitrary epoch phase:
+    every user thread of the victim is unwound (its [Fun.protect]
+    finalizers run) at its next scheduling point — even threads parked
+    in a stop-the-world or asleep in a syscall, so a kill can unstick a
+    wedged quiesce. Leftover quarantine is flushed to the victim's
+    still-running revoker and drained by the reaper exactly as for
+    {!exit}; the epoch protocol is never shortcut. Emits [Proc_kill]
+    (arg: threads killed, arg2: quarantine bytes flushed) and returns
+    the thread count. Raises [Invalid_argument] on self-kill or if the
+    victim is not running. *)
 
 val spawn_reaper : t -> unit
 (** Spawn the kernel reaper thread (pid 0, non-user, core 0). It exits

@@ -10,11 +10,18 @@ type t = {
   mask : int;
   mutable hits : int;
   mutable misses : int;
+  mutable shootdowns : int;
 }
 
 let create ?(entries = 256) () =
   assert (entries land (entries - 1) = 0);
-  { slots = Array.make entries None; mask = entries - 1; hits = 0; misses = 0 }
+  {
+    slots = Array.make entries None;
+    mask = entries - 1;
+    hits = 0;
+    misses = 0;
+    shootdowns = 0;
+  }
 
 let lookup t ~vpage =
   match t.slots.(vpage land t.mask) with
@@ -41,6 +48,14 @@ let invalidate_page t ~vpage =
   | Some e when e.vpage = vpage -> t.slots.(vpage land t.mask) <- None
   | Some _ | None -> ()
 
+(* Batch invalidation: one acknowledged IPI covers the whole list. The
+   shootdown counter ticks per batch received, not per page, so lost-ack
+   retries are visible as extra acks in the statistics. *)
+let invalidate_pages t ~vpages =
+  List.iter (fun vpage -> invalidate_page t ~vpage) vpages;
+  if vpages <> [] then t.shootdowns <- t.shootdowns + 1
+
 let flush t = Array.fill t.slots 0 (Array.length t.slots) None
 let hits t = t.hits
 let misses t = t.misses
+let shootdowns t = t.shootdowns

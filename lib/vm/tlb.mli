@@ -30,7 +30,16 @@ val refresh : entry -> unit
     cheap path does after finding the PTE already current). *)
 
 val invalidate_page : t -> vpage:int -> unit
+
+val invalidate_pages : t -> vpages:int list -> unit
+(** Batch invalidation — one received (acknowledged) shootdown IPI.
+    Counts once towards {!shootdowns} per non-empty batch, so a machine
+    that re-IPIs a core after a lost ack leaves a visible double-count. *)
+
 val flush : t -> unit
 
 val hits : t -> int
 val misses : t -> int
+
+val shootdowns : t -> int
+(** Shootdown batches this TLB has received (acks sent). *)
