@@ -134,38 +134,75 @@ type json_record = {
   j_overhead_pct : float;
   j_pause_p99 : float;
   j_abandoned_bytes : int; (* quarantine dropped unrevoked at finish *)
+  j_lat_p99 : float; (* request-latency tail, µs; 0 for batch records *)
+  j_lat_p999 : float;
 }
+
+(* Tail of a latency-bearing record through the log-bucketed histogram —
+   the same recorder a production fleet would use — rather than the
+   exact sorted-array percentile, so dashboard rows match what a
+   constant-memory collector on real hardware reports. Batch records
+   have no samples and report 0. *)
+let hist_tail (r : Result.t) q =
+  if Array.length r.Result.latencies_us = 0 then 0.0
+  else begin
+    let h = Stats.Histogram.create () in
+    Array.iter (Stats.Histogram.record h) r.Result.latencies_us;
+    Stats.Histogram.percentile h q
+  end
+
+let record_of ~workload ~mode ~base ~seed (r : Result.t) =
+  let pauses =
+    List.map (fun p -> float_of_int p.Revoker.stw_cycles) r.Result.phases
+  in
+  {
+    j_strategy = mode;
+    j_profile = workload;
+    j_seed = seed;
+    j_schedule = 0;
+    j_cycles = r.Result.wall_cycles;
+    j_overhead_pct = overhead_pct ~test:r.Result.wall_cycles ~base;
+    j_pause_p99 =
+      (if pauses = [] then 0.0 else Stats.Summary.percentile pauses 99.0);
+    j_abandoned_bytes =
+      (match r.Result.mrs with
+      | Some s -> s.Ccr.Mrs.abandoned_bytes
+      | None -> 0);
+    j_lat_p99 = hist_tail r 99.0;
+    j_lat_p999 = hist_tail r 99.9;
+  }
 
 let json_records t =
   ensure_spec t;
-  List.concat_map
-    (fun workload ->
-      let base = (Hashtbl.find t.spec (workload, "baseline")).Result.wall_cycles in
-      List.map
-        (fun mode ->
-          let r = Hashtbl.find t.spec (workload, mode) in
-          let pauses =
-            List.map
-              (fun p -> float_of_int p.Revoker.stw_cycles)
-              r.Result.phases
-          in
-          {
-            j_strategy = mode;
-            j_profile = workload;
-            j_seed = t.seed;
-            j_schedule = 0;
-            j_cycles = r.Result.wall_cycles;
-            j_overhead_pct = overhead_pct ~test:r.Result.wall_cycles ~base;
-            j_pause_p99 =
-              (if pauses = [] then 0.0
-               else Stats.Summary.percentile pauses 99.0);
-            j_abandoned_bytes =
-              (match r.Result.mrs with
-              | Some s -> s.Ccr.Mrs.abandoned_bytes
-              | None -> 0);
-          })
-        mode_names)
-    spec_names
+  ensure_pgbench t;
+  ensure_grpc t;
+  let specs =
+    List.concat_map
+      (fun workload ->
+        let base =
+          (Hashtbl.find t.spec (workload, "baseline")).Result.wall_cycles
+        in
+        List.map
+          (fun mode ->
+            record_of ~workload ~mode ~base ~seed:t.seed
+              (Hashtbl.find t.spec (workload, mode)))
+          mode_names)
+      spec_names
+  in
+  let interactive =
+    List.concat_map
+      (fun workload ->
+        let base =
+          (Hashtbl.find t.interactive (workload, "baseline")).Result.wall_cycles
+        in
+        List.map
+          (fun mode ->
+            record_of ~workload ~mode ~base ~seed:t.seed
+              (Hashtbl.find t.interactive (workload, mode)))
+          mode_names)
+      [ "pgbench"; "grpc_qps" ]
+  in
+  specs @ interactive
 
 (* median over per-epoch phase records *)
 let phase_median records f =

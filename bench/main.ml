@@ -32,7 +32,9 @@ let all_targets : (string * string * (Campaign.t -> unit)) list =
   ]
 
 (* Machine-readable output: one flat JSON record per (profile x mode)
-   spec run, for dashboards and CI trend tracking. *)
+   run — SPEC batch profiles plus the interactive pgbench/grpc pair,
+   whose records carry latency tails — for dashboards and CI trend
+   tracking. *)
 let write_json path records =
   let oc = open_out path in
   let buf = Buffer.create 4096 in
@@ -44,11 +46,13 @@ let write_json path records =
         (Printf.sprintf
            "  {\"strategy\": %S, \"profile\": %S, \"seed\": %d, \
             \"fault_schedule\": %d, \"cycles\": %d, \"overhead_pct\": %.4f, \
-            \"pause_p99\": %.1f, \"abandoned_bytes\": %d}"
+            \"pause_p99\": %.1f, \"abandoned_bytes\": %d, \"lat_p99_us\": \
+            %.3f, \"lat_p999_us\": %.3f}"
            r.Campaign.j_strategy r.Campaign.j_profile r.Campaign.j_seed
            r.Campaign.j_schedule r.Campaign.j_cycles
            r.Campaign.j_overhead_pct r.Campaign.j_pause_p99
-           r.Campaign.j_abandoned_bytes))
+           r.Campaign.j_abandoned_bytes r.Campaign.j_lat_p99
+           r.Campaign.j_lat_p999))
     records;
   Buffer.add_string buf "\n]\n";
   Buffer.output_buffer oc buf;

@@ -1,0 +1,387 @@
+(* ccr_serve: sweep the open-loop serving workload over offered load ×
+   strategy × governor and report the tail. Each run is one simulated
+   machine; the JSON output is deterministic (fixed float formats, seed
+   recorded) so same-seed reruns are byte-identical.
+
+     dune exec bin/ccr_serve.exe -- --qps 10000,20000,30000 --modes cornucopia,reloaded
+     dune exec bin/ccr_serve.exe -- --governor both --json sweep.json
+     dune exec bin/ccr_serve.exe -- --check --requests 2000 --qps 15000 *)
+
+open Cmdliner
+module Runtime = Ccr.Runtime
+module Revoker = Ccr.Revoker
+module Loadgen = Service.Loadgen
+module Slo = Service.Slo
+module Governor = Service.Governor
+module Serve = Workload.Serve
+module Sanitizer = Analysis.Sanitizer
+module Race = Analysis.Race
+
+let mode_of_string = function
+  | "baseline" -> Ok Runtime.Baseline
+  | "paint+sync" | "paint-sync" | "paint" -> Ok (Runtime.Safe Revoker.Paint_sync)
+  | "cherivoke" -> Ok (Runtime.Safe Revoker.Cherivoke)
+  | "cornucopia" -> Ok (Runtime.Safe Revoker.Cornucopia)
+  | "reloaded" -> Ok (Runtime.Safe Revoker.Reloaded)
+  | "cheriot" -> Ok (Runtime.Safe Revoker.Cheriot_filter)
+  | s -> Error (`Msg (Printf.sprintf "unknown mode %S" s))
+
+let modes_conv =
+  let parse s =
+    let parts = String.split_on_char ',' (String.trim s) in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: tl -> (
+          match mode_of_string (String.trim p) with
+          | Ok m -> go (m :: acc) tl
+          | Error e -> Error e)
+    in
+    go [] parts
+  in
+  let print fmt ms =
+    Format.pp_print_string fmt
+      (String.concat "," (List.map Runtime.mode_name ms))
+  in
+  Arg.conv (parse, print)
+
+let floats_conv =
+  let parse s =
+    try
+      Ok (List.map (fun p -> float_of_string (String.trim p))
+            (String.split_on_char ',' (String.trim s)))
+    with _ -> Error (`Msg (Printf.sprintf "expected comma-separated numbers, got %S" s))
+  in
+  let print fmt l =
+    Format.pp_print_string fmt (String.concat "," (List.map string_of_float l))
+  in
+  Arg.conv (parse, print)
+
+type governed_axis = Gov_on | Gov_off | Gov_both
+
+let governor_conv =
+  Arg.conv
+    ( (function
+      | "on" -> Ok Gov_on
+      | "off" -> Ok Gov_off
+      | "both" -> Ok Gov_both
+      | s -> Error (`Msg (Printf.sprintf "expected on, off or both, got %S" s))),
+      fun fmt g ->
+        Format.pp_print_string fmt
+          (match g with Gov_on -> "on" | Gov_off -> "off" | Gov_both -> "both") )
+
+type run_row = {
+  r_mode : string;
+  r_governed : bool;
+  r_qps : float;
+  r_outcome : Serve.outcome;
+  r_clean : bool; (* sanitizer + race detector + accounting, when --check *)
+}
+
+let percentile (o : Serve.outcome) p =
+  match Slo.percentile o.Serve.slo p with Some v -> v | None -> 0.0
+
+(* The qps axis sets the *mean* rate of whichever arrival pattern the
+   sweep drives, so points stay comparable across patterns. *)
+let pattern_at ~pattern ~qps =
+  match pattern with
+  | "bursty" ->
+      (* 25% duty at 2.5x over a 0.5x base: mean = qps *)
+      Loadgen.Bursty
+        { base = 0.5 *. qps; peak = 2.5 *. qps; period_us = 2_000.0; duty = 0.25 }
+  | "ramp" -> Loadgen.Ramp { from_rate = 0.5 *. qps; to_rate = 1.5 *. qps }
+  | "diurnal" ->
+      Loadgen.Diurnal { low = 0.5 *. qps; high = 1.5 *. qps; period_us = 4_000.0 }
+  | _ -> Loadgen.Poisson qps
+
+(* One run of the serving workload at one sweep point. *)
+let run_point ~cfg ~check ~pattern ~mode ~governed ~qps =
+  let cfg = { cfg with Serve.pattern = pattern_at ~pattern ~qps } in
+  let san = ref None and race = ref None in
+  (* Checkers subscribe losslessly; the large ring just keeps the
+     overwrite warning quiet on long sweeps. *)
+  let tracer =
+    if check then Some (Sim.Trace.create ~capacity:(1 lsl 20) ()) else None
+  in
+  let on_runtime rt =
+    if check then begin
+      san := Some (Sanitizer.attach ?revoker:rt.Runtime.revoker rt.Runtime.machine);
+      race := Some (Race.attach rt.Runtime.machine)
+    end
+  in
+  let o = Serve.run ~config:cfg ?tracer ~on_runtime ~governed ~mode () in
+  let accounted =
+    o.Serve.served + o.Serve.shed_depth + o.Serve.shed_deadline = o.Serve.offered
+    && o.Serve.offered = cfg.Serve.requests
+  in
+  let clean =
+    match (!san, !race) with
+    | Some san, Some race ->
+        Sanitizer.finish san;
+        if not (Sanitizer.ok san) then Sanitizer.report Format.err_formatter san;
+        if not (Race.ok race) then Race.report Format.err_formatter race;
+        Sanitizer.ok san && Race.ok race && accounted
+    | _ -> accounted
+  in
+  if not accounted then
+    Format.eprintf
+      "ccr_serve: SLO accounting drift: served %d + shed %d+%d <> offered %d@."
+      o.Serve.served o.Serve.shed_depth o.Serve.shed_deadline o.Serve.offered;
+  {
+    r_mode = Runtime.mode_name mode;
+    r_governed = governed;
+    r_qps = qps;
+    r_outcome = o;
+    r_clean = clean;
+  }
+
+let json_of_row ~pattern ~requests ~servers ~seed ~target r =
+  let o = r.r_outcome in
+  let g = o.Serve.governor in
+  let gi f = match g with Some s -> f s | None -> 0 in
+  Printf.sprintf
+    "{\"workload\": \"serve\", \"mode\": \"%s\", \"governor\": %b, \
+     \"pattern\": \"%s\", \"qps\": %.1f, \"requests\": %d, \"servers\": %d, \
+     \"seed\": %d, \"target_p99_us\": %.1f, \"p50_us\": %.3f, \"p99_us\": \
+     %.3f, \"p999_us\": %.3f, \"offered\": %d, \"served\": %d, \
+     \"shed_depth\": %d, \"shed_deadline\": %d, \"shed_rate\": %.5f, \
+     \"violations\": %d, \"epochs_deferred\": %d, \"epochs_forced\": %d, \
+     \"eager_flushes\": %d, \"defer_cycles\": %d, \"quanta_granted\": %d, \
+     \"slo_events\": %d, \"epochs\": %d, \"clg_faults\": %d}"
+    r.r_mode r.r_governed pattern r.r_qps requests servers seed target
+    (percentile o 50.0) (percentile o 99.0) (percentile o 99.9)
+    o.Serve.offered o.Serve.served o.Serve.shed_depth o.Serve.shed_deadline
+    (if o.Serve.offered = 0 then 0.0
+     else
+       float_of_int (o.Serve.shed_depth + o.Serve.shed_deadline)
+       /. float_of_int o.Serve.offered)
+    (Slo.violations o.Serve.slo)
+    (gi (fun s -> s.Governor.epochs_deferred))
+    (gi (fun s -> s.Governor.epochs_forced))
+    (gi (fun s -> s.Governor.eager_flushes))
+    (gi (fun s -> s.Governor.defer_cycles))
+    (gi (fun s -> s.Governor.quanta_granted))
+    (gi (fun s -> s.Governor.slo_events))
+    (List.length o.Serve.result.Workload.Result.phases)
+    o.Serve.result.Workload.Result.clg_faults
+
+let all_workload_names = "serve (this tool); spec, pgbench, grpc, tenant (ccr_sim)"
+
+let strategy_names =
+  String.concat ", "
+    (List.map Runtime.mode_name Runtime.all_modes)
+  ^ ", safe/cheriot"
+
+let serve modes qpss governor requests servers queue_depth deadline_us
+    target_p99 pattern seed json check =
+  if requests < 1 then begin
+    Format.eprintf "ccr_serve: --requests must be at least 1 (got %d)@." requests;
+    1
+  end
+  else if List.exists (fun q -> q <= 0.0) qpss then begin
+    Format.eprintf "ccr_serve: every --qps must be positive@.";
+    1
+  end
+  else begin
+    let cfg =
+      {
+        Serve.default_config with
+        requests;
+        servers;
+        queue_depth;
+        deadline_us;
+        target_p99_us = target_p99;
+        seed;
+      }
+    in
+    let pattern_name = pattern in
+    let governed_axis =
+      match governor with
+      | Gov_on -> [ true ]
+      | Gov_off -> [ false ]
+      | Gov_both -> [ false; true ]
+    in
+    let rows =
+      List.concat_map
+        (fun mode ->
+          List.concat_map
+            (fun qps ->
+              List.filter_map
+                (fun governed ->
+                  (* a governor needs a revoker: skip governed Baseline *)
+                  if governed && mode = Runtime.Baseline then None
+                  else
+                    Some (run_point ~cfg ~check ~pattern ~mode ~governed ~qps))
+                governed_axis)
+            qpss)
+        modes
+    in
+    Format.printf "%-12s %-4s %9s %9s %10s %10s %7s %6s %6s@." "mode" "gov"
+      "qps" "p50us" "p99us" "p99.9us" "shed%" "defer" "force";
+    List.iter
+      (fun r ->
+        let o = r.r_outcome in
+        Format.printf "%-12s %-4s %9.0f %9.1f %10.1f %10.1f %6.2f%% %6d %6d@."
+          r.r_mode
+          (if r.r_governed then "on" else "off")
+          r.r_qps (percentile o 50.0) (percentile o 99.0) (percentile o 99.9)
+          (100.0
+          *. float_of_int (o.Serve.shed_depth + o.Serve.shed_deadline)
+          /. float_of_int (max o.Serve.offered 1))
+          (match o.Serve.governor with
+          | Some g -> g.Governor.epochs_deferred
+          | None -> 0)
+          (match o.Serve.governor with
+          | Some g -> g.Governor.epochs_forced
+          | None -> 0))
+      rows;
+    (match json with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc "[\n";
+        List.iteri
+          (fun i r ->
+            if i > 0 then output_string oc ",\n";
+            output_string oc "  ";
+            output_string oc
+              (json_of_row ~pattern:pattern_name ~requests ~servers ~seed
+                 ~target:target_p99 r))
+          rows;
+        output_string oc "\n]\n";
+        close_out oc;
+        Format.printf "wrote %d records to %s@." (List.length rows) path);
+    if check then
+      if List.for_all (fun r -> r.r_clean) rows then begin
+        Format.printf "check: ok (%d runs, zero findings, accounting exact)@."
+          (List.length rows);
+        0
+      end
+      else begin
+        Format.eprintf "check: FAILED@.";
+        1
+      end
+    else 0
+  end
+
+let main =
+  let modes =
+    Arg.(
+      value
+      & opt modes_conv [ Runtime.Safe Revoker.Cornucopia; Runtime.Safe Revoker.Reloaded ]
+      & info [ "modes"; "m" ]
+          ~doc:
+            (Printf.sprintf
+               "Comma-separated temporal-safety modes to sweep. Known modes: \
+                %s." strategy_names))
+  in
+  let qps =
+    Arg.(
+      value
+      & opt floats_conv [ 60_000.0; 90_000.0; 110_000.0 ]
+      & info [ "qps" ]
+          ~doc:
+            "Comma-separated offered loads (requests/second). The default \
+             sweep spans the two-server knee: ~60k is comfortable, ~110k \
+             is near saturation, where Cornucopia's stop-the-world \
+             re-sweep detonates the p99.9.")
+  in
+  let governor =
+    Arg.(
+      value & opt governor_conv Gov_both
+      & info [ "governor"; "g" ]
+          ~doc:
+            "Governor axis: $(b,on), $(b,off) or $(b,both). Governor \
+             policies: off = policy-triggered epochs, unpaced sweeps; on = \
+             SLO governor (epoch deferral into load troughs, forced release \
+             on quarantine pressure, quantum-paced concurrent sweeps, eager \
+             trough flushes).")
+  in
+  let requests =
+    Arg.(value & opt int 6_000 & info [ "requests"; "n" ] ~doc:"Requests per run.")
+  in
+  let servers =
+    Arg.(value & opt int 2 & info [ "servers" ] ~doc:"Server worker threads.")
+  in
+  let queue_depth =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-depth" ] ~doc:"Admission-control queue bound.")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-us" ]
+          ~doc:"Shed requests whose queueing delay exceeds $(docv) µs.")
+  in
+  let target =
+    Arg.(
+      value & opt float 1_000.0
+      & info [ "target-p99-us" ] ~doc:"SLO target fed to the governor.")
+  in
+  let pattern =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("poisson", "poisson");
+               ("bursty", "bursty");
+               ("ramp", "ramp");
+               ("diurnal", "diurnal");
+             ])
+          "poisson"
+      & info [ "pattern" ]
+          ~doc:
+            "Arrival pattern at each sweep point: $(b,poisson), \
+             $(b,bursty), $(b,ramp) or $(b,diurnal). The qps axis sets \
+             the pattern's mean rate, so sweep points stay comparable \
+             across patterns.")
+  in
+  let seed =
+    Arg.(value & opt int 11 & info [ "seed" ] ~doc:"Deterministic simulation seed.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~doc:"Write per-run JSON records to $(docv)." ~docv:"PATH")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Attach the protocol sanitizer and race detector to every run, \
+             and verify exact SLO accounting (served + shed = offered). \
+             Exit nonzero on any finding.")
+  in
+  Cmd.v
+    (Cmd.info "ccr_serve" ~version:"1.0"
+       ~doc:
+         "Sweep the open-loop serving workload over offered load, \
+          revocation strategy and SLO governor."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             (Printf.sprintf
+                "Workloads in this repository: %s. Revocation strategies: \
+                 %s. Cross-process revocation scheduling policies \
+                 (ccr_sim tenant --sched): round-robin, pressure, slo."
+                all_workload_names strategy_names);
+           `P
+             "Each sweep point runs one deterministic simulated machine: an \
+              open-loop Poisson load generator (core 0, never parked by \
+              stop-the-world), N server threads, and the chosen revocation \
+              strategy with the revoker sharing core 3 with a server. \
+              Latency is recorded from intended arrival time, so revocation \
+              pauses surface as queueing delay instead of being \
+              coordinated-omitted. Same seed, same arguments: byte-identical \
+              JSON.";
+         ])
+    Term.(
+      const serve $ modes $ qps $ governor $ requests $ servers $ queue_depth
+      $ deadline $ target $ pattern $ seed $ json $ check)
+
+let () = exit (Cmd.eval' main)

@@ -212,6 +212,7 @@ let tenant_cmd =
         ( (function
           | "round-robin" | "rr" -> Ok Os.Revsched.Round_robin
           | "pressure" -> Ok Os.Revsched.Pressure
+          | "slo" -> Ok Os.Revsched.Slo
           | s -> Error (`Msg (Printf.sprintf "unknown scheduler %S" s))),
           fun fmt p ->
             Format.pp_print_string fmt (Os.Revsched.policy_name p) )
@@ -220,7 +221,10 @@ let tenant_cmd =
       value
       & opt sched_conv Os.Revsched.Round_robin
       & info [ "sched" ]
-          ~doc:"Revocation scheduling policy: round-robin or pressure.")
+          ~doc:
+            "Revocation scheduling policy: round-robin (fairness), \
+             pressure (most quarantined bytes first), or slo \
+             (least-loaded process first, pressure tiebreak).")
   in
   let run workload tenants scale sched mode seed =
     if tenants < 1 then begin
@@ -252,9 +256,29 @@ let tenant_cmd =
     Term.(const run $ workload $ tenants $ scale $ sched $ mode_arg $ seed_arg)
 
 let main =
+  let spec_names =
+    String.concat ", "
+      (List.map
+         (fun (p : Workload.Profile.t) -> p.Workload.Profile.name)
+         Workload.Profile.spec_all)
+  in
   Cmd.group
     (Cmd.info "ccr_sim" ~version:"1.0"
-       ~doc:"Cornucopia Reloaded: CHERI heap temporal safety on a simulated machine.")
+       ~doc:"Cornucopia Reloaded: CHERI heap temporal safety on a simulated machine."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             (Printf.sprintf
+                "Workloads: spec (profiles: %s), pgbench, grpc, tenant — \
+                 plus the open-loop serving sweep in ccr_serve." spec_names);
+           `P
+             "Temporal-safety modes (--mode): baseline, paint+sync, \
+              cherivoke, cornucopia, reloaded, cheriot.";
+           `P
+             "Cross-process revocation scheduling policies (tenant --sched): \
+              round-robin, pressure, slo.";
+         ])
     [ spec_cmd; pgbench_cmd; grpc_cmd; tenant_cmd ]
 
 let () = exit (Cmd.eval' main)

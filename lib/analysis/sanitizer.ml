@@ -462,7 +462,9 @@ let on_event t (e : Trace.event) =
   | Trace.Quarantine_abandoned | Trace.Tag_corruption | Trace.Shootdown_retry
   | Trace.Chaos_inject | Trace.Stw_request | Trace.Clg_fault
   | Trace.Context_switch | Trace.Revoke_batch | Trace.Cow_fault
-  | Trace.Proc_exec | Trace.Proc_exit | Trace.Sched_grant | Trace.Custom _ ->
+  | Trace.Proc_exec | Trace.Proc_exit | Trace.Sched_grant | Trace.Req_shed
+  | Trace.Governor_defer | Trace.Governor_force | Trace.Governor_quantum
+  | Trace.Slo_violation | Trace.Custom _ ->
       ()
 
 let attach ?revoker m =

@@ -24,3 +24,12 @@ val threshold : t -> live:int -> quarantine:int -> int
 
 val should_revoke : t -> live:int -> quarantine:int -> bool
 val should_block : t -> live:int -> quarantine:int -> bool
+
+val adaptive : t -> load:float -> t
+(** Load-adaptive trigger for SLO-aware serving ([lib/service]):
+    [adaptive t ~load] (with [load] clamped to [\[0,1\]]) scales the
+    trigger fraction from 0.5× at [load = 0] (eager — open epochs in
+    traffic troughs) to 1.5× at [load = 1] (deferred — keep the revoker
+    out of the way at peak), capped strictly below the blocking margin
+    so adaptation can never make ordinary allocation block. [min_quarantine]
+    and [block_factor] are unchanged: blocking stays the hard backstop. *)

@@ -156,6 +156,13 @@ type t = {
   mutable gate_acquire : Machine.ctx -> unit;
   mutable gate_release : Machine.ctx -> unit;
       (* cross-process revocation scheduler hooks, held around each epoch *)
+  mutable epoch_governor : (Machine.ctx -> unit) option;
+      (* SLO governor hook: consulted on the revoker thread before the
+         cross-process gate is taken; may block to defer the epoch into a
+         load trough (lib/service) *)
+  mutable sweep_pacer : (Machine.ctx -> visited:int -> int) option;
+      (* SLO governor hook: page budget of the next concurrent-sweep
+         slice; may block between slices to yield to foreground work *)
   mutable service_threads : Machine.thread list;
       (* the revoker thread + helpers, for exec-time aspace rebinding *)
   (* ---- crash-recovery state ---- *)
@@ -351,20 +358,52 @@ let helper_body t h ctx =
   in
   loop ()
 
+(* Sequentially visit [pages] on the calling (revoker) thread. With a
+   sweep pacer installed the walk is sliced into governor-granted quanta:
+   before each slice the pacer may block (sleeping the revoker thread) to
+   push the slice into a load trough, then returns the next slice's page
+   budget, clamped to >= 1 so a sweep always makes progress and an epoch
+   can never be paced to a standstill. *)
+let seq_visit t ctx pages ~visit =
+  let p = ref 0 and r = ref 0 in
+  let step vp =
+    Machine.safe_point ctx;
+    let dp, dr = visit vp in
+    p := !p + dp;
+    r := !r + dr
+  in
+  (match t.sweep_pacer with
+  | None -> List.iter step pages
+  | Some pacer ->
+      let rec slices remaining visited =
+        match remaining with
+        | [] -> ()
+        | _ ->
+            let quota = max 1 (pacer ctx ~visited) in
+            let rec take n l =
+              if n = 0 then (l, quota)
+              else
+                match l with
+                | [] -> ([], quota - n)
+                | vp :: tl ->
+                    step vp;
+                    take (n - 1) tl
+            in
+            let rest, taken = take quota remaining in
+            slices rest (visited + taken)
+      in
+      slices pages 0);
+  (!p, !r)
+
 (* Partition [pages] round-robin over helpers, run the main thread's share
-   inline, and wait for every helper to drain. *)
+   inline, and wait for every helper to drain. With a sweep pacer armed
+   the whole walk stays on the revoker thread instead — helpers cannot
+   honour a per-slice budget, and a governed serving machine wants the
+   sweep confined to one core anyway. *)
 let fan_out t ctx ~pages ~mode ~visit =
   match t.helpers with
-  | [] ->
-      let p = ref 0 and r = ref 0 in
-      List.iter
-        (fun vp ->
-          Machine.safe_point ctx;
-          let dp, dr = visit vp in
-          p := !p + dp;
-          r := !r + dr)
-        pages;
-      (!p, !r)
+  | [] -> seq_visit t ctx pages ~visit
+  | _ when t.sweep_pacer <> None -> seq_visit t ctx pages ~visit
   | helpers ->
       let k = List.length helpers + 1 in
       let shares = Array.make k [] in
@@ -482,24 +521,24 @@ let run_cornucopia t ctx =
   let t0 = Machine.now ctx in
   update_visit_set t ctx ~reset:false;
   let targets = List.filter (Hashtbl.mem t.visit_set) (heap_vpages t) in
-  List.iter
-    (fun vp ->
-      Machine.safe_point ctx;
-      match Pmap.lookup pmap ~vpage:vp with
-      | None -> ()
-      | Some pte ->
-          sweep_point t ctx vp;
-          Machine.with_pmap_lock ctx (fun () ->
-              if pte.Pte.cap_dirty then begin
-                pte.Pte.cap_dirty <- false;
-                Machine.charge ctx Cost.pte_update
-              end);
-          if t.fault <> Some Skip_shootdown then
-            Machine.tlb_shootdown ~asid ctx ~vpages:[ vp ];
-          let st = Sweep.sweep_page ~non_temporal:t.non_temporal ctx t.revmap ~pte in
-          incr pages;
-          revoked := !revoked + st.Sweep.revoked)
-    targets;
+  let visit vp =
+    match Pmap.lookup pmap ~vpage:vp with
+    | None -> (0, 0)
+    | Some pte ->
+        sweep_point t ctx vp;
+        Machine.with_pmap_lock ctx (fun () ->
+            if pte.Pte.cap_dirty then begin
+              pte.Pte.cap_dirty <- false;
+              Machine.charge ctx Cost.pte_update
+            end);
+        if t.fault <> Some Skip_shootdown then
+          Machine.tlb_shootdown ~asid ctx ~vpages:[ vp ];
+        let st = Sweep.sweep_page ~non_temporal:t.non_temporal ctx t.revmap ~pte in
+        (1, st.Sweep.revoked)
+  in
+  let dp, dr = seq_visit t ctx targets ~visit in
+  pages := !pages + dp;
+  revoked := !revoked + dr;
   let conc = Machine.now ctx - t0 in
   (* stop-the-world phase: roots, then pages re-dirtied during the sweep *)
   let (), rep =
@@ -796,6 +835,12 @@ let thread_body t ctx =
             Machine.broadcast ctx h.h_work_cv)
           t.helpers
     | _ ->
+        (* SLO governance: an installed epoch governor may defer the epoch
+           into a load trough before we contend for the cross-process
+           token. Runs BEFORE gate_acquire (never hold the token while
+           deliberately idle), and the queue is re-read after it returns,
+           so batches that accumulate during deferral join this epoch. *)
+        (match t.epoch_governor with Some g -> g ctx | None -> ());
         (* Cross-process arbitration: epochs of different processes are
            serialised by the global revocation scheduler when one is
            installed; the default gates are no-ops. *)
@@ -827,6 +872,9 @@ let request_shutdown t ctx =
 let set_epoch_gate t ~acquire ~release =
   t.gate_acquire <- acquire;
   t.gate_release <- release
+
+let set_epoch_governor t f = t.epoch_governor <- f
+let set_sweep_pacer t f = t.sweep_pacer <- f
 
 (* Fork (§4.3): the child's revoker starts from the parent's sweep state —
    the visit set (pages that have ever held capabilities; the child's CoW
@@ -913,6 +961,8 @@ let create m ~strategy ~core ?(non_temporal = false)
       mixed_gen = false;
       gate_acquire = (fun _ -> ());
       gate_release = (fun _ -> ());
+      epoch_governor = None;
+      sweep_pacer = None;
       service_threads = [];
       ck_done = Hashtbl.create 256;
       ck_stw_done = false;

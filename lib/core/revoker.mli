@@ -216,6 +216,22 @@ val set_epoch_gate :
     completes (also on abnormal exit). The default hooks are no-ops, so
     single-process runs are unaffected. *)
 
+val set_epoch_governor : t -> (Sim.Machine.ctx -> unit) option -> unit
+(** Install (or clear) an SLO governor hook, called on the revoker thread
+    when work is pending but BEFORE the epoch begins (and before the
+    cross-process gate is acquired, so deferral never holds the token).
+    The hook may sleep to push the epoch into a load trough; batches that
+    arrive while it sleeps are folded into the deferred epoch. *)
+
+val set_sweep_pacer : t -> (Sim.Machine.ctx -> visited:int -> int) option -> unit
+(** Install (or clear) a concurrent-sweep pacer. When armed, the
+    background sweep of Cornucopia / Reloaded / CHERIoT runs in slices:
+    before each slice the pacer is called with the pages [visited] so far
+    and returns the next slice's page budget (clamped to ≥ 1); it may
+    sleep first to yield the core back to the application. A pacer forces
+    the whole sweep onto the revoker thread — helper threads cannot
+    honour a per-slice budget — so the quantum bound is exact. *)
+
 val inherit_from : t -> parent:t -> unit
 (** Fork support (§4.3): seed this (child) revoker's sweep state from the
     parent's — visit set and painted-bit population — and arm a one-shot

@@ -30,6 +30,11 @@ type kind =
   | Tag_corruption
   | Shootdown_retry
   | Chaos_inject
+  | Req_shed
+  | Governor_defer
+  | Governor_force
+  | Governor_quantum
+  | Slo_violation
   | Custom of string
 
 let kind_name = function
@@ -64,6 +69,11 @@ let kind_name = function
   | Tag_corruption -> "tag-corruption"
   | Shootdown_retry -> "shootdown-retry"
   | Chaos_inject -> "chaos-inject"
+  | Req_shed -> "req-shed"
+  | Governor_defer -> "governor-defer"
+  | Governor_force -> "governor-force"
+  | Governor_quantum -> "governor-quantum"
+  | Slo_violation -> "slo-violation"
   | Custom s -> s
 
 type event = {

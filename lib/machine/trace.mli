@@ -62,6 +62,24 @@ type kind =
   | Shootdown_retry
       (** arg: core whose shootdown ack was lost; arg2: retry attempt *)
   | Chaos_inject  (** arg: fault id in its schedule; arg2: fault-kind code *)
+  | Req_shed
+      (** arg: request id dropped by serving-layer admission control;
+          arg2: 0 for a queue-depth drop, 1 for a deadline drop *)
+  | Governor_defer
+      (** arg: cycles the revocation governor held an epoch back waiting
+          for a load trough; arg2: queue depth when the epoch was finally
+          released *)
+  | Governor_force
+      (** arg: quarantined bytes; arg2: queue depth. The governor stopped
+          deferring because [Policy.should_block] pressure won — the
+          epoch runs into live traffic. *)
+  | Governor_quantum
+      (** arg: pages granted to the next concurrent-sweep slice;
+          arg2: pages already visited this epoch *)
+  | Slo_violation
+      (** arg: serving p99 latency estimate (µs, rounded); arg2: the SLO
+          target (µs). Emitted by the governor when it must act while the
+          tail is already over target. *)
   | Custom of string
 
 val kind_name : kind -> string

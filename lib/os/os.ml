@@ -14,15 +14,17 @@ module Revmap = Ccr.Revmap
 (* ------------------------------------------------------------------ *)
 
 module Revsched = struct
-  type policy = Round_robin | Pressure
+  type policy = Round_robin | Pressure | Slo
 
   let policy_name = function
     | Round_robin -> "round-robin"
     | Pressure -> "pressure"
+    | Slo -> "slo"
 
   type entry = {
     e_pid : int;
     pressure : unit -> int;
+    mutable load : unit -> float;
     mutable grants : int;
     mutable wait_cycles : int;
   }
@@ -53,8 +55,10 @@ module Revsched = struct
 
   (* Among the currently waiting processes, which should run next?
      Round-robin grants the least-served waiter; pressure grants the one
-     with the most quarantined bytes. Ties break towards the lowest pid,
-     keeping the choice deterministic. *)
+     with the most quarantined bytes; slo grants the one whose serving
+     load is lowest right now (its epoch disturbs the least traffic),
+     falling back to pressure among equally-loaded waiters. Ties break
+     towards the lowest pid, keeping the choice deterministic. *)
   let chosen t =
     let better (a : entry) (b : entry) =
       match t.policy with
@@ -62,6 +66,12 @@ module Revsched = struct
       | Pressure ->
           let pa = a.pressure () and pb = b.pressure () in
           pa > pb || (pa = pb && a.e_pid < b.e_pid)
+      | Slo ->
+          let la = a.load () and lb = b.load () in
+          if la <> lb then la < lb
+          else
+            let pa = a.pressure () and pb = b.pressure () in
+            pa > pb || (pa = pb && a.e_pid < b.e_pid)
     in
     List.fold_left
       (fun best pid ->
@@ -95,12 +105,16 @@ module Revsched = struct
     | _ -> ());
     Machine.broadcast ctx t.cv
 
-  let register t ~pid ~pressure ~revoker =
+  let register t ~pid ~pressure ?(load = fun () -> 0.0) ~revoker () =
     Hashtbl.replace t.entries pid
-      { e_pid = pid; pressure; grants = 0; wait_cycles = 0 };
+      { e_pid = pid; pressure; load; grants = 0; wait_cycles = 0 };
     Revoker.set_epoch_gate revoker
       ~acquire:(fun ctx -> acquire t ctx pid)
       ~release:(fun ctx -> release t ctx pid)
+
+  (* The serving layer is built after the process table, so its load
+     probe (queue depth, utilisation estimate) is installed late. *)
+  let set_load t ~pid f = (entry t pid).load <- f
 
   type stats = { pid : int; grants : int; wait_cycles : int }
 
@@ -177,7 +191,7 @@ let register_with_sched t (p : proc) =
   | Some mrs, Some r ->
       Revsched.register t.sched ~pid:p.pid
         ~pressure:(fun () -> Mrs.quarantine_bytes mrs)
-        ~revoker:r
+        ~revoker:r ()
   | _ -> ()
 
 let create ?config ?(policy = Policy.default) ?(sched = Revsched.Round_robin)

@@ -33,13 +33,23 @@
       quarantined bytes, bounding the worst per-process quarantine at
       the cost of unfairness to light allocators (which cannot starve
       forever either: their pressure only grows while they wait);
+    - [Slo] grants the token to the waiting process whose serving load
+      (per-process probe, see {!Revsched.set_load}) is lowest — its
+      epoch disturbs the least live traffic — breaking load ties by
+      pressure, so among idle processes it degenerates to [Pressure];
     - ties break towards the lowest pid, keeping runs deterministic. *)
 module Revsched : sig
-  type policy = Round_robin | Pressure
+  type policy = Round_robin | Pressure | Slo
 
   val policy_name : policy -> string
 
   type t
+
+  val set_load : t -> pid:int -> (unit -> float) -> unit
+  (** Install a process's load probe (in [\[0,1\]]; e.g. normalised queue
+      depth from the serving layer), consulted by the [Slo] policy on
+      every grant decision. Defaults to constantly 0 when never set.
+      Raises [Invalid_argument] for an unregistered pid. *)
 
   type stats = { pid : int; grants : int; wait_cycles : int }
 

@@ -1,0 +1,30 @@
+(** Open-loop load generation: seeded arrival-time schedules.
+
+    An arrival schedule is drawn once, up front, from a splitmix64 Prng —
+    a pure function of (pattern, request count, seed). The generator
+    thread then releases requests at those *intended* times no matter how
+    the server is doing, which is the open-loop discipline that makes
+    coordinated omission impossible by construction: a server stall
+    cannot slow the arrival process down, it can only grow the queue. *)
+
+type pattern =
+  | Poisson of float  (** constant offered rate, req/s *)
+  | Bursty of { base : float; peak : float; period_us : float; duty : float }
+      (** square wave: [peak] req/s for the first [duty] fraction of each
+          [period_us] window, [base] req/s for the rest *)
+  | Ramp of { from_rate : float; to_rate : float }
+      (** linear in request index: first request offered at [from_rate],
+          last at [to_rate] (req/s) *)
+  | Diurnal of { low : float; high : float; period_us : float }
+      (** sinusoid between [low] and [high] req/s with period [period_us]
+          — a compressed day/night cycle with troughs for the governor to
+          defer revocation into *)
+
+type config = { pattern : pattern; requests : int; seed : int }
+
+val pattern_name : pattern -> string
+
+val schedule : config -> int array
+(** Intended arrival times in cycles, nondecreasing, length
+    [config.requests]. Instantaneous rates are clamped to ≥ 1 req/s.
+    Deterministic: equal configs give equal arrays. *)

@@ -1,0 +1,52 @@
+(* Per-request SLO accounting at intended arrival time. Latency =
+   completion − intended arrival, so a request that sat out a
+   stop-the-world pause in the queue reports the whole wait — the
+   coordinated-omission-free measurement (see DESIGN.md). *)
+
+open Sim
+
+type t = {
+  hist : Stats.Histogram.t;
+  target_p99_us : float;
+  mutable offered : int;
+  mutable served : int;
+  mutable violations : int;
+}
+
+let create ?(target_p99_us = 1000.0) () =
+  {
+    hist = Stats.Histogram.create ();
+    target_p99_us;
+    offered = 0;
+    served = 0;
+    violations = 0;
+  }
+
+let target_p99_us t = t.target_p99_us
+let note_offered t = t.offered <- t.offered + 1
+let offered t = t.offered
+let served t = t.served
+let violations t = t.violations
+
+let record t ~intended ~completed =
+  if completed < intended then
+    invalid_arg "Slo.record: completion precedes intended arrival";
+  let lat_us = Cost.cycles_to_us (completed - intended) in
+  Stats.Histogram.record t.hist lat_us;
+  t.served <- t.served + 1;
+  if lat_us > t.target_p99_us then t.violations <- t.violations + 1;
+  lat_us
+
+(* A p99 estimate needs a sample population behind it; below [min_samples]
+   the governor treats the tail as unknown rather than trusting noise. *)
+let min_samples = 16
+
+let p99_estimate t =
+  if Stats.Histogram.count t.hist < min_samples then None
+  else Some (Stats.Histogram.percentile t.hist 99.0)
+
+let percentile t p =
+  if Stats.Histogram.count t.hist = 0 then None
+  else Some (Stats.Histogram.percentile t.hist p)
+
+let histogram t = t.hist

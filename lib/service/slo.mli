@@ -1,0 +1,38 @@
+(** SLO accounting from {e intended arrival time}.
+
+    Every served request records [completion − intended arrival] into a
+    log-bucketed {!Stats.Histogram} — queueing delay included. During a
+    stop-the-world revocation pause the open-loop generator keeps
+    stamping intended arrivals, so the pause surfaces as a cohort of
+    long-latency samples instead of a gap in the record: the measurement
+    has no coordinated omission. *)
+
+type t
+
+val create : ?target_p99_us:float -> unit -> t
+(** Default target: 1000 µs. *)
+
+val note_offered : t -> unit
+(** Count a request at generation time, before admission control — the
+    denominator of the served + shed = offered invariant. *)
+
+val record : t -> intended:int -> completed:int -> float
+(** Record one served request (times in cycles); returns its latency in
+    µs. Raises [Invalid_argument] if [completed < intended]. *)
+
+val offered : t -> int
+val served : t -> int
+
+val violations : t -> int
+(** Served requests whose individual latency exceeded the target. *)
+
+val target_p99_us : t -> float
+
+val p99_estimate : t -> float option
+(** [None] until at least 16 samples exist — the governor's control
+    input, deliberately undefined while the population is noise. *)
+
+val percentile : t -> float -> float option
+(** [None] when empty. *)
+
+val histogram : t -> Stats.Histogram.t

@@ -1,0 +1,79 @@
+(* Bounded request queue with admission control. Both shedding decisions
+   are traced individually (Req_shed) so the sanitizer and the accounting
+   check can reconcile served + shed = offered without trusting the
+   aggregate counters. *)
+
+open Sim
+
+type req = { id : int; intended : int }
+
+type t = {
+  m : Machine.t;
+  max_depth : int;
+  deadline : int option;
+  q : req Queue.t;
+  nonempty : Machine.condvar;
+  mutable closed : bool;
+  mutable accepted : int;
+  mutable shed_depth : int;
+  mutable shed_deadline : int;
+}
+
+let create m ~max_depth ?deadline () =
+  if max_depth <= 0 then invalid_arg "Squeue.create: max_depth must be > 0";
+  {
+    m;
+    max_depth;
+    deadline;
+    q = Queue.create ();
+    nonempty = Machine.condvar ();
+    closed = false;
+    accepted = 0;
+    shed_depth = 0;
+    shed_deadline = 0;
+  }
+
+let depth t = Queue.length t.q
+let accepted t = t.accepted
+let shed_depth t = t.shed_depth
+let shed_deadline t = t.shed_deadline
+let shed t = t.shed_depth + t.shed_deadline
+
+let trace_shed t ctx ~id ~why =
+  Machine.trace_emit t.m ~time:(Machine.now ctx) ~core:(Machine.core_id ctx)
+    ~pid:(Machine.ctx_pid ctx) ~arg2:why Trace.Req_shed id
+
+let offer t ctx req =
+  if t.closed then invalid_arg "Squeue.offer: queue is closed";
+  if Queue.length t.q >= t.max_depth then begin
+    t.shed_depth <- t.shed_depth + 1;
+    trace_shed t ctx ~id:req.id ~why:0;
+    false
+  end
+  else begin
+    t.accepted <- t.accepted + 1;
+    Queue.push req t.q;
+    Machine.broadcast ctx t.nonempty;
+    true
+  end
+
+let rec take t ctx =
+  while Queue.is_empty t.q && not t.closed do
+    Machine.wait ctx t.nonempty
+  done;
+  if Queue.is_empty t.q then None
+  else
+    let req = Queue.pop t.q in
+    match t.deadline with
+    | Some d when Machine.now ctx - req.intended > d ->
+        (* Stale before service even starts: complete-then-miss would
+           waste server cycles on an answer nobody is waiting for, so
+           deadline-shed it at dispatch and move on. *)
+        t.shed_deadline <- t.shed_deadline + 1;
+        trace_shed t ctx ~id:req.id ~why:1;
+        take t ctx
+    | _ -> Some req
+
+let close t ctx =
+  t.closed <- true;
+  Machine.broadcast ctx t.nonempty

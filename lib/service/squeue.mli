@@ -1,0 +1,40 @@
+(** Bounded request queue with admission control and load shedding.
+
+    Two drop policies, each traced per-request with [Trace.Req_shed]:
+
+    - {b queue-depth} ([arg2 = 0]): [offer] refuses a request when the
+      queue is already at [max_depth] — backpressure at admission;
+    - {b deadline} ([arg2 = 1]): [take] discards a request whose queueing
+      delay already exceeds [deadline] cycles — it would miss its SLO
+      even with instantaneous service, so serving it only burns cycles.
+
+    Single-machine cooperative threading: no internal locking needed
+    beyond the condvar handshake. *)
+
+type req = { id : int; intended : int  (** intended arrival, cycles *) }
+
+type t
+
+val create : Sim.Machine.t -> max_depth:int -> ?deadline:int -> unit -> t
+(** No deadline dropping unless [deadline] is given.
+    Raises [Invalid_argument] if [max_depth <= 0]. *)
+
+val offer : t -> Sim.Machine.ctx -> req -> bool
+(** Enqueue, or shed on depth ([false]). Raises [Invalid_argument] after
+    {!close} — the generator owns the queue's lifetime. *)
+
+val take : t -> Sim.Machine.ctx -> req option
+(** Block until a request is available; [None] once the queue is closed
+    {e and} drained. Deadline-expired requests are shed internally and
+    never returned. *)
+
+val close : t -> Sim.Machine.ctx -> unit
+(** Generator is done: wake all waiting servers; [take] drains what is
+    left, then returns [None]. *)
+
+val depth : t -> int
+val accepted : t -> int
+val shed_depth : t -> int
+val shed_deadline : t -> int
+val shed : t -> int
+(** [shed_depth + shed_deadline]. *)

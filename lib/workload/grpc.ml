@@ -24,7 +24,7 @@ let default_config =
     seed = 9;
   }
 
-type request = { id : int; submitted : int; client : int }
+type request = { id : int; intended : int; submitted : int; client : int }
 
 type shared = {
   mutable queue : request list; (* newest first *)
@@ -105,7 +105,7 @@ let run ?(config = default_config) ?tracer ~mode () =
       finished_servers = 0;
     }
   in
-  let latencies = ref [] in
+  let latencies = ref [] and latencies_closed = ref [] in
   let warmup = int_of_float (cfg.warmup_fraction *. float_of_int cfg.messages) in
   let wall_end = ref 0 in
   let server id core =
@@ -138,9 +138,12 @@ let run ?(config = default_config) ?tracer ~mode () =
               sh.queue <- rest;
               process_message cfg rt ctx rng regs sessions;
               sh.completed <- sh.completed + 1;
-              let lat = Machine.now ctx - req.submitted in
-              if req.id >= warmup then
-                latencies := Sim.Cost.cycles_to_us lat :: !latencies;
+              let now = Machine.now ctx in
+              if req.id >= warmup then begin
+                latencies := Sim.Cost.cycles_to_us (now - req.intended) :: !latencies;
+                latencies_closed :=
+                  Sim.Cost.cycles_to_us (now - req.submitted) :: !latencies_closed
+              end;
               sh.inflight.(req.client) <- sh.inflight.(req.client) - 1;
               Machine.broadcast ctx sh.done_cv;
               serve ()
@@ -157,11 +160,19 @@ let run ?(config = default_config) ?tracer ~mode () =
     Machine.spawn m ~name:(Printf.sprintf "grpc-client-%d" id) ~core (fun ctx ->
         let quota = cfg.messages / 2 in
         for _ = 1 to quota do
+          (* Coordinated-omission correction: stamp the intended issue
+             time BEFORE waiting out the outstanding window. When the
+             server stalls (e.g. a stop-the-world pause), the wait below
+             grows and the difference shows up in the corrected latency
+             instead of silently thinning the sample stream. *)
+          Machine.charge ctx 1_500;
+          let intended = Machine.now ctx in
           while sh.inflight.(id) >= cfg.outstanding do
             Machine.wait ctx sh.done_cv
           done;
-          Machine.charge ctx 1_500;
-          let req = { id = sh.submitted; submitted = Machine.now ctx; client = id } in
+          let req =
+            { id = sh.submitted; intended; submitted = Machine.now ctx; client = id }
+          in
           sh.submitted <- sh.submitted + 1;
           sh.inflight.(id) <- sh.inflight.(id) + 1;
           sh.queue <- sh.queue @ [ req ];
@@ -187,6 +198,7 @@ let run ?(config = default_config) ?tracer ~mode () =
     clg_faults = totals.Machine.clg_faults;
     ops_done = cfg.messages;
     latencies_us = Array.of_list (List.rev !latencies);
+    latencies_closed_us = Array.of_list (List.rev !latencies_closed);
     throughput =
       float_of_int cfg.messages /. (float_of_int !wall_end /. Sim.Cost.clock_hz);
     scrub_bytes = rt.Runtime.alloc.Alloc.Backend.scrub_bytes ();

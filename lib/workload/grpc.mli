@@ -10,7 +10,18 @@
 
     Each message allocates and frees unmarshalling/response temporaries
     against the shared heap; a long-lived session/buffer table provides
-    the capability-bearing pages the revoker must sweep. *)
+    the capability-bearing pages the revoker must sweep.
+
+    {b Coordinated omission.} A closed-loop client that measures latency
+    from the actual send instant under-reports server stalls: while the
+    server is paused (say, in a revocation stop-the-world) the client's
+    outstanding window is full, so it simply stops issuing — the stalled
+    interval contributes {e no} samples, and the tail looks clean
+    precisely when it was worst. The latencies reported here are
+    therefore measured from each request's {e intended} issue time,
+    stamped before the client waits for window credit; the uncorrected
+    closed-loop measurement is still recorded in
+    [Result.latencies_closed_us] for comparison. *)
 
 type config = {
   messages : int; (** total messages across all clients *)

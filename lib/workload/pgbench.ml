@@ -228,6 +228,7 @@ let run ?(config = default_config) ?tracer ~mode () =
     clg_faults = totals.Machine.clg_faults;
     ops_done = cfg.transactions;
     latencies_us = lats;
+    latencies_closed_us = [||];
     throughput =
       float_of_int cfg.transactions
       /. (float_of_int !wall_end /. Sim.Cost.clock_hz);

@@ -10,6 +10,7 @@ type t = {
   clg_faults : int;
   ops_done : int;
   latencies_us : float array;
+  latencies_closed_us : float array;
   throughput : float;
   scrub_bytes : int; 
   mrs : Ccr.Mrs.stats option;

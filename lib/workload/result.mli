@@ -11,7 +11,15 @@ type t = {
   peak_rss_pages : int;
   clg_faults : int;
   ops_done : int;
-  latencies_us : float array; (** per-event latencies (empty for batch) *)
+  latencies_us : float array;
+      (** per-event latencies, empty for batch workloads. Measured from
+          the {e intended} issue time wherever the workload has one
+          (gRPC, rate-paced pgbench), so scheduler/revocation stalls
+          appear as latency instead of being coordinated-omitted *)
+  latencies_closed_us : float array;
+      (** the classic closed-loop measurement (send → completion) for
+          workloads that also keep it; empty elsewhere. The gap between
+          the two columns is the coordinated-omission error *)
   throughput : float; (** events per second where meaningful, else 0 *)
   scrub_bytes : int; (** bytes zeroed at reuse *)
   mrs : Ccr.Mrs.stats option;

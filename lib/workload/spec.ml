@@ -173,6 +173,7 @@ let run ?(seed = 1) ?(ops_scale = 1.0) ?policy ?(non_temporal = false)
     clg_faults = totals.Machine.clg_faults;
     ops_done = !ops_done;
     latencies_us = [||];
+    latencies_closed_us = [||];
     throughput = 0.0;
     scrub_bytes = rt.Runtime.alloc.Alloc.Backend.scrub_bytes ();
     mrs = Runtime.mrs_stats rt;

@@ -89,6 +89,37 @@ let test_histogram_merge () =
     (Invalid_argument "Histogram.merge: geometry mismatch") (fun () ->
       ignore (Stats.Histogram.merge a bad))
 
+let test_histogram_edges () =
+  let h = Stats.Histogram.create () in
+  (* values outside [lo, hi) clamp into the edge buckets *)
+  Stats.Histogram.record h 1e-9;
+  Stats.Histogram.record h 1e12;
+  Alcotest.(check int) "count" 2 (Stats.Histogram.count h);
+  let err = Stats.Histogram.max_relative_error h in
+  let p0 = Stats.Histogram.percentile h 0.0 in
+  let p100 = Stats.Histogram.percentile h 100.0 in
+  check "p0 lands in the lowest bucket" true (p0 <= 0.1 *. (1.0 +. err) +. 1e-9);
+  check "p100 lands in the highest bucket" true (p100 >= 1e7);
+  check "edge percentiles stay ordered" true (p0 <= p100);
+  (* out-of-range p clamps rather than raising *)
+  checkf "p(-5) = p0" p0 (Stats.Histogram.percentile h (-5.0));
+  checkf "p(250) = p100" p100 (Stats.Histogram.percentile h 250.0)
+
+let test_histogram_merge_empty () =
+  let a = Stats.Histogram.create () and b = Stats.Histogram.create () in
+  let m = Stats.Histogram.merge a b in
+  Alcotest.(check int) "empty + empty" 0 (Stats.Histogram.count m);
+  Alcotest.check_raises "merged empty percentile"
+    (Invalid_argument "Histogram.percentile: empty") (fun () ->
+      ignore (Stats.Histogram.percentile m 50.0));
+  Stats.Histogram.record a 42.0;
+  let m = Stats.Histogram.merge a b in
+  Alcotest.(check int) "nonempty + empty" 1 (Stats.Histogram.count m);
+  let err = Stats.Histogram.max_relative_error m in
+  let p50 = Stats.Histogram.percentile m 50.0 in
+  check "sample survives the merge" true
+    (p50 >= 42.0 *. (1.0 -. err) && p50 <= 42.0 *. (1.0 +. 2.0 *. err))
+
 let prop_histogram_percentile_bounded =
   QCheck.Test.make ~name:"histogram percentile within relative-error bound of exact"
     ~count:100
@@ -158,6 +189,8 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_histogram_basics;
           Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "edge buckets" `Quick test_histogram_edges;
+          Alcotest.test_case "merge empty" `Quick test_histogram_merge_empty;
         ] );
       ("table", [ Alcotest.test_case "render" `Quick test_table_renders ]);
       ( "properties",
