@@ -22,39 +22,66 @@ let mode_names = List.map Runtime.mode_name modes
 type t = {
   scale : float;
   seed : int;
+  jobs : int; (* domain-parallel fan-out width for independent cells *)
   spec : (string * string, Result.t) Hashtbl.t; (* (workload, mode) *)
   interactive : (string * string, Result.t) Hashtbl.t;
+  durations : (string * string, float) Hashtbl.t; (* wall ms per cell *)
   mutable spec_done : bool;
   mutable pgbench_done : bool;
   mutable grpc_done : bool;
 }
 
-let create ~scale ~seed =
+let create ?jobs ~scale ~seed () =
   {
     scale;
     seed;
+    jobs = (match jobs with Some j -> max 1 j | None -> Parallel.Pool.default_jobs ());
     spec = Hashtbl.create 64;
     interactive = Hashtbl.create 16;
+    durations = Hashtbl.create 64;
     spec_done = false;
     pgbench_done = false;
     grpc_done = false;
   }
 
+let jobs t = t.jobs
 let progress fmt = Format.eprintf fmt
+
+(* Fan a list of independent (key, run) cells across domains. Workers
+   are silent; results and their wall-clock durations are stored (and
+   progress printed) from the calling domain in submission order, so
+   every table is filled identically for any [t.jobs]. *)
+let run_cells t table cells =
+  let timed =
+    Parallel.Pool.map ~jobs:t.jobs
+      (fun (_key, run) ->
+        let t0 = Unix.gettimeofday () in
+        let r = run () in
+        (r, (Unix.gettimeofday () -. t0) *. 1000.0))
+      cells
+  in
+  List.iter2
+    (fun (key, _) (r, ms) ->
+      Hashtbl.replace table key r;
+      Hashtbl.replace t.durations key ms)
+    cells timed
 
 let ensure_spec t =
   if not t.spec_done then begin
-    List.iter
-      (fun (p : Profile.t) ->
-        progress "  [spec] %-14s" p.Profile.name;
-        List.iter
-          (fun mode ->
-            let r = Workload.Spec.run ~seed:t.seed ~ops_scale:t.scale ~mode p in
-            progress " %s" (String.make 1 (Runtime.mode_name mode).[0]);
-            Hashtbl.replace t.spec (p.Profile.name, Runtime.mode_name mode) r)
-          modes;
-        progress "@.")
-      Profile.spec_all;
+    let cells =
+      List.concat_map
+        (fun (p : Profile.t) ->
+          List.map
+            (fun mode ->
+              ( (p.Profile.name, Runtime.mode_name mode),
+                fun () -> Workload.Spec.run ~seed:t.seed ~ops_scale:t.scale ~mode p ))
+            modes)
+        Profile.spec_all
+    in
+    progress "  [spec] %d cells (%d profiles x %d modes), %d jobs@."
+      (List.length cells) (List.length Profile.spec_all) (List.length modes)
+      t.jobs;
+    run_cells t t.spec cells;
     t.spec_done <- true
   end
 
@@ -68,12 +95,13 @@ let ensure_pgbench t =
         seed = t.seed;
       }
     in
-    List.iter
-      (fun mode ->
-        progress "  [pgbench] %s@." (Runtime.mode_name mode);
-        let r = Workload.Pgbench.run ~config ~mode () in
-        Hashtbl.replace t.interactive ("pgbench", Runtime.mode_name mode) r)
-      modes;
+    progress "  [pgbench] %d modes, %d jobs@." (List.length modes) t.jobs;
+    run_cells t t.interactive
+      (List.map
+         (fun mode ->
+           ( ("pgbench", Runtime.mode_name mode),
+             fun () -> Workload.Pgbench.run ~config ~mode () ))
+         modes);
     t.pgbench_done <- true
   end
 
@@ -86,12 +114,13 @@ let ensure_grpc t =
         seed = t.seed;
       }
     in
-    List.iter
-      (fun mode ->
-        progress "  [grpc] %s@." (Runtime.mode_name mode);
-        let r = Workload.Grpc.run ~config ~mode () in
-        Hashtbl.replace t.interactive ("grpc_qps", Runtime.mode_name mode) r)
-      modes;
+    progress "  [grpc] %d modes, %d jobs@." (List.length modes) t.jobs;
+    run_cells t t.interactive
+      (List.map
+         (fun mode ->
+           ( ("grpc_qps", Runtime.mode_name mode),
+             fun () -> Workload.Grpc.run ~config ~mode () ))
+         modes);
     t.grpc_done <- true
   end
 
@@ -136,6 +165,8 @@ type json_record = {
   j_abandoned_bytes : int; (* quarantine dropped unrevoked at finish *)
   j_lat_p99 : float; (* request-latency tail, µs; 0 for batch records *)
   j_lat_p999 : float;
+  j_duration_ms : float; (* host wall-clock of the cell's simulation *)
+  j_jobs : int; (* fan-out width the campaign ran with *)
 }
 
 (* Tail of a latency-bearing record through the log-bucketed histogram —
@@ -151,7 +182,7 @@ let hist_tail (r : Result.t) q =
     Stats.Histogram.percentile h q
   end
 
-let record_of ~workload ~mode ~base ~seed (r : Result.t) =
+let record_of t ~workload ~mode ~base ~seed (r : Result.t) =
   let pauses =
     List.map (fun p -> float_of_int p.Revoker.stw_cycles) r.Result.phases
   in
@@ -170,6 +201,9 @@ let record_of ~workload ~mode ~base ~seed (r : Result.t) =
       | None -> 0);
     j_lat_p99 = hist_tail r 99.0;
     j_lat_p999 = hist_tail r 99.9;
+    j_duration_ms =
+      (try Hashtbl.find t.durations (workload, mode) with Not_found -> 0.0);
+    j_jobs = t.jobs;
   }
 
 let json_records t =
@@ -184,7 +218,7 @@ let json_records t =
         in
         List.map
           (fun mode ->
-            record_of ~workload ~mode ~base ~seed:t.seed
+            record_of t ~workload ~mode ~base ~seed:t.seed
               (Hashtbl.find t.spec (workload, mode)))
           mode_names)
       spec_names
@@ -197,7 +231,7 @@ let json_records t =
         in
         List.map
           (fun mode ->
-            record_of ~workload ~mode ~base ~seed:t.seed
+            record_of t ~workload ~mode ~base ~seed:t.seed
               (Hashtbl.find t.interactive (workload, mode)))
           mode_names)
       [ "pgbench"; "grpc_qps" ]

@@ -47,12 +47,12 @@ let write_json path records =
            "  {\"strategy\": %S, \"profile\": %S, \"seed\": %d, \
             \"fault_schedule\": %d, \"cycles\": %d, \"overhead_pct\": %.4f, \
             \"pause_p99\": %.1f, \"abandoned_bytes\": %d, \"lat_p99_us\": \
-            %.3f, \"lat_p999_us\": %.3f}"
+            %.3f, \"lat_p999_us\": %.3f, \"duration_ms\": %.3f, \"jobs\": %d}"
            r.Campaign.j_strategy r.Campaign.j_profile r.Campaign.j_seed
            r.Campaign.j_schedule r.Campaign.j_cycles
            r.Campaign.j_overhead_pct r.Campaign.j_pause_p99
            r.Campaign.j_abandoned_bytes r.Campaign.j_lat_p99
-           r.Campaign.j_lat_p999))
+           r.Campaign.j_lat_p999 r.Campaign.j_duration_ms r.Campaign.j_jobs))
     records;
   Buffer.add_string buf "\n]\n";
   Buffer.output_buffer oc buf;
@@ -60,7 +60,8 @@ let write_json path records =
 
 let usage () =
   print_endline
-    "usage: main.exe [--scale S] [--seed N] [--json OUT] [--list] [target ...]";
+    "usage: main.exe [--scale S] [--seed N] [--jobs N] [--json OUT] [--list] \
+     [target ...]";
   print_endline "targets:";
   List.iter (fun (n, d, _) -> Printf.printf "  %-18s %s\n" n d) all_targets;
   print_endline "(no targets = run everything)"
@@ -76,6 +77,7 @@ let die fmt =
 let () =
   let scale = ref 0.5 in
   let seed = ref 1 in
+  let jobs = ref (Parallel.Pool.default_jobs ()) in
   let json_out = ref None in
   let targets = ref [] in
   let rec parse = function
@@ -90,10 +92,15 @@ let () =
         | Some s -> seed := s
         | None -> die "--seed needs an integer, got %S" v);
         parse rest
+    | "--jobs" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some j when j >= 1 -> jobs := j
+        | Some _ | None -> die "--jobs needs a positive integer, got %S" v);
+        parse rest
     | "--json" :: v :: rest ->
         json_out := Some v;
         parse rest
-    | [ ("--scale" | "--seed" | "--json") ] as flag ->
+    | [ ("--scale" | "--seed" | "--jobs" | "--json") ] as flag ->
         die "%s needs a value" (List.hd flag)
     | ("--list" | "--help" | "-h") :: _ ->
         usage ();
@@ -119,11 +126,11 @@ let () =
     | l -> l
   in
   Format.printf
-    "Cornucopia Reloaded reproduction harness — ops scale %.2f, heap scale 1/%.0f, seed %d@."
-    !scale Paper.heap_scale !seed;
+    "Cornucopia Reloaded reproduction harness — ops scale %.2f, heap scale 1/%.0f, seed %d, jobs %d@."
+    !scale Paper.heap_scale !seed !jobs;
   Format.printf
     "(shapes and orderings are the reproduced quantities; see EXPERIMENTS.md)@.";
-  let c = Campaign.create ~scale:!scale ~seed:!seed in
+  let c = Campaign.create ~jobs:!jobs ~scale:!scale ~seed:!seed () in
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun name ->

@@ -117,6 +117,8 @@ type cell = {
   c_abandoned : int;
   c_ok : bool;
   c_note : string;
+  c_report : string; (* buffered checker findings; printed by the caller *)
+  c_duration_ms : float; (* host wall-clock of the whole cell *)
 }
 
 let zero_rs =
@@ -128,9 +130,11 @@ let zero_rs =
     downshifts = 0;
   }
 
-let report_checkers san race =
-  if not (Sanitizer.ok san) then Sanitizer.report Format.err_formatter san;
-  if not (Race.ok race) then Race.report Format.err_formatter race
+(* Cells run on worker domains under --jobs, so findings are buffered
+   into the cell and printed by the main domain in campaign order. *)
+let report_checkers fmt san race =
+  if not (Sanitizer.ok san) then Sanitizer.report fmt san;
+  if not (Race.ok race) then Race.report fmt race
 
 (* One churn execution; [schedule = None] is the calibration pass. *)
 let churn_exec ~seed ~ops ~spine ~recovery ~strategy schedule =
@@ -197,7 +201,12 @@ let cell_of_run ?epochs ~rig ~seed ~strategy ~sched ~horizon ~requested rt san
         else if epochs = 0 then "vacuous: no epoch ran"
         else ""
   in
-  if not checkers then report_checkers san race;
+  let report = Buffer.create 0 in
+  if not checkers then begin
+    let fmt = Format.formatter_of_buffer report in
+    report_checkers fmt san race;
+    Format.pp_print_flush fmt ()
+  end;
   {
     c_rig = rig;
     c_seed = seed;
@@ -216,6 +225,8 @@ let cell_of_run ?epochs ~rig ~seed ~strategy ~sched ~horizon ~requested rt san
       (match stats with Some s -> s.Mrs.abandoned_bytes | None -> 0);
     c_ok = ok;
     c_note = note;
+    c_report = Buffer.contents report;
+    c_duration_ms = 0.0; (* stamped by the campaign driver *)
   }
 
 (* Calibrate, plan, inject. Returns None when no requested fault kind is
@@ -453,6 +464,7 @@ let storm_cell ~seed =
 (* ---- reporting ---- *)
 
 let print_cell verbose c =
+  if c.c_report <> "" then Format.eprintf "%s" c.c_report;
   if verbose || not c.c_ok then begin
     let rs = c.c_rs in
     Format.printf
@@ -479,7 +491,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json path cells =
+let write_json path ~jobs cells =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "[\n";
@@ -493,7 +505,7 @@ let write_json path cells =
          \"epoch_aborts\": %d, \"sweep_crash_retries\": %d, \
          \"quiesce_timeouts\": %d, \"backoff_cycles\": %d, \"downshifts\": \
          %d, \"throttled_allocs\": %d, \"abandoned_bytes\": %d, \"note\": \
-         \"%s\"}%s\n"
+         \"%s\", \"duration_ms\": %.3f, \"jobs\": %d}%s\n"
         c.c_rig c.c_seed c.c_strategy c.c_final c.c_sched c.c_horizon c.c_ok
         c.c_epochs c.c_cycles
         (String.concat ", "
@@ -506,6 +518,7 @@ let write_json path cells =
         rs.Revoker.quiesce_timeouts rs.Revoker.backoff_cycles
         rs.Revoker.downshifts c.c_throttled c.c_abandoned
         (json_escape c.c_note)
+        c.c_duration_ms jobs
         (if i = List.length cells - 1 then "" else ","))
     cells;
   out "]\n";
@@ -598,32 +611,66 @@ let json_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every cell.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Parallel.Pool.default_jobs ())
+    & info [ "jobs"; "j" ]
+        ~doc:
+          "Run up to $(docv) campaign cells concurrently on separate \
+           domains. Cells are independent seeded simulations reassembled \
+           in campaign order, so all output except the $(b,duration_ms) \
+           and $(b,jobs) JSON fields is identical for any $(docv)."
+        ~docv:"N")
+
+(* Every campaign cell, in reporting order. Cells are independent, so
+   they fan out across domains; [Parallel.Pool.map] preserves this
+   order, keeping the report and JSON identical for any --jobs. *)
+type task =
+  | Churn of int * Revoker.strategy
+  | Tenant_kill of int * Revoker.strategy
+  | Storm of int
+
+let run_task ~ops ~kinds = function
+  | Churn (seed, strategy) -> churn_cell ~seed ~ops ~kinds strategy
+  | Tenant_kill (seed, strategy) -> Some (tenant_kill_cell ~seed ~ops strategy)
+  | Storm seed -> Some (storm_cell ~seed)
+
 let main seeds seed_base ops strategies kinds skip_storm skip_tenants json
-    verbose =
+    verbose jobs =
   if seeds < 1 then begin
     Format.eprintf "ccr_chaos: --seeds must be at least 1@.";
     1
   end
   else begin
-    let cells = ref [] in
-    let push c =
-      print_cell verbose c;
-      cells := c :: !cells
+    let tasks =
+      List.concat_map
+        (fun i ->
+          let seed = seed_base + i in
+          List.concat_map
+            (fun strategy ->
+              Churn (seed, strategy)
+              ::
+              (if (not skip_tenants) && i mod 4 = 0 then
+                 [ Tenant_kill (seed, strategy) ]
+               else []))
+            strategies)
+        (List.init seeds (fun i -> i))
+      @ (if skip_storm then [] else [ Storm seed_base ])
     in
-    for i = 0 to seeds - 1 do
-      let seed = seed_base + i in
-      List.iter
-        (fun strategy ->
-          (match churn_cell ~seed ~ops ~kinds strategy with
-          | Some c -> push c
-          | None -> ());
-          if (not skip_tenants) && i mod 4 = 0 then
-            push (tenant_kill_cell ~seed ~ops strategy))
-        strategies
-    done;
-    if not skip_storm then push (storm_cell ~seed:seed_base);
-    let cells = List.rev !cells in
-    (match json with Some path -> write_json path cells | None -> ());
+    let cells =
+      List.filter_map Fun.id
+        (Parallel.Pool.map ~jobs
+           (fun task ->
+             let t0 = Unix.gettimeofday () in
+             Option.map
+               (fun c ->
+                 { c with c_duration_ms = (Unix.gettimeofday () -. t0) *. 1000.0 })
+               (run_task ~ops ~kinds task))
+           tasks)
+    in
+    List.iter (print_cell verbose) cells;
+    (match json with Some path -> write_json path ~jobs cells | None -> ());
     let failed = List.filter (fun c -> not c.c_ok) cells in
     let injected =
       List.fold_left
@@ -656,6 +703,6 @@ let cmd =
     Term.(
       const main $ seeds_arg $ seed_base_arg $ ops_arg $ strategies_arg
       $ kinds_arg $ skip_storm_arg $ skip_tenants_arg $ json_arg
-      $ verbose_arg)
+      $ verbose_arg $ jobs_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -26,45 +26,59 @@ module Race = Analysis.Race
 
 (* ---- phase 1: clean runs ---- *)
 
-let check_profile ~seed ~scale name =
-  match Workload.Profile.find name with
-  | exception Not_found ->
-      Format.eprintf "unknown profile %S@." name;
-      [ false ]
-  | p ->
-      List.map
-        (fun strategy ->
-          let san = ref None and race = ref None in
-          let tracer = Sim.Trace.create () in
-          let result =
-            Workload.Spec.run ~seed ~ops_scale:scale ~tracer
-              ~on_runtime:(fun rt ->
-                san :=
-                  Some
-                    (Sanitizer.attach ?revoker:rt.Runtime.revoker
-                       rt.Runtime.machine);
-                race := Some (Race.attach rt.Runtime.machine))
-              ~mode:(Runtime.Safe strategy) p
-          in
-          let san = Option.get !san and race = Option.get !race in
-          Sanitizer.finish san;
-          let revs =
-            match result.Workload.Result.mrs with
-            | Some s -> s.Mrs.revocations
-            | None -> 0
-          in
-          let ok = Sanitizer.ok san && Race.ok race && revs > 0 in
-          Format.printf "%-14s %-12s %-4s (%d epochs, %d events)@." name
-            (Revoker.strategy_name strategy)
-            (if ok then "ok" else "FAIL")
-            revs (Sim.Trace.total tracer);
-          if not (Sanitizer.ok san) then
-            Sanitizer.report Format.std_formatter san;
-          if not (Race.ok race) then Race.report Format.std_formatter race;
-          if revs = 0 then
-            Format.printf "  no revocation epoch ran: the check is vacuous@.";
-          ok)
-        Revoker.extended_strategies
+(* Each check is a closure returning (ok, report text): checks run on
+   worker domains under --jobs, so they never print — the driver emits
+   the buffered reports in check order, keeping stdout identical for
+   any --jobs value. *)
+
+let check_profile_cell ~seed ~scale name p strategy () =
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  let san = ref None and race = ref None in
+  let tracer = Sim.Trace.create () in
+  let result =
+    Workload.Spec.run ~seed ~ops_scale:scale ~tracer
+      ~on_runtime:(fun rt ->
+        san :=
+          Some
+            (Sanitizer.attach ?revoker:rt.Runtime.revoker
+               rt.Runtime.machine);
+        race := Some (Race.attach rt.Runtime.machine))
+      ~mode:(Runtime.Safe strategy) p
+  in
+  let san = Option.get !san and race = Option.get !race in
+  Sanitizer.finish san;
+  let revs =
+    match result.Workload.Result.mrs with
+    | Some s -> s.Mrs.revocations
+    | None -> 0
+  in
+  let ok = Sanitizer.ok san && Race.ok race && revs > 0 in
+  Format.fprintf fmt "%-14s %-12s %-4s (%d epochs, %d events)@." name
+    (Revoker.strategy_name strategy)
+    (if ok then "ok" else "FAIL")
+    revs (Sim.Trace.total tracer);
+  if not (Sanitizer.ok san) then Sanitizer.report fmt san;
+  if not (Race.ok race) then Race.report fmt race;
+  if revs = 0 then
+    Format.fprintf fmt "  no revocation epoch ran: the check is vacuous@.";
+  Format.pp_print_flush fmt ();
+  (ok, Buffer.contents buf)
+
+let profile_tasks ~seed ~scale profiles =
+  List.concat_map
+    (fun name ->
+      match Workload.Profile.find name with
+      | exception Not_found ->
+          [
+            (fun () ->
+              (false, Printf.sprintf "unknown profile %S\n" name));
+          ]
+      | p ->
+          List.map
+            (fun strategy -> check_profile_cell ~seed ~scale name p strategy)
+            Revoker.extended_strategies)
+    profiles
 
 (* ---- phase 2: seeded protocol mutations ---- *)
 
@@ -114,35 +128,36 @@ let mutations =
     (Revoker.Reloaded, Revoker.Skip_hoard_scan, "missing-hoard-scan");
   ]
 
-let check_mutations () =
-  let baselines =
-    List.map
-      (fun strategy ->
-        let san = mutation_run strategy None in
-        let ok = Sanitizer.ok san in
-        Format.printf "rig %-12s no fault            %-4s@."
-          (Revoker.strategy_name strategy)
-          (if ok then "ok" else "FAIL");
-        if not ok then Sanitizer.report Format.std_formatter san;
-        ok)
-      [ Revoker.Reloaded; Revoker.Cornucopia ]
-  in
-  let detected =
-    List.map
-      (fun (strategy, fault, rule) ->
-        let san = mutation_run strategy (Some fault) in
-        let n = Sanitizer.count san rule in
-        let ok = n > 0 in
-        Format.printf "rig %-12s %-19s %-4s (%d %S report(s))@."
-          (Revoker.strategy_name strategy)
-          (Revoker.fault_name fault)
-          (if ok then "ok" else "MISSED")
-          n rule;
-        if not ok then Sanitizer.report Format.std_formatter san;
-        ok)
-      mutations
-  in
-  baselines @ detected
+let baseline_cell strategy () =
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  let san = mutation_run strategy None in
+  let ok = Sanitizer.ok san in
+  Format.fprintf fmt "rig %-12s no fault            %-4s@."
+    (Revoker.strategy_name strategy)
+    (if ok then "ok" else "FAIL");
+  if not ok then Sanitizer.report fmt san;
+  Format.pp_print_flush fmt ();
+  (ok, Buffer.contents buf)
+
+let mutation_cell (strategy, fault, rule) () =
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  let san = mutation_run strategy (Some fault) in
+  let n = Sanitizer.count san rule in
+  let ok = n > 0 in
+  Format.fprintf fmt "rig %-12s %-19s %-4s (%d %S report(s))@."
+    (Revoker.strategy_name strategy)
+    (Revoker.fault_name fault)
+    (if ok then "ok" else "MISSED")
+    n rule;
+  if not ok then Sanitizer.report fmt san;
+  Format.pp_print_flush fmt ();
+  (ok, Buffer.contents buf)
+
+let mutation_tasks () =
+  List.map baseline_cell [ Revoker.Reloaded; Revoker.Cornucopia ]
+  @ List.map mutation_cell mutations
 
 (* ---- driver ---- *)
 
@@ -166,17 +181,30 @@ let skip_mutations_arg =
     value & flag
     & info [ "skip-mutations" ] ~doc:"Only run the clean-workload checks.")
 
-let main profiles scale seed skip_mutations =
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Parallel.Pool.default_jobs ())
+    & info [ "jobs"; "j" ]
+        ~doc:
+          "Run up to $(docv) checks concurrently on separate domains. \
+           Checks are independent simulations and their reports are \
+           printed in check order, so output and exit status are \
+           identical for any $(docv)." ~docv:"N")
+
+let main profiles scale seed skip_mutations jobs =
   if scale <= 0.0 then begin
     Format.eprintf "ccr_check: --scale must be positive (got %g)@." scale;
     1
   end
   else
-  let clean =
-    List.concat_map (fun p -> check_profile ~seed ~scale p) profiles
+  let tasks =
+    profile_tasks ~seed ~scale profiles
+    @ (if skip_mutations then [] else mutation_tasks ())
   in
-  let mutated = if skip_mutations then [] else check_mutations () in
-  let all = clean @ mutated in
+  let results = Parallel.Pool.map ~jobs (fun f -> f ()) tasks in
+  List.iter (fun (_, report) -> print_string report) results;
+  let all = List.map fst results in
   let failed = List.length (List.filter not all) in
   if failed = 0 then begin
     Format.printf "ccr_check: %d check(s) passed@." (List.length all);
@@ -195,6 +223,7 @@ let cmd =
          "Check the revocation protocol with the shadow-state sanitizer \
           and the happens-before race detector.")
     Term.(
-      const main $ profiles_arg $ scale_arg $ seed_arg $ skip_mutations_arg)
+      const main $ profiles_arg $ scale_arg $ seed_arg $ skip_mutations_arg
+      $ jobs_arg)
 
 let () = exit (Cmd.eval' cmd)

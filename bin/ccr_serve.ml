@@ -75,6 +75,8 @@ type run_row = {
   r_qps : float;
   r_outcome : Serve.outcome;
   r_clean : bool; (* sanitizer + race detector + accounting, when --check *)
+  r_report : string; (* buffered checker findings; printed by the caller *)
+  r_duration_ms : float; (* host wall-clock of this sweep point *)
 }
 
 let percentile (o : Serve.outcome) p =
@@ -93,8 +95,12 @@ let pattern_at ~pattern ~qps =
       Loadgen.Diurnal { low = 0.5 *. qps; high = 1.5 *. qps; period_us = 4_000.0 }
   | _ -> Loadgen.Poisson qps
 
-(* One run of the serving workload at one sweep point. *)
+(* One run of the serving workload at one sweep point. Runs on a worker
+   domain under --jobs, so it never prints: checker findings go into the
+   row's [r_report] buffer and the caller emits them in submission
+   order. *)
 let run_point ~cfg ~check ~pattern ~mode ~governed ~qps =
+  let t0 = Unix.gettimeofday () in
   let cfg = { cfg with Serve.pattern = pattern_at ~pattern ~qps } in
   let san = ref None and race = ref None in
   (* Checkers subscribe losslessly; the large ring just keeps the
@@ -113,28 +119,33 @@ let run_point ~cfg ~check ~pattern ~mode ~governed ~qps =
     o.Serve.served + o.Serve.shed_depth + o.Serve.shed_deadline = o.Serve.offered
     && o.Serve.offered = cfg.Serve.requests
   in
+  let report = Buffer.create 0 in
+  let rfmt = Format.formatter_of_buffer report in
   let clean =
     match (!san, !race) with
     | Some san, Some race ->
         Sanitizer.finish san;
-        if not (Sanitizer.ok san) then Sanitizer.report Format.err_formatter san;
-        if not (Race.ok race) then Race.report Format.err_formatter race;
+        if not (Sanitizer.ok san) then Sanitizer.report rfmt san;
+        if not (Race.ok race) then Race.report rfmt race;
         Sanitizer.ok san && Race.ok race && accounted
     | _ -> accounted
   in
   if not accounted then
-    Format.eprintf
+    Format.fprintf rfmt
       "ccr_serve: SLO accounting drift: served %d + shed %d+%d <> offered %d@."
       o.Serve.served o.Serve.shed_depth o.Serve.shed_deadline o.Serve.offered;
+  Format.pp_print_flush rfmt ();
   {
     r_mode = Runtime.mode_name mode;
     r_governed = governed;
     r_qps = qps;
     r_outcome = o;
     r_clean = clean;
+    r_report = Buffer.contents report;
+    r_duration_ms = (Unix.gettimeofday () -. t0) *. 1000.0;
   }
 
-let json_of_row ~pattern ~requests ~servers ~seed ~target r =
+let json_of_row ~pattern ~requests ~servers ~seed ~target ~jobs r =
   let o = r.r_outcome in
   let g = o.Serve.governor in
   let gi f = match g with Some s -> f s | None -> 0 in
@@ -146,7 +157,8 @@ let json_of_row ~pattern ~requests ~servers ~seed ~target r =
      \"shed_depth\": %d, \"shed_deadline\": %d, \"shed_rate\": %.5f, \
      \"violations\": %d, \"epochs_deferred\": %d, \"epochs_forced\": %d, \
      \"eager_flushes\": %d, \"defer_cycles\": %d, \"quanta_granted\": %d, \
-     \"slo_events\": %d, \"epochs\": %d, \"clg_faults\": %d}"
+     \"slo_events\": %d, \"epochs\": %d, \"clg_faults\": %d, \
+     \"duration_ms\": %.3f, \"jobs\": %d}"
     r.r_mode r.r_governed pattern r.r_qps requests servers seed target
     (percentile o 50.0) (percentile o 99.0) (percentile o 99.9)
     o.Serve.offered o.Serve.served o.Serve.shed_depth o.Serve.shed_deadline
@@ -162,7 +174,7 @@ let json_of_row ~pattern ~requests ~servers ~seed ~target r =
     (gi (fun s -> s.Governor.quanta_granted))
     (gi (fun s -> s.Governor.slo_events))
     (List.length o.Serve.result.Workload.Result.phases)
-    o.Serve.result.Workload.Result.clg_faults
+    o.Serve.result.Workload.Result.clg_faults r.r_duration_ms jobs
 
 let all_workload_names = "serve (this tool); spec, pgbench, grpc, tenant (ccr_sim)"
 
@@ -172,7 +184,7 @@ let strategy_names =
   ^ ", safe/cheriot"
 
 let serve modes qpss governor requests servers queue_depth deadline_us
-    target_p99 pattern seed json check =
+    target_p99 pattern seed json check jobs =
   if requests < 1 then begin
     Format.eprintf "ccr_serve: --requests must be at least 1 (got %d)@." requests;
     1
@@ -200,7 +212,10 @@ let serve modes qpss governor requests servers queue_depth deadline_us
       | Gov_off -> [ false ]
       | Gov_both -> [ false; true ]
     in
-    let rows =
+    (* Enumerate the sweep points first, then fan the independent
+       simulations across domains; Pool.map returns rows in point order,
+       so every output below is identical for any --jobs. *)
+    let points =
       List.concat_map
         (fun mode ->
           List.concat_map
@@ -209,12 +224,20 @@ let serve modes qpss governor requests servers queue_depth deadline_us
                 (fun governed ->
                   (* a governor needs a revoker: skip governed Baseline *)
                   if governed && mode = Runtime.Baseline then None
-                  else
-                    Some (run_point ~cfg ~check ~pattern ~mode ~governed ~qps))
+                  else Some (mode, qps, governed))
                 governed_axis)
             qpss)
         modes
     in
+    let rows =
+      Parallel.Pool.map ~jobs
+        (fun (mode, qps, governed) ->
+          run_point ~cfg ~check ~pattern ~mode ~governed ~qps)
+        points
+    in
+    List.iter
+      (fun r -> if r.r_report <> "" then Format.eprintf "%s" r.r_report)
+      rows;
     Format.printf "%-12s %-4s %9s %9s %10s %10s %7s %6s %6s@." "mode" "gov"
       "qps" "p50us" "p99us" "p99.9us" "shed%" "defer" "force";
     List.iter
@@ -245,7 +268,7 @@ let serve modes qpss governor requests servers queue_depth deadline_us
             output_string oc "  ";
             output_string oc
               (json_of_row ~pattern:pattern_name ~requests ~servers ~seed
-                 ~target:target_p99 r))
+                 ~target:target_p99 ~jobs r))
           rows;
         output_string oc "\n]\n";
         close_out oc;
@@ -356,6 +379,19 @@ let main =
              and verify exact SLO accounting (served + shed = offered). \
              Exit nonzero on any finding.")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Parallel.Pool.default_jobs ())
+      & info [ "jobs"; "j" ]
+          ~doc:
+            "Run up to $(docv) sweep points concurrently on separate \
+             domains (default: the machine's recommended domain count, \
+             capped at 16). Each point is an independent seeded \
+             simulation, and results are reassembled in sweep order, so \
+             all output except the host wall-clock $(b,duration_ms) \
+             field is identical for any $(docv)." ~docv:"N")
+  in
   Cmd.v
     (Cmd.info "ccr_serve" ~version:"1.0"
        ~doc:
@@ -379,9 +415,16 @@ let main =
               pauses surface as queueing delay instead of being \
               coordinated-omitted. Same seed, same arguments: byte-identical \
               JSON.";
+           `P
+             "With $(b,--jobs) N the sweep points fan out across N domains. \
+              Points are independent machines and results are reassembled \
+              in sweep order, so every simulated quantity is identical for \
+              any N; only the $(b,duration_ms) field (host wall-clock per \
+              point) and $(b,jobs) field vary. CI enforces this by diffing \
+              normalised --jobs 1 and --jobs 4 output.";
          ])
     Term.(
       const serve $ modes $ qps $ governor $ requests $ servers $ queue_depth
-      $ deadline $ target $ pattern $ seed $ json $ check)
+      $ deadline $ target $ pattern $ seed $ json $ check $ jobs)
 
 let () = exit (Cmd.eval' main)

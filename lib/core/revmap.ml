@@ -37,12 +37,10 @@ let rebind t ~aspace =
   t.aspace <- aspace;
   t.bits <- 0
 
-let popcount64 =
-  let rec go n acc =
-    if Int64.equal n 0L then acc
-    else go (Int64.shift_right_logical n 1) (acc + Int64.to_int (Int64.logand n 1L))
-  in
-  fun n -> go n 0
+(* One shared branch-free implementation (Tagmem.Mem.popcount64): the
+   paint/clear accounting here and the tag-word sweep kernels count bits
+   the same way. *)
+let popcount64 = Tagmem.Mem.popcount64
 
 let check_range t ~addr ~size =
   if addr land (granule - 1) <> 0 || size land (granule - 1) <> 0 || size <= 0 then

@@ -26,7 +26,16 @@ val sweep_page :
 (** Content-scan the page's frame. Implements the read-only heuristic:
     if the page is not user-writable, the scan runs read-only and only
     invokes the full fault machinery (charged) when a capability must
-    actually be revoked. *)
+    actually be revoked.
+
+    Internally uses the word-scan kernel ({!Tagmem.Mem.tag_word}): the
+    page's packed tag bitmap is read 64 granules per load, untagged
+    cache lines are charged in one batch, and only tagged granules
+    materialise capabilities and probe the revocation map. Cycle
+    counts, bus traffic, cache state and trace events are bit-for-bit
+    identical to the per-granule reference loop, which remains in use
+    whenever a chaos tag hook is armed (the hook must observe every
+    granule read). *)
 
 val scan_regfile : Sim.Machine.ctx -> Revmap.t -> Sim.Regfile.t -> int
 (** Probe-and-revoke every tagged register; returns revoked count. *)

@@ -767,6 +767,20 @@ let kern_read_tag ctx ~pa =
 let kern_access ctx ~pa ~write =
   charge ctx (Cache.access (core_of ctx).cache ~addr:pa ~write)
 
+let tag_hook_armed m = m.tag_hook <> None
+
+(* Batched sweep read of [count] consecutive known-untagged granules in
+   one cache line: a single charge covering exactly what [count]
+   [kern_read_cap_stream] (resp. [_nt]) calls would have cost, without
+   materialising the untagged capability values. Only sound when no tag
+   read hook is armed ([tag_hook_armed] is false): the per-granule loop
+   consults the hook on every read, and this helper does not. *)
+let kern_read_untagged_run ?(non_temporal = false) ctx ~pa ~count =
+  let cache = (core_of ctx).cache in
+  charge ctx
+    (if non_temporal then Cache.access_nt_run cache ~addr:pa ~write:false ~count
+     else Cache.access_stream_run cache ~addr:pa ~write:false ~count)
+
 (* ---- VM operations ---- *)
 
 let with_pmap_lock ctx f =

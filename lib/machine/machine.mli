@@ -305,6 +305,18 @@ val kern_read_cap_nt : ctx -> pa:int -> Cheri.Capability.t
 val kern_read_cap_stream : ctx -> pa:int -> Cheri.Capability.t
 (** Streaming (prefetched) variant — the sweep loop's access pattern. *)
 
+val tag_hook_armed : t -> bool
+(** A chaos tag-read hook is installed: per-granule kernel reads must be
+    used on the sweep path so every read consults the hook. *)
+
+val kern_read_untagged_run : ?non_temporal:bool -> ctx -> pa:int -> count:int -> unit
+(** Batched cost of reading [count] consecutive known-untagged granules
+    within one cache line, starting at [pa]: one charge, identical
+    cycles, bus transactions and cache state to [count] individual
+    [kern_read_cap_stream] (resp. [kern_read_cap_nt]) calls. The
+    word-scan sweep's cost model. Caller must have checked
+    {!tag_hook_armed} is false. *)
+
 (** {1 VM operations} *)
 
 val map : ctx -> vaddr:int -> len:int -> writable:bool -> unit

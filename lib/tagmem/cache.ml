@@ -78,6 +78,23 @@ let access t ~addr ~write = access_gen t ~addr ~write ~miss_latency:dram_latency
 let access_stream t ~addr ~write =
   access_gen t ~addr ~write ~miss_latency:(dram_latency / 2)
 
+(* Batched line runs: charge [count] back-to-back accesses to addresses
+   inside ONE line in a single call, with stats and final cache state
+   identical to [count] individual calls. Used by the word-scan sweep
+   kernel, whose cost-model contract is exact equivalence with the old
+   per-granule loop.
+
+   For the allocating variants ([access]/[access_stream]) the first
+   access installs the line in L1, so the remaining [count - 1] are
+   guaranteed L1 hits. *)
+let access_stream_run t ~addr ~write ~count =
+  assert (count >= 1 && (addr + ((count - 1) * 16)) lsr line_shift = addr lsr line_shift);
+  let first = access_stream t ~addr ~write in
+  let st = t.st in
+  st.accesses <- st.accesses + (count - 1);
+  st.l1_hits <- st.l1_hits + (count - 1);
+  first + ((count - 1) * l1_latency)
+
 let access_nt t ~addr ~write =
   let st = t.st in
   st.accesses <- st.accesses + 1;
@@ -100,6 +117,30 @@ let access_nt t ~addr ~write =
       if write then st.bus_writes <- st.bus_writes + 1;
       dram_latency
     end
+  end
+
+(* Non-temporal accesses never install, so every access of the run hits
+   whatever level the first one found (or misses to DRAM each time —
+   exactly what [count] individual [access_nt] calls would do). *)
+let access_nt_run t ~addr ~write ~count =
+  assert (count >= 1 && (addr + ((count - 1) * 16)) lsr line_shift = addr lsr line_shift);
+  let first = access_nt t ~addr ~write in
+  let st = t.st in
+  let rest = count - 1 in
+  st.accesses <- st.accesses + rest;
+  let line = addr lsr line_shift in
+  if t.l1.lines.(slot t.l1 line) = line then begin
+    st.l1_hits <- st.l1_hits + rest;
+    first + (rest * l1_latency)
+  end
+  else if t.l2.lines.(slot t.l2 line) = line then begin
+    st.l2_hits <- st.l2_hits + rest;
+    first + (rest * l2_latency)
+  end
+  else begin
+    st.bus_reads <- st.bus_reads + rest;
+    if write then st.bus_writes <- st.bus_writes + rest;
+    first + (rest * dram_latency)
   end
 
 let stats t = t.st

@@ -46,6 +46,20 @@ val access_stream : t -> addr:int -> write:bool -> int
     parallelism of a sequential hardware-prefetched scan — the revoker's
     page sweep loop. Bus traffic is counted identically. *)
 
+val access_stream_run : t -> addr:int -> write:bool -> count:int -> int
+(** [access_stream_run t ~addr ~write ~count] charges [count]
+    back-to-back granule accesses within the single line containing
+    [addr], starting at [addr]: identical latency total, statistics and
+    final cache state to [count] individual {!access_stream} calls (the
+    first access installs the line; the rest are guaranteed L1 hits).
+    The word-scan sweep kernel's batched cost model. *)
+
+val access_nt_run : t -> addr:int -> write:bool -> count:int -> int
+(** Same batching for {!access_nt}: non-temporal accesses never install
+    a line, so each access of the run repeats the first one's outcome —
+    including one bus transaction {e per access} on miss, exactly as the
+    per-granule loop would be charged. *)
+
 val stats : t -> stats
 val reset_stats : t -> unit
 val flush : t -> unit

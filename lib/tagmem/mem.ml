@@ -9,13 +9,18 @@ type t = {
   shadow : Capability.t array; (* valid iff corresponding tag is set *)
 }
 
+(* One tag bit per granule, packed little-endian: granule [g] is bit
+   [g land 7] of byte [g lsr 3], so [Bytes.get_int64_le tags (8*w)]
+   yields a 64-granule word whose bit [g land 63] is granule [64*w + g].
+   The array is sized to a whole number of 64-bit words so the word-scan
+   kernels can always load full words. *)
 let create ~size =
   let size = (size + granule - 1) / granule * granule in
   let ngran = size / granule in
   {
     size;
     data = Bytes.make size '\000';
-    tags = Bytes.make ((ngran + 7) / 8) '\000';
+    tags = Bytes.make ((ngran + 63) / 64 * 8) '\000';
     shadow = Array.make ngran Capability.null;
   }
 
@@ -27,10 +32,26 @@ let check m a w =
 
 let gidx a = a / granule
 
+(* Branch-free SWAR popcount; shared by the word-scan kernels and
+   Revmap's painted-bit accounting. *)
+let popcount64 n =
+  let open Int64 in
+  let n = sub n (logand (shift_right_logical n 1) 0x5555555555555555L) in
+  let n =
+    add
+      (logand n 0x3333333333333333L)
+      (logand (shift_right_logical n 2) 0x3333333333333333L)
+  in
+  let n = logand (add n (shift_right_logical n 4)) 0x0f0f0f0f0f0f0f0fL in
+  to_int (shift_right_logical (mul n 0x0101010101010101L) 56)
+
+(* check-free inner-loop primitive: caller has validated the range *)
+let unsafe_read_tag m g =
+  Char.code (Bytes.unsafe_get m.tags (g lsr 3)) land (1 lsl (g land 7)) <> 0
+
 let read_tag m a =
   check m a 1;
-  let g = gidx a in
-  Char.code (Bytes.get m.tags (g lsr 3)) land (1 lsl (g land 7)) <> 0
+  unsafe_read_tag m (gidx a)
 
 let set_tag_bit m g v =
   let byte = Char.code (Bytes.get m.tags (g lsr 3)) in
@@ -72,7 +93,7 @@ let aligned a = a land (granule - 1) = 0
 let read_cap m a =
   check m a granule;
   if not (aligned a) then invalid_arg "Mem.read_cap: unaligned";
-  if read_tag m a then m.shadow.(gidx a)
+  if unsafe_read_tag m (gidx a) then m.shadow.(gidx a)
   else
     let addr = Int64.to_int (Bytes.get_int64_le m.data a) in
     Capability.set_addr Capability.null addr
@@ -89,19 +110,68 @@ let write_cap m a c =
   end
   else set_tag_bit m g false
 
-let iter_granules m ~lo ~hi f =
+(* First/last whole granule of [lo, hi) clamped to the memory, as an
+   inclusive granule-index range (empty iff g0 > g1). Hoisting this one
+   range computation replaces the per-granule bounds [check] the checked
+   entry points pay. *)
+let granule_span m ~lo ~hi =
   let lo = max 0 lo and hi = min m.size hi in
-  let a = ref (lo land lnot (granule - 1)) in
-  if !a < lo then a := !a + granule;
-  while !a + granule <= hi do
-    f !a (read_tag m !a);
-    a := !a + granule
+  let g0 = (lo + granule - 1) / granule in
+  let g1 = (hi / granule) - 1 in
+  (g0, g1)
+
+let iter_granules m ~lo ~hi f =
+  let g0, g1 = granule_span m ~lo ~hi in
+  for g = g0 to g1 do
+    f (g * granule) (unsafe_read_tag m g)
   done
+
+let word_of_tags m w = Bytes.get_int64_le m.tags (w lsl 3)
+
+(* Mask selecting bits [b0, b1] (inclusive) of a 64-bit word. *)
+let bit_mask b0 b1 =
+  let width = b1 - b0 + 1 in
+  if width >= 64 then -1L
+  else Int64.shift_left (Int64.sub (Int64.shift_left 1L width) 1L) b0
+
+let iter_tagged_words m ~lo ~hi f =
+  let g0, g1 = granule_span m ~lo ~hi in
+  if g0 <= g1 then begin
+    let w0 = g0 lsr 6 and w1 = g1 lsr 6 in
+    for w = w0 to w1 do
+      let word = word_of_tags m w in
+      if not (Int64.equal word 0L) then begin
+        (* clip the edge words to the requested range *)
+        let b0 = if w = w0 then g0 land 63 else 0 in
+        let b1 = if w = w1 then g1 land 63 else 63 in
+        let word = Int64.logand word (bit_mask b0 b1) in
+        if not (Int64.equal word 0L) then f ((w lsl 6) * granule) word
+      end
+    done
+  end
 
 let count_tags m ~lo ~hi =
   let n = ref 0 in
-  iter_granules m ~lo ~hi (fun _ tagged -> if tagged then incr n);
+  iter_tagged_words m ~lo ~hi (fun _ word -> n := !n + popcount64 word);
   !n
+
+let find_tagged m ~lo ~hi =
+  let found = ref None in
+  (try
+     iter_tagged_words m ~lo ~hi (fun base word ->
+         (* lowest set bit = first tagged granule in this word *)
+         let bit = popcount64 (Int64.sub (Int64.logand word (Int64.neg word)) 1L) in
+         found := Some (base + (bit * granule));
+         raise Exit)
+   with Exit -> ());
+  !found
+
+let tag_word m a =
+  check m a 1;
+  check m (a + (63 * granule)) 1;
+  if a land ((64 * granule) - 1) <> 0 then
+    invalid_arg "Mem.tag_word: not 64-granule aligned";
+  word_of_tags m (gidx a lsr 6)
 
 (* Copy [len] bytes from [src] to [dst], preserving tags and shadow
    capabilities. Both ranges must be granule-aligned, as must [len];
@@ -112,9 +182,10 @@ let copy_range m ~src ~dst ~len =
   if not (aligned src && aligned dst && len land (granule - 1) = 0) then
     invalid_arg "Mem.copy_range: unaligned";
   Bytes.blit m.data src m.data dst len;
+  (* both ranges were checked above: the inner loop is check-free *)
   let g0 = gidx src and gd = gidx dst in
   for i = 0 to (len / granule) - 1 do
-    let t = read_tag m ((g0 + i) * granule) in
+    let t = unsafe_read_tag m (g0 + i) in
     set_tag_bit m (gd + i) t;
     m.shadow.(gd + i) <- (if t then m.shadow.(g0 + i) else Capability.null)
   done

@@ -53,10 +53,41 @@ val clear_tag : t -> int -> unit
 
 val iter_granules : t -> lo:int -> hi:int -> (int -> bool -> unit) -> unit
 (** [iter_granules m ~lo ~hi f] calls [f addr tagged] for every granule
-    start address in [\[lo, hi)]. *)
+    start address in [\[lo, hi)]. The range is validated once; the inner
+    loop is bounds-check-free. *)
+
+(** {1 Word-scan kernels}
+
+    Tags are stored packed, 64 granules per [int64] word; these kernels
+    scan at word granularity and skip all-zero words, which is how both
+    Joannou et al.'s tag controller and the revoker's sweep want to touch
+    tag metadata. They are host-side accessors: no simulated cycles are
+    charged — the caller (e.g. [Sweep.sweep_page]) owes the cost model
+    whatever the equivalent per-granule traffic would have been. *)
+
+val popcount64 : int64 -> int
+(** Branch-free SWAR population count. *)
+
+val iter_tagged_words : t -> lo:int -> hi:int -> (int -> int64 -> unit) -> unit
+(** [iter_tagged_words m ~lo ~hi f] calls [f base word] for every
+    64-granule tag word with at least one tag set among the whole
+    granules of [\[lo, hi)]. [base] is the physical address of the
+    word's first granule (64-granule aligned); bit [i] of [word] is the
+    tag of granule [base + i*granule], with bits outside the requested
+    range cleared. All-zero words are skipped without calling [f]. *)
+
+val find_tagged : t -> lo:int -> hi:int -> int option
+(** Address of the first tagged granule wholly inside [\[lo, hi)], or
+    [None]. Word-at-a-time scan. *)
+
+val tag_word : t -> int -> int64
+(** [tag_word m a] is the packed tag word covering the 64 granules
+    starting at [a], which must be 64-granule (1 KiB) aligned and in
+    range. Bit [i] is the tag of granule [a + i*granule]. *)
 
 val count_tags : t -> lo:int -> hi:int -> int
-(** Number of set tags in the given physical range. *)
+(** Number of set tags in the given physical range (popcount over tag
+    words). *)
 
 val fill : t -> lo:int -> hi:int -> int -> unit
 (** Fill bytes with a constant, clearing tags. *)
