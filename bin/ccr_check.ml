@@ -181,6 +181,25 @@ let skip_mutations_arg =
     value & flag
     & info [ "skip-mutations" ] ~doc:"Only run the clean-workload checks.")
 
+let list_rules_arg =
+  Arg.(
+    value & flag
+    & info [ "list-rules" ]
+        ~doc:
+          "Print every stable sanitizer and race rule identifier with its \
+           one-line description, then exit.")
+
+let list_rules () =
+  Format.printf "sanitizer rules:@.";
+  List.iter
+    (fun (id, doc) -> Format.printf "  %-24s %s@." id doc)
+    Sanitizer.all_rules;
+  Format.printf "race rules:@.";
+  List.iter
+    (fun (id, doc) -> Format.printf "  %-24s %s@." id doc)
+    Race.all_rules;
+  0
+
 let jobs_arg =
   Arg.(
     value
@@ -192,8 +211,9 @@ let jobs_arg =
            printed in check order, so output and exit status are \
            identical for any $(docv)." ~docv:"N")
 
-let main profiles scale seed skip_mutations jobs =
-  if scale <= 0.0 then begin
+let main profiles scale seed skip_mutations jobs rules_only =
+  if rules_only then list_rules ()
+  else if scale <= 0.0 then begin
     Format.eprintf "ccr_check: --scale must be positive (got %g)@." scale;
     1
   end
@@ -224,6 +244,6 @@ let cmd =
           and the happens-before race detector.")
     Term.(
       const main $ profiles_arg $ scale_arg $ seed_arg $ skip_mutations_arg
-      $ jobs_arg)
+      $ jobs_arg $ list_rules_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -145,3 +145,11 @@ let report fmt t =
         end)
       (races t)
   end
+
+let all_rules =
+  [
+    ( "unordered-clear",
+      "bitmap clear not happens-after the region's paint" );
+    ( "unordered-reuse",
+      "allocator release not happens-after the region's paint" );
+  ]

@@ -49,3 +49,7 @@ val detach : t -> unit
 val races : t -> race list
 val ok : t -> bool
 val report : Format.formatter -> t -> unit
+
+val all_rules : (string * string) list
+(** Every stable rule identifier this checker can report, with a
+    one-line description (see [ccr_check --list-rules]). *)

@@ -62,8 +62,8 @@ type pstate = {
 }
 
 type t = {
-  m : Machine.t;
-  tracer : Trace.t;
+  mutable m : Machine.t;
+  mutable tracer : Trace.t;
   mutable sub : int option;
   pstates : (int, pstate) Hashtbl.t;
   mutable stored : violation list; (* newest first, capped *)
@@ -498,6 +498,29 @@ let detach t =
       Trace.unsubscribe t.tracer id;
       t.sub <- None
 
+(* Point an existing sanitizer at a fresh machine, dropping all recorded
+   state but reusing the allocation (the hash tables shrink in place).
+   The model checker re-runs thousands of schedules against one
+   sanitizer this way instead of allocating one per schedule. *)
+let rebind t ?revoker m =
+  detach t;
+  let tracer =
+    match Machine.tracer m with
+    | Some tr -> tr
+    | None ->
+        let tr = Trace.create () in
+        Machine.attach_tracer m (Some tr);
+        tr
+  in
+  t.m <- m;
+  t.tracer <- tracer;
+  Hashtbl.reset t.pstates;
+  Hashtbl.reset t.counts;
+  t.stored <- [];
+  t.total <- 0;
+  register_process t ~pid:0 ?revoker ();
+  t.sub <- Some (Trace.subscribe tracer (on_event t))
+
 let finish t =
   let time = Machine.global_time t.m in
   let pids =
@@ -517,6 +540,8 @@ let total_violations t = t.total
 let count t rule = Option.value ~default:0 (Hashtbl.find_opt t.counts rule)
 let ok t = t.total = 0
 
+let max_reported = 10
+
 let report fmt t =
   if ok t then Format.fprintf fmt "sanitizer: no violations@."
   else begin
@@ -528,10 +553,39 @@ let report fmt t =
     let shown = ref 0 in
     List.iter
       (fun v ->
-        if !shown < 10 then begin
+        if !shown < max_reported then begin
           incr shown;
           Format.fprintf fmt "  [%d @ core %d, pid %d] %s: %s@." v.v_time
             v.v_core v.v_pid v.v_rule v.v_detail
         end)
-      (violations t)
+      (violations t);
+    (* Never truncate silently: disclose everything beyond both the
+       display limit and the storage cap ([t.total] counts violations the
+       capped store dropped). *)
+    if t.total > !shown then
+      Format.fprintf fmt "  …and %d more violation(s) (%d stored)@."
+        (t.total - !shown)
+        (List.length t.stored)
   end
+
+let all_rules =
+  [
+    ("epoch-unbalanced", "Epoch_begin/end/abort/resume nesting is broken");
+    ("epoch-parity", "epoch counter odd at a begin/end/abort boundary");
+    ("epoch-monotonic", "epoch counter skipped or moved backwards");
+    ("missing-shootdown", "Cornucopia epoch swept pages with no TLB shootdown");
+    ("missing-hoard-scan", "epoch ended with kernel hoards never scanned");
+    ("double-paint", "region painted while already in quarantine");
+    ("unpaint-not-dequarantined", "bitmap cleared for a region not dequarantined");
+    ("enqueue-unpainted", "region enqueued without being painted first");
+    ("dequeue-not-enqueued", "region dequeued that was never enqueued");
+    ("early-dequarantine", "region left quarantine before its clean target");
+    ("early-reuse", "freed memory reused before its clean target");
+    ("clg-toggle-outside-stw", "load generation flipped without the world stopped");
+    ("clg-double-toggle", "load generation flipped more than once per epoch");
+    ("clg-core-disagreement", "a core's generation differs from the page map's");
+    ("stale-cap-memory", "tagged cap into quarantined memory survived the epoch");
+    ("stale-cap-regfile", "register holds a cap into quarantine after the epoch");
+    ("stale-cap-hoard", "kernel hoard holds a cap into quarantine after the epoch");
+    ("quarantine-accounting", "painted/unpainted/bitmap byte accounts disagree");
+  ]

@@ -60,6 +60,14 @@ val register_process : t -> pid:int -> ?revoker:Ccr.Revoker.t -> unit -> unit
 val detach : t -> unit
 (** Stop observing; recorded violations remain readable. *)
 
+val rebind : t -> ?revoker:Ccr.Revoker.t -> Sim.Machine.t -> unit
+(** Re-attach this sanitizer to a fresh machine, clearing every recorded
+    violation and all shadow state but reusing the existing allocation.
+    Equivalent to [detach] + a fresh {!attach}, without constructing a
+    new sanitizer — the model checker checks thousands of schedules per
+    scenario with one sanitizer this way. [revoker] plays [attach]'s
+    role for pid 0's partition. *)
+
 val violations : t -> violation list
 (** Violations in detection order (capped; see {!total_violations}). *)
 
@@ -76,4 +84,11 @@ val finish : t -> unit
     Call after {!Sim.Machine.run} returns. *)
 
 val report : Format.formatter -> t -> unit
-(** Human-readable summary: per-rule counts and first examples. *)
+(** Human-readable summary: per-rule counts and first examples, with an
+    explicit "…and N more" line whenever violations exceed what is shown
+    or stored — truncation is always disclosed. *)
+
+val all_rules : (string * string) list
+(** Every stable rule identifier this sanitizer can report, with a
+    one-line description — the vocabulary [ccr_check --list-rules]
+    prints and [ccr_mc] assertions reference. *)

@@ -251,6 +251,77 @@ let uninstall t =
   Machine.set_shootdown_ack_hook t.m None;
   Machine.set_tag_read_hook t.m None
 
+(* ---- branchable fault points (model checking) ----
+
+   Instead of arming cycles drawn from a seed, every potential injection
+   site consults a [decide] callback: the model checker answers it from
+   the schedule prefix it is exploring, so inject-vs-don't becomes a
+   branch point of the search rather than a coin toss. Only the two
+   kinds that create the crash/resume protocol paths (Stw_abandon,
+   Epoch_abort, Epoch_resume) are branchable — the others perturb cost,
+   not control flow. [decide] is consulted only while the injection
+   budget lasts, keeping the branching factor finite. *)
+
+let install_branch m ?revoker ?(budget = 1) ?(stuck_drain = 1_000_000_000)
+    ~kinds ~decide () =
+  let mk_fault i k param =
+    { f_id = i; f_kind = k; f_at = 0; f_param = param; f_count = budget }
+  in
+  let faults =
+    List.mapi
+      (fun i k ->
+        match k with
+        | Sweep_crash -> mk_fault i k 0
+        | Stuck_quiesce -> mk_fault i k stuck_drain
+        | Shootdown_ack_loss | Tag_corruption | Quarantine_stall | Tenant_kill
+          ->
+            invalid_arg
+              (Printf.sprintf "Chaos.install_branch: %s is not branchable"
+                 (kind_name k)))
+      kinds
+  in
+  let t =
+    {
+      m;
+      schedule = { sched_id = 0; horizon = 0; faults };
+      arms =
+        List.map
+          (fun f ->
+            {
+              fault = f;
+              remaining = f.f_count;
+              injected = 0;
+              corrupted = Hashtbl.create 1;
+            })
+          faults;
+    }
+  in
+  (match revoker with
+  | Some rv when find t Sweep_crash <> [] ->
+      Revoker.set_sweep_hook rv
+        (Some
+           (fun ctx _vp ->
+             match
+               List.find_opt (fun a -> a.remaining > 0) (find t Sweep_crash)
+             with
+             | Some a when decide Sweep_crash ->
+                 emit t ctx a;
+                 raise Revoker.Induced_crash
+             | Some _ | None -> ()))
+  | Some _ | None -> ());
+  if find t Stuck_quiesce <> [] then
+    Machine.set_drain_hook m
+      (Some
+         (fun ctx drain ->
+           match
+             List.find_opt (fun a -> a.remaining > 0) (find t Stuck_quiesce)
+           with
+           | Some a when decide Stuck_quiesce ->
+               emit t ctx a;
+               drain + a.fault.f_param
+           | Some _ | None -> drain));
+  t
+
 (* ---- accounting ---- *)
 
 type outcome = { o_kind : kind; o_id : int; o_injected : int; o_spent : bool }

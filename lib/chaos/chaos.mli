@@ -73,6 +73,30 @@ val uninstall : t -> unit
 (** Clear the machine-level hooks (revoker/shim hooks die with their
     owners). *)
 
+val install_branch :
+  Sim.Machine.t ->
+  ?revoker:Ccr.Revoker.t ->
+  ?budget:int ->
+  ?stuck_drain:int ->
+  kinds:kind list ->
+  decide:(kind -> bool) ->
+  unit ->
+  t
+(** Model-checking variant of {!install}: instead of seed-chosen arming
+    cycles, every potential injection site consults [decide] — the
+    sweep's per-page visits for [Sweep_crash], syscall entries for
+    [Stuck_quiesce] — so inject-vs-don't is a branch point the model
+    checker enumerates, making the crash/resume protocol paths
+    ([Stw_abandon], [Epoch_abort], [Epoch_resume]) reachable by search
+    rather than by luck. [budget] (default 1) bounds the number of
+    [true] answers acted on per kind, keeping the branching finite;
+    [decide] is not consulted once the budget is spent. [stuck_drain]
+    (default 10^9) is the drain inflation for [Stuck_quiesce]. Only
+    [Sweep_crash] and [Stuck_quiesce] are branchable — the other kinds
+    perturb cost, not protocol control flow; passing them raises
+    [Invalid_argument]. Injections emit [Chaos_inject] and count in
+    {!outcomes} exactly like scheduled faults. *)
+
 type outcome = {
   o_kind : kind;
   o_id : int;

@@ -48,6 +48,12 @@ let fault_name = function
   | Skip_hoard_scan -> "skip-hoard-scan"
   | Early_dequarantine -> "early-dequarantine"
 
+let all_faults = [ Skip_shootdown; Skip_hoard_scan; Early_dequarantine ]
+let fault_of_name s = List.find_opt (fun f -> fault_name f = s) all_faults
+
+let strategy_of_name s =
+  List.find_opt (fun st -> strategy_name st = s) extended_strategies
+
 exception Induced_crash
 
 exception Epoch_aborted
@@ -557,6 +563,12 @@ let run_cornucopia t ctx =
                 Hashtbl.replace t.visit_set vp ();
                 pte.Pte.cap_dirty <- false;
                 Machine.charge ctx Cost.pte_update;
+                (* the dirty-bit clear must reach every TLB here too:
+                   stopped threads resume with cached PTE copies, and a
+                   stale cap-dirty=1 entry lets their next cap store skip
+                   re-dirtying the page for the following epoch *)
+                if t.fault <> Some Skip_shootdown then
+                  Machine.tlb_shootdown ~asid ctx ~vpages:[ vp ];
                 let st =
                   Sweep.sweep_page ~non_temporal:t.non_temporal ctx t.revmap ~pte
                 in

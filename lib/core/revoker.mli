@@ -53,6 +53,14 @@ type fault = Skip_shootdown | Skip_hoard_scan | Early_dequarantine
 
 val fault_name : fault -> string
 
+val all_faults : fault list
+
+val fault_of_name : string -> fault option
+(** Inverse of {!fault_name} — replay files and CLI flags name faults. *)
+
+val strategy_of_name : string -> strategy option
+(** Inverse of {!strategy_name} over {!extended_strategies}. *)
+
 exception Induced_crash
 (** Raised by a chaos sweep hook (see {!set_sweep_hook}) to model the
     sweep machinery dying mid-page. Never escapes the revoker: the epoch

@@ -103,6 +103,11 @@ and t = {
   mutable tag_hook : (pa:int -> bool) option;
       (* [true] = this tag read returns corrupted data once; the
          machine detects it (tag parity), charges a re-read, retries *)
+  mutable sched_oracle : (default:thread -> thread list -> thread) option;
+      (* model-checking hook: when installed, every scheduler pick
+         presents ALL eligible threads (spawn order) plus the thread the
+         built-in policy would choose, and runs whatever the oracle
+         returns instead *)
   prng : Prng.t;
   mutable ctx_switches : int;
   mutable stw_count : int;
@@ -175,6 +180,7 @@ let create cfg =
     drain_hook = None;
     ack_hook = None;
     tag_hook = None;
+    sched_oracle = None;
     prng = Prng.create ~seed:cfg.seed;
     ctx_switches = 0;
     stw_count = 0;
@@ -233,6 +239,7 @@ let spawn m ~name ~core ?(user = true) ?(pid = 0) ?aspace body =
   th
 
 let thread_name th = th.name
+let thread_id th = th.tid
 let thread_cpu_cycles th = th.cpu
 let thread_pid th = th.pid
 let thread_aspace th = th.asp
@@ -349,10 +356,15 @@ let sleep ctx n =
 
 let condvar () = { waiters = [] }
 
+(* Register on the condvar before the STW checkpoint: a thread parked at
+   the checkpoint must already be a waiter, so a broadcast issued while
+   it is parked (or between the release and its resume) flips its parked
+   state to runnable instead of being lost. Registering after the
+   checkpoint loses exactly those wakeups. *)
 let wait ctx cv =
-  checkpoint ctx;
   cv.waiters <- ctx.th :: cv.waiters;
   ctx.th.state <- Waiting cv;
+  checkpoint ctx;
   perform_yield ()
 
 let broadcast ctx cv =
@@ -400,6 +412,7 @@ let kill_pid m pid =
   !n
 
 let set_drain_hook m h = m.drain_hook <- h
+let set_sched_oracle m o = m.sched_oracle <- o
 let set_shootdown_ack_hook m h = m.ack_hook <- h
 let set_tag_read_hook m h = m.tag_hook <- h
 
@@ -887,7 +900,23 @@ let pick m =
               ()
           | _ -> best := Some (t, th)))
     m.threads;
-  !best
+  match (m.sched_oracle, !best) with
+  | None, b | _, (None as b) -> b
+  | Some oracle, Some (_, default) -> (
+      (* Present every eligible thread (m.threads is in spawn order, so
+         the candidate list is deterministic) and run the oracle's
+         choice at its own eligible time. Any eligible thread is a legal
+         next step: wake times and core clocks are re-imposed by
+         [resume], so the oracle only reorders commits, never violates
+         causality. *)
+      let cands =
+        List.filter (fun th -> eligible_time m th <> None) m.threads
+      in
+      let chosen = oracle ~default cands in
+      match eligible_time m chosen with
+      | Some t -> Some (t, chosen)
+      | None ->
+          invalid_arg "Machine: scheduling oracle returned an ineligible thread")
 
 let dump_states m =
   let b = Buffer.create 256 in

@@ -79,6 +79,11 @@ val run : t -> unit
 exception Deadlock of string
 
 val thread_name : thread -> string
+
+val thread_id : thread -> int
+(** Stable spawn-order identifier, unique within a machine — the handle
+    scheduling oracles and replay schedules use to name a thread. *)
+
 val thread_cpu_cycles : thread -> int
 (** Total on-core cycles this thread has consumed. *)
 
@@ -231,6 +236,20 @@ val set_cap_store_hook :
     Generic callbacks the chaos engine ([lib/chaos]) installs; the
     machine knows nothing about fault schedules. All absent by
     default, in which case behaviour is exactly the unhooked machine. *)
+
+val set_sched_oracle :
+  t -> (default:thread -> thread list -> thread) option -> unit
+(** Install (or clear) a scheduling oracle. When present, every
+    scheduler pick calls it with the full list of eligible threads (in
+    spawn order) and [default], the thread the built-in
+    smallest-clock/least-recently-ran policy would choose; whatever it
+    returns runs next. Returning [default] reproduces the unhooked
+    machine exactly; returning any other eligible thread explores a
+    different but causally legal interleaving (wake times and core
+    clocks are still honoured at resume). The model checker ([lib/mc])
+    drives the machine through inequivalent safe-point interleavings
+    with this hook. Raises [Invalid_argument] if the oracle returns a
+    thread that is not currently eligible. *)
 
 val set_drain_hook : t -> (ctx -> int -> int) option -> unit
 (** Rewrite the uninterruptible drain a thread declares on syscall

@@ -1,0 +1,52 @@
+(** Dependence relation over schedule-segment footprints.
+
+    The explorer partitions each execution into {e segments}: the events
+    emitted between two consecutive scheduling (or chaos-branch)
+    decisions. Two segments {e commute} — swapping their order cannot
+    change any protocol-visible state — when their footprints are
+    disjoint under this relation; DPOR only backtracks where they do
+    not.
+
+    Footprint items, derived from {!Sim.Trace} events and capability
+    stores:
+
+    - {e region} items for the quarantine lifecycle events ([Paint],
+      [Unpaint], [Quarantine_enq], [Quarantine_deq], [Reuse]): two
+      segments conflict iff their regions overlap;
+    - {e capability-store} items (one 16-byte granule per tagged store,
+      from {!Sim.Machine.set_cap_store_hook}): conflict on the same
+      granule or with any overlapping region;
+    - {e global} items for every event that touches machine-wide
+      protocol state — epoch transitions, stop-the-world phases, CLG
+      toggles and faults, TLB shootdowns, hoard scans, page sweeps
+      ([Page_sweep]'s argument is a physical frame, not comparable with
+      virtual region bases, so the whole event is global), process
+      lifecycle and chaos injections. A global item conflicts with any
+      non-empty footprint.
+
+    Scheduler bookkeeping ([Context_switch]) and observability-only
+    events (governor, serving, [Custom]) contribute nothing: they carry
+    no protocol state.
+
+    The relation is an over-approximation with respect to the checked
+    properties (the sanitizer's per-region lifecycle rules and the
+    end-state assertions): segments judged independent may interleave
+    their effects on incidental state — e.g. the order of two disjoint
+    regions inside one quarantine batch — but no checked predicate can
+    distinguish those orders. See DESIGN.md, "Model checking". *)
+
+type footprint
+
+val empty : footprint
+val is_empty : footprint -> bool
+
+val add_event : footprint -> Sim.Trace.event -> footprint
+(** Fold a traced event into the footprint. *)
+
+val add_cap_store : footprint -> vaddr:int -> footprint
+(** Fold a tagged capability store (granule-aligned) into the footprint. *)
+
+val dependent : footprint -> footprint -> bool
+(** Symmetric. Empty footprints are independent of everything. *)
+
+val pp : Format.formatter -> footprint -> unit

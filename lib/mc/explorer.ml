@@ -1,0 +1,489 @@
+module Machine = Sim.Machine
+module Trace = Sim.Trace
+module Revoker = Ccr.Revoker
+module Sanitizer = Analysis.Sanitizer
+module Race = Analysis.Race
+
+type violation = {
+  v_rules : string list;
+  v_detail : string;
+  v_report : string;
+  v_schedule : Schedule.choice list;
+}
+
+type outcome = {
+  executions : int;
+  max_points : int;
+  backtracks : int;
+  capped : bool;
+  diverged : int;
+  min_trials : int;
+  violation : violation option;
+}
+
+type run_report = {
+  r_violation : (string list * string) option;
+  r_report : string;
+  r_trace : string;
+  r_end_errors : string list;
+  r_points : int;
+  r_choices : Schedule.choice list;
+}
+
+(* ---- one execution ---- *)
+
+(* A choice point traversed by one execution: its arms, the arm taken,
+   the footprint of the segment that followed, and the sleep set in
+   force when the point was reached. *)
+type point = {
+  p_cands : Schedule.choice list;
+  p_taken : Schedule.choice;
+  p_owner : int option; (* Sched tid; None at chaos branch points *)
+  mutable p_fp : Dep.footprint;
+  p_sleep : (Schedule.choice * Dep.footprint) list;
+  p_branch : bool;
+}
+
+type exec = {
+  x_points : point array;
+  x_choices : Schedule.choice list;
+  x_violation : (string list * string) option;
+  x_report : string;
+  x_end_errors : string list;
+  x_diverged : bool;
+  x_trace : string;
+}
+
+(* Execute one schedule: follow [prefix] at the first choice points,
+   then (use_sleep) redirect away from sleeping arms or (otherwise) take
+   the machine's default pick. [pre_sleep.(k)] are the sleep entries the
+   DFS accumulated at prefix node k (siblings explored before the forced
+   arm), re-applied so sleep state is rebuilt identically on replay. *)
+let run_exec ~san_cell ~scenario ~strategy ~fault ~prefix ~pre_sleep ~use_sleep
+    ~want_trace () =
+  let points = ref [] (* reversed *) in
+  let npoints = ref 0 in
+  let cur = ref Dep.empty in
+  let sleep_cur = ref [] in
+  let diverged = ref false in
+  let consultations = ref 0 in
+  let close_segment () =
+    (match !points with
+    | p :: _ ->
+        p.p_fp <- !cur;
+        sleep_cur :=
+          List.filter (fun (_, f) -> not (Dep.dependent f !cur)) !sleep_cur
+    | [] -> ());
+    cur := Dep.empty
+  in
+  let record ~cands ~taken ~owner ~branch =
+    let k = !npoints in
+    incr npoints;
+    (if k < Array.length pre_sleep then
+       let add =
+         List.filter
+           (fun (c, _) -> c <> taken && not (List.mem_assoc c !sleep_cur))
+           pre_sleep.(k)
+       in
+       sleep_cur := add @ !sleep_cur);
+    points :=
+      {
+        p_cands = cands;
+        p_taken = taken;
+        p_owner = owner;
+        p_fp = Dep.empty;
+        p_sleep = !sleep_cur;
+        p_branch = branch;
+      }
+      :: !points
+  in
+  let choose_sched ~default cands =
+    incr consultations;
+    if !consultations > 2_000_000 then
+      failwith "mc: runaway schedule (consultation budget exceeded)";
+    match cands with
+    | [ only ] -> only
+    | _ ->
+        close_segment ();
+        let arms =
+          List.map (fun th -> Schedule.Sched (Machine.thread_id th)) cands
+        in
+        let k = !npoints in
+        let dflt = Schedule.Sched (Machine.thread_id default) in
+        let taken =
+          if k < Array.length prefix then begin
+            let c = prefix.(k) in
+            if List.mem c arms then c
+            else begin
+              diverged := true;
+              dflt
+            end
+          end
+          else if not use_sleep then dflt
+          else begin
+            let sleeping c = List.mem_assoc c !sleep_cur in
+            if not (sleeping dflt) then dflt
+            else
+              match List.find_opt (fun c -> not (sleeping c)) arms with
+              | Some c -> c
+              | None -> dflt
+          end
+        in
+        let tid = match taken with Schedule.Sched t -> t | _ -> assert false in
+        let th = List.find (fun th -> Machine.thread_id th = tid) cands in
+        record ~cands:arms ~taken ~owner:(Some tid) ~branch:false;
+        th
+  in
+  let decide kind =
+    incr consultations;
+    close_segment ();
+    let kname = Chaos.kind_name kind in
+    let arms =
+      [ Schedule.Branch (kname, false); Schedule.Branch (kname, true) ]
+    in
+    let k = !npoints in
+    let taken =
+      if k < Array.length prefix then
+        match prefix.(k) with
+        | Schedule.Branch (n, b) when n = kname -> Schedule.Branch (n, b)
+        | _ ->
+            diverged := true;
+            Schedule.Branch (kname, false)
+      else Schedule.Branch (kname, false)
+    in
+    record ~cands:arms ~taken ~owner:None ~branch:true;
+    match taken with Schedule.Branch (_, b) -> b | _ -> false
+  in
+  let san = ref None in
+  let sanitizer ?revoker m =
+    let s =
+      match !san_cell with
+      | None ->
+          let s = Sanitizer.attach ?revoker m in
+          san_cell := Some s;
+          s
+      | Some s ->
+          Sanitizer.rebind s ?revoker m;
+          s
+    in
+    san := Some s;
+    s
+  in
+  let h = Scenario.build scenario ~strategy ?fault ~sanitizer ~decide () in
+  let race = Race.attach h.Scenario.machine in
+  Machine.set_sched_oracle h.Scenario.machine (Some choose_sched);
+  ignore
+    (Trace.subscribe h.Scenario.tracer (fun e -> cur := Dep.add_event !cur e)
+      : int);
+  Machine.set_cap_store_hook h.Scenario.machine
+    (Some (fun ~vaddr _cap -> cur := Dep.add_cap_store !cur ~vaddr));
+  let crash = ref None in
+  (try Machine.run h.Scenario.machine with
+  | Machine.Deadlock msg -> crash := Some ("deadlock", msg)
+  | Failure msg when String.length msg >= 4 && String.sub msg 0 4 = "mc: " ->
+      crash := Some ("runaway", msg));
+  close_segment ();
+  let san = Option.get !san in
+  Sanitizer.finish san;
+  Race.detach race;
+  let end_errors =
+    match !crash with Some _ -> [] | None -> h.Scenario.end_checks ()
+  in
+  let san_rules =
+    List.fold_left
+      (fun acc v ->
+        if List.mem v.Sanitizer.v_rule acc then acc else acc @ [ v.Sanitizer.v_rule ])
+      []
+      (Sanitizer.violations san)
+  in
+  let race_rules =
+    List.fold_left
+      (fun acc r ->
+        if List.mem r.Race.c_rule acc then acc else acc @ [ r.Race.c_rule ])
+      [] (Race.races race)
+  in
+  let rules =
+    (match !crash with Some (r, _) -> [ r ] | None -> [])
+    @ san_rules @ race_rules
+    @ (if end_errors <> [] then [ "end-state" ] else [])
+  in
+  let detail =
+    match (!crash, Sanitizer.violations san, Race.races race, end_errors) with
+    | Some (_, msg), _, _, _ -> msg
+    | None, v :: _, _, _ ->
+        Printf.sprintf "%s: %s" v.Sanitizer.v_rule v.Sanitizer.v_detail
+    | None, [], r :: _, _ -> Printf.sprintf "%s at %#x" r.Race.c_rule r.Race.c_addr
+    | None, [], [], e :: _ -> e
+    | None, [], [], [] -> ""
+  in
+  let report =
+    if rules = [] then ""
+    else begin
+      let buf = Buffer.create 256 in
+      let fmt = Format.formatter_of_buffer buf in
+      (match !crash with
+      | Some (r, msg) -> Format.fprintf fmt "%s: %s@." r msg
+      | None -> ());
+      if not (Sanitizer.ok san) then Sanitizer.report fmt san;
+      if not (Race.ok race) then Race.report fmt race;
+      List.iter (fun e -> Format.fprintf fmt "end-state: %s@." e) end_errors;
+      Format.pp_print_flush fmt ();
+      Buffer.contents buf
+    end
+  in
+  let trace_txt =
+    if not want_trace then ""
+    else begin
+      let buf = Buffer.create 4096 in
+      let fmt = Format.formatter_of_buffer buf in
+      Trace.dump fmt ~last:150 h.Scenario.tracer;
+      Format.pp_print_flush fmt ();
+      Buffer.contents buf
+    end
+  in
+  let pts = Array.of_list (List.rev !points) in
+  {
+    x_points = pts;
+    x_choices = List.map (fun p -> p.p_taken) (Array.to_list pts);
+    x_violation = (if rules = [] then None else Some (rules, detail));
+    x_report = report;
+    x_end_errors = end_errors;
+    x_diverged = !diverged;
+    x_trace = trace_txt;
+  }
+
+(* ---- the DFS with DPOR ---- *)
+
+type node = {
+  n_cands : Schedule.choice list;
+  mutable n_taken : Schedule.choice;
+  mutable n_done : Schedule.choice list; (* exploration order; taken last *)
+  mutable n_backtrack : Schedule.choice list;
+  mutable n_sleep : (Schedule.choice * Dep.footprint) list;
+  mutable n_fps : (Schedule.choice * Dep.footprint) list;
+  n_branch : bool;
+}
+
+let explore ~scenario ~strategy ?fault ?(naive = false) ?(max_schedules = 400)
+    ?(depth = 48) ?root () =
+  let san_cell = ref None in
+  let stack : node option array = Array.make (max depth 1) None in
+  let len = ref 0 in
+  let executions = ref 0 in
+  let max_points = ref 0 in
+  let backtracks = ref 0 in
+  let capped = ref false in
+  let diverged_n = ref 0 in
+  let violation = ref None in
+  let min_trials = ref 0 in
+  let add_backtrack nd c =
+    if not (List.mem c nd.n_backtrack) then begin
+      nd.n_backtrack <- nd.n_backtrack @ [ c ];
+      incr backtracks
+    end
+  in
+  let process (x : exec) =
+    max_points := max !max_points (Array.length x.x_points);
+    if x.x_diverged then incr diverged_n;
+    let n = Array.length x.x_points in
+    let limit = min n (Array.length stack) in
+    let k = ref 0 in
+    let ok = ref true in
+    while !ok && !k < limit do
+      let p = x.x_points.(!k) in
+      if !k < !len then begin
+        match stack.(!k) with
+        | Some nd when nd.n_cands = p.p_cands && nd.n_taken = p.p_taken ->
+            if not (List.mem_assoc p.p_taken nd.n_fps) then
+              nd.n_fps <- (p.p_taken, p.p_fp) :: nd.n_fps
+        | _ ->
+            (* structural divergence: the tree below here changed *)
+            len := !k;
+            ok := false
+      end
+      else if !k = !len then begin
+        stack.(!k) <-
+          Some
+            {
+              n_cands = p.p_cands;
+              n_taken = p.p_taken;
+              n_done = [ p.p_taken ];
+              n_backtrack =
+                (if naive || p.p_branch then p.p_cands else [ p.p_taken ]);
+              n_sleep = (if naive then [] else p.p_sleep);
+              n_fps = [ (p.p_taken, p.p_fp) ];
+              n_branch = p.p_branch;
+            };
+        incr len
+      end;
+      incr k
+    done;
+    if !ok && n < !len then len := n;
+    (* Backtrack seeding: for each scheduled segment, its latest
+       dependent predecessor from a different thread must be reorderable
+       — add the later thread to the earlier node's backtrack set (or
+       every arm when that thread is not eligible there: the
+       persistent-set fallback). Branch points are skipped on both
+       sides: both their arms are always explored. *)
+    if not naive then
+      for j = 1 to n - 1 do
+        let pj = x.x_points.(j) in
+        match pj.p_owner with
+        | None -> ()
+        | Some qj ->
+            if not (Dep.is_empty pj.p_fp) then begin
+              let found = ref false in
+              let i = ref (j - 1) in
+              while (not !found) && !i >= 0 do
+                let pi = x.x_points.(!i) in
+                (match pi.p_owner with
+                | Some qi when qi <> qj && Dep.dependent pi.p_fp pj.p_fp ->
+                    found := true;
+                    if !i < !len then begin
+                      match stack.(!i) with
+                      | Some nd when not nd.n_branch ->
+                          let want = Schedule.Sched qj in
+                          if List.mem want nd.n_cands then add_backtrack nd want
+                          else List.iter (add_backtrack nd) nd.n_cands
+                      | Some _ | None -> ()
+                    end
+                | Some _ | None -> ());
+                decr i
+              done
+            end
+      done
+  in
+  let min_frontier = match root with Some _ -> 1 | None -> 0 in
+  let next_frontier () =
+    let rec scan d =
+      if d < min_frontier then None
+      else
+        match stack.(d) with
+        | None -> scan (d - 1)
+        | Some nd -> (
+            let pending =
+              List.filter
+                (fun c ->
+                  (not (List.mem c nd.n_done))
+                  && not (List.mem_assoc c nd.n_sleep))
+                nd.n_backtrack
+            in
+            match pending with
+            | [] -> scan (d - 1)
+            | c :: _ ->
+                nd.n_done <- nd.n_done @ [ c ];
+                nd.n_taken <- c;
+                len := d + 1;
+                let prefix =
+                  Array.init (d + 1) (fun k -> (Option.get stack.(k)).n_taken)
+                in
+                let pre_sleep =
+                  Array.init (d + 1) (fun k ->
+                      let nd = Option.get stack.(k) in
+                      List.filter_map
+                        (fun c' ->
+                          if c' = nd.n_taken then None
+                          else
+                            Option.map
+                              (fun fp -> (c', fp))
+                              (List.assoc_opt c' nd.n_fps))
+                        nd.n_done)
+                in
+                Some (prefix, pre_sleep))
+    in
+    scan (!len - 1)
+  in
+  let minimize rules detail (x : exec) =
+    let target = match rules with r :: _ -> Some r | [] -> None in
+    let full = Array.of_list x.x_choices in
+    let nfull = Array.length full in
+    let matches (y : exec) =
+      match y.x_violation with
+      | None -> false
+      | Some (rs, _) -> (
+          match target with Some r -> List.mem r rs | None -> true)
+    in
+    let rec try_l l =
+      if l > nfull then None
+      else begin
+        let y =
+          run_exec ~san_cell ~scenario ~strategy ~fault
+            ~prefix:(Array.sub full 0 l) ~pre_sleep:[||] ~use_sleep:false
+            ~want_trace:false ()
+        in
+        incr min_trials;
+        if matches y then Some (Array.to_list (Array.sub full 0 l), y)
+        else try_l (l + 1)
+      end
+    in
+    match try_l 0 with
+    | Some (sched, y) ->
+        {
+          v_rules = (match y.x_violation with Some (r, _) -> r | None -> rules);
+          v_detail =
+            (match y.x_violation with Some (_, d) -> d | None -> detail);
+          v_report = y.x_report;
+          v_schedule = sched;
+        }
+    | None ->
+        (* the full recorded schedule reproduces by construction; if the
+           leading rule still shifted, fall back to the original record *)
+        {
+          v_rules = rules;
+          v_detail = detail;
+          v_report = x.x_report;
+          v_schedule = x.x_choices;
+        }
+  in
+  let rec loop prefix pre_sleep =
+    if !executions >= max_schedules then capped := true
+    else begin
+      let x =
+        run_exec ~san_cell ~scenario ~strategy ~fault ~prefix ~pre_sleep
+          ~use_sleep:(not naive) ~want_trace:false ()
+      in
+      incr executions;
+      process x;
+      match x.x_violation with
+      | Some (rules, detail) -> violation := Some (minimize rules detail x)
+      | None -> (
+          match next_frontier () with
+          | None -> ()
+          | Some (p, ps) -> loop p ps)
+    end
+  in
+  let prefix0 = match root with Some c -> [| c |] | None -> [||] in
+  loop prefix0 [||];
+  {
+    executions = !executions;
+    max_points = !max_points;
+    backtracks = !backtracks;
+    capped = !capped;
+    diverged = !diverged_n;
+    min_trials = !min_trials;
+    violation = !violation;
+  }
+
+let root_candidates ~scenario ~strategy ?fault () =
+  let san_cell = ref None in
+  let x =
+    run_exec ~san_cell ~scenario ~strategy ~fault ~prefix:[||] ~pre_sleep:[||]
+      ~use_sleep:false ~want_trace:false ()
+  in
+  if Array.length x.x_points = 0 then [] else x.x_points.(0).p_cands
+
+let run_one ~scenario ~strategy ?fault ~prefix () =
+  let san_cell = ref None in
+  let x =
+    run_exec ~san_cell ~scenario ~strategy ~fault
+      ~prefix:(Array.of_list prefix) ~pre_sleep:[||] ~use_sleep:false
+      ~want_trace:true ()
+  in
+  {
+    r_violation = x.x_violation;
+    r_report = x.x_report;
+    r_trace = x.x_trace;
+    r_end_errors = x.x_end_errors;
+    r_points = Array.length x.x_points;
+    r_choices = x.x_choices;
+  }

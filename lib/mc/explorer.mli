@@ -1,0 +1,92 @@
+(** Stateless-search DPOR explorer over {!Scenario} configurations.
+
+    Each {e execution} recreates the scenario's machine from scratch,
+    installs a scheduling oracle ({!Sim.Machine.set_sched_oracle}) and a
+    chaos [decide] callback, and drives {!Sim.Machine.run} to
+    completion. A {e choice point} is an oracle consultation with two or
+    more eligible threads, or a chaos consultation (always two arms);
+    forced picks consume nothing. The decisions of one execution form
+    its {!Schedule.choice} list; everything between choice points is
+    deterministic, so re-supplying a prefix replays it exactly.
+
+    The search is a depth-first walk of the choice tree with
+    Flanagan–Godefroid dynamic partial-order reduction: after each
+    execution, for every scheduled segment the latest dependent segment
+    of a different thread (under {!Dep.dependent}) seeds a backtrack
+    point; sleep sets prune choices whose subtrees were already covered
+    by an explored sibling, carrying the sibling's segment footprint so
+    a sleeping entry is dropped as soon as a dependent segment executes.
+    Chaos branch points are never pruned — both arms are always
+    explored. Per-execution checks: the full sanitizer rule set, the
+    happens-before race rules, deadlock, and the scenario's end-state
+    assertions. Exploration stops at the first violating execution; its
+    schedule is then minimized to the shortest prefix that still
+    reproduces the leading rule under default continuation.
+
+    [naive] mode disables both reductions (every choice of every node is
+    a backtrack point, no sleep sets) — the exhaustive enumeration DPOR
+    is measured against. *)
+
+type violation = {
+  v_rules : string list;  (** rules observed, first = the leading one *)
+  v_detail : string;  (** first violation, human-readable *)
+  v_report : string;  (** full checker report of the minimized replay *)
+  v_schedule : Schedule.choice list;  (** minimal reproducing prefix *)
+}
+
+type outcome = {
+  executions : int;  (** schedules actually run (minimization excluded) *)
+  max_points : int;  (** deepest choice-point count seen in one execution *)
+  backtracks : int;  (** dependent pairs that seeded backtrack points *)
+  capped : bool;  (** [max_schedules] exhausted before the tree was *)
+  diverged : int;  (** prefix replays that went structurally off-path *)
+  min_trials : int;  (** executions spent minimizing the violation *)
+  violation : violation option;
+}
+
+val explore :
+  scenario:Scenario.t ->
+  strategy:Ccr.Revoker.strategy ->
+  ?fault:Ccr.Revoker.fault ->
+  ?naive:bool ->
+  ?max_schedules:int ->
+  ?depth:int ->
+  ?root:Schedule.choice ->
+  unit ->
+  outcome
+(** Explore the scenario's choice tree. [max_schedules] (default 400)
+    bounds executions; [depth] (default 48) bounds the choice points
+    that become backtrackable nodes (deeper points still execute, under
+    default continuation). [root] pins the first choice point to one
+    arm and never backtracks it — the unit of parallel subtree
+    exploration (run one [explore] per arm of {!root_candidates} and
+    merge). One sanitizer is allocated per call and rebound across
+    executions ({!Analysis.Sanitizer.rebind}). *)
+
+val root_candidates :
+  scenario:Scenario.t ->
+  strategy:Ccr.Revoker.strategy ->
+  ?fault:Ccr.Revoker.fault ->
+  unit ->
+  Schedule.choice list
+(** Arms of the first choice point (one probe execution); empty when the
+    scenario has no choice point under this strategy. *)
+
+type run_report = {
+  r_violation : (string list * string) option;  (** rules, first detail *)
+  r_report : string;  (** checker reports (empty when clean) *)
+  r_trace : string;  (** tail of the event trace *)
+  r_end_errors : string list;
+  r_points : int;  (** choice points traversed *)
+  r_choices : Schedule.choice list;  (** full decision record *)
+}
+
+val run_one :
+  scenario:Scenario.t ->
+  strategy:Ccr.Revoker.strategy ->
+  ?fault:Ccr.Revoker.fault ->
+  prefix:Schedule.choice list ->
+  unit ->
+  run_report
+(** Execute exactly one schedule: follow [prefix], then the machine's
+    default picks — the replay entry point. *)

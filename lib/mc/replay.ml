@@ -1,0 +1,46 @@
+type result = { passed : bool; output : string }
+
+let run (sched : Schedule.t) =
+  let buf = Buffer.create 4096 in
+  let fmt = Format.formatter_of_buffer buf in
+  match Scenario.find sched.Schedule.scenario with
+  | None ->
+      Format.fprintf fmt "replay: unknown scenario %S@." sched.Schedule.scenario;
+      Format.pp_print_flush fmt ();
+      { passed = false; output = Buffer.contents buf }
+  | Some sc ->
+      Format.fprintf fmt "replaying %a" Schedule.pp sched;
+      let r =
+        Explorer.run_one ~scenario:sc ~strategy:sched.Schedule.strategy
+          ?fault:sched.Schedule.fault ~prefix:sched.Schedule.choices ()
+      in
+      Format.fprintf fmt "-- %d choice point(s) traversed@." r.Explorer.r_points;
+      Format.fprintf fmt "-- trace tail:@.%s" r.Explorer.r_trace;
+      (match r.Explorer.r_violation with
+      | Some (rules, detail) ->
+          Format.fprintf fmt "-- violation: %s@." detail;
+          Format.fprintf fmt "-- rules observed: %s@."
+            (String.concat ", " rules);
+          Format.fprintf fmt "%s" r.Explorer.r_report
+      | None -> Format.fprintf fmt "-- clean: no checker reports@.");
+      let passed =
+        match (sched.Schedule.expect, r.Explorer.r_violation) with
+        | Some rule, Some (rules, _) -> List.mem rule rules
+        | Some _, None -> false
+        | None, Some _ -> false
+        | None, None -> true
+      in
+      Format.fprintf fmt "replay: %s@."
+        (if passed then "PASS"
+         else
+           match sched.Schedule.expect with
+           | Some rule -> Printf.sprintf "FAIL (expected rule %S)" rule
+           | None -> "FAIL (expected a clean run)");
+      Format.pp_print_flush fmt ();
+      { passed; output = Buffer.contents buf }
+
+let run_file path =
+  match Schedule.load path with
+  | Error msg ->
+      { passed = false; output = Printf.sprintf "replay: %s: %s\n" path msg }
+  | Ok sched -> run sched

@@ -1,0 +1,19 @@
+(** Re-execute a saved schedule under the full checker set.
+
+    [ccr_mc --replay FILE] lands here: rebuild the schedule's scenario,
+    force its recorded choices, and report what the checkers saw — the
+    event-trace tail, every sanitizer/race violation, the end-state
+    assertion results. The verdict depends on the schedule's [expect]
+    line: with one, the replay {e passes} iff the expected rule is
+    observed (a mutation reproduction artifact); without one, it passes
+    iff the run is completely clean (a determinism witness). *)
+
+type result = {
+  passed : bool;
+  output : string;  (** full human-readable report *)
+}
+
+val run : Schedule.t -> result
+
+val run_file : string -> result
+(** {!Schedule.load} then {!run}; load errors become a failed result. *)

@@ -1,0 +1,63 @@
+(** Small model-checking configurations.
+
+    Each scenario builds a deliberately tiny machine — two cores
+    (revoker on 0, applications on 1), a 1 MiB heap, one or two
+    quarantined regions — whose every safe-point interleaving the
+    explorer can enumerate. All scenarios scatter aliases of a freed
+    victim through memory, a register file and a kernel hoard (the
+    [ccr_check] mutation rig), so a protocol mutation is observable on
+    any schedule; all end by draining the quarantine completely, so the
+    end-state assertions (epoch counter even, revocation bitmap empty,
+    quarantine drained, nothing abandoned) are meaningful.
+
+    - ["free-during-sweep"]: two application threads free and churn
+      while the revoker sweeps; the second thread's frees race the
+      victim's epoch.
+    - ["bulk-free"]: one thread frees a four-block burst (one batch,
+      several regions) while the other frees two cross-linked blocks.
+    - ["crash-mid-sweep"]: one application thread plus branchable chaos
+      ({!Chaos.install_branch}): every sweep page-visit may crash the
+      sweep ([Epoch_resume]/[Epoch_abort] paths) and the one syscall may
+      stick its quiesce drain ([Stw_abandon] path), under a tightened
+      recovery budget.
+    - ["fork-during-epoch"]: an [Os] world where init frees the victim,
+      flushes, then forks a child that allocates, frees and exits while
+      the parent's epoch may still be in flight — quarantine crossing
+      [fork], the reaper draining a zombie.
+
+    Scenario builders are deterministic: machine behaviour depends only
+    on (strategy, fault, the oracle's decisions). *)
+
+type handles = {
+  machine : Sim.Machine.t;
+  tracer : Sim.Trace.t;
+  end_checks : unit -> string list;
+      (** Run after {!Sim.Machine.run}: one message per violated
+          end-state assertion, empty when clean. *)
+}
+
+type t
+
+val name : t -> string
+val doc : t -> string
+
+val branchable : t -> bool
+(** The scenario consults the chaos [decide] callback. *)
+
+val all : t list
+val find : string -> t option
+
+val build :
+  t ->
+  strategy:Ccr.Revoker.strategy ->
+  ?fault:Ccr.Revoker.fault ->
+  sanitizer:(?revoker:Ccr.Revoker.t -> Sim.Machine.t -> Analysis.Sanitizer.t) ->
+  decide:(Chaos.kind -> bool) ->
+  unit ->
+  handles
+(** Construct the machine, threads, revoker(s) and shim(s); [sanitizer]
+    is called once the pid-0 revoker exists (the explorer passes
+    attach-or-{!Analysis.Sanitizer.rebind}); [decide] is consulted by
+    branchable scenarios at each potential injection site. The caller
+    installs its scheduling oracle on [handles.machine] and then calls
+    {!Sim.Machine.run}. *)

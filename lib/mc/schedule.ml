@@ -1,0 +1,101 @@
+module Revoker = Ccr.Revoker
+
+type choice = Sched of int | Branch of string * bool
+
+let pp_choice fmt = function
+  | Sched tid -> Format.fprintf fmt "sched %d" tid
+  | Branch (kind, fire) ->
+      Format.fprintf fmt "branch %s %d" kind (if fire then 1 else 0)
+
+type t = {
+  scenario : string;
+  strategy : Revoker.strategy;
+  fault : Revoker.fault option;
+  expect : string option;
+  choices : choice list;
+}
+
+let pp fmt t =
+  Format.fprintf fmt "# ccr_mc schedule v1@.";
+  Format.fprintf fmt "scenario %s@." t.scenario;
+  Format.fprintf fmt "strategy %s@." (Revoker.strategy_name t.strategy);
+  (match t.fault with
+  | Some f -> Format.fprintf fmt "fault %s@." (Revoker.fault_name f)
+  | None -> ());
+  (match t.expect with
+  | Some rule -> Format.fprintf fmt "expect %s@." rule
+  | None -> ());
+  List.iter (fun c -> Format.fprintf fmt "%a@." pp_choice c) t.choices
+
+let save path t =
+  let oc = open_out path in
+  let fmt = Format.formatter_of_out_channel oc in
+  pp fmt t;
+  Format.pp_print_flush fmt ();
+  close_out oc
+
+let load path =
+  let ( let* ) = Result.bind in
+  let parse_line lineno acc line =
+    let* acc = acc in
+    let line = String.trim line in
+    if line = "" || line.[0] = '#' then Ok acc
+    else
+      match String.split_on_char ' ' line with
+      | [ "scenario"; name ] -> Ok { acc with scenario = name }
+      | [ "strategy"; name ] -> (
+          match Revoker.strategy_of_name name with
+          | Some s -> Ok { acc with strategy = s }
+          | None ->
+              Error (Printf.sprintf "line %d: unknown strategy %S" lineno name))
+      | [ "fault"; name ] -> (
+          match Revoker.fault_of_name name with
+          | Some f -> Ok { acc with fault = Some f }
+          | None ->
+              Error (Printf.sprintf "line %d: unknown fault %S" lineno name))
+      | [ "expect"; rule ] -> Ok { acc with expect = Some rule }
+      | [ "sched"; tid ] -> (
+          match int_of_string_opt tid with
+          | Some tid -> Ok { acc with choices = Sched tid :: acc.choices }
+          | None -> Error (Printf.sprintf "line %d: bad thread id" lineno))
+      | [ "branch"; kind; fire ] -> (
+          match (Chaos.kind_of_name kind, fire) with
+          | Some _, ("0" | "1") ->
+              Ok
+                {
+                  acc with
+                  choices = Branch (kind, fire = "1") :: acc.choices;
+                }
+          | None, _ ->
+              Error (Printf.sprintf "line %d: unknown chaos kind %S" lineno kind)
+          | _, _ -> Error (Printf.sprintf "line %d: branch arm must be 0/1" lineno))
+      | _ -> Error (Printf.sprintf "line %d: unparsable %S" lineno line)
+  in
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      let empty =
+        {
+          scenario = "";
+          strategy = Revoker.Reloaded;
+          fault = None;
+          expect = None;
+          choices = [];
+        }
+      in
+      let* t =
+        List.fold_left
+          (fun (acc, n) line -> (parse_line n acc line, n + 1))
+          (Ok empty, 1)
+          (List.rev !lines)
+        |> fst
+      in
+      if t.scenario = "" then Error "missing \"scenario\" line"
+      else Ok { t with choices = List.rev t.choices }

@@ -1,0 +1,50 @@
+(** Replayable schedules: the choice sequence of one explored execution.
+
+    A schedule is the list of decisions the explorer made at each choice
+    point — which eligible thread ran when several could
+    ({!choice.Sched}, by {!Sim.Machine.thread_id}), and whether a
+    branchable chaos fault fired at a consultation point
+    ({!choice.Branch}). Replaying the same choices over the same
+    scenario/strategy/fault reproduces the execution exactly: everything
+    between choice points is deterministic.
+
+    Schedules serialize to a small line-oriented text format so CI can
+    upload a violation's minimal reproduction as an artifact and
+    [ccr_mc --replay] can re-execute it:
+
+    {v
+# ccr_mc schedule v1
+scenario free-during-sweep
+strategy reloaded
+fault early-dequarantine
+expect early-dequarantine
+sched 2
+branch sweep-crash 1
+    v}
+
+    [fault] and [expect] lines are optional; [sched]/[branch] lines are
+    the choices in order. An empty choice list is a valid schedule (the
+    machine's default interleaving already reproduces the finding). *)
+
+type choice =
+  | Sched of int  (** run the eligible thread with this {!Sim.Machine.thread_id} *)
+  | Branch of string * bool
+      (** chaos consultation ({!Chaos.kind_name}): inject or not *)
+
+val pp_choice : Format.formatter -> choice -> unit
+
+type t = {
+  scenario : string;
+  strategy : Ccr.Revoker.strategy;
+  fault : Ccr.Revoker.fault option;
+  expect : string option;  (** rule the replay must observe to succeed *)
+  choices : choice list;
+}
+
+val pp : Format.formatter -> t -> unit
+(** The file format, exactly. *)
+
+val save : string -> t -> unit
+
+val load : string -> (t, string) result
+(** Parse a file written by {!save} (or by hand). *)

@@ -1,0 +1,252 @@
+(* lib/mc tests: the dependence relation the DPOR prunes with, schedule
+   (de)serialization, explorer determinism and clean-run verdicts, the
+   measured DPOR-vs-naive reduction, and the seeded-mutation detection
+   path with minimal-schedule replay. *)
+
+module Trace = Sim.Trace
+module Revoker = Ccr.Revoker
+module Dep = Mc.Dep
+module Schedule = Mc.Schedule
+module Scenario = Mc.Scenario
+module Explorer = Mc.Explorer
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let ev kind arg arg2 =
+  { Trace.time = 0; core = 0; pid = 0; kind; arg; arg2 }
+
+let fp_of kind arg arg2 = Dep.add_event Dep.empty (ev kind arg arg2)
+
+(* ---- dependence relation ---- *)
+
+let test_dep_regions () =
+  let paint = fp_of Trace.Paint 0x1000 0x100 in
+  let overlap = fp_of Trace.Unpaint 0x1080 0x100 in
+  let far = fp_of Trace.Reuse 0x9000 0x100 in
+  check "overlapping regions conflict" true (Dep.dependent paint overlap);
+  check "symmetric" true (Dep.dependent overlap paint);
+  check "disjoint regions commute" false (Dep.dependent paint far);
+  check "adjacent regions commute" false
+    (Dep.dependent paint (fp_of Trace.Quarantine_enq 0x1100 0x100))
+
+let test_dep_cap_stores () =
+  let paint = fp_of Trace.Paint 0x1000 0x100 in
+  let inside = Dep.add_cap_store Dep.empty ~vaddr:0x1080 in
+  let outside = Dep.add_cap_store Dep.empty ~vaddr:0x9000 in
+  check "cap store into a painted region conflicts" true
+    (Dep.dependent paint inside);
+  check "cap store elsewhere commutes" false (Dep.dependent paint outside);
+  let g1 = Dep.add_cap_store Dep.empty ~vaddr:0x2000 in
+  let g1' = Dep.add_cap_store Dep.empty ~vaddr:0x2008 in
+  let g2 = Dep.add_cap_store Dep.empty ~vaddr:0x2010 in
+  check "same 16-byte granule conflicts" true (Dep.dependent g1 g1');
+  check "neighbouring granules commute" false (Dep.dependent g1 g2)
+
+let test_dep_globals_and_empties () =
+  let epoch = fp_of Trace.Epoch_begin 0 0 in
+  let paint = fp_of Trace.Paint 0x1000 0x100 in
+  check "protocol-global event conflicts with regions" true
+    (Dep.dependent epoch paint);
+  check "two globals conflict" true
+    (Dep.dependent epoch (fp_of Trace.Stw_request 2 0));
+  (* Page_sweep's arg is a physical frame: not comparable with virtual
+     region bases, so the whole event must be global *)
+  check "page sweep is global" true
+    (Dep.dependent (fp_of Trace.Page_sweep 0x3000 1) paint);
+  (* scheduler bookkeeping carries no protocol state *)
+  let cs = fp_of Trace.Context_switch 1 0 in
+  check "context switch contributes nothing" true (Dep.is_empty cs);
+  check "empty is independent of everything" false (Dep.dependent cs epoch);
+  check "empty vs empty" false (Dep.dependent Dep.empty Dep.empty)
+
+(* ---- schedule (de)serialization ---- *)
+
+let test_schedule_roundtrip () =
+  let sched =
+    {
+      Schedule.scenario = "free-during-sweep";
+      strategy = Revoker.Reloaded;
+      fault = Some Revoker.Early_dequarantine;
+      expect = Some "early-dequarantine";
+      choices =
+        [
+          Schedule.Sched 0;
+          Schedule.Sched 2;
+          Schedule.Branch ("sweep-crash", true);
+          Schedule.Sched 1;
+          Schedule.Branch ("stuck-quiesce", false);
+        ];
+    }
+  in
+  let path = Filename.temp_file "mc_sched" ".sched" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Schedule.save path sched;
+      match Schedule.load path with
+      | Error msg -> Alcotest.fail ("roundtrip load failed: " ^ msg)
+      | Ok loaded -> check "roundtrip identical" true (loaded = sched))
+
+let test_schedule_load_rejects_garbage () =
+  let path = Filename.temp_file "mc_sched" ".sched" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "# ccr_mc schedule v1\nstrategy reloaded\n";
+      close_out oc;
+      check "missing scenario rejected" true
+        (Result.is_error (Schedule.load path));
+      let oc = open_out path in
+      output_string oc
+        "# ccr_mc schedule v1\nscenario free-during-sweep\nstrategy bogus\n";
+      close_out oc;
+      check "unknown strategy rejected" true
+        (Result.is_error (Schedule.load path)))
+
+(* ---- explorer ---- *)
+
+let scenario n =
+  match Scenario.find n with
+  | Some sc -> sc
+  | None -> Alcotest.fail ("unknown scenario " ^ n)
+
+let test_explore_clean_and_deterministic () =
+  let run () =
+    Explorer.explore ~scenario:(scenario "free-during-sweep")
+      ~strategy:Revoker.Reloaded ~max_schedules:60 ()
+  in
+  let o1 = run () and o2 = run () in
+  check "no violation on the unmutated protocol" true
+    (o1.Explorer.violation = None);
+  check "more than one inequivalent schedule" true (o1.Explorer.executions > 1);
+  check "tree exhausted within budget" false o1.Explorer.capped;
+  check_int "deterministic execution count" o1.Explorer.executions
+    o2.Explorer.executions;
+  check_int "deterministic backtracks" o1.Explorer.backtracks
+    o2.Explorer.backtracks;
+  check_int "deterministic depth" o1.Explorer.max_points o2.Explorer.max_points
+
+let test_dpor_beats_naive () =
+  let sc = scenario "free-during-sweep" in
+  let dpor =
+    Explorer.explore ~scenario:sc ~strategy:Revoker.Reloaded ~max_schedules:200
+      ()
+  in
+  check "dpor exhausts the tree" false dpor.Explorer.capped;
+  let naive =
+    Explorer.explore ~scenario:sc ~strategy:Revoker.Reloaded ~naive:true
+      ~max_schedules:(4 * dpor.Explorer.executions)
+      ()
+  in
+  check "naive needs strictly more schedules" true
+    (naive.Explorer.executions > dpor.Explorer.executions);
+  check "naive finds no violation either" true (naive.Explorer.violation = None)
+
+let test_root_split_covers_tree () =
+  let sc = scenario "free-during-sweep" in
+  let roots =
+    Explorer.root_candidates ~scenario:sc ~strategy:Revoker.Reloaded ()
+  in
+  check "first choice point has at least two arms" true (List.length roots >= 2);
+  let whole =
+    Explorer.explore ~scenario:sc ~strategy:Revoker.Reloaded ~max_schedules:200
+      ()
+  in
+  let parts =
+    List.map
+      (fun root ->
+        Explorer.explore ~scenario:sc ~strategy:Revoker.Reloaded
+          ~max_schedules:200 ~root ())
+      roots
+  in
+  List.iter
+    (fun (p : Explorer.outcome) ->
+      check "subtree clean" true (p.Explorer.violation = None);
+      check "subtree exhausted" false p.Explorer.capped)
+    parts;
+  (* each pinned subtree explores a subset; together they cover at least
+     the whole-tree count (sleep sets prune a little less per subtree) *)
+  let sum =
+    List.fold_left (fun a (p : Explorer.outcome) -> a + p.Explorer.executions) 0 parts
+  in
+  check "split subtrees cover the unsplit tree" true
+    (sum >= whole.Explorer.executions)
+
+let test_branchable_scenario_has_branch_points () =
+  let sc = scenario "crash-mid-sweep" in
+  let roots =
+    Explorer.root_candidates ~scenario:sc ~strategy:Revoker.Reloaded ()
+  in
+  check "first choice point has both arms" true (List.length roots >= 2);
+  (* chaos consultations appear as Branch choice points in the decision
+     record of even the default schedule *)
+  let r =
+    Explorer.run_one ~scenario:sc ~strategy:Revoker.Reloaded ~prefix:[] ()
+  in
+  check "chaos consultations are recorded as branch choices" true
+    (List.exists
+       (function Schedule.Branch _ -> true | Schedule.Sched _ -> false)
+       r.Explorer.r_choices);
+  check "default schedule (no injections) is clean" true
+    (r.Explorer.r_violation = None)
+
+let test_mutation_found_and_minimal_schedule_replays () =
+  let sc = scenario "free-during-sweep" in
+  let o =
+    Explorer.explore ~scenario:sc ~strategy:Revoker.Reloaded
+      ~fault:Revoker.Early_dequarantine ~max_schedules:60 ()
+  in
+  match o.Explorer.violation with
+  | None -> Alcotest.fail "seeded early-dequarantine mutation not detected"
+  | Some v ->
+      check "detected under its own rule" true
+        (List.mem "early-dequarantine" v.Explorer.v_rules);
+      (* the minimal schedule must reproduce the rule when replayed *)
+      let r =
+        Explorer.run_one ~scenario:sc ~strategy:Revoker.Reloaded
+          ~fault:Revoker.Early_dequarantine ~prefix:v.Explorer.v_schedule ()
+      in
+      (match r.Explorer.r_violation with
+      | Some (rules, _) ->
+          check "replay reproduces the rule" true
+            (List.mem "early-dequarantine" rules)
+      | None -> Alcotest.fail "minimal schedule did not reproduce");
+      (* and the unmutated protocol is clean on the same schedule *)
+      let clean =
+        Explorer.run_one ~scenario:sc ~strategy:Revoker.Reloaded
+          ~prefix:v.Explorer.v_schedule ()
+      in
+      check "same schedule clean without the fault" true
+        (clean.Explorer.r_violation = None)
+
+let () =
+  Alcotest.run "mc"
+    [
+      ( "dep",
+        [
+          Alcotest.test_case "regions" `Quick test_dep_regions;
+          Alcotest.test_case "cap stores" `Quick test_dep_cap_stores;
+          Alcotest.test_case "globals and empties" `Quick
+            test_dep_globals_and_empties;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_schedule_roundtrip;
+          Alcotest.test_case "load rejects garbage" `Quick
+            test_schedule_load_rejects_garbage;
+        ] );
+      ( "explorer",
+        [
+          Alcotest.test_case "clean and deterministic" `Quick
+            test_explore_clean_and_deterministic;
+          Alcotest.test_case "dpor beats naive" `Quick test_dpor_beats_naive;
+          Alcotest.test_case "root split covers tree" `Quick
+            test_root_split_covers_tree;
+          Alcotest.test_case "branchable choice points" `Quick
+            test_branchable_scenario_has_branch_points;
+          Alcotest.test_case "mutation found and replays" `Quick
+            test_mutation_found_and_minimal_schedule_replays;
+        ] );
+    ]

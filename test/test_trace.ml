@@ -58,6 +58,28 @@ let test_subscribers_lossless () =
   check_int "unsubscribed callback silent" 100 !seen;
   check_int "emission still recorded" 101 (Trace.total t)
 
+let test_multi_subscriber_order () =
+  let t = Trace.create () in
+  let log = ref [] in
+  let id1 = Trace.subscribe t (fun e -> log := (1, e.Trace.arg) :: !log) in
+  let id2 = Trace.subscribe t (fun e -> log := (2, e.Trace.arg) :: !log) in
+  let id3 = Trace.subscribe t (fun e -> log := (3, e.Trace.arg) :: !log) in
+  Trace.emit t ~time:1 ~core:0 (Trace.Custom "x") 7;
+  Trace.emit t ~time:2 ~core:0 (Trace.Custom "x") 8;
+  Alcotest.(check (list (pair int int)))
+    "every subscriber sees every event, in subscription order"
+    [ (1, 7); (2, 7); (3, 7); (1, 8); (2, 8); (3, 8) ]
+    (List.rev !log);
+  (* removing the middle subscriber must not disturb the others' order *)
+  Trace.unsubscribe t id2;
+  Trace.emit t ~time:3 ~core:0 (Trace.Custom "x") 9;
+  Alcotest.(check (list (pair int int)))
+    "remaining subscribers keep their relative order"
+    [ (1, 7); (2, 7); (3, 7); (1, 8); (2, 8); (3, 8); (1, 9); (3, 9) ]
+    (List.rev !log);
+  Trace.unsubscribe t id1;
+  Trace.unsubscribe t id3
+
 let contains s sub =
   let n = String.length sub in
   let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
@@ -121,6 +143,165 @@ let test_machine_emissions () =
   Format.pp_print_flush f ();
   check "dump renders" true (String.length (Buffer.contents buf) > 0)
 
+(* ---- recovery-event arguments ----
+
+   The recovery kinds carry load-bearing payloads the model checker's
+   branch points key on: [Epoch_resume] names the still-open (odd)
+   counter and the retry attempt, [Epoch_abort] the restored (even)
+   counter and the consecutive-abort count, [Stw_abandon] the threads
+   still unparked and the cycles the watchdog waited. *)
+
+let recovery_rig ~recovery () =
+  let cfg =
+    { M.default_config with heap_bytes = 1 lsl 20; mem_bytes = 8 lsl 20 }
+  in
+  let m = M.create cfg in
+  let tr = Trace.create ~capacity:16384 () in
+  M.attach_tracer m (Some tr);
+  let alloc = Alloc.Backend.snmalloc (Alloc.Allocator.create m) in
+  let rv = Revoker.create m ~strategy:Revoker.Reloaded ~core:0 ~recovery () in
+  let mrs = Mrs.create m ~alloc ~revoker:rv () in
+  (m, tr, rv, mrs)
+
+(* a table slot holding a capability makes its page cap-dirty, so the
+   epoch's sweep visits it and the sweep hook gets consulted *)
+let free_one_cap_region mrs ctx =
+  let table = Mrs.malloc mrs ctx 64 in
+  let victim = Mrs.malloc mrs ctx 128 in
+  let slot =
+    Cheri.Capability.set_addr table (Cheri.Capability.base table)
+  in
+  M.store_cap ctx slot victim;
+  Mrs.free mrs ctx victim;
+  Mrs.flush mrs ctx
+
+let by_kind events kind =
+  List.filter (fun e -> e.Trace.kind = kind) events
+
+let test_epoch_resume_args () =
+  let recovery =
+    { Revoker.default_recovery with max_crash_retries = 2; backoff_base = 1_000 }
+  in
+  let m, tr, rv, mrs = recovery_rig ~recovery () in
+  let crashes = ref 1 in
+  Revoker.set_sweep_hook rv
+    (Some
+       (fun _ctx _vp ->
+         if !crashes > 0 then begin
+           decr crashes;
+           raise Revoker.Induced_crash
+         end));
+  ignore
+    (M.spawn m ~name:"app" ~core:1 (fun ctx ->
+         free_one_cap_region mrs ctx;
+         Mrs.wait_drained mrs ctx;
+         Mrs.finish mrs ctx));
+  M.run m;
+  let events = Trace.to_list tr in
+  (match by_kind events Trace.Epoch_resume with
+  | [ e ] ->
+      check "resume names the still-open epoch (odd counter)" true
+        (e.Trace.arg land 1 = 1);
+      check_int "first retry attempt" 1 e.Trace.arg2
+  | l ->
+      Alcotest.failf "expected exactly one epoch-resume, saw %d"
+        (List.length l));
+  check_int "within budget: no abort" 0
+    (List.length (by_kind events Trace.Epoch_abort));
+  check "the resumed epoch completed" true
+    (by_kind events Trace.Epoch_end <> [])
+
+let test_epoch_abort_args () =
+  let recovery =
+    {
+      Revoker.default_recovery with
+      max_crash_retries = 1;
+      max_epoch_aborts = 5;
+      backoff_base = 1_000;
+    }
+  in
+  let m, tr, rv, mrs = recovery_rig ~recovery () in
+  let crashes = ref 2 in
+  Revoker.set_sweep_hook rv
+    (Some
+       (fun _ctx _vp ->
+         if !crashes > 0 then begin
+           decr crashes;
+           raise Revoker.Induced_crash
+         end));
+  ignore
+    (M.spawn m ~name:"app" ~core:1 (fun ctx ->
+         free_one_cap_region mrs ctx;
+         Mrs.wait_drained mrs ctx;
+         Mrs.finish mrs ctx));
+  M.run m;
+  let events = Trace.to_list tr in
+  (* crash, resume (attempt 1), crash again: retry budget exhausted *)
+  (match by_kind events Trace.Epoch_resume with
+  | [ e ] -> check_int "one resume before giving up" 1 e.Trace.arg2
+  | l -> Alcotest.failf "expected one epoch-resume, saw %d" (List.length l));
+  (match by_kind events Trace.Epoch_abort with
+  | [ e ] ->
+      check "abort restores an even counter" true (e.Trace.arg land 1 = 0);
+      check_int "first consecutive abort" 1 e.Trace.arg2
+  | l -> Alcotest.failf "expected one epoch-abort, saw %d" (List.length l));
+  (* the requeued batch drains on the retried epoch *)
+  check "retried epoch completed" true (by_kind events Trace.Epoch_end <> []);
+  check_int "quarantine drained" 0 (Mrs.quarantine_bytes mrs)
+
+let test_stw_abandon_args () =
+  let watchdog = 30_000 in
+  let recovery =
+    {
+      Revoker.default_recovery with
+      watchdog_timeout = watchdog;
+      max_quiesce_retries = 1;
+      max_epoch_aborts = 50;
+      backoff_base = 1_000;
+    }
+  in
+  let m, tr, _rv, mrs = recovery_rig ~recovery () in
+  ignore
+    (M.spawn m ~name:"app" ~core:1 (fun ctx ->
+         free_one_cap_region mrs ctx;
+         (* every syscall now declares a drain far past the watchdog, so
+            a quiesce landing inside one must abandon *)
+         M.set_drain_hook m (Some (fun _ctx _drain -> 1_000_000_000));
+         Kernel.Syscall.perform_service ctx ~service:200_000;
+         M.set_drain_hook m None;
+         Mrs.wait_drained mrs ctx;
+         Mrs.finish mrs ctx));
+  M.run m;
+  let events = Trace.to_list tr in
+  let abandons = by_kind events Trace.Stw_abandon in
+  check "watchdog fired at least once" true (abandons <> []);
+  List.iter
+    (fun e ->
+      check "all threads had parked (the drain stalled, not a thread)" true
+        (e.Trace.arg = 0);
+      check "a positive wait was recorded" true (e.Trace.arg2 > 0);
+      check "abandoned before the deadline passed in full" true
+        (e.Trace.arg2 < watchdog))
+    abandons;
+  (* every quiesce either stops the world or abandons it — never both,
+     never neither *)
+  let n k = List.length (by_kind events k) in
+  check_int "request = stopped + abandon"
+    (n Trace.Stw_request)
+    (n Trace.Stw_stopped + n Trace.Stw_abandon);
+  (* the exhausted retry budget surfaces as epoch aborts with an even
+     (restored) counter and a growing consecutive count *)
+  let aborts = by_kind events Trace.Epoch_abort in
+  check "watchdog exhaustion aborted at least one epoch" true (aborts <> []);
+  List.iteri
+    (fun i e ->
+      check "abort restores an even counter" true (e.Trace.arg land 1 = 0);
+      check_int "consecutive-abort count" (i + 1) e.Trace.arg2)
+    aborts;
+  check "aborted epochs were retried to completion" true
+    (by_kind events Trace.Epoch_end <> []);
+  check_int "quarantine drained" 0 (Mrs.quarantine_bytes mrs)
+
 let test_detach () =
   let cfg = { M.default_config with heap_bytes = 1 lsl 20; mem_bytes = 8 lsl 20 } in
   let m = M.create cfg in
@@ -141,9 +322,14 @@ let () =
           Alcotest.test_case "overwrite" `Quick test_ring_overwrite;
           Alcotest.test_case "subscribers lossless" `Quick
             test_subscribers_lossless;
+          Alcotest.test_case "multi-subscriber order" `Quick
+            test_multi_subscriber_order;
           Alcotest.test_case "dump reports drops" `Quick
             test_dump_reports_drops;
           Alcotest.test_case "machine emissions" `Quick test_machine_emissions;
+          Alcotest.test_case "epoch-resume args" `Quick test_epoch_resume_args;
+          Alcotest.test_case "epoch-abort args" `Quick test_epoch_abort_args;
+          Alcotest.test_case "stw-abandon args" `Quick test_stw_abandon_args;
           Alcotest.test_case "detach" `Quick test_detach;
         ] );
     ]
