@@ -157,6 +157,9 @@ let pct (r : Result.t) q =
 type json_record = {
   j_strategy : string;
   j_profile : string;
+  j_topology : string; (* "single" here; "flat/N" in ccr_fleet records *)
+  j_host_count : int;
+  j_balancer : string; (* "none" here; a balancer name in fleet records *)
   j_seed : int;
   j_schedule : int; (* fault-schedule id; 0 = no faults armed *)
   j_cycles : int;
@@ -189,6 +192,11 @@ let record_of t ~workload ~mode ~base ~seed (r : Result.t) =
   {
     j_strategy = mode;
     j_profile = workload;
+    (* the harness simulates one machine per cell; the fields exist so
+       these records stay schema-aligned with ccr_fleet's multi-host ones *)
+    j_topology = "single";
+    j_host_count = 1;
+    j_balancer = "none";
     j_seed = seed;
     j_schedule = 0;
     j_cycles = r.Result.wall_cycles;

@@ -44,11 +44,13 @@ let write_json path records =
       if i > 0 then Buffer.add_string buf ",\n";
       Buffer.add_string buf
         (Printf.sprintf
-           "  {\"strategy\": %S, \"profile\": %S, \"seed\": %d, \
+           "  {\"strategy\": %S, \"profile\": %S, \"topology\": %S, \
+            \"host_count\": %d, \"balancer\": %S, \"seed\": %d, \
             \"fault_schedule\": %d, \"cycles\": %d, \"overhead_pct\": %.4f, \
             \"pause_p99\": %.1f, \"abandoned_bytes\": %d, \"lat_p99_us\": \
             %.3f, \"lat_p999_us\": %.3f, \"duration_ms\": %.3f, \"jobs\": %d}"
-           r.Campaign.j_strategy r.Campaign.j_profile r.Campaign.j_seed
+           r.Campaign.j_strategy r.Campaign.j_profile r.Campaign.j_topology
+           r.Campaign.j_host_count r.Campaign.j_balancer r.Campaign.j_seed
            r.Campaign.j_schedule r.Campaign.j_cycles
            r.Campaign.j_overhead_pct r.Campaign.j_pause_p99
            r.Campaign.j_abandoned_bytes r.Campaign.j_lat_p99
@@ -94,8 +96,11 @@ let () =
         parse rest
     | "--jobs" :: v :: rest ->
         (match int_of_string_opt v with
-        | Some j when j >= 1 -> jobs := j
-        | Some _ | None -> die "--jobs needs a positive integer, got %S" v);
+        | None -> die "--jobs needs a positive integer, got %S" v
+        | Some j -> (
+            match Parallel.Pool.validate_jobs j with
+            | Ok j -> jobs := j
+            | Error msg -> die "%s" msg));
         parse rest
     | "--json" :: v :: rest ->
         json_out := Some v;

@@ -499,7 +499,8 @@ let write_json path ~jobs cells =
     (fun i c ->
       let rs = c.c_rs in
       out
-        "  {\"rig\": \"%s\", \"seed\": %d, \"strategy\": \"%s\", \"final\": \
+        "  {\"rig\": \"%s\", \"topology\": \"single\", \"host_count\": 1, \
+         \"balancer\": \"none\", \"seed\": %d, \"strategy\": \"%s\", \"final\": \
          \"%s\", \"schedule\": %d, \"horizon\": %d, \"ok\": %b, \"epochs\": \
          %d, \"cycles\": %d, \"injected\": {%s}, \"unfired\": [%s], \
          \"epoch_aborts\": %d, \"sweep_crash_retries\": %d, \
@@ -638,6 +639,11 @@ let run_task ~ops ~kinds = function
 
 let main seeds seed_base ops strategies kinds skip_storm skip_tenants json
     verbose jobs =
+  match Parallel.Pool.validate_jobs jobs with
+  | Error msg ->
+      Format.eprintf "ccr_chaos: %s@." msg;
+      1
+  | Ok jobs ->
   if seeds < 1 then begin
     Format.eprintf "ccr_chaos: --seeds must be at least 1@.";
     1

@@ -212,6 +212,11 @@ let jobs_arg =
            identical for any $(docv)." ~docv:"N")
 
 let main profiles scale seed skip_mutations jobs rules_only =
+  match Parallel.Pool.validate_jobs jobs with
+  | Error msg ->
+      Format.eprintf "ccr_check: %s@." msg;
+      1
+  | Ok jobs ->
   if rules_only then list_rules ()
   else if scale <= 0.0 then begin
     Format.eprintf "ccr_check: --scale must be positive (got %g)@." scale;

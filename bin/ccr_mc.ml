@@ -356,6 +356,11 @@ let list_scenarios_arg =
 
 let main scenarios strategies max_schedules depth jobs mutations repro_dir
     replay skip_naive list_scenarios =
+  match Parallel.Pool.validate_jobs jobs with
+  | Error msg ->
+      Format.eprintf "ccr_mc: %s@." msg;
+      1
+  | Ok jobs ->
   if list_scenarios then begin
     List.iter
       (fun sc ->

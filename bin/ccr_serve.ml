@@ -150,7 +150,8 @@ let json_of_row ~pattern ~requests ~servers ~seed ~target ~jobs r =
   let g = o.Serve.governor in
   let gi f = match g with Some s -> f s | None -> 0 in
   Printf.sprintf
-    "{\"workload\": \"serve\", \"mode\": \"%s\", \"governor\": %b, \
+    "{\"workload\": \"serve\", \"topology\": \"single\", \"host_count\": 1, \
+     \"balancer\": \"none\", \"mode\": \"%s\", \"governor\": %b, \
      \"pattern\": \"%s\", \"qps\": %.1f, \"requests\": %d, \"servers\": %d, \
      \"seed\": %d, \"target_p99_us\": %.1f, \"p50_us\": %.3f, \"p99_us\": \
      %.3f, \"p999_us\": %.3f, \"offered\": %d, \"served\": %d, \
@@ -185,6 +186,11 @@ let strategy_names =
 
 let serve modes qpss governor requests servers queue_depth deadline_us
     target_p99 pattern seed json check jobs =
+  match Parallel.Pool.validate_jobs jobs with
+  | Error msg ->
+      Format.eprintf "ccr_serve: %s@." msg;
+      1
+  | Ok jobs ->
   if requests < 1 then begin
     Format.eprintf "ccr_serve: --requests must be at least 1 (got %d)@." requests;
     1

@@ -1,0 +1,130 @@
+type strategy = Round_robin | Least_loaded | Consistent_hash
+
+let strategy_name = function
+  | Round_robin -> "round-robin"
+  | Least_loaded -> "least-loaded"
+  | Consistent_hash -> "hash"
+
+let all_strategies = [ Round_robin; Least_loaded; Consistent_hash ]
+
+let strategy_of_name s =
+  List.find_opt (fun st -> strategy_name st = s) all_strategies
+
+(* splitmix64 finalizer — a pure integer hash, so the ring layout and
+   the user→shard map are functions of nothing but their inputs. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* non-negative 62-bit position *)
+let pos_of i = Int64.to_int (Int64.shift_right_logical (mix64 (Int64.of_int i)) 2)
+
+let vnodes_per_host = 64
+
+type t = {
+  strategy : strategy;
+  hosts : int;
+  est_service_cycles : int;
+  (* round-robin rotation *)
+  mutable rr_next : int;
+  (* least-loaded: per-host estimated completion times of outstanding
+     dispatches, each a sorted-enough queue pruned against [now] *)
+  ll_outstanding : int Queue.t array;
+  (* consistent-hash ring, sorted by position *)
+  ring : (int * int) array; (* (position, host) *)
+}
+
+let create strategy ~hosts ~est_service_cycles =
+  if hosts < 1 then invalid_arg "Balancer.create: hosts < 1";
+  if est_service_cycles < 1 then
+    invalid_arg "Balancer.create: est_service_cycles < 1";
+  let ring =
+    Array.init (hosts * vnodes_per_host) (fun i ->
+        let host = i / vnodes_per_host and replica = i mod vnodes_per_host in
+        (pos_of ((host * 1_000_003) + replica), host))
+  in
+  Array.sort compare ring;
+  {
+    strategy;
+    hosts;
+    est_service_cycles;
+    rr_next = 0;
+    ll_outstanding = Array.init hosts (fun _ -> Queue.create ());
+    ring;
+  }
+
+type decision = { host : int; redistributed : bool }
+
+(* first ring index with position >= p, wrapping *)
+let ring_search ring p =
+  let n = Array.length ring in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst ring.(mid) < p then lo := mid + 1 else hi := mid
+  done;
+  if !lo = n then 0 else !lo
+
+let route t ~now ~user ~up =
+  let any_up = ref false in
+  for h = 0 to t.hosts - 1 do
+    if up h then any_up := true
+  done;
+  match t.strategy with
+  | Round_robin ->
+      (* the rotation advances once per request whether or not the
+         first-choice host was up, so a restart never skews the shares
+         of the surviving hosts' own slots *)
+      let first = t.rr_next mod t.hosts in
+      t.rr_next <- (t.rr_next + 1) mod t.hosts;
+      if not !any_up then None
+      else
+        let rec walk k =
+          let h = (first + k) mod t.hosts in
+          if up h then { host = h; redistributed = k > 0 } else walk (k + 1)
+        in
+        Some (walk 0)
+  | Least_loaded ->
+      (* expire completion estimates, then argmin outstanding; the
+         all-up argmin defines the first choice for redistribution
+         accounting *)
+      Array.iter
+        (fun q ->
+          while (not (Queue.is_empty q)) && Queue.peek q <= now do
+            ignore (Queue.pop q)
+          done)
+        t.ll_outstanding;
+      let argmin pred =
+        let best = ref (-1) in
+        for h = 0 to t.hosts - 1 do
+          if
+            pred h
+            && (!best < 0
+               || Queue.length t.ll_outstanding.(h)
+                  < Queue.length t.ll_outstanding.(!best))
+          then best := h
+        done;
+        !best
+      in
+      let first = argmin (fun _ -> true) in
+      if not !any_up then None
+      else
+        let chosen = if up first then first else argmin up in
+        Queue.push (now + t.est_service_cycles) t.ll_outstanding.(chosen);
+        Some { host = chosen; redistributed = chosen <> first }
+  | Consistent_hash ->
+      let p = pos_of user in
+      let start = ring_search t.ring p in
+      let n = Array.length t.ring in
+      let first = snd t.ring.(start) in
+      if not !any_up then None
+      else
+        let rec walk k =
+          let h = snd t.ring.((start + k) mod n) in
+          if up h then { host = h; redistributed = h <> first }
+          else walk (k + 1)
+        in
+        Some (walk 0)

@@ -1,0 +1,48 @@
+(** Pluggable load balancers for the fleet simulator.
+
+    The balancer is the fleet's only stateful dispatch component, and it
+    runs entirely in the {e pure planning phase}: decisions depend on
+    the arrival trace, the failure windows and the balancer's own
+    bookkeeping — never on how the simulated hosts are doing. That keeps
+    every host simulation independent (so they fan out across domains)
+    and makes the whole dispatch replayable from the seed.
+
+    - {b round-robin}: rotate over hosts; a down host is skipped to the
+      next up one.
+    - {b least-loaded}: track an estimated outstanding-request count per
+      host (each dispatch is assumed to complete [est_service_cycles]
+      after its arrival — the balancer's service-time model, not the
+      host's actual progress) and send to the up host with the fewest;
+      ties go to the lowest index.
+    - {b consistent-hash}: shard user ids over a 64-vnode/host ring; a
+      down owner's keys walk clockwise to the next up host, so only the
+      down host's shard moves during a restart.
+
+    A request whose chosen host differs from the host the same strategy
+    would have picked with every host up is {e redistributed} — it keeps
+    its intended arrival timestamp, so the fleet-wide tail measurement
+    stays coordinated-omission-free through failovers. *)
+
+type strategy = Round_robin | Least_loaded | Consistent_hash
+
+val strategy_name : strategy -> string
+val strategy_of_name : string -> strategy option
+val all_strategies : strategy list
+
+type t
+
+val create : strategy -> hosts:int -> est_service_cycles:int -> t
+(** Raises [Invalid_argument] if [hosts < 1] or
+    [est_service_cycles < 1]. *)
+
+type decision = {
+  host : int;  (** the host the request is dispatched to *)
+  redistributed : bool;
+      (** the first-choice host was down, so the request moved *)
+}
+
+val route : t -> now:int -> user:int -> up:(int -> bool) -> decision option
+(** Dispatch one request arriving at cycle [now] from [user]. [None]
+    when no host is up (the balancer drops the request). Mutates the
+    balancer's bookkeeping (rotation counter / outstanding estimates),
+    so a dispatch sequence is deterministic in its call order. *)

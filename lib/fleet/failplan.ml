@@ -1,0 +1,62 @@
+module Prng = Sim.Prng
+
+type kind = No_failures | Rolling | Crash_wave
+
+let kind_name = function
+  | No_failures -> "none"
+  | Rolling -> "rolling"
+  | Crash_wave -> "crash-wave"
+
+let all_kinds = [ No_failures; Rolling; Crash_wave ]
+let kind_of_name s = List.find_opt (fun k -> kind_name k = s) all_kinds
+
+type window = { w_host : int; w_down : int; w_up : int }
+
+let plan kind ~hosts ~horizon ~seed =
+  if hosts < 1 then invalid_arg "Failplan.plan: hosts < 1";
+  if horizon < 8 then invalid_arg "Failplan.plan: horizon too small";
+  match kind with
+  | No_failures -> []
+  | Rolling ->
+      (* One restart per host, staggered across the middle half of the
+         trace; the window is half the stagger, so host i+1 only goes
+         down after host i is back — a planned one-at-a-time wave. *)
+      let span = horizon / 2 in
+      let stagger = span / hosts in
+      let down_for = max 1 (stagger / 2) in
+      List.init hosts (fun i ->
+          let down = (horizon / 4) + (i * stagger) in
+          { w_host = i; w_down = down; w_up = down + down_for })
+  | Crash_wave ->
+      (* A correlated burst: roughly half the fleet (never all of it)
+         crashes within a short seeded interval, with overlapping
+         windows. *)
+      let victims =
+        if hosts = 1 then 1 else min (hosts - 1) (max 1 ((hosts + 1) / 2))
+      in
+      let rng = Prng.create ~seed:(seed lxor 0x0fa1_1c0de) in
+      (* seed-chosen victim set: a deterministic partial shuffle *)
+      let order = Array.init hosts (fun i -> i) in
+      for i = 0 to victims - 1 do
+        let j = i + Prng.int rng (hosts - i) in
+        let tmp = order.(i) in
+        order.(i) <- order.(j);
+        order.(j) <- tmp
+      done;
+      let wave_at = horizon / 4 in
+      let spread = max 1 (horizon / 16) in
+      let down_for = max 1 (horizon / 8) in
+      List.init victims (fun i ->
+          let down = wave_at + Prng.int rng spread in
+          { w_host = order.(i); w_down = down; w_up = down + down_for })
+      |> List.sort compare
+
+let down windows ~host ~at =
+  List.exists
+    (fun w -> w.w_host = host && at >= w.w_down && at < w.w_up)
+    windows
+
+let host_windows windows ~host =
+  List.filter_map
+    (fun w -> if w.w_host = host then Some (w.w_down, w.w_up) else None)
+    windows

@@ -1,0 +1,43 @@
+(** Seeded fleet failure schedules: which host is down when.
+
+    A schedule is a list of blackout {!window}s planned up front from
+    (kind, host count, horizon, seed) — the fleet analogue of
+    {!Chaos.plan}. During a host's window the balancer routes its
+    traffic elsewhere (redistribution) and the host's own servers stop
+    taking requests; at the window's start the host's revoker takes an
+    induced sweep crash, so the restart exercises the resumable-epoch
+    recovery path (the checkpointed sweep cursor survives the crash and
+    the epoch resumes, not restarts — PR 3's machinery).
+
+    - [No_failures]: the control schedule; every host stays up.
+    - [Rolling]: one staggered restart per host — a planned rolling
+      restart wave across the fleet. Windows never overlap, so capacity
+      loss is bounded at one host.
+    - [Crash_wave]: a seed-chosen subset of hosts crashes in a short
+      interval with overlapping down windows — correlated failure, the
+      case load balancing handles worst. At least one host always
+      survives ([victims] is capped at [hosts - 1] when [hosts > 1]). *)
+
+type kind = No_failures | Rolling | Crash_wave
+
+val kind_name : kind -> string
+val kind_of_name : string -> kind option
+val all_kinds : kind list
+
+type window = {
+  w_host : int;
+  w_down : int;  (** first cycle the host is unavailable *)
+  w_up : int;  (** first cycle it serves again *)
+}
+
+val plan : kind -> hosts:int -> horizon:int -> seed:int -> window list
+(** Deterministic in all arguments. Windows land inside
+    [\[horizon/4, 3*horizon/4\]] so the trace has a measured before,
+    during and after. Raises [Invalid_argument] if [hosts < 1] or
+    [horizon < 8]. *)
+
+val down : window list -> host:int -> at:int -> bool
+(** Is [host] inside one of its blackout windows at cycle [at]? *)
+
+val host_windows : window list -> host:int -> (int * int) list
+(** The [(down, up)] pairs of one host, in schedule order. *)

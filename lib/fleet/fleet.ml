@@ -1,0 +1,219 @@
+module Balancer = Balancer
+module Failplan = Failplan
+module Host = Host
+module Cost = Sim.Cost
+module Runtime = Ccr.Runtime
+module Loadgen = Service.Loadgen
+
+type config = {
+  hosts : int;
+  balancer : Balancer.strategy;
+  failures : Failplan.kind;
+  pattern : Loadgen.pattern;
+  requests : int;
+  users : int;
+  warmup_us : float;
+  est_service_us : float;
+  mode : Runtime.mode;
+  governed : bool;
+  servers_per_host : int;
+  queue_depth : int;
+  deadline_us : float option;
+  target_p99_us : float;
+  session_slots : int;
+  temps_per_req : int;
+  compute_per_req : int;
+  heap_mb : int;
+  policy : Ccr.Policy.t option;
+  recovery : Ccr.Revoker.recovery option;
+  slices : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    hosts = 3;
+    balancer = Balancer.Round_robin;
+    failures = Failplan.Rolling;
+    pattern =
+      Loadgen.Diurnal { low = 20_000.0; high = 60_000.0; period_us = 8_000.0 };
+    requests = 6_000;
+    users = 1_000_000;
+    warmup_us = 2_000.0;
+    est_service_us = 60.0;
+    mode = Runtime.Safe Ccr.Revoker.Reloaded;
+    governed = true;
+    servers_per_host = 2;
+    queue_depth = 64;
+    deadline_us = None;
+    target_p99_us = 1_000.0;
+    session_slots = 4_096;
+    temps_per_req = 3;
+    compute_per_req = 30_000;
+    heap_mb = 12;
+    policy = None;
+    recovery = None;
+    slices = 12;
+    seed = 11;
+  }
+
+let topology cfg = Printf.sprintf "flat/%d" cfg.hosts
+
+type dispatch = {
+  d_offered : int;
+  d_assign : (int * int) array array;
+  d_redistributed : int;
+  d_lb_dropped : int;
+  d_windows : Failplan.window list;
+  d_horizon : int;
+}
+
+let plan cfg =
+  if cfg.hosts < 1 then invalid_arg "Fleet.plan: hosts < 1";
+  if cfg.requests < 1 then invalid_arg "Fleet.plan: requests < 1";
+  let offsets =
+    Loadgen.schedule
+      { Loadgen.pattern = cfg.pattern; requests = cfg.requests; seed = cfg.seed }
+  in
+  let warmup = Cost.cycles_of_us cfg.warmup_us in
+  let horizon = warmup + offsets.(cfg.requests - 1) in
+  let windows =
+    Failplan.plan cfg.failures ~hosts:cfg.hosts ~horizon:(max 8 horizon)
+      ~seed:cfg.seed
+  in
+  let users =
+    Loadgen.user_stream ~seed:cfg.seed ~population:cfg.users
+      ~requests:cfg.requests
+  in
+  let bal =
+    Balancer.create cfg.balancer ~hosts:cfg.hosts
+      ~est_service_cycles:(max 1 (Cost.cycles_of_us cfg.est_service_us))
+  in
+  let shards = Array.init cfg.hosts (fun _ -> ref []) in
+  let redistributed = ref 0 and lb_dropped = ref 0 in
+  Array.iteri
+    (fun i off ->
+      let intended = warmup + off in
+      let up h = not (Failplan.down windows ~host:h ~at:intended) in
+      match Balancer.route bal ~now:intended ~user:users.(i) ~up with
+      | None -> incr lb_dropped
+      | Some d ->
+          if d.Balancer.redistributed then incr redistributed;
+          shards.(d.Balancer.host) := (i, intended) :: !(shards.(d.Balancer.host)))
+    offsets;
+  {
+    d_offered = cfg.requests;
+    d_assign = Array.map (fun l -> Array.of_list (List.rev !l)) shards;
+    d_redistributed = !redistributed;
+    d_lb_dropped = !lb_dropped;
+    d_windows = windows;
+    d_horizon = horizon;
+  }
+
+type outcome = {
+  offered : int;
+  served : int;
+  shed_depth : int;
+  shed_deadline : int;
+  redistributed : int;
+  lb_dropped : int;
+  violations : int;
+  hist : Stats.Histogram.t;
+  slice_hists : Stats.Histogram.t array;
+  makespan_cycles : int;
+  goodput_rps : float;
+  epochs : int;
+  epoch_resumes : int;
+  sweep_crash_retries : int;
+  chaos_injected : int;
+  max_pause_us : float;
+  hosts : Host.outcome list;
+  windows : Failplan.window list;
+  clean : bool;
+  report : string;
+}
+
+(* Splitmix-style decorrelation so host 0 of seed 12 never shares a
+   stream with host 1 of seed 11. *)
+let host_seed seed host = (seed * 1_000_003) + (host * 8191) + 1
+
+let run ?(check = false) ?jobs cfg =
+  let d = plan cfg in
+  let host_cfg host =
+    {
+      Host.host;
+      mode = cfg.mode;
+      governed = cfg.governed;
+      servers = cfg.servers_per_host;
+      queue_depth = cfg.queue_depth;
+      deadline_us = cfg.deadline_us;
+      target_p99_us = cfg.target_p99_us;
+      session_slots = cfg.session_slots;
+      temps_per_req = cfg.temps_per_req;
+      compute_per_req = cfg.compute_per_req;
+      heap_mb = cfg.heap_mb;
+      seed = host_seed cfg.seed host;
+      check;
+      policy = cfg.policy;
+      recovery = cfg.recovery;
+      windows = Failplan.host_windows d.d_windows ~host;
+      slices = cfg.slices;
+      origin = Cost.cycles_of_us cfg.warmup_us;
+      horizon = d.d_horizon;
+    }
+  in
+  let outcomes =
+    Parallel.Pool.map ?jobs
+      (fun host -> Host.run (host_cfg host) ~arrivals:d.d_assign.(host))
+      (List.init cfg.hosts Fun.id)
+  in
+  let sum f = List.fold_left (fun a o -> a + f o) 0 outcomes in
+  let served = sum (fun o -> o.Host.h_served) in
+  let shed_depth = sum (fun o -> o.Host.h_shed_depth) in
+  let shed_deadline = sum (fun o -> o.Host.h_shed_deadline) in
+  let violations = sum (fun o -> o.Host.h_violations) in
+  let makespan =
+    List.fold_left (fun a o -> max a o.Host.h_wall_cycles) 0 outcomes
+  in
+  let accounted =
+    served + shed_depth + shed_deadline + d.d_lb_dropped = d.d_offered
+    && sum (fun o -> o.Host.h_arrivals) + d.d_lb_dropped = d.d_offered
+  in
+  let report = Buffer.create 0 in
+  List.iter (fun o -> Buffer.add_string report o.Host.h_report) outcomes;
+  if not accounted then
+    Buffer.add_string report
+      (Printf.sprintf
+         "fleet: accounting drift: served %d + shed %d+%d + dropped %d <> \
+          offered %d\n"
+         served shed_depth shed_deadline d.d_lb_dropped d.d_offered);
+  {
+    offered = d.d_offered;
+    served;
+    shed_depth;
+    shed_deadline;
+    redistributed = d.d_redistributed;
+    lb_dropped = d.d_lb_dropped;
+    violations;
+    hist = Stats.Histogram.merge_all (List.map (fun o -> o.Host.h_hist) outcomes);
+    slice_hists =
+      Array.init cfg.slices (fun s ->
+          Stats.Histogram.merge_all
+            (List.map (fun o -> o.Host.h_slices.(s)) outcomes));
+    makespan_cycles = makespan;
+    goodput_rps =
+      (if makespan = 0 then 0.0
+       else
+         float_of_int (served - violations)
+         /. (float_of_int makespan /. Cost.clock_hz));
+    epochs = sum (fun o -> o.Host.h_epochs);
+    epoch_resumes = sum (fun o -> o.Host.h_epoch_resumes);
+    sweep_crash_retries = sum (fun o -> o.Host.h_sweep_crash_retries);
+    chaos_injected = sum (fun o -> o.Host.h_chaos_injected);
+    max_pause_us =
+      List.fold_left (fun a o -> Float.max a o.Host.h_max_pause_us) 0.0 outcomes;
+    hosts = outcomes;
+    windows = d.d_windows;
+    clean = accounted && List.for_all (fun o -> o.Host.h_clean) outcomes;
+    report = Buffer.contents report;
+  }

@@ -1,0 +1,117 @@
+(** The fleet simulator: N independent host machines behind a pluggable
+    balancer, fed one global open-loop trace, with seeded failures.
+
+    Execution is three phases:
+
+    + {b plan} (pure, sequential): draw the global arrival schedule and
+      user stream from the seed, plan the failure windows over the trace
+      horizon, and run the balancer over every request — each request is
+      dispatched against the up/down state at its {e intended} arrival
+      time, and a request whose first-choice host is down is
+      redistributed {e with its timestamp intact}, so the fleet-wide
+      tail has no coordinated omission through failovers.
+    + {b simulate} (parallel): every host runs its shard as a
+      self-contained {!Host} simulation on a {!Parallel.Pool} worker —
+      wall-clock scales with [jobs] while the simulated outcome is
+      byte-identical at any job count, because nothing a host computes
+      depends on any other host or on domain scheduling.
+    + {b aggregate}: per-host histograms merge order-independently
+      ({!Stats.Histogram.merge_all}) into the fleet-wide latency record,
+      plus goodput and per-host revocation-pause attribution.
+
+    Accounting is exact by construction and checked:
+    [served + shed + lb_dropped = offered], and every dispatched request
+    appears in exactly one host's shard. *)
+
+(* fleet.ml is the library interface module, so the components are
+   re-exported here (Fleet.Balancer, Fleet.Failplan, Fleet.Host). *)
+module Balancer = Balancer
+module Failplan = Failplan
+module Host = Host
+
+type config = {
+  hosts : int;
+  balancer : Balancer.strategy;
+  failures : Failplan.kind;
+  pattern : Service.Loadgen.pattern;
+  requests : int;
+  users : int;  (** simulated user population the trace samples from *)
+  warmup_us : float;
+      (** shift applied to every intended arrival so host boot
+          (session-table init) happens before the measured trace *)
+  est_service_us : float;
+      (** the balancer's service-time model for least-loaded accounting *)
+  mode : Ccr.Runtime.mode;
+  governed : bool;
+  servers_per_host : int;
+  queue_depth : int;
+  deadline_us : float option;
+  target_p99_us : float;
+  session_slots : int;
+  temps_per_req : int;
+  compute_per_req : int;
+  heap_mb : int;
+  policy : Ccr.Policy.t option;
+  recovery : Ccr.Revoker.recovery option;
+  slices : int;
+      (** time slices for the latency-over-time record (the restart-wave
+          p99.9 curve) *)
+  seed : int;
+}
+
+val default_config : config
+(** 3 hosts, round-robin, rolling restarts, a diurnal trace of 6000
+    requests sampled from a million users, 12 time slices. *)
+
+val topology : config -> string
+(** Topology label carried into result records, e.g. ["flat/3"]: every
+    host is equivalent behind one balancer. *)
+
+type dispatch = {
+  d_offered : int;
+  d_assign : (int * int) array array;
+      (** per host: its shard of [(id, intended)] arrivals, in trace order *)
+  d_redistributed : int;
+      (** requests routed away from their first-choice host *)
+  d_lb_dropped : int;  (** requests dropped because no host was up *)
+  d_windows : Failplan.window list;
+  d_horizon : int;  (** last intended arrival, cycles *)
+}
+
+val plan : config -> dispatch
+(** The pure dispatch phase alone — deterministic, no machine is built.
+    Tests cross-check {!run}'s accounting against it. Raises
+    [Invalid_argument] if [hosts < 1] or [requests < 1]. *)
+
+type outcome = {
+  offered : int;
+  served : int;
+  shed_depth : int;
+  shed_deadline : int;
+  redistributed : int;
+  lb_dropped : int;
+  violations : int;
+  hist : Stats.Histogram.t;  (** fleet-wide, merged from every host *)
+  slice_hists : Stats.Histogram.t array;
+      (** fleet-wide latency by intended-arrival time slice — slices
+          covering a restart window show the wave passing through the
+          tail *)
+  makespan_cycles : int;  (** slowest host's wall end *)
+  goodput_rps : float;
+      (** served-within-SLO requests per simulated second of makespan *)
+  epochs : int;
+  epoch_resumes : int;
+  sweep_crash_retries : int;
+  chaos_injected : int;
+  max_pause_us : float;  (** worst single revocation pause fleet-wide *)
+  hosts : Host.outcome list;  (** in host order *)
+  windows : Failplan.window list;
+  clean : bool;
+      (** all host checkers clean (when [check]) and fleet accounting
+          exact *)
+  report : string;  (** buffered findings, printable by the caller *)
+}
+
+val run : ?check:bool -> ?jobs:int -> config -> outcome
+(** Plan, simulate every host (fanned out over [jobs] domains), and
+    aggregate. The outcome is identical for any [jobs]. *)

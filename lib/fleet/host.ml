@@ -1,0 +1,342 @@
+module Capability = Cheri.Capability
+module Machine = Sim.Machine
+module Prng = Sim.Prng
+module Cost = Sim.Cost
+module Trace = Sim.Trace
+module Runtime = Ccr.Runtime
+module Revoker = Ccr.Revoker
+module Squeue = Service.Squeue
+module Slo = Service.Slo
+module Governor = Service.Governor
+module Objtable = Workload.Objtable
+module Sanitizer = Analysis.Sanitizer
+module Race = Analysis.Race
+
+type config = {
+  host : int;
+  mode : Runtime.mode;
+  governed : bool;
+  servers : int;
+  queue_depth : int;
+  deadline_us : float option;
+  target_p99_us : float;
+  session_slots : int;
+  temps_per_req : int;
+  compute_per_req : int;
+  heap_mb : int;
+  seed : int;
+  check : bool;
+  policy : Ccr.Policy.t option;
+  recovery : Ccr.Revoker.recovery option;
+  windows : (int * int) list;
+  slices : int;
+  origin : int;
+  horizon : int;
+}
+
+type outcome = {
+  h_host : int;
+  h_arrivals : int;
+  h_served : int;
+  h_shed_depth : int;
+  h_shed_deadline : int;
+  h_violations : int;
+  h_hist : Stats.Histogram.t;
+  h_slices : Stats.Histogram.t array;
+  h_wall_cycles : int;
+  h_epochs : int;
+  h_stw_pause_us : float;
+  h_max_pause_us : float;
+  h_epoch_resumes : int;
+  h_sweep_crash_retries : int;
+  h_chaos_injected : int;
+  h_governor : Governor.stats option;
+  h_clean : bool;
+  h_report : string;
+}
+
+let r_work = 1
+
+(* Same allocation texture as the single-host serving rig: per-request
+   temporaries, shared session state with occasional replacement, pure
+   compute — enough capability churn that the revoker has real work. *)
+let process_request cfg rt ctx rng regs sessions =
+  let temps =
+    Array.init cfg.temps_per_req (fun i ->
+        let c = Runtime.malloc rt ctx (128 + (Prng.int rng 56 * 16)) in
+        Machine.store_u64 ctx c (Int64.of_int i);
+        let prev = Sim.Regfile.get regs r_work in
+        if Capability.tag prev && Capability.length c >= 32 then
+          Machine.store_cap ctx (Capability.incr_addr c 16) prev;
+        Sim.Regfile.set regs r_work c;
+        c)
+  in
+  for _ = 1 to 2 do
+    match Objtable.random_live sessions rng ~hot:0.1 ~weight:0.5 with
+    | None -> ()
+    | Some slot ->
+        let c = Objtable.get sessions ctx slot in
+        if Capability.tag c then begin
+          Sim.Regfile.set regs r_work c;
+          ignore (Machine.load_u64 ctx c);
+          Machine.store_u64 ctx (Capability.incr_addr c 8) 7L;
+          if Prng.int rng 100 = 0 then begin
+            let nv = Runtime.malloc rt ctx 256 in
+            Machine.store_u64 ctx nv 1L;
+            Objtable.put sessions ctx slot nv ~size:256;
+            Runtime.free rt ctx c;
+            Sim.Regfile.set regs r_work Capability.null
+          end
+        end
+  done;
+  Machine.charge ctx cfg.compute_per_req;
+  Array.iter (fun c -> Runtime.free rt ctx c) temps;
+  Sim.Regfile.set regs r_work Capability.null
+
+let server_core i = [| 2; 3; 1 |].(i mod 3)
+
+type shared = {
+  mutable sessions : Objtable.t option;
+  init_cv : Machine.condvar;
+  mutable finished_servers : int;
+}
+
+(* The restart wave, host-side: the first cycle at which this host is
+   back if [at] falls inside a blackout window. *)
+let blackout_until windows at =
+  List.fold_left
+    (fun acc (down, up) ->
+      if at >= down && at < up then Some up else acc)
+    None windows
+
+(* An induced sweep crash at each blackout start: the "process died
+   mid-epoch" half of a restart. The revoker's checkpointed sweep cursor
+   survives, so recovery is an Epoch_resume inside the same open epoch. *)
+let crash_schedule cfg =
+  match cfg.mode with
+  | Runtime.Baseline -> None
+  | Runtime.Safe strategy ->
+      if cfg.windows = [] || not (Chaos.applicable strategy Chaos.Sweep_crash)
+      then None
+      else
+        let faults =
+          List.mapi
+            (fun i (down, _up) ->
+              {
+                Chaos.f_id = i;
+                f_kind = Chaos.Sweep_crash;
+                f_at = down;
+                f_param = 0;
+                f_count = 1;
+              })
+            cfg.windows
+        in
+        let horizon =
+          List.fold_left (fun a (_, up) -> max a up) 0 cfg.windows
+        in
+        Some
+          {
+            Chaos.sched_id =
+              (cfg.seed * 127) lxor (cfg.host * 31) land 0x3fffffff;
+            horizon;
+            faults;
+          }
+
+let run cfg ~arrivals =
+  if cfg.servers < 1 then invalid_arg "Host.run: need at least one server";
+  if cfg.slices < 1 then invalid_arg "Host.run: need at least one slice";
+  let slices = Array.init cfg.slices (fun _ -> Stats.Histogram.create ()) in
+  let span = max 1 (cfg.horizon - cfg.origin) in
+  let slice_of intended =
+    let dt = max 0 (intended - cfg.origin) in
+    min (cfg.slices - 1) (dt * cfg.slices / span)
+  in
+  let heap_bytes = cfg.heap_mb * 1024 * 1024 in
+  let mconfig =
+    {
+      Machine.default_config with
+      heap_bytes;
+      mem_bytes = heap_bytes + (heap_bytes / 16) + (8 * 1024 * 1024);
+      seed = cfg.seed;
+    }
+  in
+  let rt =
+    Runtime.create ~config:mconfig ?policy:cfg.policy ?recovery:cfg.recovery
+      ~revoker_core:3 cfg.mode
+  in
+  let m = rt.Runtime.machine in
+  (* Hosts always trace: the resume/injection counters subscribe
+     losslessly, and the ring's one-shot drop warning is silenced so a
+     worker domain never prints. *)
+  let tracer = Trace.create ~capacity:(1 lsl 16) () in
+  Machine.attach_tracer m (Some tracer);
+  Trace.set_warn_on_drop tracer false;
+  let resumes = ref 0 and injected = ref 0 in
+  ignore
+    (Trace.subscribe tracer (fun e ->
+         match e.Trace.kind with
+         | Trace.Epoch_resume -> incr resumes
+         | Trace.Chaos_inject -> incr injected
+         | _ -> ()));
+  let san = ref None and race = ref None in
+  if cfg.check then begin
+    san := Some (Sanitizer.attach ?revoker:rt.Runtime.revoker m);
+    race := Some (Race.attach m)
+  end;
+  let _chaos =
+    Option.map
+      (fun s -> Chaos.install m ~revoker:rt.Runtime.revoker ~mrs:rt.Runtime.mrs s)
+      (crash_schedule cfg)
+  in
+  let deadline = Option.map Cost.cycles_of_us cfg.deadline_us in
+  let queue = Squeue.create m ~max_depth:cfg.queue_depth ?deadline () in
+  let slo = Slo.create ~target_p99_us:cfg.target_p99_us () in
+  let gov =
+    if cfg.governed && rt.Runtime.revoker <> None then
+      Some
+        (Governor.install ~target_p99_us:cfg.target_p99_us
+           ~p99:(fun () -> Slo.p99_estimate slo)
+           rt
+           ~depth:(fun () -> Squeue.depth queue)
+           ())
+    else None
+  in
+  let sh =
+    { sessions = None; init_cv = Machine.condvar (); finished_servers = 0 }
+  in
+  let wall_end = ref 0 in
+  (* The fleet dispatcher models the outside world: arrivals carry
+     absolute fleet-clock timestamps, and the generator releases each
+     request at its intended time no matter what the host is doing —
+     including while the host is blacked out right before this window's
+     traffic was re-routed away. *)
+  let _generator =
+    Machine.spawn m
+      ~name:(Printf.sprintf "fleet-h%d-loadgen" cfg.host)
+      ~core:0 ~user:false
+      (fun ctx ->
+        while sh.sessions = None do
+          Machine.wait ctx sh.init_cv
+        done;
+        Array.iter
+          (fun (id, intended) ->
+            let dt = intended - Machine.now ctx in
+            if dt > 0 then Machine.sleep ctx dt;
+            Slo.note_offered slo;
+            ignore (Squeue.offer queue ctx { Squeue.id; intended }))
+          arrivals;
+        Squeue.close queue ctx)
+  in
+  let server id =
+    Machine.spawn m
+      ~name:(Printf.sprintf "fleet-h%d-server-%d" cfg.host id)
+      ~core:(server_core id)
+      (fun ctx ->
+        let regs = Machine.regs (Machine.self ctx) in
+        let rng = Prng.create ~seed:(cfg.seed * 31 * (id + 1)) in
+        if id = 0 then begin
+          let sessions = Objtable.create rt ctx ~slots:cfg.session_slots in
+          for slot = 0 to cfg.session_slots - 1 do
+            let c = Runtime.malloc rt ctx 256 in
+            Machine.store_u64 ctx c (Int64.of_int slot);
+            Objtable.put sessions ctx slot c ~size:256
+          done;
+          sh.sessions <- Some sessions;
+          Machine.broadcast ctx sh.init_cv
+        end
+        else
+          while sh.sessions = None do
+            Machine.wait ctx sh.init_cv
+          done;
+        let sessions = Option.get sh.sessions in
+        let rec serve () =
+          if Squeue.depth queue = 0 then
+            Option.iter (fun g -> Governor.maybe_eager g ctx) gov;
+          match Squeue.take queue ctx with
+          | None -> ()
+          | Some req ->
+              (* A blackout straddles the take: the host is down, so the
+                 request (queued before the crash) waits for the restart
+                 and pays the full outage in its measured latency. *)
+              (match blackout_until cfg.windows (Machine.now ctx) with
+              | Some up ->
+                  let dt = up - Machine.now ctx in
+                  if dt > 0 then Machine.sleep ctx dt
+              | None -> ());
+              process_request cfg rt ctx rng regs sessions;
+              let lat =
+                Slo.record slo ~intended:req.Squeue.intended
+                  ~completed:(Machine.now ctx)
+              in
+              Stats.Histogram.record slices.(slice_of req.Squeue.intended) lat;
+              serve ()
+        in
+        serve ();
+        sh.finished_servers <- sh.finished_servers + 1;
+        if sh.finished_servers = cfg.servers then begin
+          wall_end := Machine.now ctx;
+          Option.iter Governor.uninstall gov;
+          Runtime.finish rt ctx
+        end)
+  in
+  ignore (List.init cfg.servers server);
+  Machine.run m;
+  let accounted =
+    Slo.served slo + Squeue.shed queue = Slo.offered slo
+    && Slo.offered slo = Array.length arrivals
+  in
+  let report = Buffer.create 0 in
+  let rfmt = Format.formatter_of_buffer report in
+  let clean =
+    match (!san, !race) with
+    | Some san, Some race ->
+        Sanitizer.finish san;
+        if not (Sanitizer.ok san) then Sanitizer.report rfmt san;
+        if not (Race.ok race) then Race.report rfmt race;
+        Sanitizer.ok san && Race.ok race && accounted
+    | _ -> accounted
+  in
+  if not accounted then
+    Format.fprintf rfmt
+      "host %d: accounting drift: served %d + shed %d <> arrivals %d@."
+      cfg.host (Slo.served slo) (Squeue.shed queue) (Array.length arrivals);
+  Format.pp_print_flush rfmt ();
+  let phases = Runtime.revoker_records rt in
+  let stw_total, stw_max =
+    List.fold_left
+      (fun (t, mx) p ->
+        (t + p.Revoker.stw_cycles, max mx p.Revoker.stw_cycles))
+      (0, 0) phases
+  in
+  let rs =
+    match rt.Runtime.revoker with
+    | Some rv -> Revoker.recovery_stats rv
+    | None ->
+        {
+          Revoker.epoch_aborts = 0;
+          sweep_crash_retries = 0;
+          quiesce_timeouts = 0;
+          backoff_cycles = 0;
+          downshifts = 0;
+        }
+  in
+  {
+    h_host = cfg.host;
+    h_arrivals = Array.length arrivals;
+    h_served = Slo.served slo;
+    h_shed_depth = Squeue.shed_depth queue;
+    h_shed_deadline = Squeue.shed_deadline queue;
+    h_violations = Slo.violations slo;
+    h_hist = Slo.histogram slo;
+    h_slices = slices;
+    h_wall_cycles = !wall_end;
+    h_epochs = List.length phases;
+    h_stw_pause_us = Cost.cycles_to_us stw_total;
+    h_max_pause_us = Cost.cycles_to_us stw_max;
+    h_epoch_resumes = !resumes;
+    h_sweep_crash_retries = rs.Revoker.sweep_crash_retries;
+    h_chaos_injected = !injected;
+    h_governor = Option.map Governor.stats gov;
+    h_clean = clean;
+    h_report = Buffer.contents report;
+  }

@@ -1,0 +1,72 @@
+(** One simulated fleet host: a full machine / physical memory /
+    allocator / revoker stack serving its shard of the global trace.
+
+    The host runs the open-loop serving rig of {!Workload.Serve} against
+    an {e explicit} arrival list (request id, intended arrival cycle)
+    instead of generating its own: the fleet dispatcher owns the trace,
+    and every latency is measured from the request's fleet-wide intended
+    arrival — a request redistributed to this host after a failover
+    still charges its queueing delay from the original timestamp.
+
+    Blackout [windows] model this host's crashes/restarts: the servers
+    stop taking requests for the window's duration (the balancer has
+    already routed arrivals in the window elsewhere), and at each window
+    start the revoker takes an induced sweep crash via a {!Chaos}
+    schedule, so recovery runs through the resumable-epoch protocol —
+    the restarted host {e resumes} its checkpointed epoch rather than
+    restarting revocation from scratch.
+
+    Hosts share no mutable state; {!run} is safe to fan out across
+    domains and its outcome is a pure function of its config. *)
+
+type config = {
+  host : int;  (** fleet index, for labels and seed splitting *)
+  mode : Ccr.Runtime.mode;
+  governed : bool;  (** install the per-host SLO {!Service.Governor} *)
+  servers : int;
+  queue_depth : int;
+  deadline_us : float option;
+  target_p99_us : float;
+  session_slots : int;
+  temps_per_req : int;
+  compute_per_req : int;
+  heap_mb : int;
+  seed : int;
+  check : bool;  (** attach the protocol sanitizer + race detector *)
+  policy : Ccr.Policy.t option;
+  recovery : Ccr.Revoker.recovery option;
+  windows : (int * int) list;  (** blackouts, [(down, up)] cycles *)
+  slices : int;
+      (** time-sliced latency record: the trace horizon is cut into this
+          many equal slices and each served request is also recorded
+          into its {e intended-arrival} slice — the fleet's
+          p99.9-through-the-restart-wave curve *)
+  origin : int;  (** first slice boundary — the end of warmup, cycles *)
+  horizon : int;  (** last intended arrival fleet-wide, cycles *)
+}
+
+type outcome = {
+  h_host : int;
+  h_arrivals : int;  (** requests dispatched to this host *)
+  h_served : int;
+  h_shed_depth : int;
+  h_shed_deadline : int;
+  h_violations : int;  (** served requests over the SLO target *)
+  h_hist : Stats.Histogram.t;  (** latency from intended arrival, µs *)
+  h_slices : Stats.Histogram.t array;
+      (** latency by intended-arrival time slice, [config.slices] long *)
+  h_wall_cycles : int;
+  h_epochs : int;  (** revocation epochs closed *)
+  h_stw_pause_us : float;  (** total world-stopped time, µs *)
+  h_max_pause_us : float;  (** worst single pause, µs *)
+  h_epoch_resumes : int;  (** checkpointed-epoch resumptions after crashes *)
+  h_sweep_crash_retries : int;
+  h_chaos_injected : int;  (** induced sweep crashes that actually fired *)
+  h_governor : Service.Governor.stats option;
+  h_clean : bool;  (** checkers clean and served + shed = arrivals *)
+  h_report : string;  (** buffered checker findings (workers don't print) *)
+}
+
+val run : config -> arrivals:(int * int) array -> outcome
+(** Simulate the host against its [(id, intended)] arrivals, which must
+    be nondecreasing in intended time. Deterministic. *)

@@ -14,6 +14,12 @@
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] clamped to [1, 16]. *)
 
+val validate_jobs : int -> (int, string) result
+(** [Ok j] when [j >= 1], otherwise [Error msg] with a usage message.
+    Every campaign CLI funnels its [--jobs] argument through this one
+    helper so a zero/negative width is rejected uniformly instead of
+    falling through to {!map}'s internal clamping. *)
+
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] applies [f] to every element of [xs], running up to
     [jobs] applications concurrently on separate domains, and returns

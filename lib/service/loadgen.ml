@@ -39,6 +39,17 @@ let rate_at pattern ~t_us ~progress =
       let mid = (low +. high) /. 2.0 and amp = (high -. low) /. 2.0 in
       mid +. (amp *. sin (2.0 *. pi *. phase))
 
+(* Per-request user identities for sharded (fleet) serving. A separate
+   splitmix stream from the arrival schedule's, so adding user sampling
+   to an existing trace never perturbs its arrival times. The population
+   stands in for the service's whole registered user base (millions);
+   each request samples one of them uniformly. *)
+let user_stream ~seed ~population ~requests =
+  if population < 1 then invalid_arg "Loadgen.user_stream: empty population";
+  if requests < 0 then invalid_arg "Loadgen.user_stream: negative requests";
+  let rng = Prng.create ~seed:(seed lxor 0x7573_6572 (* "user" *)) in
+  Array.init requests (fun _ -> Prng.int rng population)
+
 let schedule cfg =
   if cfg.requests < 0 then
     invalid_arg "Loadgen.schedule: negative request count";

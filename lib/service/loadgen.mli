@@ -28,3 +28,9 @@ val schedule : config -> int array
 (** Intended arrival times in cycles, nondecreasing, length
     [config.requests]. Instantaneous rates are clamped to ≥ 1 req/s.
     Deterministic: equal configs give equal arrays. *)
+
+val user_stream : seed:int -> population:int -> requests:int -> int array
+(** One user id in [\[0, population)] per request, drawn uniformly from a
+    splitmix stream independent of {!schedule}'s — a fleet balancer
+    shards on these. Deterministic in all arguments; raises
+    [Invalid_argument] if [population < 1] or [requests < 0]. *)

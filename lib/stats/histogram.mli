@@ -23,6 +23,14 @@ val mean : t -> float
 val merge : t -> t -> t
 (** Combine two histograms with identical geometry. *)
 
+val merge_all : t list -> t
+(** Combine any number of histograms with identical geometry into a
+    fresh one. Associative and order-independent (bucket-wise sums), so
+    fleet-wide percentile aggregation does not depend on the order hosts
+    report in; empty inputs contribute nothing. [merge_all \[\]] is an
+    empty default-geometry histogram. Raises [Invalid_argument] on a
+    geometry mismatch. *)
+
 val max_relative_error : t -> float
 (** The bucket-width bound on percentile error, e.g. ~0.075 for 32
     buckets/decade. *)

@@ -1,0 +1,274 @@
+(* Fleet-simulator tests: balancer determinism through failovers, exact
+   fleet-wide accounting, jobs-count invariance of the simulated
+   outcome, and crash-recoverable revocation on a restarted host. *)
+
+module Cost = Sim.Cost
+module Runtime = Ccr.Runtime
+module Revoker = Ccr.Revoker
+module Policy = Ccr.Policy
+module Loadgen = Service.Loadgen
+module Histogram = Stats.Histogram
+module Balancer = Fleet.Balancer
+module Failplan = Fleet.Failplan
+module Host = Fleet.Host
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let small_config =
+  {
+    Fleet.default_config with
+    hosts = 3;
+    requests = 900;
+    pattern = Loadgen.Diurnal { low = 60_000.0; high = 180_000.0; period_us = 3_000.0 };
+    users = 50_000;
+    seed = 11;
+  }
+
+(* ---- balancer determinism under crash/redistribute ---- *)
+
+let route_all bal ~up n =
+  List.init n (fun i ->
+      Balancer.route bal ~now:(i * 1000) ~user:(i * 7919) ~up)
+
+let test_balancer_deterministic () =
+  List.iter
+    (fun strategy ->
+      let mk () = Balancer.create strategy ~hosts:4 ~est_service_cycles:500 in
+      let up_all _ = true in
+      let a = route_all (mk ()) ~up:up_all 200 in
+      let b = route_all (mk ()) ~up:up_all 200 in
+      check
+        (Balancer.strategy_name strategy ^ " replays identically")
+        true (a = b);
+      check
+        (Balancer.strategy_name strategy ^ " never redistributes when all up")
+        true
+        (List.for_all
+           (function
+             | Some d -> not d.Balancer.redistributed
+             | None -> false)
+           a);
+      (* with host 2 down the same trace routes around it, marking every
+         moved request, and still replays identically *)
+      let up h = h <> 2 in
+      let c = route_all (mk ()) ~up 200 in
+      let d = route_all (mk ()) ~up 200 in
+      check
+        (Balancer.strategy_name strategy ^ " replays identically with a crash")
+        true (c = d);
+      check
+        (Balancer.strategy_name strategy ^ " avoids the down host")
+        true
+        (List.for_all
+           (function Some d -> d.Balancer.host <> 2 | None -> false)
+           c);
+      (* nothing routed to an up host may be marked redistributed unless
+         its all-up first choice was the down host; cross-check by
+         replaying the all-up trace *)
+      List.iter2
+        (fun allup crashed ->
+          match (allup, crashed) with
+          | Some a, Some c ->
+              if c.Balancer.redistributed then
+                checki
+                  (Balancer.strategy_name strategy
+                  ^ " redistributed means first choice was down")
+                  2 a.Balancer.host
+          | _ -> Alcotest.fail "route returned None with a host up")
+        a c)
+    Balancer.all_strategies
+
+let test_balancer_hash_stability () =
+  (* consistent hashing: a down owner moves only its own shard — every
+     request whose all-up owner is still up keeps its host *)
+  let mk () = Balancer.create Balancer.Consistent_hash ~hosts:5 ~est_service_cycles:500 in
+  let up_all _ = true in
+  let a = route_all (mk ()) ~up:up_all 500 in
+  let up h = h <> 3 in
+  let c = route_all (mk ()) ~up 500 in
+  List.iter2
+    (fun allup crashed ->
+      match (allup, crashed) with
+      | Some a, Some c ->
+          if a.Balancer.host <> 3 then begin
+            checki "unaffected shard stays put" a.Balancer.host c.Balancer.host;
+            check "unaffected shard not marked redistributed" true
+              (not c.Balancer.redistributed)
+          end
+          else check "down owner's shard moves" true (c.Balancer.host <> 3)
+      | _ -> Alcotest.fail "route returned None with hosts up")
+    a c;
+  (* no host up: the balancer reports the drop rather than inventing one *)
+  let none = Balancer.route (mk ()) ~now:0 ~user:1 ~up:(fun _ -> false) in
+  check "no host up drops" true (none = None)
+
+let test_plan_deterministic_and_redistributing () =
+  let cfg = { small_config with failures = Failplan.Rolling } in
+  let a = Fleet.plan cfg and b = Fleet.plan cfg in
+  check "same seed, same dispatch" true (a = b);
+  check "rolling restarts redistribute traffic" true (a.Fleet.d_redistributed > 0);
+  checki "rolling keeps every request placed" 0 a.Fleet.d_lb_dropped;
+  let shard_sum =
+    Array.fold_left (fun acc s -> acc + Array.length s) 0 a.Fleet.d_assign
+  in
+  checki "every offered request lands in exactly one shard"
+    a.Fleet.d_offered shard_sum;
+  let c = Fleet.plan { cfg with seed = 12 } in
+  check "different seed, different dispatch" true (a <> c)
+
+(* ---- accounting exactness through a failure wave ---- *)
+
+let test_accounting_exact () =
+  let cfg = { small_config with failures = Failplan.Rolling } in
+  let d = Fleet.plan cfg in
+  let o = Fleet.run ~jobs:2 cfg in
+  checki "offered matches the trace" cfg.Fleet.requests o.Fleet.offered;
+  checki "served + shed + dropped = offered" o.Fleet.offered
+    (o.Fleet.served + o.Fleet.shed_depth + o.Fleet.shed_deadline
+   + o.Fleet.lb_dropped);
+  checki "run's redistribution count matches the pure plan"
+    d.Fleet.d_redistributed o.Fleet.redistributed;
+  checki "run's drop count matches the pure plan" d.Fleet.d_lb_dropped
+    o.Fleet.lb_dropped;
+  List.iteri
+    (fun i h ->
+      checki
+        (Printf.sprintf "host %d shard size" i)
+        (Array.length d.Fleet.d_assign.(i))
+        h.Host.h_arrivals;
+      checki
+        (Printf.sprintf "host %d served + shed = arrivals" i)
+        h.Host.h_arrivals
+        (h.Host.h_served + h.Host.h_shed_depth + h.Host.h_shed_deadline))
+    o.Fleet.hosts;
+  check "accounting is part of clean" true o.Fleet.clean;
+  checki "fleet histogram holds every served request" o.Fleet.served
+    (Histogram.count o.Fleet.hist)
+
+(* ---- jobs-count invariance ---- *)
+
+let hist_fingerprint h =
+  ( Histogram.count h,
+    if Histogram.count h = 0 then []
+    else List.map (Histogram.percentile h) [ 0.0; 50.0; 99.0; 99.9; 100.0 ] )
+
+let host_fingerprint h =
+  ( ( h.Host.h_host,
+      h.Host.h_arrivals,
+      h.Host.h_served,
+      h.Host.h_shed_depth,
+      h.Host.h_shed_deadline,
+      h.Host.h_violations ),
+    ( h.Host.h_wall_cycles,
+      h.Host.h_epochs,
+      h.Host.h_stw_pause_us,
+      h.Host.h_max_pause_us,
+      h.Host.h_epoch_resumes,
+      h.Host.h_sweep_crash_retries,
+      h.Host.h_chaos_injected,
+      h.Host.h_clean,
+      h.Host.h_report ),
+    hist_fingerprint h.Host.h_hist,
+    Array.to_list (Array.map hist_fingerprint h.Host.h_slices) )
+
+let fleet_fingerprint o =
+  ( ( o.Fleet.offered,
+      o.Fleet.served,
+      o.Fleet.shed_depth,
+      o.Fleet.shed_deadline,
+      o.Fleet.redistributed,
+      o.Fleet.lb_dropped,
+      o.Fleet.violations ),
+    ( o.Fleet.makespan_cycles,
+      o.Fleet.goodput_rps,
+      o.Fleet.epochs,
+      o.Fleet.epoch_resumes,
+      o.Fleet.sweep_crash_retries,
+      o.Fleet.chaos_injected,
+      o.Fleet.max_pause_us,
+      o.Fleet.clean,
+      o.Fleet.report ),
+    hist_fingerprint o.Fleet.hist,
+    Array.to_list (Array.map hist_fingerprint o.Fleet.slice_hists),
+    List.map host_fingerprint o.Fleet.hosts )
+
+let test_jobs_invariance () =
+  let cfg = { small_config with failures = Failplan.Rolling } in
+  let a = Fleet.run ~jobs:1 cfg in
+  let b = Fleet.run ~jobs:4 cfg in
+  check "jobs 1 and jobs 4 simulate the same fleet" true
+    (fleet_fingerprint a = fleet_fingerprint b)
+
+(* ---- crash-recoverable revocation on the restarted host ---- *)
+
+let test_recovery_resumes_epoch () =
+  (* Drive one host directly: a dense arrival trace, a low quarantine
+     floor so epochs fire often, and one blackout window whose start
+     injects a sweep crash mid-epoch. Recovery must resume the
+     checkpointed epoch, and the protocol checkers must stay clean
+     through it. *)
+  let requests = 800 in
+  let gap = Cost.cycles_of_us 8.0 in
+  let arrivals = Array.init requests (fun i -> (i, (i + 1) * gap)) in
+  let horizon = (requests + 1) * gap in
+  let window = (horizon / 3, horizon / 3 * 2) in
+  let cfg =
+    {
+      Host.host = 0;
+      mode = Runtime.Safe Revoker.Reloaded;
+      governed = true;
+      servers = 2;
+      queue_depth = 64;
+      deadline_us = None;
+      target_p99_us = 1_000.0;
+      session_slots = 512;
+      temps_per_req = 3;
+      compute_per_req = 20_000;
+      heap_mb = 8;
+      seed = 11;
+      check = true;
+      policy = Some (Policy.with_min Policy.default 16_384);
+      recovery = None;
+      windows = [ window ];
+      slices = 4;
+      origin = 0;
+      horizon;
+    }
+  in
+  let o = Host.run cfg ~arrivals in
+  checki "every arrival accounted" requests
+    (o.Host.h_served + o.Host.h_shed_depth + o.Host.h_shed_deadline);
+  check "the induced sweep crash fired" true (o.Host.h_chaos_injected >= 1);
+  check "the crash registered as a retry" true
+    (o.Host.h_sweep_crash_retries >= 1);
+  check "the restarted host resumed its checkpointed epoch" true
+    (o.Host.h_epoch_resumes > 0);
+  check "checkers stayed clean through crash recovery" true o.Host.h_clean;
+  Alcotest.(check string) "no buffered findings" "" o.Host.h_report
+
+let () =
+  Alcotest.run "fleet"
+    [
+      ( "balancer",
+        [
+          Alcotest.test_case "deterministic under crashes" `Quick
+            test_balancer_deterministic;
+          Alcotest.test_case "consistent-hash shard stability" `Quick
+            test_balancer_hash_stability;
+        ] );
+      ( "dispatch",
+        [
+          Alcotest.test_case "plan deterministic, redistributes" `Quick
+            test_plan_deterministic_and_redistributing;
+        ] );
+      ( "accounting",
+        [ Alcotest.test_case "exact through rolling restarts" `Quick test_accounting_exact ] );
+      ( "determinism",
+        [ Alcotest.test_case "jobs 1 = jobs 4" `Quick test_jobs_invariance ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "restart resumes checkpointed epoch" `Quick
+            test_recovery_resumes_epoch;
+        ] );
+    ]

@@ -120,6 +120,67 @@ let test_histogram_merge_empty () =
   check "sample survives the merge" true
     (p50 >= 42.0 *. (1.0 -. err) && p50 <= 42.0 *. (1.0 +. 2.0 *. err))
 
+(* merge_all is the fleet aggregation path: hosts report in whatever
+   order they finish, some may have served nothing, and the fleet-wide
+   percentile must not care. *)
+let test_histogram_merge_all () =
+  let empty = Stats.Histogram.merge_all [] in
+  Alcotest.(check int) "no hosts" 0 (Stats.Histogram.count empty);
+  let a = Stats.Histogram.create () in
+  List.iter (Stats.Histogram.record a) [ 3.0; 7.0; 11.0 ];
+  let solo = Stats.Histogram.merge_all [ a ] in
+  Alcotest.(check int) "single-host fleet keeps its count" 3
+    (Stats.Histogram.count solo);
+  checkf "single-host fleet keeps its p50"
+    (Stats.Histogram.percentile a 50.0)
+    (Stats.Histogram.percentile solo 50.0);
+  (* hosts with disjoint latency ranges: decades apart, so every sample
+     lands in a distinct bucket and nothing may collide away *)
+  let lo = Stats.Histogram.create ()
+  and mid = Stats.Histogram.create ()
+  and hi = Stats.Histogram.create () in
+  Stats.Histogram.record lo 0.5;
+  Stats.Histogram.record mid 500.0;
+  Stats.Histogram.record hi 500_000.0;
+  let idle = Stats.Histogram.create () in
+  let m = Stats.Histogram.merge_all [ lo; idle; mid; hi ] in
+  Alcotest.(check int) "disjoint ranges all counted" 3
+    (Stats.Histogram.count m);
+  let err = Stats.Histogram.max_relative_error m in
+  check "low extreme survives" true
+    (Stats.Histogram.percentile m 0.0 <= 0.5 *. (1.0 +. err));
+  check "high extreme survives" true
+    (Stats.Histogram.percentile m 100.0 >= 500_000.0 *. (1.0 -. err));
+  (* order independence: every permutation of the host list produces the
+     same percentile at every probed quantile *)
+  let rec permutations = function
+    | [] -> [ [] ]
+    | l ->
+        List.concat_map
+          (fun x ->
+            let rest = List.filter (fun y -> y != x) l in
+            List.map (fun p -> x :: p) (permutations rest))
+          l
+  in
+  let reference = Stats.Histogram.merge_all [ lo; mid; hi; a ] in
+  List.iter
+    (fun perm ->
+      let m = Stats.Histogram.merge_all perm in
+      Alcotest.(check int)
+        "permutation count" (Stats.Histogram.count reference)
+        (Stats.Histogram.count m);
+      List.iter
+        (fun q ->
+          checkf "permutation percentile"
+            (Stats.Histogram.percentile reference q)
+            (Stats.Histogram.percentile m q))
+        [ 0.0; 25.0; 50.0; 90.0; 99.0; 100.0 ])
+    (permutations [ lo; mid; hi; a ]);
+  let bad = Stats.Histogram.create ~buckets_per_decade:8 () in
+  Alcotest.check_raises "merge_all geometry mismatch"
+    (Invalid_argument "Histogram.merge_all: geometry mismatch") (fun () ->
+      ignore (Stats.Histogram.merge_all [ a; bad ]))
+
 let prop_histogram_percentile_bounded =
   QCheck.Test.make ~name:"histogram percentile within relative-error bound of exact"
     ~count:100
@@ -191,6 +252,7 @@ let () =
           Alcotest.test_case "merge" `Quick test_histogram_merge;
           Alcotest.test_case "edge buckets" `Quick test_histogram_edges;
           Alcotest.test_case "merge empty" `Quick test_histogram_merge_empty;
+          Alcotest.test_case "merge_all" `Quick test_histogram_merge_all;
         ] );
       ("table", [ Alcotest.test_case "render" `Quick test_table_renders ]);
       ( "properties",
