@@ -68,7 +68,7 @@ let ring_search ring p =
   done;
   if !lo = n then 0 else !lo
 
-let route t ~now ~user ~up =
+let route ?(penalty = fun _ -> 0) t ~now ~user ~up =
   let any_up = ref false in
   for h = 0 to t.hosts - 1 do
     if up h then any_up := true
@@ -97,15 +97,13 @@ let route t ~now ~user ~up =
             ignore (Queue.pop q)
           done)
         t.ll_outstanding;
+      (* score = outstanding estimate + the caller's health penalty, so
+         a slow or failing host loses ties it would otherwise win *)
+      let score h = Queue.length t.ll_outstanding.(h) + penalty h in
       let argmin pred =
         let best = ref (-1) in
         for h = 0 to t.hosts - 1 do
-          if
-            pred h
-            && (!best < 0
-               || Queue.length t.ll_outstanding.(h)
-                  < Queue.length t.ll_outstanding.(!best))
-          then best := h
+          if pred h && (!best < 0 || score h < score !best) then best := h
         done;
         !best
       in

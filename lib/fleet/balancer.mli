@@ -41,8 +41,20 @@ type decision = {
       (** the first-choice host was down, so the request moved *)
 }
 
-val route : t -> now:int -> user:int -> up:(int -> bool) -> decision option
+val route :
+  ?penalty:(int -> int) ->
+  t ->
+  now:int ->
+  user:int ->
+  up:(int -> bool) ->
+  decision option
 (** Dispatch one request arriving at cycle [now] from [user]. [None]
     when no host is up (the balancer drops the request). Mutates the
     balancer's bookkeeping (rotation counter / outstanding estimates),
-    so a dispatch sequence is deterministic in its call order. *)
+    so a dispatch sequence is deterministic in its call order.
+
+    [penalty] (default: always 0) is a per-host score the least-loaded
+    strategy adds to its outstanding estimate — the hook through which
+    {!Health} feeds EWMA latency and failure streaks into placement.
+    Round-robin and consistent-hash ignore it (health reaches them only
+    through [up]). *)

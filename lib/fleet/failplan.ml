@@ -12,10 +12,52 @@ let kind_of_name s = List.find_opt (fun k -> kind_name k = s) all_kinds
 
 type window = { w_host : int; w_down : int; w_up : int }
 
+(* Every schedule consumer assumes these shapes (host ids in range,
+   nonempty forward windows inside the horizon, at most one blackout per
+   host at a time), so both planned and caller-supplied schedules go
+   through one checker that names the offending window. *)
+let validate ~hosts ~horizon windows =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let rec check_each = function
+    | [] -> Ok ()
+    | w :: rest ->
+        if w.w_host < 0 || w.w_host >= hosts then
+          err "window for host %d, but the fleet has hosts 0..%d" w.w_host
+            (hosts - 1)
+        else if w.w_down < 0 then
+          err "host %d: window starts before cycle 0 (down %d)" w.w_host
+            w.w_down
+        else if w.w_up <= w.w_down then
+          err "host %d: empty or inverted window [%d, %d)" w.w_host w.w_down
+            w.w_up
+        else if w.w_up > horizon then
+          err "host %d: window [%d, %d) ends past the horizon %d" w.w_host
+            w.w_down w.w_up horizon
+        else check_each rest
+  in
+  let overlap () =
+    let by_host =
+      List.stable_sort
+        (fun a b -> compare (a.w_host, a.w_down) (b.w_host, b.w_down))
+        windows
+    in
+    let rec scan = function
+      | a :: (b :: _ as rest) ->
+          if a.w_host = b.w_host && b.w_down < a.w_up then
+            err "host %d: overlapping windows [%d, %d) and [%d, %d)" a.w_host
+              a.w_down a.w_up b.w_down b.w_up
+          else scan rest
+      | _ -> Ok ()
+    in
+    scan by_host
+  in
+  match check_each windows with Ok () -> overlap () | e -> e
+
 let plan kind ~hosts ~horizon ~seed =
   if hosts < 1 then invalid_arg "Failplan.plan: hosts < 1";
   if horizon < 8 then invalid_arg "Failplan.plan: horizon too small";
-  match kind with
+  let windows =
+    match kind with
   | No_failures -> []
   | Rolling ->
       (* One restart per host, staggered across the middle half of the
@@ -50,6 +92,12 @@ let plan kind ~hosts ~horizon ~seed =
           let down = wave_at + Prng.int rng spread in
           { w_host = order.(i); w_down = down; w_up = down + down_for })
       |> List.sort compare
+  in
+  (* the planner must satisfy its own contract *)
+  (match validate ~hosts ~horizon windows with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Failplan.plan: " ^ e));
+  windows
 
 let down windows ~host ~at =
   List.exists

@@ -30,11 +30,21 @@ type window = {
   w_up : int;  (** first cycle it serves again *)
 }
 
+val validate :
+  hosts:int -> horizon:int -> window list -> (unit, string) result
+(** Check a schedule against the invariants every consumer assumes:
+    host ids in [\[0, hosts)], [0 <= w_down < w_up <= horizon], and at
+    most one blackout per host at a time (same-host windows must not
+    overlap — {e cross}-host overlap is legal, that is what a crash wave
+    is). The error names the offending window. Both {!plan}'s output and
+    caller-supplied schedules ({!Fleet.config.windows_override}) go
+    through this. *)
+
 val plan : kind -> hosts:int -> horizon:int -> seed:int -> window list
 (** Deterministic in all arguments. Windows land inside
     [\[horizon/4, 3*horizon/4\]] so the trace has a measured before,
-    during and after. Raises [Invalid_argument] if [hosts < 1] or
-    [horizon < 8]. *)
+    during and after. The output always satisfies {!validate}. Raises
+    [Invalid_argument] if [hosts < 1] or [horizon < 8]. *)
 
 val down : window list -> host:int -> at:int -> bool
 (** Is [host] inside one of its blackout windows at cycle [at]? *)

@@ -8,9 +8,17 @@ module Revoker = Ccr.Revoker
 module Squeue = Service.Squeue
 module Slo = Service.Slo
 module Governor = Service.Governor
+module Loadgen = Service.Loadgen
 module Objtable = Workload.Objtable
 module Sanitizer = Analysis.Sanitizer
 module Race = Analysis.Race
+
+type arrival = { a_id : int; a_intended : int; a_cls : int }
+
+type result =
+  | R_served of { completed : int; latency_us : float }
+  | R_shed of { why : int; at : int }
+  | R_lost of { at : int }
 
 type config = {
   host : int;
@@ -19,6 +27,7 @@ type config = {
   servers : int;
   queue_depth : int;
   deadline_us : float option;
+  brownout : Squeue.brownout option;
   target_p99_us : float;
   session_slots : int;
   temps_per_req : int;
@@ -40,9 +49,13 @@ type outcome = {
   h_served : int;
   h_shed_depth : int;
   h_shed_deadline : int;
+  h_shed_brownout : int;
+  h_lost : int;
+  h_brownout_shifts : int;
   h_violations : int;
   h_hist : Stats.Histogram.t;
   h_slices : Stats.Histogram.t array;
+  h_results : (int * result) array;
   h_wall_cycles : int;
   h_epochs : int;
   h_stw_pause_us : float;
@@ -101,46 +114,74 @@ type shared = {
   mutable finished_servers : int;
 }
 
-(* The restart wave, host-side: the first cycle at which this host is
-   back if [at] falls inside a blackout window. *)
-let blackout_until windows at =
+(* A request whose service started before a crash and whose answer was
+   produced at-or-after it crossed the outage: the host computed a
+   response nobody will ever receive. [at] is the crash cycle. *)
+let crossed_crash windows ~started ~completed =
   List.fold_left
-    (fun acc (down, up) ->
-      if at >= down && at < up then Some up else acc)
+    (fun acc (down, _up) ->
+      match acc with
+      | Some _ -> acc
+      | None -> if started < down && completed >= down then Some down else acc)
     None windows
 
-(* An induced sweep crash at each blackout start: the "process died
-   mid-epoch" half of a restart. The revoker's checkpointed sweep cursor
-   survives, so recovery is an Epoch_resume inside the same open epoch. *)
+(* Faults at each blackout start. Every mode loses its in-flight queue
+   (Inflight_loss — the crash destroys admitted-but-unanswered work);
+   sweeping modes additionally take an induced sweep crash, so the
+   restart exercises the resumable-epoch recovery path (the checkpointed
+   sweep cursor survives and the epoch resumes, not restarts). *)
 let crash_schedule cfg =
-  match cfg.mode with
-  | Runtime.Baseline -> None
-  | Runtime.Safe strategy ->
-      if cfg.windows = [] || not (Chaos.applicable strategy Chaos.Sweep_crash)
-      then None
-      else
-        let faults =
-          List.mapi
-            (fun i (down, _up) ->
-              {
-                Chaos.f_id = i;
-                f_kind = Chaos.Sweep_crash;
-                f_at = down;
-                f_param = 0;
-                f_count = 1;
-              })
-            cfg.windows
-        in
-        let horizon =
-          List.fold_left (fun a (_, up) -> max a up) 0 cfg.windows
-        in
-        Some
+  if cfg.windows = [] then None
+  else
+    let inflight =
+      List.mapi
+        (fun i (down, _up) ->
           {
-            Chaos.sched_id =
-              (cfg.seed * 127) lxor (cfg.host * 31) land 0x3fffffff;
-            horizon;
-            faults;
-          }
+            Chaos.f_id = i;
+            f_kind = Chaos.Inflight_loss;
+            f_at = down;
+            f_param = 0;
+            f_count = 1;
+          })
+        cfg.windows
+    in
+    let sweeps =
+      match cfg.mode with
+      | Runtime.Baseline -> []
+      | Runtime.Safe strategy ->
+          if not (Chaos.applicable strategy Chaos.Sweep_crash) then []
+          else
+            List.mapi
+              (fun i (down, _up) ->
+                {
+                  Chaos.f_id = List.length inflight + i;
+                  f_kind = Chaos.Sweep_crash;
+                  f_at = down;
+                  f_param = 0;
+                  f_count = 1;
+                })
+              cfg.windows
+    in
+    let faults = inflight @ sweeps in
+    let horizon = List.fold_left (fun a (_, up) -> max a up) 0 cfg.windows in
+    Some
+      {
+        Chaos.sched_id = (cfg.seed * 127) lxor (cfg.host * 31) land 0x3fffffff;
+        horizon;
+        faults;
+      }
+
+(* Per-class deadline: the base budget stretched by the class factor
+   (critical 1x, normal 4x, background none — batch traffic is never
+   deadline-shed). Explicitly [None] for background even when the queue
+   has a base deadline, so the queue-wide fallback must stay unset. *)
+let class_deadline deadline_cycles cls =
+  match deadline_cycles with
+  | None -> None
+  | Some d ->
+      Option.map
+        (fun f -> int_of_float (float_of_int d *. f))
+        (Loadgen.deadline_factor (Loadgen.cls_of_code cls))
 
 let run cfg ~arrivals =
   if cfg.servers < 1 then invalid_arg "Host.run: need at least one server";
@@ -183,19 +224,39 @@ let run cfg ~arrivals =
     san := Some (Sanitizer.attach ?revoker:rt.Runtime.revoker m);
     race := Some (Race.attach m)
   end;
+  let deadline = Option.map Cost.cycles_of_us cfg.deadline_us in
+  let queue =
+    Squeue.create m ~max_depth:cfg.queue_depth ?brownout:cfg.brownout ()
+  in
+  (* per-request terminal outcomes, keyed by fleet request id *)
+  let results : (int, result) Hashtbl.t =
+    Hashtbl.create (max 16 (Array.length arrivals))
+  in
+  let inservice_lost = ref 0 in
+  (* The crash half of lost-in-flight: at each window start the
+     Inflight_loss fault drains everything still queued. *)
+  let drop_inflight ctx =
+    let dropped = Squeue.drain_lost queue ctx in
+    let at = Machine.now ctx in
+    List.iter
+      (fun (r : Squeue.req) -> Hashtbl.replace results r.id (R_lost { at }))
+      dropped;
+    List.length dropped
+  in
   let _chaos =
     Option.map
-      (fun s -> Chaos.install m ~revoker:rt.Runtime.revoker ~mrs:rt.Runtime.mrs s)
+      (fun s ->
+        Chaos.install m ~revoker:rt.Runtime.revoker ~mrs:rt.Runtime.mrs
+          ~drop_inflight s)
       (crash_schedule cfg)
   in
-  let deadline = Option.map Cost.cycles_of_us cfg.deadline_us in
-  let queue = Squeue.create m ~max_depth:cfg.queue_depth ?deadline () in
   let slo = Slo.create ~target_p99_us:cfg.target_p99_us () in
   let gov =
     if cfg.governed && rt.Runtime.revoker <> None then
       Some
         (Governor.install ~target_p99_us:cfg.target_p99_us
            ~p99:(fun () -> Slo.p99_estimate slo)
+           ~brownout:(fun () -> Squeue.brownout_active queue)
            rt
            ~depth:(fun () -> Squeue.depth queue)
            ())
@@ -207,9 +268,9 @@ let run cfg ~arrivals =
   let wall_end = ref 0 in
   (* The fleet dispatcher models the outside world: arrivals carry
      absolute fleet-clock timestamps, and the generator releases each
-     request at its intended time no matter what the host is doing —
-     including while the host is blacked out right before this window's
-     traffic was re-routed away. *)
+     request at its intended time no matter what the host is doing. The
+     balancer never dispatches arrivals into this host's blackout
+     windows, so everything lost here was admitted before a crash. *)
   let _generator =
     Machine.spawn m
       ~name:(Printf.sprintf "fleet-h%d-loadgen" cfg.host)
@@ -219,11 +280,18 @@ let run cfg ~arrivals =
           Machine.wait ctx sh.init_cv
         done;
         Array.iter
-          (fun (id, intended) ->
-            let dt = intended - Machine.now ctx in
+          (fun a ->
+            let dt = a.a_intended - Machine.now ctx in
             if dt > 0 then Machine.sleep ctx dt;
             Slo.note_offered slo;
-            ignore (Squeue.offer queue ctx { Squeue.id; intended }))
+            ignore
+              (Squeue.offer queue ctx
+                 {
+                   Squeue.id = a.a_id;
+                   intended = a.a_intended;
+                   cls = a.a_cls;
+                   deadline = class_deadline deadline a.a_cls;
+                 }))
           arrivals;
         Squeue.close queue ctx)
   in
@@ -255,20 +323,37 @@ let run cfg ~arrivals =
           match Squeue.take queue ctx with
           | None -> ()
           | Some req ->
-              (* A blackout straddles the take: the host is down, so the
-                 request (queued before the crash) waits for the restart
-                 and pays the full outage in its measured latency. *)
-              (match blackout_until cfg.windows (Machine.now ctx) with
-              | Some up ->
+              let started = Machine.now ctx in
+              process_request cfg rt ctx rng regs sessions;
+              let completed = Machine.now ctx in
+              (match
+                 crossed_crash cfg.windows ~started ~completed
+               with
+              | Some down ->
+                  (* the crash destroyed the response before it left the
+                     host: the work is wasted, the client hears nothing,
+                     and this server rides out the outage (its reboot) *)
+                  incr inservice_lost;
+                  Machine.trace_emit m ~time:completed
+                    ~core:(Machine.core_id ctx) ~pid:(Machine.ctx_pid ctx)
+                    ~arg2:1 Trace.Req_lost req.Squeue.id;
+                  Hashtbl.replace results req.Squeue.id (R_lost { at = down });
+                  let up =
+                    List.fold_left
+                      (fun acc (d, u) -> if d = down then u else acc)
+                      completed cfg.windows
+                  in
                   let dt = up - Machine.now ctx in
                   if dt > 0 then Machine.sleep ctx dt
-              | None -> ());
-              process_request cfg rt ctx rng regs sessions;
-              let lat =
-                Slo.record slo ~intended:req.Squeue.intended
-                  ~completed:(Machine.now ctx)
-              in
-              Stats.Histogram.record slices.(slice_of req.Squeue.intended) lat;
+              | None ->
+                  let lat =
+                    Slo.record slo ~intended:req.Squeue.intended ~completed
+                  in
+                  Hashtbl.replace results req.Squeue.id
+                    (R_served { completed; latency_us = lat });
+                  Stats.Histogram.record
+                    slices.(slice_of req.Squeue.intended)
+                    lat);
               serve ()
         in
         serve ();
@@ -281,9 +366,15 @@ let run cfg ~arrivals =
   in
   ignore (List.init cfg.servers server);
   Machine.run m;
+  List.iter
+    (fun ((r : Squeue.req), why, at) ->
+      Hashtbl.replace results r.id (R_shed { why; at }))
+    (Squeue.shed_log queue);
+  let lost_total = Squeue.lost queue + !inservice_lost in
   let accounted =
-    Slo.served slo + Squeue.shed queue = Slo.offered slo
+    Slo.served slo + Squeue.shed queue + lost_total = Slo.offered slo
     && Slo.offered slo = Array.length arrivals
+    && Hashtbl.length results = Array.length arrivals
   in
   let report = Buffer.create 0 in
   let rfmt = Format.formatter_of_buffer report in
@@ -298,8 +389,10 @@ let run cfg ~arrivals =
   in
   if not accounted then
     Format.fprintf rfmt
-      "host %d: accounting drift: served %d + shed %d <> arrivals %d@."
-      cfg.host (Slo.served slo) (Squeue.shed queue) (Array.length arrivals);
+      "host %d: accounting drift: served %d + shed %d + lost %d <> arrivals \
+       %d (results %d)@."
+      cfg.host (Slo.served slo) (Squeue.shed queue) lost_total
+      (Array.length arrivals) (Hashtbl.length results);
   Format.pp_print_flush rfmt ();
   let phases = Runtime.revoker_records rt in
   let stw_total, stw_max =
@@ -320,15 +413,24 @@ let run cfg ~arrivals =
           downshifts = 0;
         }
   in
+  let h_results =
+    Hashtbl.fold (fun id r acc -> (id, r) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> Array.of_list
+  in
   {
     h_host = cfg.host;
     h_arrivals = Array.length arrivals;
     h_served = Slo.served slo;
     h_shed_depth = Squeue.shed_depth queue;
     h_shed_deadline = Squeue.shed_deadline queue;
+    h_shed_brownout = Squeue.shed_brownout queue;
+    h_lost = lost_total;
+    h_brownout_shifts = Squeue.brownout_shifts queue;
     h_violations = Slo.violations slo;
     h_hist = Slo.histogram slo;
     h_slices = slices;
+    h_results;
     h_wall_cycles = !wall_end;
     h_epochs = List.length phases;
     h_stw_pause_us = Cost.cycles_to_us stw_total;

@@ -31,6 +31,8 @@ type kind =
   | Shootdown_retry
   | Chaos_inject
   | Req_shed
+  | Req_lost
+  | Brownout_shift
   | Governor_defer
   | Governor_force
   | Governor_quantum
@@ -70,6 +72,8 @@ let kind_name = function
   | Shootdown_retry -> "shootdown-retry"
   | Chaos_inject -> "chaos-inject"
   | Req_shed -> "req-shed"
+  | Req_lost -> "req-lost"
+  | Brownout_shift -> "brownout-shift"
   | Governor_defer -> "governor-defer"
   | Governor_force -> "governor-force"
   | Governor_quantum -> "governor-quantum"

@@ -51,6 +51,8 @@ let percentile t p =
   in
   go 0 0
 
+let percentile_opt t p = if t.total = 0 then None else Some (percentile t p)
+
 let mean t =
   if t.total = 0 then invalid_arg "Histogram.mean: empty";
   let sum = ref 0.0 in

@@ -14,8 +14,19 @@ val record : t -> float -> unit
 val count : t -> int
 val percentile : t -> float -> float
 (** [percentile t p] with [p] in [\[0,100\]]: an upper bound on the true
-    percentile with relative error bounded by the bucket width. Raises
-    [Invalid_argument] when empty. *)
+    percentile with relative error bounded by the bucket width — the
+    reported value is the {e upper edge} of the bucket holding the
+    [ceil (p/100 * count)]-th sample ([p] clamps into the range, and the
+    target rank is floored at 1, so [p = 0] on a nonempty histogram is
+    the first occupied bucket's edge). A single-sample histogram reports
+    that sample's bucket edge at every [p]; values recorded at or beyond
+    the range edges land in the clamped edge buckets and report those
+    buckets' edges. Raises [Invalid_argument] when empty. *)
+
+val percentile_opt : t -> float -> float option
+(** {!percentile} that reports an empty histogram as [None] instead of
+    raising — for callers aggregating sparse slices (e.g. per-time-slice
+    fleet curves) where emptiness is data, not a bug. *)
 
 val mean : t -> float
 (** Approximate (bucket-midpoint) mean. *)

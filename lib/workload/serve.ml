@@ -152,7 +152,9 @@ let run ?(config = default_config) ?tracer ?on_runtime ?(governed = false)
             let dt = intended - Machine.now ctx in
             if dt > 0 then Machine.sleep ctx dt;
             Slo.note_offered slo;
-            ignore (Squeue.offer queue ctx { Squeue.id = i; intended }))
+            ignore
+              (Squeue.offer queue ctx
+                 { Squeue.id = i; intended; cls = 0; deadline = None }))
           arrivals;
         Squeue.close queue ctx)
   in

@@ -43,9 +43,11 @@ let test_plan_applicability () =
     |> List.map (fun f -> f.Chaos.f_kind)
   in
   let paint = kinds ~strategy:Revoker.Paint_sync in
-  check "paint+sync never sweeps: only stall/kill faults apply" true
+  check "paint+sync never sweeps: only non-sweep faults apply" true
     (List.for_all
-       (fun k -> k = Chaos.Quarantine_stall || k = Chaos.Tenant_kill)
+       (fun k ->
+         k = Chaos.Quarantine_stall || k = Chaos.Tenant_kill
+         || k = Chaos.Inflight_loss)
        paint);
   check "reloaded sends no per-page shootdowns" true
     (not (List.mem Chaos.Shootdown_ack_loss (kinds ~strategy:Revoker.Reloaded)));

@@ -1,6 +1,9 @@
 (* Fleet-simulator tests: balancer determinism through failovers, exact
-   fleet-wide accounting, jobs-count invariance of the simulated
-   outcome, and crash-recoverable revocation on a restarted host. *)
+   fleet-wide accounting (now including lost-in-flight, retries, hedges
+   and brownout sheds), failure-schedule validation, retry backoff and
+   budget semantics, circuit-breaker state machinery, jobs-count
+   invariance of the simulated outcome, and crash-recoverable revocation
+   on a restarted host. *)
 
 module Cost = Sim.Cost
 module Runtime = Ccr.Runtime
@@ -10,6 +13,8 @@ module Loadgen = Service.Loadgen
 module Histogram = Stats.Histogram
 module Balancer = Fleet.Balancer
 module Failplan = Fleet.Failplan
+module Health = Fleet.Health
+module Retry = Fleet.Retry
 module Host = Fleet.Host
 
 let check = Alcotest.(check bool)
@@ -24,6 +29,17 @@ let small_config =
     users = 50_000;
     seed = 11;
   }
+
+let budgeted =
+  match Retry.policy_of_name "budgeted" with
+  | Some p -> p
+  | None -> assert false
+
+(* the fleet identity every run must satisfy exactly *)
+let terminal_sum o =
+  o.Fleet.served + o.Fleet.retried_ok + o.Fleet.hedged_ok + o.Fleet.shed_depth
+  + o.Fleet.shed_deadline + o.Fleet.shed_brownout + o.Fleet.lost
+  + o.Fleet.lb_dropped
 
 (* ---- balancer determinism under crash/redistribute ---- *)
 
@@ -103,6 +119,20 @@ let test_balancer_hash_stability () =
   let none = Balancer.route (mk ()) ~now:0 ~user:1 ~up:(fun _ -> false) in
   check "no host up drops" true (none = None)
 
+let test_balancer_penalty_steers () =
+  (* least-loaded with a crushing penalty on host 0 routes everything
+     else while the penalty-free replay spreads the load *)
+  let bal = Balancer.create Balancer.Least_loaded ~hosts:3 ~est_service_cycles:1_000_000 in
+  let penalty h = if h = 0 then 1_000 else 0 in
+  let routed =
+    List.init 30 (fun i ->
+        Balancer.route ~penalty bal ~now:i ~user:i ~up:(fun _ -> true))
+  in
+  check "penalised host avoided" true
+    (List.for_all
+       (function Some d -> d.Balancer.host <> 0 | None -> false)
+       routed)
+
 let test_plan_deterministic_and_redistributing () =
   let cfg = { small_config with failures = Failplan.Rolling } in
   let a = Fleet.plan cfg and b = Fleet.plan cfg in
@@ -117,6 +147,216 @@ let test_plan_deterministic_and_redistributing () =
   let c = Fleet.plan { cfg with seed = 12 } in
   check "different seed, different dispatch" true (a <> c)
 
+(* ---- failure-schedule validation ---- *)
+
+let test_failplan_validate () =
+  let w host down up = { Failplan.w_host = host; w_down = down; w_up = up } in
+  let ok ws = Failplan.validate ~hosts:3 ~horizon:1000 ws = Ok () in
+  let bad ws = Result.is_error (Failplan.validate ~hosts:3 ~horizon:1000 ws) in
+  check "empty schedule valid" true (ok []);
+  check "plain schedule valid" true (ok [ w 0 10 20; w 1 15 25 ]);
+  check "cross-host overlap is legal (a crash wave)" true
+    (ok [ w 0 100 300; w 1 150 350; w 2 200 400 ]);
+  check "same host back-to-back is legal" true (ok [ w 0 10 20; w 0 20 30 ]);
+  check "host id below range rejected" true (bad [ w (-1) 10 20 ]);
+  check "host id above range rejected" true (bad [ w 3 10 20 ]);
+  check "negative down rejected" true (bad [ w 0 (-5) 20 ]);
+  check "inverted window rejected" true (bad [ w 0 20 20 ]);
+  check "window past horizon rejected" true (bad [ w 0 10 1001 ]);
+  check "same-host overlap rejected" true (bad [ w 0 10 30; w 0 20 40 ]);
+  check "same-host containment rejected" true (bad [ w 0 10 100; w 0 40 60 ]);
+  (* the planner's own output always validates *)
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun seed ->
+          let ws = Failplan.plan kind ~hosts:4 ~horizon:10_000 ~seed in
+          check
+            (Printf.sprintf "%s/%d output validates" (Failplan.kind_name kind)
+               seed)
+            true
+            (Failplan.validate ~hosts:4 ~horizon:10_000 ws = Ok ()))
+        [ 1; 11; 42 ])
+    Failplan.all_kinds;
+  (* a bad override is rejected loudly by the fleet planner *)
+  let bad_cfg =
+    { small_config with windows_override = Some [ w 7 10 20 ] }
+  in
+  check "fleet rejects invalid override" true
+    (try
+       ignore (Fleet.plan bad_cfg);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- retry policy semantics ---- *)
+
+let test_retry_policies () =
+  check "none parses" true (Retry.policy_of_name "none" = Some Retry.No_retry);
+  check "unknown rejected" true (Retry.policy_of_name "heroic" = None);
+  checki "no_retry means one attempt" 1 (Retry.max_attempts Retry.No_retry);
+  let invalid p =
+    try
+      Retry.validate p;
+      false
+    with Invalid_argument _ -> true
+  in
+  check "attempt cap below 2 rejected" true
+    (invalid (Retry.Naive { max_attempts = 1; delay_us = 100.0 }));
+  check "attempt cap above 16 rejected" true
+    (invalid (Retry.Naive { max_attempts = 17; delay_us = 100.0 }));
+  check "cap below base rejected" true
+    (invalid
+       (Retry.Budgeted
+          {
+            max_attempts = 4;
+            base_us = 500.0;
+            cap_us = 100.0;
+            ratio = 0.1;
+            burst = 8;
+          }));
+  check "ratio above 1 rejected" true
+    (invalid
+       (Retry.Budgeted
+          {
+            max_attempts = 4;
+            base_us = 100.0;
+            cap_us = 1000.0;
+            ratio = 1.5;
+            burst = 8;
+          }));
+  (* backoff is a pure hash: same inputs, same delay; naive is flat *)
+  let b1 = Retry.backoff_us budgeted ~seed:7 ~req:123 ~attempt:1 in
+  let b1' = Retry.backoff_us budgeted ~seed:7 ~req:123 ~attempt:1 in
+  check "backoff pure in its inputs" true (b1 = b1');
+  check "backoff varies by request" true
+    (Retry.backoff_us budgeted ~seed:7 ~req:124 ~attempt:1 <> b1);
+  let naive = Retry.Naive { max_attempts = 4; delay_us = 250.0 } in
+  List.iter
+    (fun (req, attempt) ->
+      Alcotest.(check (float 1e-9))
+        "naive delay is flat" 250.0
+        (Retry.backoff_us naive ~seed:3 ~req ~attempt))
+    [ (1, 1); (2, 1); (1, 3) ];
+  (* budgeted windows double per attempt with jitter in [w, 2w), capped *)
+  (match budgeted with
+  | Retry.Budgeted { base_us; cap_us; _ } ->
+      for attempt = 1 to 8 do
+        let w = base_us *. (2.0 ** float_of_int (attempt - 1)) in
+        let lo = Float.min cap_us w and hi = Float.min cap_us (2.0 *. w) in
+        for req = 0 to 50 do
+          let d = Retry.backoff_us budgeted ~seed:11 ~req ~attempt in
+          check "backoff within its window" true (d >= lo && d <= hi)
+        done
+      done
+  | _ -> assert false);
+  check "no_retry has no backoff" true
+    (try
+       ignore (Retry.backoff_us Retry.No_retry ~seed:1 ~req:1 ~attempt:1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_retry_budget () =
+  (* a tiny bucket: two tokens, full refund per success *)
+  let p =
+    Retry.Budgeted
+      { max_attempts = 4; base_us = 100.0; cap_us = 1000.0; ratio = 1.0; burst = 2 }
+  in
+  let b = Retry.budget_create p ~classes:2 in
+  check "budgeted gets a budget" true (b <> None);
+  check "first take ok" true (Retry.budget_take b ~cls:0);
+  check "second take ok" true (Retry.budget_take b ~cls:0);
+  check "dry bucket denies" true (not (Retry.budget_take b ~cls:0));
+  checki "denial counted" 1 (Retry.budget_denied b);
+  check "classes are independent" true (Retry.budget_take b ~cls:1);
+  Retry.budget_refill b ~cls:0;
+  check "success refills" true (Retry.budget_take b ~cls:0);
+  (* refills cap at burst: many successes cannot bank unlimited retries *)
+  for _ = 1 to 50 do
+    Retry.budget_refill b ~cls:0
+  done;
+  check "burst-capped take 1" true (Retry.budget_take b ~cls:0);
+  check "burst-capped take 2" true (Retry.budget_take b ~cls:0);
+  check "burst-capped third denied" true (not (Retry.budget_take b ~cls:0));
+  (* naive deliberately has none: takes always succeed *)
+  let nb =
+    Retry.budget_create (Retry.Naive { max_attempts = 4; delay_us = 100.0 })
+      ~classes:2
+  in
+  check "naive unbudgeted" true (nb = None);
+  for _ = 1 to 100 do
+    check "unbudgeted take never denies" true (Retry.budget_take nb ~cls:0)
+  done;
+  checki "unbudgeted denies nothing" 0 (Retry.budget_denied nb)
+
+(* ---- circuit breaker state machine ---- *)
+
+let test_breaker_lifecycle () =
+  let cooloff_us = 1_000.0 in
+  let cool = Cost.cycles_of_us cooloff_us in
+  let cfg =
+    {
+      Health.failure_threshold = 3;
+      cooloff_us;
+      half_open_probes = 2;
+      ewma_alpha = 0.5;
+    }
+  in
+  let t = Health.create ~hosts:2 ~config:cfg ~est_service_us:50.0 () in
+  check "starts closed" true (Health.state t ~host:0 = Health.Closed);
+  check "closed admits" true (Health.available t ~host:0 ~now:0);
+  Health.note_failure t ~host:0 ~now:10;
+  Health.note_failure t ~host:0 ~now:20;
+  check "below threshold stays closed" true
+    (Health.state t ~host:0 = Health.Closed);
+  Health.note_failure t ~host:0 ~now:30;
+  check "threshold trips open" true (Health.state t ~host:0 = Health.Open);
+  checki "trip counted" 1 (Health.trips t);
+  check "other host untouched" true (Health.state t ~host:1 = Health.Closed);
+  check "open rejects during cooloff" true
+    (not (Health.available t ~host:0 ~now:(30 + (cool / 2))));
+  check "cooloff expiry half-opens" true
+    (Health.available t ~host:0 ~now:(30 + cool + 1));
+  check "half-open state" true (Health.state t ~host:0 = Health.Half_open);
+  (* one probe success is not enough; the second closes *)
+  Health.note_success t ~host:0 ~latency_us:40.0;
+  check "one probe keeps probation" true
+    (Health.state t ~host:0 = Health.Half_open);
+  Health.note_success t ~host:0 ~latency_us:40.0;
+  check "probes close" true (Health.state t ~host:0 = Health.Closed);
+  (* failed probation re-opens with an escalated cooloff *)
+  let reopen_at = 10_000 + (4 * cool) in
+  Health.note_failure t ~host:0 ~now:reopen_at;
+  Health.note_failure t ~host:0 ~now:(reopen_at + 1);
+  Health.note_failure t ~host:0 ~now:(reopen_at + 2);
+  check "re-tripped" true (Health.state t ~host:0 = Health.Open);
+  ignore (Health.available t ~host:0 ~now:(reopen_at + 2 + cool + 1));
+  check "probation again" true (Health.state t ~host:0 = Health.Half_open);
+  let fail_probe = reopen_at + 2 + cool + 2 in
+  Health.note_failure t ~host:0 ~now:fail_probe;
+  check "probation failure re-opens immediately" true
+    (Health.state t ~host:0 = Health.Open);
+  check "escalated cooloff outlasts the base one" true
+    (not (Health.available t ~host:0 ~now:(fail_probe + cool + 1)));
+  check "escalated cooloff still expires" true
+    (Health.available t ~host:0 ~now:(fail_probe + (2 * cool) + 1));
+  checki "three trips total" 3 (Health.trips t);
+  checki "host 0 owns them all" 3 (Health.host_trips t ~host:0);
+  (* penalty blends streak and EWMA; success resets the streak *)
+  let t2 = Health.create ~hosts:1 ~config:cfg ~est_service_us:50.0 () in
+  checki "fresh penalty zero" 0 (Health.penalty t2 ~host:0);
+  Health.note_failure t2 ~host:0 ~now:5;
+  checki "streak penalty" 2 (Health.penalty t2 ~host:0);
+  Health.note_success t2 ~host:0 ~latency_us:500.0;
+  (* excess over the 50 us estimate in 4-service-time units:
+     (500 - 50) / 200 = 2 — a tilt, strictly below live queue counts *)
+  checki "ewma penalty after reset" 2 (Health.penalty t2 ~host:0);
+  Health.note_success t2 ~host:0 ~latency_us:1_000_000.0;
+  checki "ewma penalty capped" 4 (Health.penalty t2 ~host:0);
+  for _ = 1 to 40 do
+    Health.note_success t2 ~host:0 ~latency_us:50.0
+  done;
+  checki "healthy latency decays to zero penalty" 0 (Health.penalty t2 ~host:0)
+
 (* ---- accounting exactness through a failure wave ---- *)
 
 let test_accounting_exact () =
@@ -124,13 +364,15 @@ let test_accounting_exact () =
   let d = Fleet.plan cfg in
   let o = Fleet.run ~jobs:2 cfg in
   checki "offered matches the trace" cfg.Fleet.requests o.Fleet.offered;
-  checki "served + shed + dropped = offered" o.Fleet.offered
-    (o.Fleet.served + o.Fleet.shed_depth + o.Fleet.shed_deadline
-   + o.Fleet.lb_dropped);
+  checki "terminal fates partition the trace" o.Fleet.offered (terminal_sum o);
   checki "run's redistribution count matches the pure plan"
     d.Fleet.d_redistributed o.Fleet.redistributed;
   checki "run's drop count matches the pure plan" d.Fleet.d_lb_dropped
     o.Fleet.lb_dropped;
+  checki "no retries configured, none sent" 0
+    (o.Fleet.retries_sent + o.Fleet.hedges_sent);
+  checki "one attempt per request" o.Fleet.offered o.Fleet.attempts;
+  checki "no-retry run settles in one round" 1 o.Fleet.rounds;
   List.iteri
     (fun i h ->
       checki
@@ -138,13 +380,109 @@ let test_accounting_exact () =
         (Array.length d.Fleet.d_assign.(i))
         h.Host.h_arrivals;
       checki
-        (Printf.sprintf "host %d served + shed = arrivals" i)
+        (Printf.sprintf "host %d served + shed + lost = arrivals" i)
         h.Host.h_arrivals
-        (h.Host.h_served + h.Host.h_shed_depth + h.Host.h_shed_deadline))
+        (h.Host.h_served + h.Host.h_shed_depth + h.Host.h_shed_deadline
+       + h.Host.h_shed_brownout + h.Host.h_lost);
+      checki
+        (Printf.sprintf "host %d reports every arrival's fate" i)
+        h.Host.h_arrivals
+        (Array.length h.Host.h_results))
     o.Fleet.hosts;
   check "accounting is part of clean" true o.Fleet.clean;
-  checki "fleet histogram holds every served request" o.Fleet.served
+  checki "fleet histogram holds every answered request"
+    (o.Fleet.served + o.Fleet.retried_ok + o.Fleet.hedged_ok)
     (Histogram.count o.Fleet.hist)
+
+(* ---- lost-in-flight semantics and retry recovery ---- *)
+
+let test_lost_in_flight_and_retry () =
+  (* one host, one mid-trace crash window: requests admitted before the
+     crash but not answered are destroyed — the client hears nothing *)
+  let base =
+    { small_config with hosts = 1; requests = 600; failures = Failplan.No_failures }
+  in
+  let d = Fleet.plan base in
+  let horizon = d.Fleet.d_horizon in
+  let win =
+    { Failplan.w_host = 0; w_down = horizon / 3; w_up = 2 * horizon / 3 }
+  in
+  let cfg = { base with windows_override = Some [ win ] } in
+  let o = Fleet.run ~check:true ~jobs:2 cfg in
+  check "checkers clean through the crash" true o.Fleet.clean;
+  check "the crash destroys admitted work" true (o.Fleet.lost > 0);
+  check "the blackout drops dispatches" true (o.Fleet.lb_dropped > 0);
+  checki "identity exact with loss" o.Fleet.offered (terminal_sum o);
+  checki "hist holds only answered requests" o.Fleet.served
+    (Histogram.count o.Fleet.hist);
+  (* the same trace under a budgeted retry policy: lost and dropped
+     requests are resubmitted after backoff and recovered once the host
+     returns; the attempt set grows, the request identity stays exact *)
+  let r =
+    Fleet.run ~check:true ~jobs:2
+      {
+        cfg with
+        resilience = { Fleet.default_resilience with retry = budgeted };
+      }
+  in
+  check "clean with retries" true r.Fleet.clean;
+  check "retries recover failed requests" true (r.Fleet.retried_ok > 0);
+  check "re-planning actually iterated" true (r.Fleet.rounds > 1);
+  check "attempts grew beyond the trace" true (r.Fleet.attempts > r.Fleet.offered);
+  checki "retries sent matches the attempt set"
+    (r.Fleet.attempts - r.Fleet.offered)
+    r.Fleet.retries_sent;
+  checki "identity exact with retries" r.Fleet.offered (terminal_sum r);
+  check "terminal losses do not grow under retry" true
+    (r.Fleet.lost <= o.Fleet.lost);
+  check "goodput does not drop when retries recover work" true
+    (r.Fleet.served + r.Fleet.retried_ok + r.Fleet.hedged_ok >= o.Fleet.served)
+
+(* ---- total outage: every dispatch refused, budgets exhausted ---- *)
+
+let test_total_outage_accounting () =
+  let base =
+    { small_config with hosts = 2; requests = 400; failures = Failplan.No_failures }
+  in
+  let d = Fleet.plan base in
+  let horizon = d.Fleet.d_horizon in
+  let all_down =
+    [
+      { Failplan.w_host = 0; w_down = 0; w_up = horizon };
+      { Failplan.w_host = 1; w_down = 0; w_up = horizon };
+    ]
+  in
+  let cfg = { base with windows_override = Some all_down } in
+  let o = Fleet.run ~check:true ~jobs:2 cfg in
+  (* w_up is the first cycle a host serves again and the horizon is the
+     last intended arrival, so only arrivals at exactly the horizon can
+     route; everything earlier is a balancer drop. Nothing was ever
+     admitted, so nothing can be lost or shed. *)
+  check "clean through a total outage" true o.Fleet.clean;
+  checki "nothing admitted, nothing lost" 0 o.Fleet.lost;
+  checki "nothing admitted, nothing shed" 0
+    (o.Fleet.shed_depth + o.Fleet.shed_deadline + o.Fleet.shed_brownout);
+  check "effectively the whole trace is dropped" true
+    (o.Fleet.lb_dropped >= o.Fleet.offered - 4);
+  checki "drops + horizon-edge serves = offered" o.Fleet.offered
+    (o.Fleet.lb_dropped + o.Fleet.served);
+  (* with budgeted retries the drops spawn resubmissions that mostly
+     fail again inside the outage: the per-class buckets run dry (that
+     is the point of the budget), and the identity stays exact *)
+  let r =
+    Fleet.run ~check:true ~jobs:2
+      {
+        cfg with
+        resilience = { Fleet.default_resilience with retry = budgeted };
+      }
+  in
+  check "clean with retries against the outage" true r.Fleet.clean;
+  check "retries were attempted" true (r.Fleet.retries_sent > 0);
+  check "the budget ran dry" true (r.Fleet.budget_exhausted > 0);
+  checki "identity exact under a retry-squeezed outage" r.Fleet.offered
+    (terminal_sum r);
+  check "most of the trace still terminally dropped" true
+    (r.Fleet.lb_dropped > r.Fleet.offered / 2)
 
 (* ---- jobs-count invariance ---- *)
 
@@ -159,6 +497,8 @@ let host_fingerprint h =
       h.Host.h_served,
       h.Host.h_shed_depth,
       h.Host.h_shed_deadline,
+      h.Host.h_shed_brownout,
+      h.Host.h_lost,
       h.Host.h_violations ),
     ( h.Host.h_wall_cycles,
       h.Host.h_epochs,
@@ -167,16 +507,22 @@ let host_fingerprint h =
       h.Host.h_epoch_resumes,
       h.Host.h_sweep_crash_retries,
       h.Host.h_chaos_injected,
+      h.Host.h_brownout_shifts,
       h.Host.h_clean,
       h.Host.h_report ),
+    Array.to_list (Array.map (fun (id, _) -> id) h.Host.h_results),
     hist_fingerprint h.Host.h_hist,
     Array.to_list (Array.map hist_fingerprint h.Host.h_slices) )
 
 let fleet_fingerprint o =
   ( ( o.Fleet.offered,
       o.Fleet.served,
+      o.Fleet.retried_ok,
+      o.Fleet.hedged_ok,
       o.Fleet.shed_depth,
       o.Fleet.shed_deadline,
+      o.Fleet.shed_brownout,
+      o.Fleet.lost,
       o.Fleet.redistributed,
       o.Fleet.lb_dropped,
       o.Fleet.violations ),
@@ -189,6 +535,14 @@ let fleet_fingerprint o =
       o.Fleet.max_pause_us,
       o.Fleet.clean,
       o.Fleet.report ),
+    ( o.Fleet.attempts,
+      o.Fleet.retries_sent,
+      o.Fleet.hedges_sent,
+      o.Fleet.dup_served,
+      o.Fleet.budget_exhausted,
+      o.Fleet.breaker_trips,
+      o.Fleet.brownout_shifts,
+      o.Fleet.rounds ),
     hist_fingerprint o.Fleet.hist,
     Array.to_list (Array.map hist_fingerprint o.Fleet.slice_hists),
     List.map host_fingerprint o.Fleet.hosts )
@@ -200,17 +554,46 @@ let test_jobs_invariance () =
   check "jobs 1 and jobs 4 simulate the same fleet" true
     (fleet_fingerprint a = fleet_fingerprint b)
 
+let test_jobs_invariance_resilient () =
+  (* the whole client stack at once: retries, hedging, breakers and
+     brownout, through a crash wave — still byte-identical at any jobs *)
+  let cfg =
+    {
+      small_config with
+      balancer = Balancer.Least_loaded;
+      failures = Failplan.Crash_wave;
+      resilience =
+        {
+          Fleet.retry = budgeted;
+          hedge = Some { Retry.h_pct = 95.0; h_min_us = 150.0 };
+          breaker = Some Health.default_config;
+          brownout = Some Service.Squeue.default_brownout;
+          rto_us = 1_500.0;
+          max_rounds = 6;
+        };
+    }
+  in
+  let a = Fleet.run ~check:true ~jobs:1 cfg in
+  let b = Fleet.run ~check:true ~jobs:4 cfg in
+  check "resilient fleet identical at jobs 1 and 4" true
+    (fleet_fingerprint a = fleet_fingerprint b);
+  check "resilient run is clean" true a.Fleet.clean;
+  checki "identity exact with the full stack" a.Fleet.offered (terminal_sum a)
+
 (* ---- crash-recoverable revocation on the restarted host ---- *)
 
 let test_recovery_resumes_epoch () =
   (* Drive one host directly: a dense arrival trace, a low quarantine
      floor so epochs fire often, and one blackout window whose start
      injects a sweep crash mid-epoch. Recovery must resume the
-     checkpointed epoch, and the protocol checkers must stay clean
-     through it. *)
+     checkpointed epoch, the crash must destroy the admitted-but-unserved
+     work (reported per request), and the checkers must stay clean. *)
   let requests = 800 in
   let gap = Cost.cycles_of_us 8.0 in
-  let arrivals = Array.init requests (fun i -> (i, (i + 1) * gap)) in
+  let arrivals =
+    Array.init requests (fun i ->
+        { Host.a_id = i; a_intended = (i + 1) * gap; a_cls = 0 })
+  in
   let horizon = (requests + 1) * gap in
   let window = (horizon / 3, horizon / 3 * 2) in
   let cfg =
@@ -221,6 +604,7 @@ let test_recovery_resumes_epoch () =
       servers = 2;
       queue_depth = 64;
       deadline_us = None;
+      brownout = None;
       target_p99_us = 1_000.0;
       session_slots = 512;
       temps_per_req = 3;
@@ -238,14 +622,32 @@ let test_recovery_resumes_epoch () =
   in
   let o = Host.run cfg ~arrivals in
   checki "every arrival accounted" requests
-    (o.Host.h_served + o.Host.h_shed_depth + o.Host.h_shed_deadline);
+    (o.Host.h_served + o.Host.h_shed_depth + o.Host.h_shed_deadline
+   + o.Host.h_shed_brownout + o.Host.h_lost);
+  checki "every arrival's fate reported" requests (Array.length o.Host.h_results);
+  check "the crash destroyed admitted work" true (o.Host.h_lost > 0);
   check "the induced sweep crash fired" true (o.Host.h_chaos_injected >= 1);
   check "the crash registered as a retry" true
     (o.Host.h_sweep_crash_retries >= 1);
   check "the restarted host resumed its checkpointed epoch" true
     (o.Host.h_epoch_resumes > 0);
   check "checkers stayed clean through crash recovery" true o.Host.h_clean;
-  Alcotest.(check string) "no buffered findings" "" o.Host.h_report
+  Alcotest.(check string) "no buffered findings" "" o.Host.h_report;
+  (* per-request results agree with the aggregate *)
+  let served, shed, lost =
+    Array.fold_left
+      (fun (s, d, l) (_, r) ->
+        match r with
+        | Host.R_served _ -> (s + 1, d, l)
+        | Host.R_shed _ -> (s, d + 1, l)
+        | Host.R_lost _ -> (s, d, l + 1))
+      (0, 0, 0) o.Host.h_results
+  in
+  checki "per-request serves" o.Host.h_served served;
+  checki "per-request sheds"
+    (o.Host.h_shed_depth + o.Host.h_shed_deadline + o.Host.h_shed_brownout)
+    shed;
+  checki "per-request losses" o.Host.h_lost lost
 
 let () =
   Alcotest.run "fleet"
@@ -256,16 +658,37 @@ let () =
             test_balancer_deterministic;
           Alcotest.test_case "consistent-hash shard stability" `Quick
             test_balancer_hash_stability;
+          Alcotest.test_case "health penalty steers least-loaded" `Quick
+            test_balancer_penalty_steers;
         ] );
       ( "dispatch",
         [
           Alcotest.test_case "plan deterministic, redistributes" `Quick
             test_plan_deterministic_and_redistributing;
+          Alcotest.test_case "failplan validation" `Quick test_failplan_validate;
         ] );
+      ( "retry",
+        [
+          Alcotest.test_case "policies and backoff" `Quick test_retry_policies;
+          Alcotest.test_case "per-class budgets" `Quick test_retry_budget;
+        ] );
+      ( "breaker",
+        [ Alcotest.test_case "lifecycle" `Quick test_breaker_lifecycle ] );
       ( "accounting",
-        [ Alcotest.test_case "exact through rolling restarts" `Quick test_accounting_exact ] );
+        [
+          Alcotest.test_case "exact through rolling restarts" `Quick
+            test_accounting_exact;
+          Alcotest.test_case "lost in flight, recovered by retries" `Quick
+            test_lost_in_flight_and_retry;
+          Alcotest.test_case "total outage exhausts budgets" `Quick
+            test_total_outage_accounting;
+        ] );
       ( "determinism",
-        [ Alcotest.test_case "jobs 1 = jobs 4" `Quick test_jobs_invariance ] );
+        [
+          Alcotest.test_case "jobs 1 = jobs 4" `Quick test_jobs_invariance;
+          Alcotest.test_case "jobs 1 = jobs 4 with the client stack" `Quick
+            test_jobs_invariance_resilient;
+        ] );
       ( "recovery",
         [
           Alcotest.test_case "restart resumes checkpointed epoch" `Quick

@@ -181,6 +181,50 @@ let test_histogram_merge_all () =
     (Invalid_argument "Histogram.merge_all: geometry mismatch") (fun () ->
       ignore (Stats.Histogram.merge_all [ a; bad ]))
 
+(* ---- quantile edge semantics, pinned (see histogram.mli) ----
+
+   These document exact behaviour callers lean on: an empty histogram
+   raises (and percentile_opt says None), a single sample answers every
+   quantile with its bucket's upper edge, and a bucket saturated by
+   every sample — including the clamped range-edge buckets — answers
+   every quantile with that one edge. *)
+
+let test_histogram_quantile_edges () =
+  let empty = Stats.Histogram.create () in
+  Alcotest.check_raises "empty percentile raises"
+    (Invalid_argument "Histogram.percentile: empty") (fun () ->
+      ignore (Stats.Histogram.percentile empty 99.0));
+  check "empty percentile_opt is None" true
+    (Stats.Histogram.percentile_opt empty 99.0 = None);
+  (* single sample: every p, including the clamped out-of-range ones,
+     reports the same bucket upper edge, and it bounds the sample from
+     above within the relative-error budget *)
+  let single = Stats.Histogram.create () in
+  Stats.Histogram.record single 37.0;
+  let err = Stats.Histogram.max_relative_error single in
+  let edge = Stats.Histogram.percentile single 50.0 in
+  check "single sample below its bucket edge" true
+    (edge >= 37.0 && edge <= 37.0 *. (1.0 +. err) +. 1e-9);
+  List.iter
+    (fun p -> checkf "single sample: every p, one answer" edge
+        (Stats.Histogram.percentile single p))
+    [ -10.0; 0.0; 1.0; 50.0; 99.9; 100.0; 400.0 ];
+  check "percentile_opt agrees when nonempty" true
+    (Stats.Histogram.percentile_opt single 99.0 = Some edge);
+  (* saturated bucket: every sample clamps into the top edge bucket, so
+     every quantile is that bucket's upper edge *)
+  let sat = Stats.Histogram.create () in
+  for _ = 1 to 1000 do
+    Stats.Histogram.record sat 1e9 (* beyond hi = 1e7: clamps *)
+  done;
+  Alcotest.(check int) "saturated count" 1000 (Stats.Histogram.count sat);
+  let top = Stats.Histogram.percentile sat 100.0 in
+  check "saturated top bucket at or past hi" true (top >= 1e7);
+  List.iter
+    (fun p -> checkf "saturated bucket: every p, one answer" top
+        (Stats.Histogram.percentile sat p))
+    [ 0.0; 0.1; 50.0; 99.0; 100.0 ]
+
 let prop_histogram_percentile_bounded =
   QCheck.Test.make ~name:"histogram percentile within relative-error bound of exact"
     ~count:100
@@ -252,6 +296,8 @@ let () =
           Alcotest.test_case "merge" `Quick test_histogram_merge;
           Alcotest.test_case "edge buckets" `Quick test_histogram_edges;
           Alcotest.test_case "merge empty" `Quick test_histogram_merge_empty;
+          Alcotest.test_case "quantile edge semantics" `Quick
+            test_histogram_quantile_edges;
           Alcotest.test_case "merge_all" `Quick test_histogram_merge_all;
         ] );
       ("table", [ Alcotest.test_case "render" `Quick test_table_renders ]);
