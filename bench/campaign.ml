@@ -160,6 +160,8 @@ type json_record = {
   j_topology : string; (* "single" here; "flat/N" in ccr_fleet records *)
   j_host_count : int;
   j_balancer : string; (* "none" here; a balancer name in fleet records *)
+  j_tenants : int; (* 1 here; tenant count in ccr_sim tenantecon records *)
+  j_overcommit : string; (* "none" here; a ledger policy name there *)
   j_seed : int;
   j_schedule : int; (* fault-schedule id; 0 = no faults armed *)
   j_cycles : int;
@@ -197,6 +199,8 @@ let record_of t ~workload ~mode ~base ~seed (r : Result.t) =
     j_topology = "single";
     j_host_count = 1;
     j_balancer = "none";
+    j_tenants = 1;
+    j_overcommit = "none";
     j_seed = seed;
     j_schedule = 0;
     j_cycles = r.Result.wall_cycles;

@@ -45,12 +45,14 @@ let write_json path records =
       Buffer.add_string buf
         (Printf.sprintf
            "  {\"strategy\": %S, \"profile\": %S, \"topology\": %S, \
-            \"host_count\": %d, \"balancer\": %S, \"seed\": %d, \
+            \"host_count\": %d, \"balancer\": %S, \"tenants\": %d, \
+            \"overcommit\": %S, \"seed\": %d, \
             \"fault_schedule\": %d, \"cycles\": %d, \"overhead_pct\": %.4f, \
             \"pause_p99\": %.1f, \"abandoned_bytes\": %d, \"lat_p99_us\": \
             %.3f, \"lat_p999_us\": %.3f, \"duration_ms\": %.3f, \"jobs\": %d}"
            r.Campaign.j_strategy r.Campaign.j_profile r.Campaign.j_topology
-           r.Campaign.j_host_count r.Campaign.j_balancer r.Campaign.j_seed
+           r.Campaign.j_host_count r.Campaign.j_balancer r.Campaign.j_tenants
+           r.Campaign.j_overcommit r.Campaign.j_seed
            r.Campaign.j_schedule r.Campaign.j_cycles
            r.Campaign.j_overhead_pct r.Campaign.j_pause_p99
            r.Campaign.j_abandoned_bytes r.Campaign.j_lat_p99

@@ -500,7 +500,8 @@ let write_json path ~jobs cells =
       let rs = c.c_rs in
       out
         "  {\"rig\": \"%s\", \"topology\": \"single\", \"host_count\": 1, \
-         \"balancer\": \"none\", \"seed\": %d, \"strategy\": \"%s\", \"final\": \
+         \"balancer\": \"none\", \"tenants\": 1, \"overcommit\": \"none\", \
+         \"seed\": %d, \"strategy\": \"%s\", \"final\": \
          \"%s\", \"schedule\": %d, \"horizon\": %d, \"ok\": %b, \"epochs\": \
          %d, \"cycles\": %d, \"injected\": {%s}, \"unfired\": [%s], \
          \"epoch_aborts\": %d, \"sweep_crash_retries\": %d, \

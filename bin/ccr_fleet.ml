@@ -227,7 +227,8 @@ let json_of_row ~pattern ~jobs r =
   in
   Printf.sprintf
     "{\"workload\": \"fleet\", \"topology\": \"%s\", \"host_count\": %d, \
-     \"balancer\": \"%s\", \"failures\": \"%s\", \"retry\": \"%s\", \
+     \"balancer\": \"%s\", \"tenants\": 1, \"overcommit\": \"none\", \
+     \"failures\": \"%s\", \"retry\": \"%s\", \
      \"hedge\": %b, \"breaker\": %b, \"brownout\": %b, \"rto_us\": %.1f, \
      \"max_rounds\": %d, \"mode\": \"%s\", \"governor\": %b, \"pattern\": \
      \"%s\", \"qps\": %.1f, \"requests\": %d, \"users\": %d, \

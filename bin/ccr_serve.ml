@@ -151,7 +151,8 @@ let json_of_row ~pattern ~requests ~servers ~seed ~target ~jobs r =
   let gi f = match g with Some s -> f s | None -> 0 in
   Printf.sprintf
     "{\"workload\": \"serve\", \"topology\": \"single\", \"host_count\": 1, \
-     \"balancer\": \"none\", \"mode\": \"%s\", \"governor\": %b, \
+     \"balancer\": \"none\", \"tenants\": 1, \"overcommit\": \"none\", \
+     \"mode\": \"%s\", \"governor\": %b, \
      \"pattern\": \"%s\", \"qps\": %.1f, \"requests\": %d, \"servers\": %d, \
      \"seed\": %d, \"target_p99_us\": %.1f, \"p50_us\": %.3f, \"p99_us\": \
      %.3f, \"p999_us\": %.3f, \"offered\": %d, \"served\": %d, \

@@ -52,6 +52,22 @@ let mk_tracer = function
   | None -> None
   | Some _ -> Some (Sim.Trace.create ~capacity:65536 ())
 
+let sched_conv =
+  Arg.conv
+    ( (function
+      | "round-robin" | "rr" -> Ok Os.Revsched.Round_robin
+      | "pressure" -> Ok Os.Revsched.Pressure
+      | "slo" -> Ok Os.Revsched.Slo
+      | "quota" -> Ok Os.Revsched.Quota
+      | s -> Error (`Msg (Printf.sprintf "unknown scheduler %S" s))),
+      fun fmt p -> Format.pp_print_string fmt (Os.Revsched.policy_name p) )
+
+let sched_doc =
+  "Revocation scheduling policy: round-robin (fairness), pressure (most \
+   quarantined bytes first), slo (least-loaded process first, pressure \
+   tiebreak), or quota (largest quarantine debt first — the tenant \
+   paying most for revocation lag sweeps first)."
+
 let dump_trace trace tracer =
   match (trace, tracer) with
   | Some n, Some tr ->
@@ -207,24 +223,8 @@ let tenant_cmd =
     Arg.(value & opt float 0.25 & info [ "scale" ] ~doc:"Operation-count scale.")
   in
   let sched =
-    let sched_conv =
-      Arg.conv
-        ( (function
-          | "round-robin" | "rr" -> Ok Os.Revsched.Round_robin
-          | "pressure" -> Ok Os.Revsched.Pressure
-          | "slo" -> Ok Os.Revsched.Slo
-          | s -> Error (`Msg (Printf.sprintf "unknown scheduler %S" s))),
-          fun fmt p ->
-            Format.pp_print_string fmt (Os.Revsched.policy_name p) )
-    in
     Arg.(
-      value
-      & opt sched_conv Os.Revsched.Round_robin
-      & info [ "sched" ]
-          ~doc:
-            "Revocation scheduling policy: round-robin (fairness), \
-             pressure (most quarantined bytes first), or slo \
-             (least-loaded process first, pressure tiebreak).")
+      value & opt sched_conv Os.Revsched.Round_robin & info [ "sched" ] ~doc:sched_doc)
   in
   let run workload tenants scale sched mode seed =
     if tenants < 1 then begin
@@ -255,6 +255,343 @@ let tenant_cmd =
           revocation scheduler.")
     Term.(const run $ workload $ tenants $ scale $ sched $ mode_arg $ seed_arg)
 
+(* --- tenantecon: quota'd tenants, over-commit, bulk-free storm ------- *)
+
+exception Cli_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Cli_error s)) fmt
+
+module Tecon = Workload.Tenantecon
+module Ledger = Tenancy.Ledger
+
+type te_row = {
+  te_governed : bool;
+  te_overcommit : Ledger.overcommit;
+  te_result : Tecon.result;
+  te_clean : bool;
+  te_report : string;
+  te_duration_ms : float;
+}
+
+(* One sweep point on a worker domain: never prints, findings go into
+   the row's buffer. *)
+let tenantecon_point ~cfg ~mode ~check (governed, overcommit) =
+  let t0 = Unix.gettimeofday () in
+  let cfg : Tecon.config = { cfg with Tecon.governed; overcommit } in
+  let san = ref None and race = ref None in
+  let tracer =
+    if check then Some (Sim.Trace.create ~capacity:(1 lsl 20) ()) else None
+  in
+  let on_os os =
+    if check then begin
+      let m = Os.machine os in
+      let init_rt = Os.runtime (Os.init os) in
+      let s = Analysis.Sanitizer.attach ?revoker:init_rt.Runtime.revoker m in
+      Os.set_on_process os (fun p ->
+          Analysis.Sanitizer.register_process s ~pid:(Os.pid p)
+            ?revoker:(Os.runtime p).Runtime.revoker ());
+      san := Some s;
+      race := Some (Analysis.Race.attach m)
+    end
+  in
+  let r = Tecon.run ?tracer ~on_os ~config:cfg ~mode () in
+  let report = Buffer.create 0 in
+  let rfmt = Format.formatter_of_buffer report in
+  let checks_clean =
+    match (!san, !race) with
+    | Some san, Some race ->
+        Analysis.Sanitizer.finish san;
+        if not (Analysis.Sanitizer.ok san) then Analysis.Sanitizer.report rfmt san;
+        if not (Analysis.Race.ok race) then Analysis.Race.report rfmt race;
+        Analysis.Sanitizer.ok san && Analysis.Race.ok race
+    | _ -> true
+  in
+  if not r.Tecon.identity_ok then
+    Format.fprintf rfmt
+      "ccr_sim tenantecon: accounting drift: offered <> served + shed + lost@.";
+  if not r.Tecon.conserved then
+    Format.fprintf rfmt
+      "ccr_sim tenantecon: quota ledger conservation violated@.";
+  Format.pp_print_flush rfmt ();
+  {
+    te_governed = governed;
+    te_overcommit = overcommit;
+    te_result = r;
+    te_clean = checks_clean && r.Tecon.identity_ok && r.Tecon.conserved;
+    te_report = Buffer.contents report;
+    te_duration_ms = (Unix.gettimeofday () -. t0) *. 1000.0;
+  }
+
+let te_json_of_row ~storm_at ~rate ~requests ~seed ~jobs row =
+  let r = row.te_result in
+  let tenant_json (o : Tecon.tenant_outcome) =
+    Printf.sprintf
+      "{\"pid\": %d, \"quota\": %d, \"offered\": %d, \"served\": %d, \
+       \"shed_quota\": %d, \"shed_depth\": %d, \"lost\": %d, \
+       \"denied_quota\": %d, \"denied_phys\": %d, \"reclaims\": %d, \
+       \"p99_us\": %.3f, \"goodput\": %.1f, \"balance\": %d, \"grants\": %d, \
+       \"conserved\": %b, \"crashed\": %b}"
+      o.Tecon.o_pid o.Tecon.o_quota o.Tecon.o_offered o.Tecon.o_served
+      o.Tecon.o_shed_quota o.Tecon.o_shed_depth o.Tecon.o_lost
+      o.Tecon.o_denied_quota o.Tecon.o_denied_phys o.Tecon.o_reclaims
+      o.Tecon.o_p99_us o.Tecon.o_goodput o.Tecon.o_balance o.Tecon.o_grants
+      o.Tecon.o_conserved o.Tecon.o_crashed
+  in
+  Printf.sprintf
+    "{\"workload\": \"tenantecon\", \"topology\": \"single\", \
+     \"host_count\": 1, \"balancer\": \"none\", \"tenants\": %d, \
+     \"overcommit\": \"%s\", \"mode\": \"%s\", \"sched\": \"%s\", \
+     \"governor\": %b, \"storm_at\": %.2f, \"rate\": %.1f, \"requests\": %d, \
+     \"seed\": %d, \"quota_total\": %d, \"phys_limit\": %d, \
+     \"storm_tenant\": %d, \"storm_freed_allocs\": %d, \
+     \"storm_freed_bytes\": %d, \"quarantine_peak\": %d, \
+     \"committed_peak\": %d, \"p999_us\": %.3f, \"p999_calm_us\": %.3f, \
+     \"p999_storm_us\": %.3f, \"identity_ok\": %b, \"conserved\": %b, \
+     \"per_tenant\": [%s], \"duration_ms\": %.3f, \"jobs\": %d}"
+    r.Tecon.tenants
+    (Ledger.overcommit_name row.te_overcommit)
+    r.Tecon.mode r.Tecon.sched row.te_governed storm_at rate requests seed
+    r.Tecon.quota_total r.Tecon.phys_limit r.Tecon.storm_tenant
+    r.Tecon.storm_freed_allocs r.Tecon.storm_freed_bytes
+    r.Tecon.quarantine_peak r.Tecon.committed_peak r.Tecon.p999_us
+    r.Tecon.p999_calm_us r.Tecon.p999_storm_us r.Tecon.identity_ok
+    r.Tecon.conserved
+    (String.concat ", " (List.map tenant_json r.Tecon.per_tenant))
+    row.te_duration_ms jobs
+
+let overcommits_of_string s =
+  match String.trim s with
+  | "all" -> Ledger.all_overcommits
+  | s ->
+      List.map
+        (fun p ->
+          let p = String.trim p in
+          match Ledger.overcommit_of_name p with
+          | Some o -> o
+          | None ->
+              err "unknown over-commit policy %S (expected deny, steal, \
+                   revoke, or all)" p)
+        (String.split_on_char ',' s)
+
+let tenantecon_cmd =
+  let tenants =
+    Arg.(
+      value & opt int 3
+      & info [ "tenants"; "n" ]
+          ~doc:
+            "Tenant process count. Tenant $(i,i) gets quota \
+             $(b,--quota) × (i+1); the largest tenant is the one the \
+             storm crashes.")
+  in
+  let quota =
+    Arg.(
+      value
+      & opt int Tecon.default_config.Tecon.quota_base
+      & info [ "quota" ]
+          ~doc:
+            "Base quota in bytes; tenant $(i,i)'s quota is $(docv) × (i+1), \
+             charged at size-class granularity and refunded only when \
+             memory leaves quarantine." ~docv:"BYTES")
+  in
+  let overcommit =
+    Arg.(
+      value & opt string "all"
+      & info [ "overcommit" ]
+          ~doc:
+            "Comma-separated over-commit policies to sweep, or $(b,all): \
+             $(b,deny) (physical exhaustion refuses the allocation), \
+             $(b,steal) (force the largest quarantine debtor through \
+             revocation and retry), $(b,revoke) (flush every debtor's \
+             quarantine and retry).")
+  in
+  let storm_at =
+    Arg.(
+      value
+      & opt float Tecon.default_config.Tecon.storm_at
+      & info [ "storm-at" ]
+          ~doc:
+            "Crash the largest tenant at this fraction of the horizon: \
+             its queue drains as lost, free_all hands its whole live \
+             heap to quarantine, its capability is revoked. 1.0 or more \
+             disables the storm." ~docv:"FRAC")
+  in
+  let phys_frac =
+    Arg.(
+      value
+      & opt float Tecon.default_config.Tecon.phys_frac
+      & info [ "phys-frac" ]
+          ~doc:
+            "Physical heap limit as a fraction of the quota sum; below \
+             1.0 the quotas are over-committed." ~docv:"FRAC")
+  in
+  let requests =
+    Arg.(
+      value
+      & opt int Tecon.default_config.Tecon.requests
+      & info [ "requests" ] ~doc:"Requests per tenant.")
+  in
+  let rate =
+    Arg.(
+      value
+      & opt float Tecon.default_config.Tecon.rate
+      & info [ "rate" ] ~doc:"Per-tenant offered load, requests/second.")
+  in
+  let sched =
+    Arg.(
+      value & opt sched_conv Os.Revsched.Quota & info [ "sched" ] ~doc:sched_doc)
+  in
+  let governor =
+    Arg.(
+      value
+      & opt (enum [ ("on", [ true ]); ("off", [ false ]); ("both", [ false; true ]) ])
+          [ false; true ]
+      & info [ "governor"; "g" ]
+          ~doc:"Governor axis: $(b,on), $(b,off) or $(b,both).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~doc:"Write per-run JSON records to $(docv)." ~docv:"PATH")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Attach the protocol sanitizer (including the \
+             quota-conservation rule) and race detector to every sweep \
+             point, and verify the serving and ledger identities \
+             exactly. Exit nonzero on any finding.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Parallel.Pool.default_jobs ())
+      & info [ "jobs"; "j" ]
+          ~doc:
+            "Run up to $(docv) sweep points concurrently on separate \
+             domains; results are reassembled in sweep order, so all \
+             output except $(b,duration_ms) and $(b,jobs) is identical \
+             for any $(docv)." ~docv:"N")
+  in
+  let run tenants quota overcommit storm_at phys_frac requests rate sched
+      governed_axis mode seed json check jobs =
+    try
+      let jobs =
+        match Parallel.Pool.validate_jobs jobs with
+        | Ok j -> j
+        | Error msg -> err "%s" msg
+      in
+      if tenants < 1 then err "--tenants must be at least 1 (got %d)" tenants;
+      if quota <= 0 then err "--quota must be positive (got %d)" quota;
+      if storm_at <= 0.0 then
+        err "--storm-at must be positive (got %g; use 1.0 or more to \
+             disable the storm)" storm_at;
+      if phys_frac <= 0.0 then
+        err "--phys-frac must be positive (got %g)" phys_frac;
+      if requests < 1 then err "--requests must be at least 1 (got %d)" requests;
+      if rate <= 0.0 then err "--rate must be positive (got %g)" rate;
+      let overcommits = overcommits_of_string overcommit in
+      if overcommits = [] then err "--overcommit lists no policy";
+      let cfg =
+        {
+          Tecon.default_config with
+          Tecon.tenants;
+          quota_base = quota;
+          phys_frac;
+          storm_at;
+          requests;
+          rate;
+          sched;
+          seed;
+        }
+      in
+      let points =
+        List.concat_map
+          (fun governed -> List.map (fun oc -> (governed, oc)) overcommits)
+          governed_axis
+      in
+      let rows =
+        Parallel.Pool.map ~jobs (tenantecon_point ~cfg ~mode ~check) points
+      in
+      List.iter
+        (fun row -> if row.te_report <> "" then Format.eprintf "%s" row.te_report)
+        rows;
+      List.iter
+        (fun row ->
+          Format.printf "--- governor=%s overcommit=%s ---@."
+            (if row.te_governed then "on" else "off")
+            (Ledger.overcommit_name row.te_overcommit);
+          Tecon.pp Format.std_formatter row.te_result)
+        rows;
+      (match json with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          output_string oc "[\n";
+          List.iteri
+            (fun i row ->
+              if i > 0 then output_string oc ",\n";
+              output_string oc "  ";
+              output_string oc
+                (te_json_of_row ~storm_at ~rate ~requests ~seed ~jobs row))
+            rows;
+          output_string oc "\n]\n";
+          close_out oc;
+          Format.printf "wrote %d records to %s@." (List.length rows) path);
+      if check then
+        if List.for_all (fun row -> row.te_clean) rows then begin
+          Format.printf
+            "check: ok (%d runs, zero findings, both identities exact)@."
+            (List.length rows);
+          0
+        end
+        else begin
+          Format.eprintf "check: FAILED@.";
+          1
+        end
+      else 0
+    with Cli_error msg ->
+      Format.eprintf "ccr_sim tenantecon: %s@." msg;
+      1
+  in
+  Cmd.v
+    (Cmd.info "tenantecon"
+       ~doc:
+         "Sweep tenant economics: quota'd allocator capabilities, \
+          over-commit policies, and a bulk-free reclamation storm."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "N tenant processes with heterogeneous quotas serve open-loop \
+              traffic through per-tenant admission queues that shed \
+              over-quota tenants' requests before they queue (Req_shed \
+              arg2=3). Allocation goes through sealed per-tenant allocator \
+              capabilities charged at size-class granularity; the charge is \
+              refunded only when memory leaves quarantine, so revocation \
+              lag is an economic cost. The quota sum exceeds the physical \
+              limit ($(b,--phys-frac)); exhaustion resolves through the \
+              $(b,--overcommit) policy.";
+           `P
+             "At $(b,--storm-at) of the horizon the largest tenant crashes: \
+              free_all hands its entire live heap to quarantine in one \
+              shot and the zombie drains through its own revoker under \
+              $(b,--sched). The per-slice p99.9 columns (calm vs storm) \
+              show the excursion the surviving tenants ride out.";
+           `P
+             "Per tenant, charged − credited = live + quarantined exactly, \
+              at every trace point: $(b,--check) attaches the sanitizer's \
+              quota-conservation rule, the race detector, and exact \
+              serving/ledger identity checks. Same seed, same arguments: \
+              byte-identical output at any $(b,--jobs).";
+         ])
+    Term.(
+      const run $ tenants $ quota $ overcommit $ storm_at $ phys_frac
+      $ requests $ rate $ sched $ governor $ mode_arg $ seed_arg $ json
+      $ check $ jobs)
+
 let main =
   let spec_names =
     String.concat ", "
@@ -270,15 +607,16 @@ let main =
            `S Manpage.s_description;
            `P
              (Printf.sprintf
-                "Workloads: spec (profiles: %s), pgbench, grpc, tenant — \
-                 plus the open-loop serving sweep in ccr_serve." spec_names);
+                "Workloads: spec (profiles: %s), pgbench, grpc, tenant, \
+                 tenantecon — plus the open-loop serving sweep in ccr_serve."
+                spec_names);
            `P
              "Temporal-safety modes (--mode): baseline, paint+sync, \
               cherivoke, cornucopia, reloaded, cheriot.";
            `P
-             "Cross-process revocation scheduling policies (tenant --sched): \
-              round-robin, pressure, slo.";
+             "Cross-process revocation scheduling policies (tenant and \
+              tenantecon --sched): round-robin, pressure, slo, quota.";
          ])
-    [ spec_cmd; pgbench_cmd; grpc_cmd; tenant_cmd ]
+    [ spec_cmd; pgbench_cmd; grpc_cmd; tenant_cmd; tenantecon_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -34,6 +34,13 @@ type region = {
   mutable r_state : state;
 }
 
+(* One quota-charged allocation, mirrored from the ledger's event
+   stream. [q_quarantined] flips when the region's [Paint] arrives; the
+   entry leaves the table on [Quota_credit] — or on [Reuse], which is a
+   conservation violation: memory left quarantine without its owner
+   being refunded. *)
+type qalloc = { q_size : int; mutable q_quarantined : bool }
+
 let max_stored = 200
 
 (* All shadow state is partitioned by process: each pid's revocation
@@ -59,6 +66,14 @@ type pstate = {
   mutable unpainted_bytes : int;
   (* regions quarantined when the current epoch began, sorted by base *)
   mutable snapshot : (int * int) array;
+  (* quota-ledger mirror: this pid as a tenant. The conservation
+     identity charged − credited = live + quarantined is re-checked at
+     every quota event. *)
+  q_allocs : (int, qalloc) Hashtbl.t;
+  mutable q_charged : int;
+  mutable q_credited : int;
+  mutable q_live : int;
+  mutable q_quarantined : int;
 }
 
 type t = {
@@ -87,6 +102,11 @@ let fresh_pstate pid =
     painted_bytes = 0;
     unpainted_bytes = 0;
     snapshot = [||];
+    q_allocs = Hashtbl.create 64;
+    q_charged = 0;
+    q_credited = 0;
+    q_live = 0;
+    q_quarantined = 0;
   }
 
 let pstate t pid =
@@ -253,6 +273,24 @@ let check_accounting t ps ~time ~core =
           (Printf.sprintf "revocation bitmap holds %d bytes, events say %d"
              bitmap net)
 
+(* Per-tenant quota conservation: charged − credited must equal the
+   bytes still held (live + quarantined) after every quota event. The
+   identity can only drift through a protocol violation (double charge,
+   credit for an unknown region, reuse without credit), each of which is
+   also reported individually under the same rule. *)
+let check_quota t ps ~time ~core =
+  if ps.q_charged <> 0 || ps.q_credited <> 0 then begin
+    let held = ps.q_live + ps.q_quarantined in
+    if ps.q_charged - ps.q_credited <> held then
+      violation t ~time ~core ~pid:ps.pid "quota-conservation"
+        (Printf.sprintf
+           "charged %d - credited %d = %d bytes but live %d + quarantined %d \
+            = %d"
+           ps.q_charged ps.q_credited
+           (ps.q_charged - ps.q_credited)
+           ps.q_live ps.q_quarantined held)
+  end
+
 (* Fork: the child's copy-on-write bitmap carries every bit the parent's
    did, and the kernel re-enqueues the parent's still-quarantined
    regions in the child's shim. Mirror that here: the parent's regions
@@ -333,6 +371,12 @@ let on_event t (e : Trace.event) =
       ps.snapshot <- [||]
   | Trace.Paint -> (
       let addr = e.Trace.arg and size = e.Trace.arg2 in
+      (match Hashtbl.find_opt ps.q_allocs addr with
+      | Some q when not q.q_quarantined ->
+          q.q_quarantined <- true;
+          ps.q_live <- ps.q_live - q.q_size;
+          ps.q_quarantined <- ps.q_quarantined + q.q_size
+      | Some _ | None -> ());
       match Hashtbl.find_opt ps.regions addr with
       | Some r when r.r_state <> Cleared ->
           v "double-paint"
@@ -386,6 +430,24 @@ let on_event t (e : Trace.event) =
             (Printf.sprintf "0x%x dequeued but never painted" addr))
   | Trace.Reuse -> (
       let addr = e.Trace.arg in
+      (* A quota-tracked region leaving quarantine must have been
+         credited first ([Quota_credit] precedes [Reuse] by contract).
+         If it is still in the mirror, its owner was never refunded.
+         Repair the mirror as if the credit had happened so a single
+         skipped credit reports exactly once. *)
+      (match Hashtbl.find_opt ps.q_allocs addr with
+      | Some q ->
+          v "quota-conservation"
+            (Printf.sprintf
+               "0x%x (%d bytes charged to pid %d) left quarantine without a \
+                quota credit"
+               addr q.q_size ps.pid);
+          ps.q_credited <- ps.q_credited + q.q_size;
+          if q.q_quarantined then
+            ps.q_quarantined <- ps.q_quarantined - q.q_size
+          else ps.q_live <- ps.q_live - q.q_size;
+          Hashtbl.remove ps.q_allocs addr
+      | None -> ());
       match Hashtbl.find_opt ps.regions addr with
       | None -> v "early-reuse" (Printf.sprintf "0x%x reused, never painted" addr)
       | Some r ->
@@ -458,6 +520,50 @@ let on_event t (e : Trace.event) =
   | Trace.Epoch_resume ->
       if not ps.in_epoch then
         v "epoch-unbalanced" "Epoch_resume outside an epoch"
+  | Trace.Quota_charge ->
+      let addr = e.Trace.arg and size = e.Trace.arg2 in
+      (match Hashtbl.find_opt ps.q_allocs addr with
+      | Some q ->
+          v "quota-conservation"
+            (Printf.sprintf
+               "0x%x charged while already held (%d bytes, %s)" addr q.q_size
+               (if q.q_quarantined then "quarantined" else "live"));
+          ps.q_credited <- ps.q_credited + q.q_size;
+          if q.q_quarantined then
+            ps.q_quarantined <- ps.q_quarantined - q.q_size
+          else ps.q_live <- ps.q_live - q.q_size
+      | None -> ());
+      Hashtbl.replace ps.q_allocs addr { q_size = size; q_quarantined = false };
+      ps.q_charged <- ps.q_charged + size;
+      ps.q_live <- ps.q_live + size;
+      check_quota t ps ~time ~core
+  | Trace.Quota_credit ->
+      let addr = e.Trace.arg and size = e.Trace.arg2 in
+      (match Hashtbl.find_opt ps.q_allocs addr with
+      | None ->
+          v "quota-conservation"
+            (Printf.sprintf "0x%x credited %d bytes but was never charged"
+               addr size)
+      | Some q ->
+          if q.q_size <> size then
+            v "quota-conservation"
+              (Printf.sprintf "0x%x credited %d bytes but was charged %d" addr
+                 size q.q_size);
+          ps.q_credited <- ps.q_credited + q.q_size;
+          if q.q_quarantined then
+            ps.q_quarantined <- ps.q_quarantined - q.q_size
+          else ps.q_live <- ps.q_live - q.q_size;
+          Hashtbl.remove ps.q_allocs addr);
+      check_quota t ps ~time ~core
+  | Trace.Free_all ->
+      (* arg2 is the total charge handed to quarantine in one shot; it
+         can never exceed what the tenant still holds live. *)
+      if e.Trace.arg2 > ps.q_live then
+        v "quota-conservation"
+          (Printf.sprintf
+             "free_all hands %d bytes to quarantine but only %d are live"
+             e.Trace.arg2 ps.q_live);
+      check_quota t ps ~time ~core
   | Trace.Proc_kill | Trace.Stw_abandon | Trace.Strategy_downshift
   | Trace.Quarantine_abandoned | Trace.Tag_corruption | Trace.Shootdown_retry
   | Trace.Chaos_inject | Trace.Stw_request | Trace.Clg_fault
@@ -465,7 +571,7 @@ let on_event t (e : Trace.event) =
   | Trace.Proc_exec | Trace.Proc_exit | Trace.Sched_grant | Trace.Req_shed
   | Trace.Req_lost | Trace.Brownout_shift | Trace.Governor_defer
   | Trace.Governor_force | Trace.Governor_quantum | Trace.Slo_violation
-  | Trace.Custom _ ->
+  | Trace.Quota_deny | Trace.Custom _ ->
       ()
 
 let attach ?revoker m =
@@ -533,7 +639,8 @@ let finish t =
       if ps.in_epoch then
         violation t ~time ~core:(-1) ~pid "epoch-unbalanced"
           "run finished inside an open epoch";
-      check_accounting t ps ~time ~core:(-1))
+      check_accounting t ps ~time ~core:(-1);
+      check_quota t ps ~time ~core:(-1))
     pids
 
 let violations t = List.rev t.stored
@@ -589,4 +696,6 @@ let all_rules =
     ("stale-cap-regfile", "register holds a cap into quarantine after the epoch");
     ("stale-cap-hoard", "kernel hoard holds a cap into quarantine after the epoch");
     ("quarantine-accounting", "painted/unpainted/bitmap byte accounts disagree");
+    ("quota-conservation",
+     "per-tenant charged − credited drifted from live + quarantined");
   ]

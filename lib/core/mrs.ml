@@ -20,6 +20,9 @@ type t = {
   mutable abandoned : int; (* quarantine bytes dropped by [finish] *)
   mutable release_stall : (Machine.ctx -> int) option;
       (* chaos: extra cycles to stall before each batch release *)
+  mutable on_release : (Machine.ctx -> addr:int -> size:int -> unit) option;
+      (* quota ledger: called for each clean entry before its bitmap is
+         cleared and the memory released — credits precede [Reuse] *)
   drained : Machine.condvar; (* signaled after each batch is dequarantined *)
   (* counter values at batch handoff: dequarantine asserts the §2.2.3
      epoch protocol against them *)
@@ -52,6 +55,9 @@ let on_clean t ctx (batch : Revoker.batch) =
   | None -> ());
   List.iter
     (fun (addr, size) ->
+      (match t.on_release with
+      | Some h -> h ctx ~addr ~size
+      | None -> ());
       Revmap.clear (Revoker.revmap t.revoker) ctx ~addr ~size;
       t.alloc.Backend.release_range ctx ~addr ~size;
       Machine.trace_emit t.m ~time:(Machine.now ctx) ~core:(Machine.core_id ctx)
@@ -79,6 +85,7 @@ let create m ~alloc ~revoker ?(policy = Policy.default) () =
       throttled = 0;
       abandoned = 0;
       release_stall = None;
+      on_release = None;
       drained = Machine.condvar ();
       batch_epochs = Hashtbl.create 64;
       batch_id = 0;
@@ -183,6 +190,10 @@ let wait_drained t ctx =
   done
 
 let set_release_stall t f = t.release_stall <- f
+let set_on_release t f = t.on_release <- f
+
+let wait_release t ctx =
+  if quarantine_bytes t > 0 then Machine.wait ctx t.drained
 
 let finish t ctx =
   t.finishing <- true;

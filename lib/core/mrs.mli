@@ -46,6 +46,18 @@ val set_release_stall : t -> (Sim.Machine.ctx -> int) option -> unit
     cycle count is slept on the revoker thread first, modelling a
     quarantine-drain stall (blocked [malloc]s keep waiting meanwhile). *)
 
+val set_on_release : t -> (Sim.Machine.ctx -> addr:int -> size:int -> unit) option -> unit
+(** Ledger hook: called on the revoker thread for each entry of a clean
+    batch, {e before} its bitmap bits are cleared and before the [Reuse]
+    trace event — so a quota credit is always observable strictly before
+    the memory returns to the allocator. *)
+
+val wait_release : t -> Sim.Machine.ctx -> unit
+(** Block until the next quarantine batch is dequarantined (one bounded
+    wait, not a full drain). Returns immediately when no quarantine is
+    buffered, queued or in flight. Over-commit reclaim loops use this
+    between [flush] retries. *)
+
 val quarantine_bytes : t -> int
 (** Current buffer + queued + in-flight quarantine. *)
 

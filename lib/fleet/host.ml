@@ -291,6 +291,7 @@ let run cfg ~arrivals =
                    intended = a.a_intended;
                    cls = a.a_cls;
                    deadline = class_deadline deadline a.a_cls;
+                   tenant = 0;
                  }))
           arrivals;
         Squeue.close queue ctx)

@@ -37,6 +37,10 @@ type kind =
   | Governor_force
   | Governor_quantum
   | Slo_violation
+  | Quota_charge
+  | Quota_deny
+  | Quota_credit
+  | Free_all
   | Custom of string
 
 let kind_name = function
@@ -78,6 +82,10 @@ let kind_name = function
   | Governor_force -> "governor-force"
   | Governor_quantum -> "governor-quantum"
   | Slo_violation -> "slo-violation"
+  | Quota_charge -> "quota-charge"
+  | Quota_deny -> "quota-deny"
+  | Quota_credit -> "quota-credit"
+  | Free_all -> "free-all"
   | Custom s -> s
 
 type event = {

@@ -89,6 +89,23 @@ type kind =
       (** arg: serving p99 latency estimate (µs, rounded); arg2: the SLO
           target (µs). Emitted by the governor when it must act while the
           tail is already over target. *)
+  | Quota_charge
+      (** pid: the tenant billed; arg: region base; arg2: bytes charged
+          against the tenant's quota (allocation granularity — the
+          size-class rounded size, not the requested size) *)
+  | Quota_deny
+      (** pid: the tenant refused; arg: bytes the allocation would have
+          charged; arg2: 0 when the tenant's own quota was exhausted,
+          1 when physical memory was exhausted and the over-commit
+          policy could not reclaim enough *)
+  | Quota_credit
+      (** pid: the tenant refunded; arg: region base; arg2: bytes
+          credited back. Emitted when the region leaves quarantine —
+          always before the corresponding [Reuse]; quarantined-but-
+          unrevoked memory still counts against its owner. *)
+  | Free_all
+      (** pid: the tenant; arg: live allocations handed to quarantine
+          in one shot; arg2: total bytes (quota charge units) *)
   | Custom of string
 
 val kind_name : kind -> string

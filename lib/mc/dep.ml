@@ -13,13 +13,14 @@ let granule a = a land lnot 15
 let add_event f (e : Trace.event) =
   match e.Trace.kind with
   | Trace.Paint | Trace.Unpaint | Trace.Quarantine_enq | Trace.Quarantine_deq
-  | Trace.Reuse ->
+  | Trace.Reuse | Trace.Quota_charge | Trace.Quota_credit ->
       (* arg: region base; arg2: size (0 if unused — cover one granule) *)
       let r = (e.Trace.arg, max e.Trace.arg2 16) in
       if List.mem r f.regions then f else { f with regions = r :: f.regions }
   | Trace.Context_switch | Trace.Req_shed | Trace.Req_lost
   | Trace.Brownout_shift | Trace.Governor_defer | Trace.Governor_force
-  | Trace.Governor_quantum | Trace.Slo_violation | Trace.Custom _ ->
+  | Trace.Governor_quantum | Trace.Slo_violation | Trace.Quota_deny
+  | Trace.Free_all | Trace.Custom _ ->
       f
   | k ->
       let g = Trace.kind_name k in

@@ -14,17 +14,19 @@ module Revmap = Ccr.Revmap
 (* ------------------------------------------------------------------ *)
 
 module Revsched = struct
-  type policy = Round_robin | Pressure | Slo
+  type policy = Round_robin | Pressure | Slo | Quota
 
   let policy_name = function
     | Round_robin -> "round-robin"
     | Pressure -> "pressure"
     | Slo -> "slo"
+    | Quota -> "quota"
 
   type entry = {
     e_pid : int;
     pressure : unit -> int;
     mutable load : unit -> float;
+    mutable debt : unit -> int;
     mutable grants : int;
     mutable wait_cycles : int;
   }
@@ -57,8 +59,11 @@ module Revsched = struct
      Round-robin grants the least-served waiter; pressure grants the one
      with the most quarantined bytes; slo grants the one whose serving
      load is lowest right now (its epoch disturbs the least traffic),
-     falling back to pressure among equally-loaded waiters. Ties break
-     towards the lowest pid, keeping the choice deterministic. *)
+     falling back to pressure among equally-loaded waiters; quota grants
+     the one whose quarantine debt — quota charged for memory stuck in
+     quarantine, i.e. the economic cost of revocation lag — is largest,
+     falling back to pressure. Ties break towards the lowest pid,
+     keeping the choice deterministic. *)
   let chosen t =
     let better (a : entry) (b : entry) =
       match t.policy with
@@ -69,6 +74,12 @@ module Revsched = struct
       | Slo ->
           let la = a.load () and lb = b.load () in
           if la <> lb then la < lb
+          else
+            let pa = a.pressure () and pb = b.pressure () in
+            pa > pb || (pa = pb && a.e_pid < b.e_pid)
+      | Quota ->
+          let da = a.debt () and db = b.debt () in
+          if da <> db then da > db
           else
             let pa = a.pressure () and pb = b.pressure () in
             pa > pb || (pa = pb && a.e_pid < b.e_pid)
@@ -105,9 +116,12 @@ module Revsched = struct
     | _ -> ());
     Machine.broadcast ctx t.cv
 
-  let register t ~pid ~pressure ?(load = fun () -> 0.0) ~revoker () =
+  let register t ~pid ~pressure ?(load = fun () -> 0.0) ?debt ~revoker () =
+    (* With no ledger attached, quarantine debt falls back to raw
+       quarantine pressure — the quota policy then degrades to pressure. *)
+    let debt = match debt with Some d -> d | None -> pressure in
     Hashtbl.replace t.entries pid
-      { e_pid = pid; pressure; load; grants = 0; wait_cycles = 0 };
+      { e_pid = pid; pressure; load; debt; grants = 0; wait_cycles = 0 };
     Revoker.set_epoch_gate revoker
       ~acquire:(fun ctx -> acquire t ctx pid)
       ~release:(fun ctx -> release t ctx pid)
@@ -115,6 +129,10 @@ module Revsched = struct
   (* The serving layer is built after the process table, so its load
      probe (queue depth, utilisation estimate) is installed late. *)
   let set_load t ~pid f = (entry t pid).load <- f
+
+  (* Likewise the quota ledger: tenants register their accounts after
+     fork, then point their scheduler entry at the ledger's debt. *)
+  let set_debt t ~pid f = (entry t pid).debt <- f
 
   type stats = { pid : int; grants : int; wait_cycles : int }
 

@@ -37,9 +37,15 @@
       (per-process probe, see {!Revsched.set_load}) is lowest — its
       epoch disturbs the least live traffic — breaking load ties by
       pressure, so among idle processes it degenerates to [Pressure];
+    - [Quota] grants the token to the waiting process whose quarantine
+      {e debt} (per-process probe, see {!Revsched.set_debt}) is largest:
+      quota charged for memory stuck in quarantine is the economic cost
+      of revocation lag, so the tenant hurting most economically sweeps
+      first. Without a ledger the probe defaults to quarantine pressure,
+      degenerating to [Pressure];
     - ties break towards the lowest pid, keeping runs deterministic. *)
 module Revsched : sig
-  type policy = Round_robin | Pressure | Slo
+  type policy = Round_robin | Pressure | Slo | Quota
 
   val policy_name : policy -> string
 
@@ -49,6 +55,13 @@ module Revsched : sig
   (** Install a process's load probe (in [\[0,1\]]; e.g. normalised queue
       depth from the serving layer), consulted by the [Slo] policy on
       every grant decision. Defaults to constantly 0 when never set.
+      Raises [Invalid_argument] for an unregistered pid. *)
+
+  val set_debt : t -> pid:int -> (unit -> int) -> unit
+  (** Install a process's quarantine-debt probe (bytes of quota still
+      charged for quarantined-but-unrevoked memory, from the tenant
+      ledger), consulted by the [Quota] policy on every grant decision.
+      Defaults to the quarantine-pressure probe when never set.
       Raises [Invalid_argument] for an unregistered pid. *)
 
   type stats = { pid : int; grants : int; wait_cycles : int }

@@ -5,11 +5,18 @@
 
 open Sim
 
-type req = { id : int; intended : int; cls : int; deadline : int option }
+type req = {
+  id : int;
+  intended : int;
+  cls : int;
+  deadline : int option;
+  tenant : int;
+}
 
 let why_depth = 0
 let why_deadline = 1
 let why_brownout = 2
+let why_quota = 3
 
 type brownout = { b_enter : int; b_exit : int; b_min_cls : int }
 
@@ -20,6 +27,7 @@ type t = {
   max_depth : int;
   deadline : int option;
   brownout : brownout option;
+  quota_gate : (int -> bool) option;
   q : req Queue.t;
   nonempty : Machine.condvar;
   mutable closed : bool;
@@ -27,13 +35,14 @@ type t = {
   mutable shed_depth : int;
   mutable shed_deadline : int;
   mutable shed_brownout : int;
+  mutable shed_quota : int;
   mutable lost : int;
   mutable browned_out : bool;
   mutable brownout_shifts : int;
   mutable shed_log : (req * int * int) list;
 }
 
-let create m ~max_depth ?deadline ?brownout () =
+let create m ~max_depth ?deadline ?brownout ?quota_gate () =
   if max_depth <= 0 then invalid_arg "Squeue.create: max_depth must be > 0";
   (match brownout with
   | Some b when b.b_enter <= b.b_exit ->
@@ -46,6 +55,7 @@ let create m ~max_depth ?deadline ?brownout () =
     max_depth;
     deadline;
     brownout;
+    quota_gate;
     q = Queue.create ();
     nonempty = Machine.condvar ();
     closed = false;
@@ -53,6 +63,7 @@ let create m ~max_depth ?deadline ?brownout () =
     shed_depth = 0;
     shed_deadline = 0;
     shed_brownout = 0;
+    shed_quota = 0;
     lost = 0;
     browned_out = false;
     brownout_shifts = 0;
@@ -64,7 +75,8 @@ let accepted t = t.accepted
 let shed_depth t = t.shed_depth
 let shed_deadline t = t.shed_deadline
 let shed_brownout t = t.shed_brownout
-let shed t = t.shed_depth + t.shed_deadline + t.shed_brownout
+let shed_quota t = t.shed_quota
+let shed t = t.shed_depth + t.shed_deadline + t.shed_brownout + t.shed_quota
 let lost t = t.lost
 let brownout_active t = t.browned_out
 let brownout_shifts t = t.brownout_shifts
@@ -98,14 +110,26 @@ let record_shed t ctx req ~why =
   (match why with
   | 0 -> t.shed_depth <- t.shed_depth + 1
   | 1 -> t.shed_deadline <- t.shed_deadline + 1
-  | _ -> t.shed_brownout <- t.shed_brownout + 1);
+  | 2 -> t.shed_brownout <- t.shed_brownout + 1
+  | _ -> t.shed_quota <- t.shed_quota + 1);
   t.shed_log <- (req, why, Machine.now ctx) :: t.shed_log;
   trace_shed t ctx ~id:req.id ~why
 
 let offer t ctx req =
   if t.closed then invalid_arg "Squeue.offer: queue is closed";
   update_brownout t ctx;
-  if t.browned_out && req.cls >= (Option.get t.brownout).b_min_cls then begin
+  if
+    match t.quota_gate with
+    | Some over -> over req.tenant
+    | None -> false
+  then begin
+    (* Over-quota tenants are shed before any queueing check: their
+       requests would only allocate into a heap they have no budget
+       for, so they never consume admission capacity. *)
+    record_shed t ctx req ~why:why_quota;
+    false
+  end
+  else if t.browned_out && req.cls >= (Option.get t.brownout).b_min_cls then begin
     record_shed t ctx req ~why:why_brownout;
     false
   end

@@ -1,7 +1,7 @@
 (** Bounded request queue with admission control, priority-aware load
     shedding, and crash loss.
 
-    Three drop policies, each traced per-request with [Trace.Req_shed]:
+    Four drop policies, each traced per-request with [Trace.Req_shed]:
 
     - {b queue-depth} ([arg2 = 0]): [offer] refuses a request when the
       queue is already at [max_depth] — backpressure at admission;
@@ -13,7 +13,11 @@
     - {b brownout} ([arg2 = 2]): while the brownout controller is
       active, [offer] sheds every request whose class code is at least
       [b_min_cls] — graceful degradation drops the least important
-      traffic first, keeping admission capacity for critical requests.
+      traffic first, keeping admission capacity for critical requests;
+    - {b quota} ([arg2 = 3]): when a [quota_gate] is installed, [offer]
+      sheds every request whose tenant the gate reports over quota —
+      before any queueing check, so an over-budget tenant's traffic
+      never consumes admission capacity it cannot back with heap.
 
     The brownout controller is a hysteresis band over instantaneous
     queue depth, evaluated at every offer/take/drain: it engages when
@@ -35,11 +39,14 @@ type req = {
   deadline : int option;
       (** per-request deadline (cycles of queueing delay); [None] falls
           back to the queue-wide default *)
+  tenant : int;
+      (** owning tenant pid for the quota gate; 0 for single-tenant rigs *)
 }
 
 val why_depth : int
 val why_deadline : int
 val why_brownout : int
+val why_quota : int
 (** The [arg2] codes carried by [Req_shed] and {!shed_log}. *)
 
 type brownout = {
@@ -58,13 +65,17 @@ val create :
   max_depth:int ->
   ?deadline:int ->
   ?brownout:brownout ->
+  ?quota_gate:(int -> bool) ->
   unit ->
   t
 (** No deadline dropping unless [deadline] (or a per-request deadline)
-    is given; no brownout shedding unless [brownout] is given. Raises
-    [Invalid_argument] if [max_depth <= 0], if the brownout band is
-    inverted ([b_enter <= b_exit]), or if [b_enter > max_depth] (the
-    controller could never engage). *)
+    is given; no brownout shedding unless [brownout] is given; no quota
+    shedding unless [quota_gate] is given ([quota_gate tenant] returning
+    [true] means the tenant is over quota {e right now} — typically
+    [Tenant.Ledger.over_quota]). Raises [Invalid_argument] if
+    [max_depth <= 0], if the brownout band is inverted
+    ([b_enter <= b_exit]), or if [b_enter > max_depth] (the controller
+    could never engage). *)
 
 val offer : t -> Sim.Machine.ctx -> req -> bool
 (** Enqueue, or shed ([false]) on brownout class or queue depth — in
@@ -92,9 +103,10 @@ val accepted : t -> int
 val shed_depth : t -> int
 val shed_deadline : t -> int
 val shed_brownout : t -> int
+val shed_quota : t -> int
 
 val shed : t -> int
-(** [shed_depth + shed_deadline + shed_brownout]. *)
+(** [shed_depth + shed_deadline + shed_brownout + shed_quota]. *)
 
 val lost : t -> int
 (** Requests dropped by {!drain_lost}. *)

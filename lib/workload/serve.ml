@@ -154,7 +154,8 @@ let run ?(config = default_config) ?tracer ?on_runtime ?(governed = false)
             Slo.note_offered slo;
             ignore
               (Squeue.offer queue ctx
-                 { Squeue.id = i; intended; cls = 0; deadline = None }))
+                 { Squeue.id = i; intended; cls = 0; deadline = None;
+                   tenant = 0 }))
           arrivals;
         Squeue.close queue ctx)
   in

@@ -80,7 +80,7 @@ let test_squeue_shedding () =
             queue full and sheds on depth *)
          let offer id =
            Squeue.offer q ctx
-             { Squeue.id; intended = M.now ctx; cls = 0; deadline = None }
+             { Squeue.id; intended = M.now ctx; cls = 0; deadline = None; tenant = 0 }
          in
          check "first admitted" true (offer 0);
          check "second admitted" true (offer 1);
@@ -123,7 +123,7 @@ let test_squeue_brownout () =
     (M.spawn m ~name:"driver" ~core:0 (fun ctx ->
          let offer id cls =
            Squeue.offer q ctx
-             { Squeue.id; intended = M.now ctx; cls; deadline = None }
+             { Squeue.id; intended = M.now ctx; cls; deadline = None; tenant = 0 }
          in
          check "background admitted while calm" true (offer 0 2);
          check "critical admitted" true (offer 1 0);
@@ -199,10 +199,10 @@ let test_request_classes () =
          let tight = Some (Cost.cycles_of_us 10.0) in
          check "critical admitted" true
            (Squeue.offer q ctx
-              { Squeue.id = 0; intended = M.now ctx; cls = 0; deadline = tight });
+              { Squeue.id = 0; intended = M.now ctx; cls = 0; deadline = tight; tenant = 0 });
          check "background admitted" true
            (Squeue.offer q ctx
-              { Squeue.id = 1; intended = M.now ctx; cls = 2; deadline = None });
+              { Squeue.id = 1; intended = M.now ctx; cls = 2; deadline = None; tenant = 0 });
          M.charge ctx (Cost.cycles_of_us 500.0);
          Squeue.close q ctx;
          let rec drain () =
