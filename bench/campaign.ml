@@ -23,6 +23,7 @@ type t = {
   scale : float;
   seed : int;
   jobs : int; (* domain-parallel fan-out width for independent cells *)
+  interp : Workload.Spec.interp; (* spec cells only; simulated results identical *)
   spec : (string * string, Result.t) Hashtbl.t; (* (workload, mode) *)
   interactive : (string * string, Result.t) Hashtbl.t;
   durations : (string * string, float) Hashtbl.t; (* wall ms per cell *)
@@ -31,11 +32,12 @@ type t = {
   mutable grpc_done : bool;
 }
 
-let create ?jobs ~scale ~seed () =
+let create ?jobs ?(interp = Workload.Spec.Compiled) ~scale ~seed () =
   {
     scale;
     seed;
     jobs = (match jobs with Some j -> max 1 j | None -> Parallel.Pool.default_jobs ());
+    interp;
     spec = Hashtbl.create 64;
     interactive = Hashtbl.create 16;
     durations = Hashtbl.create 64;
@@ -74,7 +76,9 @@ let ensure_spec t =
           List.map
             (fun mode ->
               ( (p.Profile.name, Runtime.mode_name mode),
-                fun () -> Workload.Spec.run ~seed:t.seed ~ops_scale:t.scale ~mode p ))
+                fun () ->
+                  Workload.Spec.run ~seed:t.seed ~ops_scale:t.scale
+                    ~interp:t.interp ~mode p ))
             modes)
         Profile.spec_all
     in
@@ -172,6 +176,11 @@ type json_record = {
   j_lat_p999 : float;
   j_duration_ms : float; (* host wall-clock of the cell's simulation *)
   j_jobs : int; (* fan-out width the campaign ran with *)
+  j_ops_per_sec : float;
+      (* host-side interpreter throughput: simulated ops per host
+         second. Like duration_ms/jobs this is a property of the run,
+         not of the simulated machine — CI normalizes it away when
+         diffing compiled vs reference output *)
 }
 
 (* Tail of a latency-bearing record through the log-bucketed histogram —
@@ -216,6 +225,13 @@ let record_of t ~workload ~mode ~base ~seed (r : Result.t) =
     j_duration_ms =
       (try Hashtbl.find t.durations (workload, mode) with Not_found -> 0.0);
     j_jobs = t.jobs;
+    j_ops_per_sec =
+      (let ms =
+         try Hashtbl.find t.durations (workload, mode) with Not_found -> 0.0
+       in
+       if ms > 0.0 && r.Result.ops_done > 0 then
+         float_of_int r.Result.ops_done /. (ms /. 1000.0)
+       else 0.0);
   }
 
 let json_records t =

@@ -49,14 +49,16 @@ let write_json path records =
             \"overcommit\": %S, \"seed\": %d, \
             \"fault_schedule\": %d, \"cycles\": %d, \"overhead_pct\": %.4f, \
             \"pause_p99\": %.1f, \"abandoned_bytes\": %d, \"lat_p99_us\": \
-            %.3f, \"lat_p999_us\": %.3f, \"duration_ms\": %.3f, \"jobs\": %d}"
+            %.3f, \"lat_p999_us\": %.3f, \"duration_ms\": %.3f, \"jobs\": %d, \
+            \"ops_per_sec\": %.1f}"
            r.Campaign.j_strategy r.Campaign.j_profile r.Campaign.j_topology
            r.Campaign.j_host_count r.Campaign.j_balancer r.Campaign.j_tenants
            r.Campaign.j_overcommit r.Campaign.j_seed
            r.Campaign.j_schedule r.Campaign.j_cycles
            r.Campaign.j_overhead_pct r.Campaign.j_pause_p99
            r.Campaign.j_abandoned_bytes r.Campaign.j_lat_p99
-           r.Campaign.j_lat_p999 r.Campaign.j_duration_ms r.Campaign.j_jobs))
+           r.Campaign.j_lat_p999 r.Campaign.j_duration_ms r.Campaign.j_jobs
+           r.Campaign.j_ops_per_sec))
     records;
   Buffer.add_string buf "\n]\n";
   Buffer.output_buffer oc buf;
@@ -64,8 +66,8 @@ let write_json path records =
 
 let usage () =
   print_endline
-    "usage: main.exe [--scale S] [--seed N] [--jobs N] [--json OUT] [--list] \
-     [target ...]";
+    "usage: main.exe [--scale S] [--seed N] [--jobs N] [--interp \
+     compiled|reference] [--json OUT] [--list] [target ...]";
   print_endline "targets:";
   List.iter (fun (n, d, _) -> Printf.printf "  %-18s %s\n" n d) all_targets;
   print_endline "(no targets = run everything)"
@@ -82,6 +84,7 @@ let () =
   let scale = ref 0.5 in
   let seed = ref 1 in
   let jobs = ref (Parallel.Pool.default_jobs ()) in
+  let interp = ref Workload.Spec.Compiled in
   let json_out = ref None in
   let targets = ref [] in
   let rec parse = function
@@ -107,7 +110,13 @@ let () =
     | "--json" :: v :: rest ->
         json_out := Some v;
         parse rest
-    | [ ("--scale" | "--seed" | "--jobs" | "--json") ] as flag ->
+    | "--interp" :: v :: rest ->
+        (match v with
+        | "compiled" -> interp := Workload.Spec.Compiled
+        | "reference" -> interp := Workload.Spec.Reference
+        | _ -> die "--interp takes 'compiled' or 'reference', got %S" v);
+        parse rest
+    | [ ("--scale" | "--seed" | "--jobs" | "--json" | "--interp") ] as flag ->
         die "%s needs a value" (List.hd flag)
     | ("--list" | "--help" | "-h") :: _ ->
         usage ();
@@ -137,7 +146,7 @@ let () =
     !scale Paper.heap_scale !seed !jobs;
   Format.printf
     "(shapes and orderings are the reproduced quantities; see EXPERIMENTS.md)@.";
-  let c = Campaign.create ~jobs:!jobs ~scale:!scale ~seed:!seed () in
+  let c = Campaign.create ~jobs:!jobs ~interp:!interp ~scale:!scale ~seed:!seed () in
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun name ->

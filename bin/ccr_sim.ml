@@ -35,6 +35,29 @@ let mode_arg =
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic simulation seed.")
 
+let interp_conv =
+  Arg.conv
+    ( (function
+      | "compiled" -> Ok Workload.Spec.Compiled
+      | "reference" -> Ok Workload.Spec.Reference
+      | s -> Error (`Msg (Printf.sprintf "unknown interpreter %S" s))),
+      fun fmt i ->
+        Format.pp_print_string fmt
+          (match i with
+          | Workload.Spec.Compiled -> "compiled"
+          | Workload.Spec.Reference -> "reference") )
+
+let interp_arg =
+  Arg.(
+    value
+    & opt interp_conv Workload.Spec.Compiled
+    & info [ "interp" ]
+        ~doc:
+          "Op-stream interpreter: $(b,compiled) (default; precompiled \
+           zero-alloc decode loop) or $(b,reference) (the original per-op \
+           interpreter). Simulated behaviour is bit-for-bit identical; only \
+           host wall-clock differs." ~docv:"KIND")
+
 let phases_arg =
   Arg.(
     value & flag
@@ -133,7 +156,7 @@ let spec_cmd =
   let scale =
     Arg.(value & opt float 0.5 & info [ "scale" ] ~doc:"Operation-count scale.")
   in
-  let run workload scale mode seed phases trace =
+  let run workload scale mode seed interp phases trace =
     if scale <= 0.0 then begin
       Format.eprintf "ccr_sim spec: --scale must be positive (got %g)@." scale;
       1
@@ -142,7 +165,8 @@ let spec_cmd =
       match Workload.Profile.find workload with
       | p ->
           let tracer = mk_tracer trace in
-          report ~phases (Workload.Spec.run ~seed ~ops_scale:scale ?tracer ~mode p);
+          report ~phases
+            (Workload.Spec.run ~seed ~ops_scale:scale ?tracer ~interp ~mode p);
           dump_trace trace tracer;
           0
       | exception Not_found ->
@@ -151,7 +175,9 @@ let spec_cmd =
   in
   Cmd.v
     (Cmd.info "spec" ~doc:"Run a synthetic SPEC CPU2006 workload.")
-    Term.(const run $ workload $ scale $ mode_arg $ seed_arg $ phases_arg $ trace_arg)
+    Term.(
+      const run $ workload $ scale $ mode_arg $ seed_arg $ interp_arg
+      $ phases_arg $ trace_arg)
 
 let pgbench_cmd =
   let transactions =

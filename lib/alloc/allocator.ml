@@ -5,15 +5,57 @@ module Machine = Sim.Machine
 module Cost = Sim.Cost
 
 let chunk_size = 64 * 1024
+let granule = Sizeclass.granule
+
+(* The live and dirty sets are keyed by block base address. Every base is
+   granule-aligned (size classes are multiples of the granule, the bump
+   pointer aligns to at least a granule), so they are stored as flat
+   per-granule tables indexed by (addr - heap_base) / granule — a packed
+   u16 table holding the live block's rounded size in granules (0 =
+   dead, 0xffff = huge, spilled to a side table) and a dirty bitmap.
+   Hashtables here cost ~60% of a mature-heap malloc/free pair (hashing
+   plus cache-cold bucket chains); the flat tables make both lookups one
+   indexed load, and packing the size table 2 bytes per granule keeps a
+   31k-slot live set inside a couple of megabytes of host cache. The
+   tables grow with the bump pointer, never the whole heap region, so a
+   sparsely-used heap stays cheap. *)
+
+(* Per-size-class free stack: a growable int array popped/pushed at the
+   top. Replaces [int list] heads — the conses landed all over the minor
+   heap, so a mature heap's pop was a guaranteed host-cache miss, where
+   the stack top stays hot. Pop order is identical to the list version:
+   pushes mirror conses, and bulk refills (carve_chunk) only ever happen
+   when the stack is empty, so "prepend" degenerates to a reversed push
+   run. *)
+type stack = { mutable sp : int; mutable elems : int array }
+
+let stack_create () = { sp = 0; elems = Array.make 64 0 }
+
+let stack_push s v =
+  if s.sp = Array.length s.elems then begin
+    let e = Array.make (2 * s.sp) 0 in
+    Array.blit s.elems 0 e 0 s.sp;
+    s.elems <- e
+  end;
+  s.elems.(s.sp) <- v;
+  s.sp <- s.sp + 1
+
+let stack_clone s = { sp = s.sp; elems = Array.copy s.elems }
+
+(* Rounded sizes are granule multiples; [huge_marker] spills the (rare)
+   blocks of 0xffff granules (~1 MiB) or more to [huge_sizes]. *)
+let huge_marker = 0xffff
 
 type t = {
   m : Machine.t;
   aspace : Vm.Aspace.t; (* the address space whose heap this allocator serves *)
   heap_cap : Capability.t;
-  free_lists : int list array; (* per size class: slot base addresses *)
+  free_lists : stack array; (* per size class: slot base addresses *)
   large_free : (int, int list) Hashtbl.t; (* rounded size -> addresses *)
-  live : (int, int) Hashtbl.t; (* base addr -> rounded size *)
-  dirty : (int, unit) Hashtbl.t; (* recycled blocks needing a reuse-time scrub *)
+  mutable live_size : Bytes.t; (* u16 per granule: live size in granules *)
+  huge_sizes : (int, int) Hashtbl.t; (* granule index -> byte size *)
+  mutable dirty_bits : Bytes.t; (* per-granule: freed block awaiting reuse scrub *)
+  heap_base : int;
   heap_limit : int;
   mutable bump : int;
   mutable live_bytes : int;
@@ -24,6 +66,54 @@ type t = {
   mutable scrubs : int;
   mutable scrub_bytes : int;
 }
+
+let gidx t addr = (addr - t.heap_base) / granule
+let meta_len t = Bytes.length t.live_size / 2
+
+let size_entry t g = Bytes.get_uint16_le t.live_size (g * 2)
+
+let set_size_entry t g v = Bytes.set_uint16_le t.live_size (g * 2) v
+
+(* Record a live block's rounded size; 0 clears. *)
+let set_live_size t g size =
+  if size = 0 then begin
+    if size_entry t g = huge_marker then Hashtbl.remove t.huge_sizes g;
+    set_size_entry t g 0
+  end
+  else
+    let gr = size / granule in
+    if gr >= huge_marker then begin
+      Hashtbl.replace t.huge_sizes g size;
+      set_size_entry t g huge_marker
+    end
+    else set_size_entry t g gr
+
+let get_live_size t g =
+  match size_entry t g with
+  | 0 -> 0
+  | e when e = huge_marker -> Hashtbl.find t.huge_sizes g
+  | e -> e * granule
+
+(* Grow the metadata tables to cover granule indices [0, n). *)
+let ensure_meta t n =
+  if n > meta_len t then begin
+    let n' = max n (max 1024 (2 * meta_len t)) in
+    let a = Bytes.make (n' * 2) '\000' in
+    Bytes.blit t.live_size 0 a 0 (Bytes.length t.live_size);
+    t.live_size <- a;
+    let b = Bytes.make ((n' + 7) / 8) '\000' in
+    Bytes.blit t.dirty_bits 0 b 0 (Bytes.length t.dirty_bits);
+    t.dirty_bits <- b
+  end
+
+let is_dirty t g =
+  Char.code (Bytes.unsafe_get t.dirty_bits (g lsr 3)) land (1 lsl (g land 7)) <> 0
+
+let set_dirty t g v =
+  let byte = Char.code (Bytes.unsafe_get t.dirty_bits (g lsr 3)) in
+  let bit = 1 lsl (g land 7) in
+  Bytes.unsafe_set t.dirty_bits (g lsr 3)
+    (Char.unsafe_chr (if v then byte lor bit else byte land lnot bit))
 
 let create ?aspace m =
   let aspace = match aspace with Some a -> a | None -> Machine.aspace m in
@@ -39,10 +129,12 @@ let create ?aspace m =
     m;
     aspace;
     heap_cap;
-    free_lists = Array.make Sizeclass.num_classes [];
+    free_lists = Array.init Sizeclass.num_classes (fun _ -> stack_create ());
     large_free = Hashtbl.create 64;
-    live = Hashtbl.create 4096;
-    dirty = Hashtbl.create 4096;
+    live_size = Bytes.empty;
+    huge_sizes = Hashtbl.create 8;
+    dirty_bits = Bytes.empty;
+    heap_base;
     heap_limit;
     bump = heap_base;
     live_bytes = 0;
@@ -68,10 +160,12 @@ let clone t ~aspace =
     m = t.m;
     aspace;
     heap_cap = t.heap_cap;
-    free_lists = Array.copy t.free_lists;
+    free_lists = Array.map stack_clone t.free_lists;
     large_free = Hashtbl.copy t.large_free;
-    live = Hashtbl.copy t.live;
-    dirty = Hashtbl.copy t.dirty;
+    live_size = Bytes.copy t.live_size;
+    huge_sizes = Hashtbl.copy t.huge_sizes;
+    dirty_bits = Bytes.copy t.dirty_bits;
+    heap_base = t.heap_base;
     heap_limit = t.heap_limit;
     bump = t.bump;
     live_bytes = t.live_bytes;
@@ -89,18 +183,21 @@ let bump_alloc t ctx ~size ~align =
   let base = align_up t.bump align in
   if base + size > t.heap_limit then raise Out_of_memory;
   t.bump <- base + size;
+  ensure_meta t (gidx t t.bump);
   Machine.map ctx ~vaddr:base ~len:size ~writable:true;
   base
 
+(* Only called with an empty stack (malloc refills on demand), so the
+   reversed push run serves slots in ascending-address order, exactly as
+   the old list prepend did. *)
 let carve_chunk t ctx cls =
   let slot = Sizeclass.size_of_class cls in
   let base = bump_alloc t ctx ~size:chunk_size ~align:Vm.Phys.page_size in
   let nslots = chunk_size / slot in
-  let slots = ref [] in
+  let s = t.free_lists.(cls) in
   for i = nslots - 1 downto 0 do
-    slots := (base + (i * slot)) :: !slots
-  done;
-  t.free_lists.(cls) <- !slots @ t.free_lists.(cls)
+    stack_push s (base + (i * slot))
+  done
 
 let derive t base size =
   let c = Capability.set_bounds_exact t.heap_cap ~base ~length:size in
@@ -112,15 +209,11 @@ let malloc t ctx req =
   let size = Sizeclass.rounded_size req in
   let base =
     match Sizeclass.class_of_size size with
-    | Some cls -> (
-        (match t.free_lists.(cls) with
-        | [] -> carve_chunk t ctx cls
-        | _ :: _ -> ());
-        match t.free_lists.(cls) with
-        | base :: rest ->
-            t.free_lists.(cls) <- rest;
-            base
-        | [] -> assert false)
+    | Some cls ->
+        let s = t.free_lists.(cls) in
+        if s.sp = 0 then carve_chunk t ctx cls;
+        s.sp <- s.sp - 1;
+        s.elems.(s.sp)
     | None -> (
         match Hashtbl.find_opt t.large_free size with
         | Some (base :: rest) ->
@@ -129,7 +222,8 @@ let malloc t ctx req =
         | Some [] | None ->
             bump_alloc t ctx ~size ~align:(Cheri.Compress.required_alignment size))
   in
-  Hashtbl.replace t.live base size;
+  let g = gidx t base in
+  set_live_size t g size;
   t.live_bytes <- t.live_bytes + size;
   t.total_allocated <- t.total_allocated + size;
   t.allocations <- t.allocations + 1;
@@ -137,8 +231,8 @@ let malloc t ctx req =
   (* Freed memory is "poisoned" lazily: zeroing is deferred until reuse
      (§2.2.2, footnote 7 of the paper), so recycled blocks are scrubbed
      here while fresh mappings arrive pre-zeroed. *)
-  if Hashtbl.mem t.dirty base then begin
-    Hashtbl.remove t.dirty base;
+  if is_dirty t g then begin
+    set_dirty t g false;
     t.scrubs <- t.scrubs + 1;
     t.scrub_bytes <- t.scrub_bytes + size;
     Machine.zero ctx cap
@@ -147,18 +241,28 @@ let malloc t ctx req =
   note_rss t;
   cap
 
+(* A base is a live allocation iff it is granule-aligned, inside the
+   bumped region, and its granule's size entry is nonzero. *)
+let live_size_at t base =
+  if
+    base land (granule - 1) <> 0
+    || base < t.heap_base
+    || gidx t base >= meta_len t
+  then 0
+  else get_live_size t (gidx t base)
+
 let lookup_live t base op =
-  match Hashtbl.find_opt t.live base with
-  | Some size -> size
-  | None ->
+  match live_size_at t base with
+  | 0 ->
       invalid_arg
         (Printf.sprintf "Allocator.%s: %#x is not a live allocation (double free?)" op base)
+  | size -> size
 
 let return_to_lists t ~addr ~size =
-  Hashtbl.replace t.dirty addr ();
+  set_dirty t (gidx t addr) true;
   match Sizeclass.class_of_size size with
   | Some cls when Sizeclass.size_of_class cls = size ->
-      t.free_lists.(cls) <- addr :: t.free_lists.(cls)
+      stack_push t.free_lists.(cls) addr
   | Some _ | None ->
       let l = Option.value ~default:[] (Hashtbl.find_opt t.large_free size) in
       Hashtbl.replace t.large_free size (addr :: l)
@@ -167,7 +271,7 @@ let withdraw t ctx cap =
   Machine.charge ctx Cost.free_fixed;
   let base = Capability.base cap in
   let size = lookup_live t base "withdraw" in
-  Hashtbl.remove t.live base;
+  set_live_size t (gidx t base) 0;
   t.live_bytes <- t.live_bytes - size;
   t.total_freed <- t.total_freed + size;
   size
@@ -182,7 +286,8 @@ let release_range t ctx ~addr ~size =
   Machine.charge ctx Cost.free_fixed;
   return_to_lists t ~addr ~size
 
-let usable_size t ~addr = Hashtbl.find_opt t.live addr
+let usable_size t ~addr =
+  match live_size_at t addr with 0 -> None | size -> Some size
 let live_bytes t = t.live_bytes
 let total_allocated_bytes t = t.total_allocated
 let total_freed_bytes t = t.total_freed

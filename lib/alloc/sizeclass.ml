@@ -22,11 +22,20 @@ let size_of_class i =
   if i < 0 || i >= num_classes then invalid_arg "Sizeclass.size_of_class";
   sizes.(i)
 
+(* class_of_size runs on every malloc AND every free (the free lists are
+   keyed by class); a linear scan over [sizes] was measurable there. The
+   table maps ceil(sz / granule) straight to the class index. *)
+let class_table =
+  let t = Array.make ((large_threshold / granule) + 1) 0 in
+  let rec find sz i = if sizes.(i) >= sz then i else find sz (i + 1) in
+  for g = 0 to Array.length t - 1 do
+    t.(g) <- find (g * granule) 0
+  done;
+  t
+
 let class_of_size sz =
   if sz > large_threshold then None
-  else
-    let rec find i = if sizes.(i) >= sz then Some i else find (i + 1) in
-    find 0
+  else Some class_table.((sz + granule - 1) / granule)
 
 (* Large sizes are quantized to quarter-power-of-two steps (at least one
    page) so freed spans are actually reusable: without quantization every

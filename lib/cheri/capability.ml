@@ -5,12 +5,27 @@ type t = {
   addr : int;
   perms : Perms.t;
   otype : int; (* 0 = unsealed *)
+  win_lo : int; (* cached representable window of (base, length): *)
+  win_hi : int; (* [set_addr] runs on every simulated access and sweep
+                   probe, and recomputing the window there dominated its
+                   cost. Derived from base/length only, so every
+                   [{ c with ... }] that keeps the bounds keeps it. *)
 }
 
-let null = { tag = false; base = 0; length = 0; addr = 0; perms = Perms.empty; otype = 0 }
+(* [Compress.representable_window ~base ~length], for bounds that are
+   already representable (every constructor here normalizes them first). *)
+let window_of ~base ~length =
+  let slack = max 2048 (length / 4) in
+  (max 0 (base - slack), base + length + slack)
+
+let null =
+  { tag = false; base = 0; length = 0; addr = 0; perms = Perms.empty;
+    otype = 0; win_lo = 0; win_hi = 2048 }
 
 let root ~length =
-  { tag = true; base = 0; length; addr = 0; perms = Perms.all; otype = 0 }
+  let win_lo, win_hi = window_of ~base:0 ~length in
+  { tag = true; base = 0; length; addr = 0; perms = Perms.all; otype = 0;
+    win_lo; win_hi }
 
 let tag c = c.tag
 let base c = c.base
@@ -35,7 +50,9 @@ let set_bounds_gen ~exact c ~base ~length =
       c.tag && not (is_sealed c) && fits
       && (not exact || (base' = base && length' = length))
     in
-    { c with tag = ok; base = base'; length = length'; addr = base }
+    let win_lo, win_hi = window_of ~base:base' ~length:length' in
+    { c with tag = ok; base = base'; length = length'; addr = base;
+      win_lo; win_hi }
 
 let set_bounds c ~base ~length = set_bounds_gen ~exact:false c ~base ~length
 let set_bounds_exact c ~base ~length = set_bounds_gen ~exact:true c ~base ~length
@@ -43,9 +60,7 @@ let set_bounds_exact c ~base ~length = set_bounds_gen ~exact:true c ~base ~lengt
 let set_addr c a =
   if not c.tag then { c with addr = a }
   else if is_sealed c then untag { c with addr = a }
-  else
-    let lo, hi = Compress.representable_window ~base:c.base ~length:c.length in
-    { c with addr = a; tag = a >= lo && a < hi }
+  else { c with addr = a; tag = a >= c.win_lo && a < c.win_hi }
 
 let incr_addr c delta = set_addr c (c.addr + delta)
 let restrict_perms c p = { c with perms = Perms.inter c.perms p }
@@ -63,14 +78,35 @@ let unseal c ~otype =
 let deref_ok ?(width = 1) c perm =
   c.tag && (not (is_sealed c)) && Perms.mem c.perms perm && in_bounds ~width c
 
+(* Address-parameterized dereference check, equal to
+   [deref_ok ?width (set_addr c addr) perm] without building the moved
+   capability: an in-bounds address is always inside the representable
+   window of its own bounds, so [set_addr] would have kept the tag, and
+   an out-of-window address is also out of bounds, so both formulations
+   reject it. *)
+let deref_ok_at ?(width = 1) c ~addr perm =
+  c.tag
+  && (not (is_sealed c))
+  && Perms.mem c.perms perm
+  && width >= 1 && addr >= c.base && addr + width <= top c
+
 let can_load ?width c = deref_ok ?width c Perms.load
 let can_store ?width c = deref_ok ?width c Perms.store
+
+let can_load_at ?width c ~addr = deref_ok_at ?width c ~addr Perms.load
+let can_store_at ?width c ~addr = deref_ok_at ?width c ~addr Perms.store
 
 let can_load_cap c =
   deref_ok ~width:16 c (Perms.union Perms.load Perms.load_cap)
 
 let can_store_cap c =
   deref_ok ~width:16 c (Perms.union Perms.store Perms.store_cap)
+
+let can_load_cap_at c ~addr =
+  deref_ok_at ~width:16 c ~addr (Perms.union Perms.load Perms.load_cap)
+
+let can_store_cap_at c ~addr =
+  deref_ok_at ~width:16 c ~addr (Perms.union Perms.store Perms.store_cap)
 
 let is_subset c parent =
   c.base >= parent.base && top c <= top parent

@@ -101,14 +101,14 @@ let clear t ctx ~addr ~size =
   Machine.trace_emit t.m ~time:(Machine.now ctx) ~core:(Machine.core_id ctx)
     ~pid:(Machine.ctx_pid ctx) ~arg2:size Sim.Trace.Unpaint addr
 
+(* Zero-alloc: one probe per tagged granule swept, so the moved
+   capability and the boxed word were the sweep loop's main GC traffic. *)
 let test t ctx a =
   if not (Layout.contains_heap t.layout a) then false
   else begin
     let g = (a - t.layout.Layout.heap_base) / granule in
     let word_addr = t.layout.Layout.shadow_base + (g / 64 * 8) in
-    let c = Capability.set_addr t.shadow_cap word_addr in
-    let word = Machine.load_u64 ctx c in
-    not (Int64.equal (Int64.logand word (Int64.shift_left 1L (g land 63))) 0L)
+    Machine.load_u64_bit ctx t.shadow_cap word_addr ~bit:(g land 63)
   end
 
 let test_host t a =

@@ -55,6 +55,10 @@ and thread = {
   mutable last_ran : int;
   mutable slice_start : int;
   mutable killed : bool;
+  mutable sp_checked : bool;
+      (* a stop-the-world checkpoint already ran in the current slice
+         and did not park; reset at every resume. Lets [safe_point_run]
+         skip re-reading [m.stw] for the rest of the slice. *)
 }
 
 and core = {
@@ -112,6 +116,9 @@ and t = {
   mutable ctx_switches : int;
   mutable stw_count : int;
   mutable clg_faults : int;
+  mutable park_busy : int; (* STW parks caught in a runnable state *)
+  mutable park_idle : int; (* STW parks of already-blocked threads *)
+  park_debug : bool; (* CCR_PARK_DEBUG, read once at creation *)
   mutable trace : Trace.t option;
 }
 
@@ -185,6 +192,9 @@ let create cfg =
     ctx_switches = 0;
     stw_count = 0;
     clg_faults = 0;
+    park_busy = 0;
+    park_idle = 0;
+    park_debug = Sys.getenv_opt "CCR_PARK_DEBUG" <> None;
     trace = None;
   }
 
@@ -232,6 +242,7 @@ let spawn m ~name ~core ?(user = true) ?(pid = 0) ?aspace body =
       last_ran = 0;
       slice_start = 0;
       killed = false;
+      sp_checked = false;
     }
   in
   m.next_tid <- m.next_tid + 1;
@@ -276,6 +287,58 @@ let charge ctx n =
   c.busy <- c.busy + n;
   ctx.th.cpu <- ctx.th.cpu + n
 
+(* Earliest simulated instant at which [th] could next be scheduled, or
+   [None] if it cannot run until some event changes its state. Defined
+   here (rather than with the scheduler below) because the yield fast
+   path in {!safe_point} consults it. *)
+let eligible_time m th =
+  let c = m.cores.(th.tcore) in
+  match th.state with
+  | Created | Runnable -> Some (max c.clock th.wake_time)
+  | Sleeping -> Some (max c.clock th.wake_time)
+  | Waiting_stw -> (
+      (* A watchdogged STW initiator is schedulable at its deadline even
+         if the quiesce never completes; without a deadline it can only
+         be woken by [wake_initiator]. *)
+      match m.stw with
+      | Some s when s.initiator.tid = th.tid && s.deadline <> None ->
+          Some (max c.clock th.wake_time)
+      | _ -> None)
+  | Running | Waiting _ | Parked _ | Finished -> None
+
+(* Sole-eligible yield fast path: when yielding at [tmine] while every
+   other thread is either unschedulable or strictly later, [pick] is
+   guaranteed to choose this very thread again with nothing running in
+   between (ties lose to the incumbent's larger [last_ran], hence the
+   strict [>]). The caller then replicates [resume]'s bookkeeping inline
+   — clock advance, slice reset, [sp_checked], [seq]/[last_ran] — and
+   skips the fiber round trip entirely, which costs an effect capture
+   plus a continuation switch per quantum. Disabled under an STW (parking
+   must go through the real scheduler) and under a scheduling oracle
+   (the oracle must be offered every candidate set). *)
+let sole_eligible m th tmine =
+  (match m.stw with None -> true | Some _ -> false)
+  && (match m.sched_oracle with None -> true | Some _ -> false)
+  && List.for_all
+       (fun other ->
+         other.tid = th.tid
+         ||
+         match eligible_time m other with
+         | None -> true
+         | Some t -> t > tmine)
+       m.threads
+
+(* [resume]'s self-resume bookkeeping, exactly: same-core, same-resident,
+   same-aspace, so no context-switch or TLB work applies. *)
+let self_resume ctx tmine =
+  let th = ctx.th in
+  let c = core_of ctx in
+  c.clock <- max c.clock tmine;
+  th.slice_start <- c.clock;
+  th.sp_checked <- false;
+  ctx.m.seq <- ctx.m.seq + 1;
+  th.last_ran <- ctx.m.seq
+
 (* ---- stop-the-world bookkeeping ---- *)
 
 let remove_thread l th = List.filter (fun x -> x.tid <> th.tid) l
@@ -297,17 +360,16 @@ let wake_initiator s =
   ()
 
 (* Park [th] in place at [time] (plus syscall drain if applicable),
-   remembering the state to restore at release. *)
-let park_from_busy = ref 0
-let park_from_idle = ref 0
-
+   remembering the state to restore at release. The busy/idle counters
+   live in the machine (not module globals): campaigns fan machines out
+   across domains with [Parallel.Pool.map], and shared refs would race. *)
 let park m s th ~time =
   (match th.state with
    | Running | Runnable | Created ->
-       incr park_from_busy;
-       if Sys.getenv_opt "CCR_PARK_DEBUG" <> None then
+       m.park_busy <- m.park_busy + 1;
+       if m.park_debug then
          Printf.eprintf "park busy: %s at %d\n" th.name time
-   | _ -> incr park_from_idle);
+   | _ -> m.park_idle <- m.park_idle + 1);
   let time = if th.in_syscall then time + th.syscall_drain else time in
   s.pending <- remove_thread s.pending th;
   s.parked <- th :: s.parked;
@@ -315,8 +377,9 @@ let park m s th ~time =
   (match th.state with
   | Running | Created -> th.state <- Parked Runnable
   | st -> th.state <- Parked st);
-  if s.pending = [] then wake_initiator s;
-  ignore m
+  if s.pending = [] then wake_initiator s
+
+let park_counts m = (m.park_busy, m.park_idle)
 
 let perform_yield () = Effect.perform Yield
 
@@ -333,25 +396,60 @@ let checkpoint ctx =
       perform_yield ()
   | Some _ | None -> ()
 
-let safe_point ctx =
-  checkpoint ctx;
-  let c = core_of ctx in
-  if c.clock - ctx.th.slice_start >= ctx.m.cfg.quantum then begin
-    ctx.th.state <- Runnable;
+(* Quantum-expiry yield shared by {!safe_point} and {!safe_point_run}:
+   self-resumes inline when this thread is the sole-eligible one. *)
+let quantum_yield ctx =
+  let th = ctx.th in
+  let tmine = max (core_of ctx).clock th.wake_time in
+  if sole_eligible ctx.m th tmine then self_resume ctx tmine
+  else begin
+    th.state <- Runnable;
     perform_yield ()
   end
 
+let safe_point ctx =
+  checkpoint ctx;
+  let c = core_of ctx in
+  if c.clock - ctx.th.slice_start >= ctx.m.cfg.quantum then quantum_yield ctx
+
+(* Batched safe point for op-stream runs: observably identical to
+   {!safe_point}, but the STW checkpoint is re-executed only on the first
+   call after a resume. Soundness: the scheduler is cooperative and
+   single-domain, so while a thread runs uninterrupted no other thread
+   can install a stop-the-world or add it to a pending set — [m.stw] and
+   the thread's membership in [s.pending] are frozen for the rest of the
+   slice once one checkpoint has seen them. [sp_checked] is set before
+   the checkpoint runs: if the checkpoint parks (yields), [resume] clears
+   the flag, and the loop re-checks against whatever world greeted the
+   wakeup. The quantum check is preserved on every call so preemption
+   yields land at the same simulated instants as the per-op path. *)
+let safe_point_run ctx =
+  let th = ctx.th in
+  while not th.sp_checked do
+    th.sp_checked <- true;
+    checkpoint ctx
+  done;
+  let c = core_of ctx in
+  if c.clock - th.slice_start >= ctx.m.cfg.quantum then quantum_yield ctx
+
 let yield ctx =
   checkpoint ctx;
-  ctx.th.state <- Runnable;
-  perform_yield ()
+  quantum_yield ctx
 
 let sleep ctx n =
   checkpoint ctx;
   if n > 0 then begin
-    ctx.th.wake_time <- (core_of ctx).clock + n;
-    ctx.th.state <- Sleeping;
-    perform_yield ()
+    let th = ctx.th in
+    th.wake_time <- (core_of ctx).clock + n;
+    (* Sole-eligible: the scheduler would re-pick this thread at its own
+       wake time with nothing in between, so jump the core clock there
+       directly. Any thread eligible before (or at) the wake time takes
+       the real scheduler path. *)
+    if sole_eligible ctx.m th th.wake_time then self_resume ctx th.wake_time
+    else begin
+      th.state <- Sleeping;
+      perform_yield ()
+    end
   end
 
 let condvar () = { waiters = [] }
@@ -622,6 +720,25 @@ let data_access ctx cap ~width ~write ~op =
   charge ctx (Cache.access (core_of ctx).cache ~addr:pa ~write);
   pa
 
+(* Address-parameterized twin of [data_access]: semantically the access
+   [f ctx (Capability.set_addr cap va)] without materialising the moved
+   capability, and with the batched [safe_point_run] in place of the
+   per-op [safe_point] (same observable behaviour, see above). The moved
+   capability is only built on the (run-ending) fault path, so the fault
+   payload matches the reference access byte for byte. *)
+let data_access_at ctx cap va ~width ~write ~op =
+  safe_point_run ctx;
+  let ok =
+    if write then Capability.can_store_at ~width cap ~addr:va
+    else Capability.can_load_at ~width cap ~addr:va
+  in
+  if not ok then
+    raise (Capability_fault { cap = Capability.set_addr cap va; op; vaddr = va });
+  let e = translate_entry ctx va ~write in
+  let pa = Phys.frame_addr e.Tlb.pte.Pte.frame + (va land (page_size - 1)) in
+  charge ctx (Cache.access (core_of ctx).cache ~addr:pa ~write);
+  pa
+
 let load_u64 ctx cap =
   let pa = data_access ctx cap ~width:8 ~write:false ~op:"load_u64" in
   Mem.read_u64 ctx.m.mem pa
@@ -629,6 +746,17 @@ let load_u64 ctx cap =
 let store_u64 ctx cap v =
   let pa = data_access ctx cap ~width:8 ~write:true ~op:"store_u64" in
   Mem.write_u64 ctx.m.mem pa v
+
+let touch_u64_at ctx cap va =
+  ignore (data_access_at ctx cap va ~width:8 ~write:false ~op:"load_u64")
+
+let store_u64_at ctx cap va v =
+  let pa = data_access_at ctx cap va ~width:8 ~write:true ~op:"store_u64" in
+  Mem.write_u64 ctx.m.mem pa v
+
+let load_u64_bit ctx cap va ~bit =
+  let pa = data_access_at ctx cap va ~width:8 ~write:false ~op:"load_u64" in
+  Mem.read_u64_bit ctx.m.mem pa bit
 
 let rmw_u64 ctx cap f =
   let pa = data_access ctx cap ~width:8 ~write:true ~op:"rmw_u64" in
@@ -664,13 +792,20 @@ let zero ctx cap =
     va := chunk_end
   done
 
-let rec load_cap ctx cap =
-  safe_point ctx;
-  if not (Capability.can_load ~width:granule cap) then
-    raise (Capability_fault { cap; op = "load_cap"; vaddr = Capability.addr cap });
-  let va = Capability.addr cap in
+(* Shared body of [load_cap] and [load_cap_at]: the authorizing
+   capability plus an explicit virtual address ([Capability.addr cap] on
+   the reference path). [fast] selects the batched safe point; the moved
+   capability is only constructed for fault payloads. *)
+let rec load_cap_body ctx cap va ~fast =
+  if fast then safe_point_run ctx else safe_point ctx;
+  if not (Capability.can_load_at ~width:granule cap ~addr:va) then
+    raise
+      (Capability_fault
+         { cap = Capability.set_addr cap va; op = "load_cap"; vaddr = va });
   if va land (granule - 1) <> 0 then
-    raise (Capability_fault { cap; op = "load_cap(align)"; vaddr = va });
+    raise
+      (Capability_fault
+         { cap = Capability.set_addr cap va; op = "load_cap(align)"; vaddr = va });
   let e = translate_entry ctx va ~write:false in
   let pa = Phys.frame_addr e.Tlb.pte.Pte.frame + (va land (page_size - 1)) in
   charge ctx (Cache.access (core_of ctx).cache ~addr:pa ~write:false);
@@ -697,33 +832,45 @@ let rec load_cap ctx cap =
         Tlb.refresh e;
         if e.Tlb.clg_snapshot <> c.clg && not e.Tlb.pte.Pte.load_trap then
           failwith "CLG fault handler did not update the generation");
-    load_cap ctx cap
+    load_cap_body ctx cap va ~fast
   end
   else begin
     let v = Mem.read_cap ctx.m.mem pa in
     let v =
-      if Capability.tag v && not (Capability.can_load_cap cap) then
+      if Capability.tag v && not (Capability.can_load_cap_at cap ~addr:va) then
         Capability.clear_tag v
       else v
     in
-    match Hashtbl.find_opt ctx.m.load_filters (Aspace.asid ctx.th.asp) with
-    | Some f when Capability.tag v -> f ctx v
-    | Some _ | None -> v
+    if Hashtbl.length ctx.m.load_filters = 0 then v
+    else
+      match Hashtbl.find_opt ctx.m.load_filters (Aspace.asid ctx.th.asp) with
+      | Some f when Capability.tag v -> f ctx v
+      | Some _ | None -> v
   end
 
-let store_cap ctx cap v =
-  safe_point ctx;
-  if not (Capability.can_store ~width:granule cap) then
-    raise (Capability_fault { cap; op = "store_cap"; vaddr = Capability.addr cap });
-  let va = Capability.addr cap in
+let load_cap ctx cap = load_cap_body ctx cap (Capability.addr cap) ~fast:false
+let load_cap_at ctx cap va = load_cap_body ctx cap va ~fast:true
+
+let store_cap_body ctx cap va v ~fast =
+  if fast then safe_point_run ctx else safe_point ctx;
+  if not (Capability.can_store_at ~width:granule cap ~addr:va) then
+    raise
+      (Capability_fault
+         { cap = Capability.set_addr cap va; op = "store_cap"; vaddr = va });
   if va land (granule - 1) <> 0 then
-    raise (Capability_fault { cap; op = "store_cap(align)"; vaddr = va });
-  if Capability.tag v && not (Capability.can_store_cap cap) then
-    raise (Capability_fault { cap; op = "store_cap(perm)"; vaddr = va });
+    raise
+      (Capability_fault
+         { cap = Capability.set_addr cap va; op = "store_cap(align)"; vaddr = va });
+  if Capability.tag v && not (Capability.can_store_cap_at cap ~addr:va) then
+    raise
+      (Capability_fault
+         { cap = Capability.set_addr cap va; op = "store_cap(perm)"; vaddr = va });
   let e = translate_entry ctx va ~write:true in
   let pte = e.Tlb.pte in
   if Capability.tag v && not pte.Pte.cap_store then
-    raise (Capability_fault { cap; op = "store_cap(page)"; vaddr = va });
+    raise
+      (Capability_fault
+         { cap = Capability.set_addr cap va; op = "store_cap(page)"; vaddr = va });
   let pa = Phys.frame_addr pte.Pte.frame + (va land (page_size - 1)) in
   charge ctx (Cache.access (core_of ctx).cache ~addr:pa ~write:true);
   if Capability.tag v then begin
@@ -735,6 +882,9 @@ let store_cap ctx cap v =
     match ctx.m.store_hook with Some h -> h ~vaddr:va v | None -> ()
   end;
   Mem.write_cap ctx.m.mem pa v
+
+let store_cap ctx cap v = store_cap_body ctx cap (Capability.addr cap) v ~fast:false
+let store_cap_at ctx cap va v = store_cap_body ctx cap va v ~fast:true
 
 (* ---- kernel-mode physical access ---- *)
 
@@ -781,6 +931,12 @@ let kern_access ctx ~pa ~write =
   charge ctx (Cache.access (core_of ctx).cache ~addr:pa ~write)
 
 let tag_hook_armed m = m.tag_hook <> None
+
+let chaos_armed m =
+  m.tag_hook <> None || m.ack_hook <> None || m.drain_hook <> None
+  || m.sched_oracle <> None
+
+let load_filter_armed m = Hashtbl.length m.load_filters > 0
 
 (* Batched sweep read of [count] consecutive known-untagged granules in
    one cache line: a single charge covering exactly what [count]
@@ -873,20 +1029,7 @@ let adopt_aspace ctx a =
 
 (* ---- scheduler ---- *)
 
-let eligible_time m th =
-  let c = m.cores.(th.tcore) in
-  match th.state with
-  | Created | Runnable -> Some (max c.clock th.wake_time)
-  | Sleeping -> Some (max c.clock th.wake_time)
-  | Waiting_stw -> (
-      (* A watchdogged STW initiator is schedulable at its deadline even
-         if the quiesce never completes; without a deadline it can only
-         be woken by [wake_initiator]. *)
-      match m.stw with
-      | Some s when s.initiator.tid = th.tid && s.deadline <> None ->
-          Some (max c.clock th.wake_time)
-      | _ -> None)
-  | Running | Waiting _ | Parked _ | Finished -> None
+(* [eligible_time] is defined above, next to the yield fast path. *)
 
 let pick m =
   let best = ref None in
@@ -977,6 +1120,7 @@ let resume m th =
     th.cpu <- th.cpu + Cost.aspace_switch
   end;
   th.slice_start <- c.clock;
+  th.sp_checked <- false;
   m.seq <- m.seq + 1;
   th.last_ran <- m.seq;
   th.state <- Running;

@@ -147,6 +147,15 @@ val safe_point : ctx -> unit
     stop-the-world is pending. Simulated programs call this (or any
     memory operation, which calls it implicitly) often. *)
 
+val safe_point_run : ctx -> unit
+(** Batched safe point for tight op-stream loops: observably identical
+    to {!safe_point} — the quantum check still runs on every call, so
+    preemption lands at the same simulated instants — but the
+    stop-the-world checkpoint is re-executed only on the first call
+    after each resume. Sound because the scheduler is cooperative and
+    single-domain: no stop-the-world can be installed, nor this thread
+    added to a pending set, while it runs uninterrupted. *)
+
 val sleep : ctx -> int -> unit
 (** Block for the given number of cycles of wall time (off core). *)
 
@@ -306,6 +315,30 @@ val store_cap : ctx -> Cheri.Capability.t -> Cheri.Capability.t -> unit
 val touch : ctx -> Cheri.Capability.t -> write:bool -> unit
 (** Data access for cost purposes only (cache + TLB), one granule. *)
 
+(** {2 Address-parameterized accesses}
+
+    Each [*_at] operation is semantically the corresponding plain
+    operation applied to [Capability.set_addr cap addr], without
+    allocating the moved capability, and with the {!safe_point_run}
+    batched checkpoint in place of the per-op {!safe_point} (observably
+    identical — see {!safe_point_run}). Identical charges, faults,
+    load-barrier and filter behaviour; the compiled op-stream
+    interpreter's access path. *)
+
+val touch_u64_at : ctx -> Cheri.Capability.t -> int -> unit
+(** [load_u64] at the given address with the value discarded — no
+    simulated state differs from the load. *)
+
+val store_u64_at : ctx -> Cheri.Capability.t -> int -> int64 -> unit
+val load_cap_at : ctx -> Cheri.Capability.t -> int -> Cheri.Capability.t
+val store_cap_at : ctx -> Cheri.Capability.t -> int -> Cheri.Capability.t -> unit
+
+val load_u64_bit : ctx -> Cheri.Capability.t -> int -> bit:int -> bool
+(** [load_u64] at the given address, returning only bit [bit]
+    (0-indexed, LSB first) of the value: identical charges and faults,
+    no [Int64] boxing. The revocation-map probe, which runs once per
+    tagged granule swept, tests its shadow-bitmap words this way. *)
+
 val zero : ctx -> Cheri.Capability.t -> unit
 (** Zero the capability's whole bounds (clearing tags), charging one
     cache write per 64-byte line — the allocator's reuse-time scrub. *)
@@ -327,6 +360,21 @@ val kern_read_cap_stream : ctx -> pa:int -> Cheri.Capability.t
 val tag_hook_armed : t -> bool
 (** A chaos tag-read hook is installed: per-granule kernel reads must be
     used on the sweep path so every read consults the hook. *)
+
+val chaos_armed : t -> bool
+(** Any fault-injection hook (tag read, shootdown ack, syscall drain) or
+    scheduling oracle is installed. Drivers with a precompiled fast path
+    (the op-stream interpreter) consult this to fall back to their
+    reference loop: fault campaigns are about failure semantics, not
+    throughput, and the reference interpreter is the authoritative
+    semantics when threads can be torn down or epochs aborted mid-run. *)
+
+val load_filter_armed : t -> bool
+(** A capability-load filter is installed for some address space
+    (CHERIoT-style load barrier, {!set_cap_load_filter}). Filters may
+    strip tags on loads of {e live} data the program will touch again,
+    which precompiled op streams cannot predict — another reason to
+    fall back to the reference interpreter. *)
 
 val kern_read_untagged_run : ?non_temporal:bool -> ctx -> pa:int -> count:int -> unit
 (** Batched cost of reading [count] consecutive known-untagged granules
@@ -387,8 +435,7 @@ val totals : t -> totals
 val clg_fault_count : t -> int
 val bus_transactions_of_core : t -> int -> int
 
-(**/**)
-
-val park_from_busy : int ref
-val park_from_idle : int ref
-(** Diagnostic counters: STW parks from runnable vs blocked states. *)
+val park_counts : t -> int * int
+(** Diagnostic counters: STW parks from runnable vs blocked states,
+    per machine (set [CCR_PARK_DEBUG] to also log busy parks; the
+    variable is read once at machine creation). *)

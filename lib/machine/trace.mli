@@ -122,14 +122,24 @@ type event = {
 type t
 
 val create : ?capacity:int -> unit -> t
-(** Default capacity 4096 events; older events are overwritten. *)
+(** Default capacity 4096 events; older events are overwritten.
+
+    The requested capacity is rounded {e up} to the next power of two
+    (4096 stays 4096; 3 becomes 4): the ring indexes with a bit mask on
+    its zero-allocation emit path. {!capacity} reports the effective
+    value; {!length}/{!total}/{!dropped} account against it. *)
+
+val capacity : t -> int
+(** Effective (power-of-two) ring capacity. *)
 
 val emit : t -> time:int -> core:int -> ?pid:int -> ?arg2:int -> kind -> int -> unit
 
 val subscribe : t -> (event -> unit) -> int
 (** Register a lossless callback invoked on every subsequent {!emit}
     (before any ring overwrite can drop the event). Returns an id for
-    {!unsubscribe}. Callbacks run in subscription order. *)
+    {!unsubscribe}. Callbacks run in subscription order (oldest first);
+    with no subscribers registered, [emit] skips event construction and
+    dispatch entirely. *)
 
 val unsubscribe : t -> int -> unit
 

@@ -83,6 +83,14 @@ let read_u64 m a =
   check m a 8;
   Bytes.get_int64_le m.data a
 
+(* Single-bit read of the little-endian u64 at [a]: equals
+   [Int64.logand (read_u64 m a) (Int64.shift_left 1L bit) <> 0L] without
+   boxing the word — the revocation-map probe runs this per tagged
+   granule swept. *)
+let read_u64_bit m a bit =
+  check m a 8;
+  Char.code (Bytes.get m.data (a + (bit lsr 3))) land (1 lsl (bit land 7)) <> 0
+
 let write_u64 m a v =
   check m a 8;
   Bytes.set_int64_le m.data a v;

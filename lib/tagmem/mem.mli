@@ -31,6 +31,11 @@ val write_u64 : t -> int -> int64 -> unit
 (** 8-byte little-endian accesses; need not be aligned. Writes clear the
     tags of all touched granules. *)
 
+val read_u64_bit : t -> int -> int -> bool
+(** [read_u64_bit m a bit] is
+    [Int64.logand (read_u64 m a) (Int64.shift_left 1L bit) <> 0L] for
+    [0 <= bit < 64], without boxing the word. *)
+
 (** {1 Capability access} *)
 
 val read_cap : t -> int -> Cheri.Capability.t

@@ -1,6 +1,16 @@
+(* [lookup] runs on every simulated TLB miss, and a mature workload's
+   random heap traffic misses the (architecturally small) TLB most of
+   the time — so the authoritative hashtable sits behind a host-side
+   direct-mapped cache of the option values themselves. The cache is
+   pure memoization: [enter]/[remove] keep it exact, and hits return the
+   same option [Hashtbl.find_opt] would, without hashing or allocation. *)
+let cache_size = 8192 (* power of two *)
+
 type t = {
   asid : int;
   pages : (int, Pte.t) Hashtbl.t;
+  cache_key : int array; (* vpage, or -1 = unknown *)
+  cache_val : Pte.t option array;
   mutable generation : bool;
   mutable lock_holder : int option;
   mutable lock_acquisitions : int;
@@ -12,6 +22,8 @@ let create ~asid =
   {
     asid;
     pages = Hashtbl.create 1024;
+    cache_key = Array.make cache_size (-1);
+    cache_val = Array.make cache_size None;
     generation = false;
     lock_holder = None;
     lock_acquisitions = 0;
@@ -20,9 +32,29 @@ let create ~asid =
   }
 
 let asid t = t.asid
-let enter t ~vpage pte = Hashtbl.replace t.pages vpage pte
-let remove t ~vpage = Hashtbl.remove t.pages vpage
-let lookup t ~vpage = Hashtbl.find_opt t.pages vpage
+
+let cache_store t ~vpage v =
+  let s = vpage land (cache_size - 1) in
+  t.cache_key.(s) <- vpage;
+  t.cache_val.(s) <- v
+
+let enter t ~vpage pte =
+  Hashtbl.replace t.pages vpage pte;
+  cache_store t ~vpage (Some pte)
+
+let remove t ~vpage =
+  Hashtbl.remove t.pages vpage;
+  cache_store t ~vpage None
+
+let lookup t ~vpage =
+  let s = vpage land (cache_size - 1) in
+  if t.cache_key.(s) = vpage then t.cache_val.(s)
+  else begin
+    let v = Hashtbl.find_opt t.pages vpage in
+    t.cache_key.(s) <- vpage;
+    t.cache_val.(s) <- v;
+    v
+  end
 let mem t ~vpage = Hashtbl.mem t.pages vpage
 let page_count t = Hashtbl.length t.pages
 let fold t ~init ~f = Hashtbl.fold f t.pages init

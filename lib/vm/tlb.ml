@@ -23,11 +23,14 @@ let create ?(entries = 256) () =
     shootdowns = 0;
   }
 
+(* Returns the slot's own option on a hit instead of rebuilding [Some e]:
+   this runs once per simulated memory access, and the fresh allocation
+   was measurable GC pressure. *)
 let lookup t ~vpage =
   match t.slots.(vpage land t.mask) with
-  | Some e when e.vpage = vpage ->
+  | Some e as o when e.vpage = vpage ->
       t.hits <- t.hits + 1;
-      Some e
+      o
   | Some _ | None ->
       t.misses <- t.misses + 1;
       None

@@ -31,6 +31,12 @@ let create rt ctx ~slots =
 
 
 let slots t = t.nslots
+let chunk_count t = Array.length t.chunks
+
+let chunk_cap t i =
+  if i < 0 || i >= Array.length t.chunks then
+    invalid_arg "Objtable: chunk out of range";
+  t.chunks.(i)
 let live_count t = t.nlive
 let is_live t i = Bytes.get t.live i <> '\000'
 let size_of t i = t.sizes.(i)

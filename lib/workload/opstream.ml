@@ -1,0 +1,346 @@
+module Capability = Cheri.Capability
+module Machine = Sim.Machine
+module Prng = Sim.Prng
+module Regfile = Sim.Regfile
+module Runtime = Ccr.Runtime
+
+let granule = Objtable.granule
+
+(* Register conventions shared with the reference interpreter (Spec). *)
+let r_work = 1
+let r_chase = 2
+let r_recent = 3
+
+exception Divergence of string
+
+(* Entry kinds. One entry per reference-interpreter operation (plus one
+   per prologue allocation); [K_none] records an op whose slot pick found
+   nothing and therefore did nothing. *)
+let k_none = 0
+let k_kill = 1 (* churn without realloc *)
+let k_churn = 2 (* free + realloc into the same slot *)
+let k_birth = 3 (* alloc into a dead slot *)
+let k_access = 4
+
+type t = {
+  n_prologue : int; (* leading entries that are table warm-up, not ops *)
+  kinds : int array;
+  slots : int array;
+  sizes : int array; (* requested (sampled) allocation size *)
+  lens : int array; (* predicted capability length / live-object length *)
+  aux : int array; (* K_kill/K_churn: 1 = clear r_work after the free *)
+  gidx : int array; (* shared granule-index stream, consumed positionally:
+                       allocs push [(g lsl 1) lor is_ptr] per body store,
+                       accesses push plain indices, reads then writes *)
+  chase_hi : int array; (* raw PRNG draws for pointer-chase steps, split *)
+  chase_lo : int array; (* into bits 31..62 / 0..30 (see [mod_hilo]) *)
+}
+
+let length s = Array.length s.kinds
+let stream_ops s = length s - s.n_prologue
+
+(* ---- growable int vector (compile-time only) ---- *)
+
+module Vec = struct
+  type t = { mutable a : int array; mutable n : int }
+
+  let create () = { a = Array.make 1024 0; n = 0 }
+
+  let push v x =
+    if v.n = Array.length v.a then begin
+      let g = Array.make (2 * v.n) 0 in
+      Array.blit v.a 0 g 0 v.n;
+      v.a <- g
+    end;
+    v.a.(v.n) <- x;
+    v.n <- v.n + 1
+
+  let to_array v = Array.sub v.a 0 v.n
+end
+
+(* ---- compilation ----
+
+   Replays the reference interpreter's PRNG consumption exactly — same
+   draws, same order — against a host-side shadow of the object table
+   (liveness flags and object lengths are host bookkeeping in the
+   reference too, so the shadow is exact, not approximate). Draws whose
+   *reduction* depends on simulated machine state (pointer-chase steps:
+   the modulus is the length of whatever capability the chase actually
+   reached) are stored raw and reduced at execution time with the same
+   arithmetic [Prng.int] would have used.
+
+   Two machine-state assumptions are baked in and asserted (never
+   silently) by the executor:
+   - a live slot's capability is tagged: live slots hold malloc'd
+     capabilities to unfreed memory, which nothing untags without chaos
+     hooks armed (drivers fall back to the reference interpreter when
+     [Machine.chaos_armed]);
+   - [Runtime.malloc req] returns a capability of length
+     [Alloc.Sizeclass.rounded_size req], for both allocators. *)
+
+let compile (p : Profile.t) ~rng ~ops =
+  let nslots = p.Profile.slots in
+  let live = Bytes.make nslots '\000' in
+  let lens = Array.make nslots 0 in
+  let nlive = ref 0 in
+  let kinds_v = Vec.create () in
+  let slot_v = Vec.create () in
+  let size_v = Vec.create () in
+  let len_v = Vec.create () in
+  let aux_v = Vec.create () in
+  let gidx_v = Vec.create () in
+  let hi_v = Vec.create () in
+  let lo_v = Vec.create () in
+  let is_live i = Bytes.get live i <> '\000' in
+  (* shadow of [Objtable.probe]: draw-for-draw identical *)
+  let probe ~lo ~hi ~want =
+    let span = hi - lo in
+    if span <= 0 then None
+    else begin
+      let start = lo + Prng.int rng span in
+      let rec go i n =
+        if n = 0 then None
+        else if is_live i = want then Some i
+        else go (if i + 1 >= hi then lo else i + 1) (n - 1)
+      in
+      go start span
+    end
+  in
+  let random_live ~hot ~weight =
+    if !nlive = 0 then None
+    else begin
+      let hot_slots = int_of_float (hot *. float_of_int nslots) in
+      let use_hot = hot_slots > 0 && Prng.float rng 1.0 < weight in
+      match
+        if use_hot then probe ~lo:0 ~hi:hot_slots ~want:true else None
+      with
+      | Some i -> Some i
+      | None -> probe ~lo:0 ~hi:nslots ~want:true
+    end
+  in
+  let random_dead () =
+    if !nlive >= nslots then None else probe ~lo:0 ~hi:nslots ~want:false
+  in
+  let push_entry k slot size len aux =
+    Vec.push kinds_v k;
+    Vec.push slot_v slot;
+    Vec.push size_v size;
+    Vec.push len_v len;
+    Vec.push aux_v aux
+  in
+  (* shadow of [Spec.alloc_into]: sample, predict the malloc'd length,
+     pre-draw the body-init store positions and pointer coin-flips *)
+  let alloc_shadow slot =
+    let size = Profile.sample rng p.Profile.size_c in
+    let len = Alloc.Sizeclass.rounded_size size in
+    let granules = len / granule in
+    let stores = min granules 32 in
+    for _ = 1 to stores do
+      let g = Prng.int rng granules in
+      let is_ptr = Prng.float rng 1.0 < p.Profile.ptr_density in
+      Vec.push gidx_v ((g lsl 1) lor (if is_ptr then 1 else 0))
+    done;
+    if not (is_live slot) then begin
+      Bytes.set live slot '\001';
+      incr nlive
+    end;
+    lens.(slot) <- len;
+    (size, len)
+  in
+  let churn ~realloc =
+    match random_live ~hot:1.0 ~weight:0.0 with
+    | None -> push_entry k_none 0 0 0 0
+    | Some slot ->
+        let clear = if Prng.bool rng then 1 else 0 in
+        Bytes.set live slot '\000';
+        decr nlive;
+        if realloc then begin
+          let size, len = alloc_shadow slot in
+          push_entry k_churn slot size len clear
+        end
+        else push_entry k_kill slot 0 0 clear
+  in
+  let birth () =
+    match random_dead () with
+    | None -> push_entry k_none 0 0 0 0
+    | Some slot ->
+        let size, len = alloc_shadow slot in
+        push_entry k_birth slot size len 0
+  in
+  let access () =
+    match random_live ~hot:p.Profile.hot_fraction ~weight:p.Profile.hot_weight with
+    | None -> push_entry k_none 0 0 0 0
+    | Some slot ->
+        let len = lens.(slot) in
+        let window = min len 32768 in
+        let n = window / granule in
+        for _ = 1 to p.Profile.reads_per_op do
+          Vec.push gidx_v (Prng.int rng n)
+        done;
+        for _ = 1 to p.Profile.writes_per_op do
+          Vec.push gidx_v (Prng.int rng n)
+        done;
+        (* chase moduli depend on which capability the chase reaches at
+           run time: store the raw 63-bit draw, reduce at exec *)
+        for _ = 1 to p.Profile.chase_depth do
+          let x = Int64.logand (Prng.next rng) Int64.max_int in
+          Vec.push hi_v (Int64.to_int (Int64.shift_right_logical x 31));
+          Vec.push lo_v (Int64.to_int (Int64.logand x 0x7FFF_FFFFL))
+        done;
+        push_entry k_access slot 0 len 0
+  in
+  let initial =
+    int_of_float (p.Profile.target_live *. float_of_int nslots)
+  in
+  for slot = 0 to initial - 1 do
+    let size, len = alloc_shadow slot in
+    push_entry k_birth slot size len 0
+  done;
+  let n_prologue = kinds_v.Vec.n in
+  for _ = 1 to ops do
+    let x = Prng.float rng 1.0 in
+    if x < p.Profile.churn then churn ~realloc:true
+    else if x < p.Profile.churn +. p.Profile.kill_only then
+      churn ~realloc:false
+    else if
+      x < p.Profile.churn +. p.Profile.kill_only +. p.Profile.birth_only
+    then birth ()
+    else access ()
+  done;
+  {
+    n_prologue;
+    kinds = Vec.to_array kinds_v;
+    slots = Vec.to_array slot_v;
+    sizes = Vec.to_array size_v;
+    lens = Vec.to_array len_v;
+    aux = Vec.to_array aux_v;
+    gidx = Vec.to_array gidx_v;
+    chase_hi = Vec.to_array hi_v;
+    chase_lo = Vec.to_array lo_v;
+  }
+
+(* [mod_hilo hi lo n] = [x mod n] for [x = hi * 2^31 + lo] (the raw
+   63-bit draw split at compile time), matching what
+   [Prng.int rng n] = [Int64.rem (x) (of_int n)] would have returned for
+   a non-negative [x]. Exact for every [n] < 2^31: [hi mod n] and
+   [2^31 mod n] are each < 2^31, so their product is < 2^62 and the sum
+   with [lo] (< 2^31) cannot overflow a 63-bit OCaml int. *)
+let mod_hilo hi lo n = (((hi mod n) * (2147483648 mod n)) + lo) mod n
+
+(* ---- execution ----
+
+   The decode loop allocates nothing per op beyond what the reference
+   semantics itself demands (the capability records loaded from or
+   stored to simulated memory): table slots are addressed through the
+   chunk "globals" with [load_cap_at]/[store_cap_at], data accesses use
+   [touch_u64_at]/[store_u64_at], and safe points batch their STW
+   checkpoint per scheduling slice ([Machine.safe_point_run]). *)
+
+let exec (s : t) (p : Profile.t) rt ctx ~ops_done =
+  let regs = Machine.regs (Machine.self ctx) in
+  let table = Objtable.create rt ctx ~slots:p.Profile.slots in
+  let nchunks = Objtable.chunk_count table in
+  let chunks = Array.init nchunks (Objtable.chunk_cap table) in
+  let chunk_bases = Array.map Capability.base chunks in
+  let gpos = ref 0 in
+  let cpos = ref 0 in
+  let load_slot slot =
+    let ci = slot / Objtable.chunk_slots in
+    let va = chunk_bases.(ci) + (slot mod Objtable.chunk_slots * granule) in
+    Machine.load_cap_at ctx chunks.(ci) va
+  in
+  let store_slot slot c =
+    let ci = slot / Objtable.chunk_slots in
+    let va = chunk_bases.(ci) + (slot mod Objtable.chunk_slots * granule) in
+    Machine.store_cap_at ctx chunks.(ci) va c
+  in
+  let do_alloc i slot =
+    let c = Runtime.malloc rt ctx s.sizes.(i) in
+    let len = s.lens.(i) in
+    if Capability.length c <> len then
+      raise (Divergence "malloc length differs from compiled prediction");
+    Regfile.set regs r_work c;
+    let granules = len / granule in
+    let stores = min granules 32 in
+    let base = Capability.base c in
+    for _ = 1 to stores do
+      let e = s.gidx.(!gpos) in
+      incr gpos;
+      let g = e lsr 1 in
+      let va = base + (g * granule) in
+      if e land 1 = 1 then begin
+        let v = Regfile.get regs r_recent in
+        if Capability.tag v then Machine.store_cap_at ctx c va v
+        else Machine.store_u64_at ctx c va (Int64.of_int g)
+      end
+      else Machine.store_u64_at ctx c va (Int64.of_int g)
+    done;
+    store_slot slot c;
+    Regfile.set regs r_recent c
+  in
+  let do_kill i slot =
+    let c = load_slot slot in
+    if not (Capability.tag c) then
+      raise (Divergence "live slot holds an untagged capability");
+    Regfile.set regs r_work c;
+    Runtime.free rt ctx c;
+    if s.aux.(i) land 1 = 1 then Regfile.set regs r_work Capability.null;
+    if Capability.equal (Regfile.get regs r_recent) c then
+      Regfile.set regs r_recent Capability.null
+  in
+  let do_access i slot =
+    let c = load_slot slot in
+    if not (Capability.tag c) then
+      raise (Divergence "live slot holds an untagged capability");
+    Regfile.set regs r_work c;
+    Regfile.set regs r_recent c;
+    let len = Capability.length c in
+    if len <> s.lens.(i) then
+      raise (Divergence "object length differs from compiled prediction");
+    let base = Capability.base c in
+    for _ = 1 to p.Profile.reads_per_op do
+      let g = s.gidx.(!gpos) in
+      incr gpos;
+      Machine.touch_u64_at ctx c (base + (g * granule))
+    done;
+    for _ = 1 to p.Profile.writes_per_op do
+      let g = s.gidx.(!gpos) in
+      incr gpos;
+      Machine.store_u64_at ctx c (base + (g * granule)) (Int64.of_int slot)
+    done;
+    let cursor = ref c in
+    for _ = 1 to p.Profile.chase_depth do
+      let hi = s.chase_hi.(!cpos) and lo = s.chase_lo.(!cpos) in
+      incr cpos;
+      let cur = !cursor in
+      let clen = Capability.length cur in
+      if clen < granule then
+        raise (Divergence "chase cursor shorter than a granule");
+      let g = mod_hilo hi lo (clen / granule) in
+      let va = Capability.base cur + (g * granule) in
+      let next = Machine.load_cap_at ctx cur va in
+      if Capability.tag next && Capability.can_load next then begin
+        Regfile.set regs r_chase next;
+        Machine.touch_u64_at ctx next (Capability.base next);
+        cursor := next
+      end
+      else Machine.charge ctx Sim.Cost.alu
+    done
+  in
+  let compute = p.Profile.compute_per_op in
+  let n = Array.length s.kinds in
+  for i = 0 to n - 1 do
+    let slot = s.slots.(i) in
+    (match s.kinds.(i) with
+    | 0 (* K_none *) -> ()
+    | 1 (* K_kill *) -> do_kill i slot
+    | 2 (* K_churn *) ->
+        do_kill i slot;
+        do_alloc i slot
+    | 3 (* K_birth *) -> do_alloc i slot
+    | _ (* K_access *) -> do_access i slot);
+    if i >= s.n_prologue then begin
+      if compute > 0 then Machine.charge ctx compute;
+      incr ops_done
+    end
+  done

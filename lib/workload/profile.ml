@@ -18,6 +18,49 @@ let rec sample_size rng = function
       in
       pick 0.0 parts
 
+(* Compiled sampler: mixture cumulative weights are precomputed once at
+   profile construction instead of re-folding the weight list on every
+   draw. Draw-for-draw identical to [sample_size]: the cumulative array
+   holds the same left-fold partial sums ([acc +. w] in list order, NOT
+   renormalized — renormalizing would change the float rounding and
+   with it the sampled sequence), the total is the same fold's final
+   value, and the comparison [x < cum.(i)] with the last arm taken
+   unconditionally reproduces the reference walk bit for bit. *)
+type sizer =
+  | S_fixed of int
+  | S_uniform of int * int (* lo, span = max 1 (hi - lo) *)
+  | S_mixture of float * float array * sizer array (* total, cumulative, arms *)
+
+let rec sizer_of = function
+  | Fixed n -> S_fixed n
+  | Uniform (lo, hi) -> S_uniform (lo, max 1 (hi - lo))
+  | Mixture [] -> invalid_arg "sample_size: empty mixture"
+  | Mixture parts ->
+      let n = List.length parts in
+      let cum = Array.make n 0.0 in
+      let arms = Array.make n (S_fixed 0) in
+      let _, _ =
+        List.fold_left
+          (fun (i, acc) (w, d) ->
+            let acc = acc +. w in
+            cum.(i) <- acc;
+            arms.(i) <- sizer_of d;
+            (i + 1, acc))
+          (0, 0.0) parts
+      in
+      S_mixture (cum.(n - 1), cum, arms)
+
+let rec sample rng = function
+  | S_fixed n -> n
+  | S_uniform (lo, span) -> lo + Prng.int rng span
+  | S_mixture (total, cum, arms) ->
+      let x = Prng.float rng total in
+      let last = Array.length arms - 1 in
+      let rec pick i =
+        if i = last || x < cum.(i) then sample rng arms.(i) else pick (i + 1)
+      in
+      pick 0
+
 let rec mean_of_dist = function
   | Fixed n -> float_of_int n
   | Uniform (lo, hi) -> float_of_int (lo + hi) /. 2.0
@@ -30,6 +73,7 @@ type t = {
   slots : int;
   target_live : float;
   size : size_dist;
+  size_c : sizer;
   ops : int;
   churn : float;
   kill_only : float;
@@ -44,6 +88,29 @@ type t = {
   engages_revocation : bool;
 }
 
+let make ~name ~slots ~target_live ~size ~ops ~churn ~kill_only ~birth_only
+    ~ptr_density ~reads_per_op ~writes_per_op ~chase_depth ~hot_fraction
+    ~hot_weight ~compute_per_op ~engages_revocation () =
+  {
+    name;
+    slots;
+    target_live;
+    size;
+    size_c = sizer_of size;
+    ops;
+    churn;
+    kill_only;
+    birth_only;
+    ptr_density;
+    reads_per_op;
+    writes_per_op;
+    chase_depth;
+    hot_fraction;
+    hot_weight;
+    compute_per_op;
+    engages_revocation;
+  }
+
 let mean_size t = mean_of_dist t.size
 
 (* Calibration notes: heap sizes are 1/64 of the paper's Table 2 "Mean
@@ -52,168 +119,55 @@ let mean_size t = mean_of_dist t.size
    "pointer-chase-heavy" classification (astar, omnetpp, xalancbmk). *)
 let spec_all =
   [
-    {
-      name = "astar_lakes";
-      slots = 8_000;
-      target_live = 0.92;
-      size = Mixture [ (0.7, Uniform (32, 512)); (0.3, Uniform (512, 1500)) ];
-      ops = 400_000;
-      churn = 0.18;
-      kill_only = 0.04;
-      birth_only = 0.04;
-      ptr_density = 0.20;
-      reads_per_op = 5;
-      writes_per_op = 2;
-      chase_depth = 3;
-      hot_fraction = 0.10;
-      hot_weight = 0.60;
-      compute_per_op = 2200;
-      engages_revocation = true;
-    };
-    {
-      name = "bzip2";
-      slots = 64;
-      target_live = 0.80;
-      size = Fixed 65_536;
-      ops = 250_000;
-      churn = 0.00002;
-      kill_only = 0.0;
-      birth_only = 0.0;
-      ptr_density = 0.0;
-      reads_per_op = 20;
-      writes_per_op = 10;
-      chase_depth = 0;
-      hot_fraction = 0.25;
-      hot_weight = 0.80;
-      compute_per_op = 150;
-      engages_revocation = false;
-    };
-    {
-      name = "gobmk_trevord";
-      slots = 8_000;
-      target_live = 0.95;
-      size = Uniform (64, 448);
-      ops = 350_000;
-      churn = 0.035;
-      kill_only = 0.005;
-      birth_only = 0.005;
-      ptr_density = 0.10;
-      reads_per_op = 8;
-      writes_per_op = 3;
-      chase_depth = 1;
-      hot_fraction = 0.15;
-      hot_weight = 0.70;
-      compute_per_op = 250;
-      engages_revocation = true;
-    };
-    {
-      name = "hmmer_nph3";
-      slots = 6_300;
-      target_live = 0.95;
-      size = Fixed 128;
-      ops = 500_000;
-      churn = 0.40;
-      kill_only = 0.02;
-      birth_only = 0.02;
-      ptr_density = 0.03;
-      reads_per_op = 6;
-      writes_per_op = 4;
-      chase_depth = 0;
-      hot_fraction = 0.30;
-      hot_weight = 0.80;
-      compute_per_op = 900;
-      engages_revocation = true;
-    };
-    {
-      name = "hmmer_retro";
-      slots = 2_600;
-      target_live = 0.95;
-      size = Fixed 128;
-      ops = 300_000;
-      churn = 0.27;
-      kill_only = 0.02;
-      birth_only = 0.02;
-      ptr_density = 0.03;
-      reads_per_op = 6;
-      writes_per_op = 4;
-      chase_depth = 0;
-      hot_fraction = 0.30;
-      hot_weight = 0.80;
-      compute_per_op = 700;
-      engages_revocation = true;
-    };
-    {
-      name = "libquantum";
-      slots = 12;
-      target_live = 0.75;
-      size = Mixture [ (0.6, Fixed 131_072); (0.4, Fixed 262_144) ];
-      ops = 250_000;
-      churn = 0.0012;
-      kill_only = 0.0;
-      birth_only = 0.0;
-      ptr_density = 0.0;
-      reads_per_op = 12;
-      writes_per_op = 8;
-      chase_depth = 0;
-      hot_fraction = 0.50;
-      hot_weight = 0.50;
-      compute_per_op = 50;
-      engages_revocation = true;
-    };
-    {
-      name = "omnetpp";
-      slots = 31_000;
-      target_live = 0.92;
-      size = Mixture [ (0.8, Uniform (32, 256)); (0.2, Uniform (256, 640)) ];
-      ops = 900_000;
-      churn = 0.48;
-      kill_only = 0.04;
-      birth_only = 0.04;
-      ptr_density = 0.35;
-      reads_per_op = 4;
-      writes_per_op = 2;
-      chase_depth = 4;
-      hot_fraction = 0.05;
-      hot_weight = 0.50;
-      compute_per_op = 1600;
-      engages_revocation = true;
-    };
-    {
-      name = "sjeng";
-      slots = 700;
-      target_live = 1.0;
-      size = Fixed 4_096;
-      ops = 300_000;
-      churn = 0.0002;
-      kill_only = 0.0;
-      birth_only = 0.0;
-      ptr_density = 0.05;
-      reads_per_op = 10;
-      writes_per_op = 2;
-      chase_depth = 1;
-      hot_fraction = 0.20;
-      hot_weight = 0.85;
-      compute_per_op = 200;
-      engages_revocation = false;
-    };
-    {
-      name = "xalancbmk";
-      slots = 40_000;
-      target_live = 0.92;
-      size = Mixture [ (0.75, Uniform (32, 320)); (0.25, Uniform (320, 768)) ];
-      ops = 800_000;
-      churn = 0.38;
-      kill_only = 0.035;
-      birth_only = 0.035;
-      ptr_density = 0.30;
-      reads_per_op = 4;
-      writes_per_op = 2;
-      chase_depth = 3;
-      hot_fraction = 0.06;
-      hot_weight = 0.50;
-      compute_per_op = 1600;
-      engages_revocation = true;
-    };
+    make ~name:"astar_lakes" ~slots:8_000 ~target_live:0.92
+      ~size:(Mixture [ (0.7, Uniform (32, 512)); (0.3, Uniform (512, 1500)) ])
+      ~ops:400_000 ~churn:0.18 ~kill_only:0.04 ~birth_only:0.04
+      ~ptr_density:0.20 ~reads_per_op:5 ~writes_per_op:2 ~chase_depth:3
+      ~hot_fraction:0.10 ~hot_weight:0.60 ~compute_per_op:2200
+      ~engages_revocation:true ();
+    make ~name:"bzip2" ~slots:64 ~target_live:0.80 ~size:(Fixed 65_536)
+      ~ops:250_000 ~churn:0.00002 ~kill_only:0.0 ~birth_only:0.0
+      ~ptr_density:0.0 ~reads_per_op:20 ~writes_per_op:10 ~chase_depth:0
+      ~hot_fraction:0.25 ~hot_weight:0.80 ~compute_per_op:150
+      ~engages_revocation:false ();
+    make ~name:"gobmk_trevord" ~slots:8_000 ~target_live:0.95
+      ~size:(Uniform (64, 448)) ~ops:350_000 ~churn:0.035 ~kill_only:0.005
+      ~birth_only:0.005 ~ptr_density:0.10 ~reads_per_op:8 ~writes_per_op:3
+      ~chase_depth:1 ~hot_fraction:0.15 ~hot_weight:0.70 ~compute_per_op:250
+      ~engages_revocation:true ();
+    make ~name:"hmmer_nph3" ~slots:6_300 ~target_live:0.95 ~size:(Fixed 128)
+      ~ops:500_000 ~churn:0.40 ~kill_only:0.02 ~birth_only:0.02
+      ~ptr_density:0.03 ~reads_per_op:6 ~writes_per_op:4 ~chase_depth:0
+      ~hot_fraction:0.30 ~hot_weight:0.80 ~compute_per_op:900
+      ~engages_revocation:true ();
+    make ~name:"hmmer_retro" ~slots:2_600 ~target_live:0.95 ~size:(Fixed 128)
+      ~ops:300_000 ~churn:0.27 ~kill_only:0.02 ~birth_only:0.02
+      ~ptr_density:0.03 ~reads_per_op:6 ~writes_per_op:4 ~chase_depth:0
+      ~hot_fraction:0.30 ~hot_weight:0.80 ~compute_per_op:700
+      ~engages_revocation:true ();
+    make ~name:"libquantum" ~slots:12 ~target_live:0.75
+      ~size:(Mixture [ (0.6, Fixed 131_072); (0.4, Fixed 262_144) ])
+      ~ops:250_000 ~churn:0.0012 ~kill_only:0.0 ~birth_only:0.0
+      ~ptr_density:0.0 ~reads_per_op:12 ~writes_per_op:8 ~chase_depth:0
+      ~hot_fraction:0.50 ~hot_weight:0.50 ~compute_per_op:50
+      ~engages_revocation:true ();
+    make ~name:"omnetpp" ~slots:31_000 ~target_live:0.92
+      ~size:(Mixture [ (0.8, Uniform (32, 256)); (0.2, Uniform (256, 640)) ])
+      ~ops:900_000 ~churn:0.48 ~kill_only:0.04 ~birth_only:0.04
+      ~ptr_density:0.35 ~reads_per_op:4 ~writes_per_op:2 ~chase_depth:4
+      ~hot_fraction:0.05 ~hot_weight:0.50 ~compute_per_op:1600
+      ~engages_revocation:true ();
+    make ~name:"sjeng" ~slots:700 ~target_live:1.0 ~size:(Fixed 4_096)
+      ~ops:300_000 ~churn:0.0002 ~kill_only:0.0 ~birth_only:0.0
+      ~ptr_density:0.05 ~reads_per_op:10 ~writes_per_op:2 ~chase_depth:1
+      ~hot_fraction:0.20 ~hot_weight:0.85 ~compute_per_op:200
+      ~engages_revocation:false ();
+    make ~name:"xalancbmk" ~slots:40_000 ~target_live:0.92
+      ~size:(Mixture [ (0.75, Uniform (32, 320)); (0.25, Uniform (320, 768)) ])
+      ~ops:800_000 ~churn:0.38 ~kill_only:0.035 ~birth_only:0.035
+      ~ptr_density:0.30 ~reads_per_op:4 ~writes_per_op:2 ~chase_depth:3
+      ~hot_fraction:0.06 ~hot_weight:0.50 ~compute_per_op:1600
+      ~engages_revocation:true ();
   ]
 
 let spec_revoking = List.filter (fun p -> p.engages_revocation) spec_all

@@ -16,11 +16,24 @@ type size_dist =
 
 val sample_size : Sim.Prng.t -> size_dist -> int
 
+type sizer
+(** A compiled size distribution: mixture cumulative weights are
+    precomputed once so the hot sampling path never re-folds the weight
+    list. Draw-for-draw (and bit-for-bit) identical to {!sample_size}
+    on the distribution it was compiled from. *)
+
+val sizer_of : size_dist -> sizer
+
+val sample : Sim.Prng.t -> sizer -> int
+(** [sample rng (sizer_of d)] consumes the same PRNG draws and returns
+    the same values as [sample_size rng d]. *)
+
 type t = {
   name : string;
   slots : int; (** object-table capacity *)
   target_live : float; (** fraction of slots kept live in steady state *)
   size : size_dist;
+  size_c : sizer; (** compiled form of [size]; kept in sync by {!make} *)
   ops : int; (** operations at scale 1.0 *)
   churn : float; (** P(op replaces a live object: free + alloc) *)
   kill_only : float; (** P(op frees leaving a dangling slot) *)
@@ -34,6 +47,29 @@ type t = {
   compute_per_op : int; (** ALU cycles per op *)
   engages_revocation : bool; (** paper: bzip2 and sjeng do not *)
 }
+
+val make :
+  name:string ->
+  slots:int ->
+  target_live:float ->
+  size:size_dist ->
+  ops:int ->
+  churn:float ->
+  kill_only:float ->
+  birth_only:float ->
+  ptr_density:float ->
+  reads_per_op:int ->
+  writes_per_op:int ->
+  chase_depth:int ->
+  hot_fraction:float ->
+  hot_weight:float ->
+  compute_per_op:int ->
+  engages_revocation:bool ->
+  unit ->
+  t
+(** Smart constructor: fills [size_c] with [sizer_of size]. Prefer this
+    to a record literal so the compiled sampler cannot drift from the
+    declarative distribution. *)
 
 val mean_size : t -> float
 

@@ -32,7 +32,7 @@ let init_body (p : Profile.t) ctx rng regs cap =
   done
 
 let alloc_into (p : Profile.t) rt ctx rng regs table slot =
-  let size = Profile.sample_size rng p.Profile.size in
+  let size = Profile.sample rng p.Profile.size_c in
   let c = Runtime.malloc rt ctx size in
   Sim.Regfile.set regs r_work c;
   init_body p ctx rng regs c;
@@ -132,8 +132,11 @@ let app_body (p : Profile.t) rt ~rng ~ops ~ops_done ctx =
     incr ops_done
   done
 
+type interp = Reference | Compiled
+
 let run ?(seed = 1) ?(ops_scale = 1.0) ?policy ?(non_temporal = false)
-    ?(allocator = Runtime.Snmalloc) ?tracer ?on_runtime ~mode (p : Profile.t) =
+    ?(allocator = Runtime.Snmalloc) ?tracer ?on_runtime ?(interp = Compiled)
+    ~mode (p : Profile.t) =
   let heap_bytes = Profile.heap_bytes_needed p in
   let config =
     {
@@ -151,11 +154,27 @@ let run ?(seed = 1) ?(ops_scale = 1.0) ?policy ?(non_temporal = false)
   (match on_runtime with Some f -> f rt | None -> ());
   let rng = Prng.create ~seed:(seed * 7919) in
   let ops = int_of_float (float_of_int p.Profile.ops *. ops_scale) in
+  (* Compile after [on_runtime]: chaos hooks installed there can break
+     the compiler's machine-state assumptions (tagged live slots,
+     size-class-predicted lengths), so such runs take the reference
+     interpreter — as do load-filter barriers (CHERIoT), which may strip
+     a live slot's tag at load time, a machine-dependent outcome the
+     compiled draw schedule cannot represent. Both paths consume the
+     same PRNG stream. *)
+  let stream =
+    match interp with
+    | Compiled when (not (Machine.chaos_armed m)) && not (Machine.load_filter_armed m)
+      ->
+        Some (Opstream.compile p ~rng ~ops)
+    | Compiled | Reference -> None
+  in
   let wall_end = ref 0 in
   let ops_done = ref 0 in
   let app =
     Machine.spawn m ~name:"app" ~core:3 (fun ctx ->
-        app_body p rt ~rng ~ops ~ops_done ctx;
+        (match stream with
+        | Some s -> Opstream.exec s p rt ctx ~ops_done
+        | None -> app_body p rt ~rng ~ops ~ops_done ctx);
         wall_end := Machine.now ctx;
         Runtime.finish rt ctx)
   in

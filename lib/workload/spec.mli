@@ -21,6 +21,12 @@ val app_body :
     bumping [ops_done] per op. {!run} wraps it in a fresh machine;
     {!Tenant.run} runs one per forked process. *)
 
+type interp =
+  | Reference  (** the original per-op interpreter ({!app_body}) *)
+  | Compiled
+      (** the {!Opstream} compiled path: bit-for-bit identical simulated
+          behaviour, much faster host execution *)
+
 val run :
   ?seed:int ->
   ?ops_scale:float ->
@@ -29,6 +35,7 @@ val run :
   ?allocator:Ccr.Runtime.allocator_kind ->
   ?tracer:Sim.Trace.t ->
   ?on_runtime:(Ccr.Runtime.t -> unit) ->
+  ?interp:interp ->
   mode:Ccr.Runtime.mode ->
   Profile.t ->
   Result.t
@@ -36,4 +43,10 @@ val run :
     The same [seed] produces the same operation stream across modes, so
     results are paired. [on_runtime] is called with the freshly-built
     runtime after the tracer is attached but before any thread runs —
-    the hook analyses (sanitizer, race detector) use to subscribe. *)
+    the hook analyses (sanitizer, race detector) use to subscribe.
+
+    [interp] defaults to [Compiled]; runs that arm chaos hooks
+    ({!Sim.Machine.chaos_armed}) or a capability-load filter barrier
+    ({!Sim.Machine.load_filter_armed}, the CHERIoT strategy)
+    automatically fall back to [Reference], whose per-op interpretation
+    tolerates the machine states those can manufacture. *)

@@ -25,17 +25,60 @@ let test_ring_basics () =
   check_int "cleared" 0 (Trace.length t)
 
 let test_ring_overwrite () =
+  (* capacity rounds up to the next power of two: 3 -> 4 (documented) *)
   let t = Trace.create ~capacity:3 () in
+  check_int "effective capacity" 4 (Trace.capacity t);
   for i = 1 to 5 do
     Trace.emit t ~time:i ~core:0 (Trace.Custom "x") i
   done;
-  check_int "capacity bound" 3 (Trace.length t);
-  check_int "dropped" 2 (Trace.dropped t);
+  check_int "capacity bound" 4 (Trace.length t);
+  check_int "dropped" 1 (Trace.dropped t);
   match Trace.to_list t with
-  | [ a; _; c ] ->
-      check_int "oldest retained" 3 a.Trace.time;
-      check_int "newest" 5 c.Trace.time
-  | _ -> Alcotest.fail "expected three events"
+  | [ a; _; _; d ] ->
+      check_int "oldest retained" 2 a.Trace.time;
+      check_int "newest" 5 d.Trace.time
+  | _ -> Alcotest.fail "expected four events"
+
+(* Exactness at every point around the wrap boundary of a power-of-two
+   ring: length/total/dropped and the retained window must be right at
+   [cap - 1], [cap], and [cap + k] emissions. *)
+let test_ring_wrap_boundary () =
+  let cap = 8 in
+  let t = Trace.create ~capacity:cap () in
+  check_int "exact power of two kept" cap (Trace.capacity t);
+  let emitted = ref 0 in
+  let emit_to n =
+    while !emitted < n do
+      incr emitted;
+      Trace.emit t ~time:!emitted ~core:0 (Trace.Custom "x") !emitted
+    done
+  in
+  let check_window label =
+    let n = !emitted in
+    check_int (label ^ ": total") n (Trace.total t);
+    check_int (label ^ ": length") (min n cap) (Trace.length t);
+    check_int (label ^ ": dropped") (max 0 (n - cap)) (Trace.dropped t);
+    let expect = List.init (min n cap) (fun i -> n - min n cap + 1 + i) in
+    Alcotest.(check (list int))
+      (label ^ ": retained window, oldest first")
+      expect
+      (List.map (fun e -> e.Trace.time) (Trace.to_list t))
+  in
+  emit_to (cap - 1);
+  check_window "one short of full";
+  emit_to cap;
+  check_window "exactly full";
+  emit_to (cap + 1);
+  check_window "first overwrite";
+  emit_to (2 * cap);
+  check_window "full wrap";
+  emit_to ((3 * cap) + 3);
+  check_window "mid-ring after several wraps";
+  (* clear resets the accounting, not the capacity *)
+  Trace.clear t;
+  check_int "cleared" 0 (Trace.length t);
+  check_int "cleared total" 0 (Trace.total t);
+  check_int "capacity survives clear" cap (Trace.capacity t)
 
 let test_subscribers_lossless () =
   let t = Trace.create ~capacity:4 () in
@@ -84,6 +127,60 @@ let contains s sub =
   let n = String.length sub in
   let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
   go 0
+
+let count_lines_with s sub =
+  List.length (List.filter (fun l -> contains l sub) (String.split_on_char '\n' s))
+
+(* Run [f] with stderr redirected to a file; return what it wrote. *)
+let capturing_stderr f =
+  let tmp = Filename.temp_file "trace_test" ".err" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  let saved = Unix.dup Unix.stderr in
+  flush stderr;
+  Unix.dup2 fd Unix.stderr;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stderr;
+      Unix.dup2 saved Unix.stderr;
+      Unix.close saved;
+      Unix.close fd)
+    f;
+  let ic = open_in tmp in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Sys.remove tmp;
+  s
+
+let test_drop_warning_once () =
+  let t = Trace.create ~capacity:2 () in
+  Trace.set_warn_on_drop t true;
+  let out =
+    capturing_stderr (fun () ->
+        for i = 1 to 50 do
+          Trace.emit t ~time:i ~core:0 (Trace.Custom "x") i
+        done)
+  in
+  check_int "warns exactly once despite 48 drops" 1
+    (count_lines_with out "capacity");
+  (* clear resets the one-shot: a fresh run may warn again *)
+  Trace.clear t;
+  let out =
+    capturing_stderr (fun () ->
+        for i = 1 to 5 do
+          Trace.emit t ~time:i ~core:0 (Trace.Custom "x") i
+        done)
+  in
+  check_int "warns once more after clear" 1 (count_lines_with out "capacity");
+  (* disabled recorders never warn *)
+  let q = Trace.create ~capacity:2 () in
+  let out =
+    capturing_stderr (fun () ->
+        for i = 1 to 50 do
+          Trace.emit q ~time:i ~core:0 (Trace.Custom "x") i
+        done)
+  in
+  check_int "silent when not enabled" 0 (count_lines_with out "capacity")
 
 let test_dump_reports_drops () =
   let t = Trace.create ~capacity:2 () in
@@ -320,6 +417,9 @@ let () =
         [
           Alcotest.test_case "ring basics" `Quick test_ring_basics;
           Alcotest.test_case "overwrite" `Quick test_ring_overwrite;
+          Alcotest.test_case "wrap boundary" `Quick test_ring_wrap_boundary;
+          Alcotest.test_case "drop warning once" `Quick
+            test_drop_warning_once;
           Alcotest.test_case "subscribers lossless" `Quick
             test_subscribers_lossless;
           Alcotest.test_case "multi-subscriber order" `Quick

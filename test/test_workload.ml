@@ -93,6 +93,55 @@ let test_size_dist () =
     check "mixture picks a branch" true (s = 16 || s = 32)
   done
 
+let test_size_compiled_unchanged () =
+  (* the precomputed-CDF sampler must be draw-for-draw identical to the
+     declarative one: same seed, same draw index, same value — for every
+     spec profile's distribution and for ad hoc mixtures *)
+  let dists =
+    List.map (fun (p : Profile.t) -> (p.Profile.name, p.Profile.size))
+      Profile.spec_all
+    @ [
+        ("fixed", Profile.Fixed 48);
+        ("uniform", Profile.Uniform (32, 4096));
+        ( "skewed mixture",
+          Profile.Mixture
+            [
+              (0.01, Profile.Fixed 16);
+              (3.0, Profile.Uniform (64, 128));
+              (0.5, Profile.Fixed 65536);
+            ] );
+        ("one arm", Profile.Mixture [ (1.0, Profile.Uniform (16, 17)) ]);
+      ]
+  in
+  List.iter
+    (fun (name, d) ->
+      let c = Profile.sizer_of d in
+      List.iter
+        (fun seed ->
+          let r1 = Sim.Prng.create ~seed in
+          let r2 = Sim.Prng.create ~seed in
+          for i = 1 to 2_000 do
+            let a = Profile.sample_size r1 d in
+            let b = Profile.sample r2 c in
+            if a <> b then
+              Alcotest.failf "%s seed %d draw %d: sample_size=%d sample=%d"
+                name seed i a b
+          done)
+        [ 1; 42; 1337 ])
+    dists;
+  (* and the spec profiles' cached size_c is the compiled form of size *)
+  List.iter
+    (fun (p : Profile.t) ->
+      let r1 = Sim.Prng.create ~seed:7 in
+      let r2 = Sim.Prng.create ~seed:7 in
+      for _ = 1 to 500 do
+        check_int
+          (p.Profile.name ^ " size_c in sync")
+          (Profile.sample_size r1 p.Profile.size)
+          (Profile.sample r2 p.Profile.size_c)
+      done)
+    Profile.spec_all
+
 (* ---- spec engine ---- *)
 
 let tiny = { (Profile.find "hmmer_retro") with Profile.ops = 8_000; slots = 400 }
@@ -180,6 +229,8 @@ let () =
         [
           Alcotest.test_case "sane" `Quick test_profiles_sane;
           Alcotest.test_case "size dist" `Quick test_size_dist;
+          Alcotest.test_case "compiled sizer unchanged" `Quick
+            test_size_compiled_unchanged;
         ] );
       ( "spec",
         [
